@@ -1,0 +1,262 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (§5) as a series table, then times every algorithm with Bechamel,
+   reproducing the §5 runtime observations (GR orders of magnitude faster
+   than DP; DP still practical at paper scale).
+
+   Usage: bench/main.exe [section...]
+   Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 timing (default: all). *)
+
+open Replica_experiments
+
+let section_enabled =
+  let requested =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun s -> not (String.length s > 0 && s.[0] = '-'))
+  in
+  fun name -> requested = [] || List.mem name requested
+
+let banner name description =
+  Printf.printf "\n=== %s: %s ===\n%!" name description
+
+(* --- Experiment 1 (Figures 4 and 6) --- *)
+
+let run_exp1 name shape description =
+  if section_enabled name then begin
+    banner name description;
+    let config = Workload.default_cost_config ~shape () in
+    Table.print (Exp1.to_table (Exp1.run config));
+    let g = Exp1.gap_summary config in
+    Printf.printf
+      "DP reuses on average %.2f more servers than GR (max gap %d over %d \
+       tree/E pairs)\n"
+      g.Exp1.avg_gap g.Exp1.max_gap g.Exp1.pairs
+  end
+
+(* --- Experiment 2 (Figures 5 and 7) --- *)
+
+let run_exp2 name shape description =
+  if section_enabled name then begin
+    banner name description;
+    let config = Workload.default_cost_config ~shape () in
+    let result = Exp2.run config in
+    print_endline "left plot - cumulative reuse per step:";
+    Table.print (Exp2.steps_table result);
+    print_endline "right plot - histogram of reused(DP) - reused(GR):";
+    Table.print (Exp2.histogram_table result)
+  end
+
+(* --- Experiment 3 (Figures 8-11) --- *)
+
+let run_exp3 name ~shape ~pre ~expensive description =
+  if section_enabled name then begin
+    banner name description;
+    let config = Workload.default_power_config ~shape ~pre ~expensive () in
+    let result = Exp3.run config in
+    Table.print (Exp3.to_table result);
+    Printf.printf "GR over DP power: avg %.1f%%, peak-bound %.1f%%\n"
+      result.Exp3.gr_overconsumption_percent
+      result.Exp3.gr_peak_overconsumption_percent
+  end
+
+(* --- Ablations (not paper figures; design choices DESIGN.md calls out) --- *)
+
+let run_ablation_policies () =
+  if section_enabled "ablation-policies" then begin
+    banner "ablation-policies"
+      "update-policy trade-off (§6): reconfiguration bill vs staleness";
+    let rows = Exp_policy.run (Exp_policy.default_config ()) in
+    Table.print (Exp_policy.to_table rows)
+  end
+
+let run_ablation_heuristics () =
+  if section_enabled "ablation-heuristics" then begin
+    banner "ablation-heuristics"
+      "power heuristics (§6) vs the DP optimum: quality/time trade-off";
+    let rows = Exp_heuristics.run (Exp_heuristics.default_config ()) in
+    Table.print (Exp_heuristics.to_table rows)
+  end
+
+let run_ablation_update () =
+  if section_enabled "ablation-update" then begin
+    banner "ablation-update"
+      "cost-update heuristic (§6) vs the exact O(N^5) DP: quality/time";
+    let rows = Exp_update.run (Exp_update.default_config ()) in
+    Table.print (Exp_update.to_table rows)
+  end
+
+let run_ablation_shapes () =
+  if section_enabled "ablation-shapes" then begin
+    banner "ablation-shapes"
+      "tree-shape sensitivity: reuse quality and DP hardness per shape";
+    let rows = Exp_shapes.run (Exp_shapes.default_config ()) in
+    Table.print (Exp_shapes.to_table rows)
+  end
+
+let run_ablation_drift () =
+  if section_enabled "ablation-drift" then begin
+    banner "ablation-drift"
+      "demand volatility vs lazy-update savings (the §6 interval question)";
+    let rows =
+      Exp_policy.run_drift_sweep
+        (Exp_policy.default_config ())
+        [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+    in
+    Table.print (Exp_policy.drift_table rows)
+  end
+
+let run_ablation_window () =
+  if section_enabled "ablation-window" then begin
+    banner "ablation-window"
+      "reconfiguration interval on trace-driven demand (§6, trace side)";
+    let rows =
+      Exp_trace.run (Exp_trace.default_config ()) [ 0.5; 1.; 2.; 4.; 8.; 16. ]
+    in
+    Table.print (Exp_trace.to_table rows)
+  end
+
+let run_ablation_modes () =
+  if section_enabled "ablation-modes" then begin
+    banner "ablation-modes"
+      "Experiment 3 with M = 3 modes {4, 7, 10} (paper: M typically 2 or 3)";
+    let open Replica_core in
+    let modes = Modes.make [ 4; 7; 10 ] in
+    let config =
+      {
+        (Workload.default_power_config ()) with
+        Workload.pc_modes = modes;
+        pc_power = Power.paper_exp3 ~modes;
+        pc_cost = Cost.paper_cheap ~modes:3;
+      }
+    in
+    let result = Exp3.run config in
+    Table.print (Exp3.to_table result);
+    Printf.printf "GR over DP power: avg %.1f%%, peak-bound %.1f%%\n"
+      result.Exp3.gr_overconsumption_percent
+      result.Exp3.gr_peak_overconsumption_percent
+  end
+
+(* --- Bechamel timing suite --- *)
+
+let timing_tests () =
+  let open Replica_tree in
+  let open Replica_core in
+  let w = Workload.capacity in
+  let cost = Cost.basic ~create:0.001 ~delete:0.00001 () in
+  let modes = Modes.make [ 5; 10 ] in
+  let power = Power.paper_exp3 ~modes in
+  let mcost = Cost.paper_cheap ~modes:2 in
+  let cost_tree nodes pre =
+    let rng = Rng.create (100 + nodes) in
+    let t =
+      Generator.random rng
+        (Workload.profile Workload.Fat ~nodes ~max_requests:6)
+    in
+    Generator.add_pre_existing rng t pre
+  in
+  let power_tree nodes pre =
+    let rng = Rng.create (200 + nodes) in
+    let t =
+      Generator.random rng
+        (Workload.profile Workload.Fat ~nodes ~max_requests:5)
+    in
+    Generator.add_pre_existing rng ~mode:2 t pre
+  in
+  let t100 = cost_tree 100 25 in
+  let t200 = cost_tree 200 50 in
+  let p50 = power_tree 50 5 in
+  let p70 = power_tree 70 10 in
+  let open Bechamel in
+  [
+    Test.make ~name:"greedy/N=100" (Staged.stage (fun () -> Greedy.solve t100 ~w));
+    Test.make ~name:"greedy/N=200" (Staged.stage (fun () -> Greedy.solve t200 ~w));
+    Test.make ~name:"dp-nopre/N=100" (Staged.stage (fun () -> Dp_nopre.solve t100 ~w));
+    Test.make ~name:"dp-withpre/N=100,E=25"
+      (Staged.stage (fun () -> Dp_withpre.solve t100 ~w ~cost));
+    Test.make ~name:"dp-withpre/N=200,E=50"
+      (Staged.stage (fun () -> Dp_withpre.solve t200 ~w ~cost));
+    Test.make ~name:"dp-power/N=50,E=5"
+      (Staged.stage (fun () -> Dp_power.solve p50 ~modes ~power ~cost:mcost ()));
+    Test.make ~name:"dp-power/N=70,E=10"
+      (Staged.stage (fun () -> Dp_power.solve p70 ~modes ~power ~cost:mcost ()));
+    Test.make ~name:"gr-power/N=50,E=5"
+      (Staged.stage (fun () ->
+           Greedy_power.solve p50 ~modes ~power ~cost:mcost ()));
+    Test.make ~name:"heuristic/N=50,E=5"
+      (Staged.stage (fun () ->
+           Heuristics.solve p50 ~modes ~power ~cost:mcost ()));
+    Test.make ~name:"multiple/N=100" (Staged.stage (fun () -> Multiple.solve t100 ~w));
+    Test.make ~name:"upwards-heuristic/N=100"
+      (Staged.stage (fun () -> Upwards.solve_heuristic t100 ~w));
+    (* The design choice behind the DP's speed: placements as catenable
+       lists (O(1) append) vs naive list concatenation (O(n)). *)
+    (let chunks = List.init 200 (fun i -> Clist.of_list [ (i, i) ]) in
+     Test.make ~name:"clist/200-appends"
+       (Staged.stage (fun () ->
+            List.fold_left Clist.append Clist.empty chunks)));
+    (let chunks = List.init 200 (fun i -> [ (i, i) ]) in
+     Test.make ~name:"list/200-appends"
+       (Staged.stage (fun () -> List.fold_left ( @ ) [] chunks)));
+  ]
+
+let run_timing () =
+  if section_enabled "timing" then begin
+    banner "timing"
+      "Bechamel wall-clock per solver (the paper's GR-vs-DP runtime claims)";
+    let open Bechamel in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    let tests = Test.make_grouped ~name:"replica" (timing_tests ()) in
+    let raw = Benchmark.all cfg [ instance ] tests in
+    let results = Analyze.all ols instance raw in
+    let table = Table.make ~header:[ "solver"; "time per run" ] in
+    let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+    List.iter
+      (fun (name, ols_result) ->
+        let time_str =
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns :: _) ->
+              if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+          | Some [] | None -> "-"
+        in
+        Table.add_row table [ name; time_str ])
+      (List.sort compare rows);
+    Table.print table
+  end
+
+let () =
+  Printf.printf
+    "replicaml benchmark harness - reproducing Benoit, Renaud-Goud, Robert \
+     (IPDPS 2011)\n";
+  Printf.printf
+    "Paper-scale defaults: Exp1/2 use 200 fat/high trees with N=100, W=10; \
+     Exp3 uses 100 trees with N=50.\n";
+  run_exp1 "fig4" Workload.Fat
+    "Experiment 1, fat trees - average reuse of pre-existing servers vs E";
+  run_exp2 "fig5" Workload.Fat
+    "Experiment 2, fat trees - 20 consecutive reconfiguration steps";
+  run_exp1 "fig6" Workload.High "Experiment 1, high trees (2-4 children)";
+  run_exp2 "fig7" Workload.High "Experiment 2, high trees (2-4 children)";
+  run_exp3 "fig8" ~shape:Workload.Fat ~pre:5 ~expensive:false
+    "Experiment 3 - inverse power vs cost bound (with pre-existing)";
+  run_exp3 "fig9" ~shape:Workload.Fat ~pre:0 ~expensive:false
+    "Experiment 3 - without pre-existing replicas";
+  run_exp3 "fig10" ~shape:Workload.High ~pre:5 ~expensive:false
+    "Experiment 3 - high trees";
+  run_exp3 "fig11" ~shape:Workload.Fat ~pre:5 ~expensive:true
+    "Experiment 3 - expensive cost function (create=delete=1, changed=0.1)";
+  run_ablation_policies ();
+  run_ablation_heuristics ();
+  run_ablation_update ();
+  run_ablation_shapes ();
+  run_ablation_drift ();
+  run_ablation_window ();
+  run_ablation_modes ();
+  run_timing ()

@@ -1,0 +1,430 @@
+(* Command-line interface to the replicaml library: generate trees, solve
+   single instances with any algorithm, and run the paper's experiments. *)
+
+open Replica_tree
+open Replica_core
+open Replica_experiments
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nodes_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of internal nodes.")
+
+let shape_arg =
+  let shape_conv =
+    Arg.enum [ ("fat", Workload.Fat); ("high", Workload.High) ]
+  in
+  Arg.(
+    value & opt shape_conv Workload.Fat
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:"Tree shape: $(b,fat) (6-9 children) or $(b,high) (2-4).")
+
+let pre_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "pre" ] ~docv:"E" ~doc:"Number of pre-existing servers.")
+
+let trees_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "trees" ] ~docv:"T" ~doc:"Number of random trees to average over.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Enable debug logging of the DP internals.")
+
+let quiet_progress =
+  Arg.(
+    value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for parallel per-tree solves (default: the machine's \
+           recommended count). Results are identical at any value.")
+
+let csv_flag =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+
+let emit csv table = if csv then print_string (Table.to_csv table) else Table.print table
+
+let progress quiet fmt =
+  if quiet then Printf.ifprintf stderr fmt else Printf.eprintf fmt
+
+let make_tree ~shape ~nodes ~pre ~seed ~max_requests ~pre_mode =
+  let rng = Rng.create seed in
+  let t =
+    Generator.random rng (Workload.profile shape ~nodes ~max_requests)
+  in
+  Generator.add_pre_existing rng ~mode:pre_mode t pre
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print structural statistics instead of the tree.")
+  in
+  let svg_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Also write a standalone SVG rendering.")
+  in
+  let run shape nodes pre seed dot stats svg =
+    let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:6 ~pre_mode:1 in
+    if stats then begin
+      Format.printf "%a" Metrics.pp (Metrics.compute t);
+      Format.printf "nodes per depth:";
+      List.iter
+        (fun (d, c) -> Format.printf " %d:%d" d c)
+        (Metrics.depth_histogram t);
+      Format.printf "@.branching histogram:";
+      List.iter
+        (fun (b, c) -> Format.printf " %d:%d" b c)
+        (Metrics.branching_histogram t);
+      Format.printf "@."
+    end
+    else begin
+      Format.printf "%a" Tree.pp t;
+      Format.printf "serialized: %s@." (Tree.to_string t)
+    end;
+    Option.iter (fun path -> Dot.write_file path t) dot;
+    Option.iter (fun path -> Svg.write_file path t) svg
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate and print a random distribution tree.")
+    Term.(
+      const run $ shape_arg $ nodes_arg 20 $ pre_arg 0 $ seed_arg $ dot_arg
+      $ stats_flag $ svg_arg)
+
+(* --- solve --- *)
+
+type algo = Algo_greedy | Algo_dp_nopre | Algo_dp_withpre | Algo_dp_power
+          | Algo_gr_power | Algo_heuristic
+
+let solve_cmd =
+  let algo_arg =
+    let algo_conv =
+      Arg.enum
+        [
+          ("greedy", Algo_greedy);
+          ("dp-nopre", Algo_dp_nopre);
+          ("dp-withpre", Algo_dp_withpre);
+          ("dp-power", Algo_dp_power);
+          ("gr-power", Algo_gr_power);
+          ("heuristic", Algo_heuristic);
+        ]
+    in
+    Arg.(
+      value & opt algo_conv Algo_dp_withpre
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Solver: $(b,greedy), $(b,dp-nopre), $(b,dp-withpre), \
+             $(b,dp-power), $(b,gr-power) or $(b,heuristic).")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "bound" ] ~docv:"COST" ~doc:"Cost bound for power solvers.")
+  in
+  let w_arg =
+    Arg.(
+      value & opt int 10 & info [ "w" ] ~docv:"W" ~doc:"Server capacity.")
+  in
+  let run shape nodes pre seed algo bound w verbose =
+    setup_logs verbose;
+    let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:5 ~pre_mode:2 in
+    let modes = if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ] in
+    let power = Power.paper_exp3 ~modes in
+    let mcost = Cost.paper_cheap ~modes:(Modes.count modes) in
+    let bcost = Cost.basic ~create:0.1 ~delete:0.01 () in
+    let describe_solution sol = print_string (Report.cost_report t ~w bcost sol) in
+    let describe_power (r : Dp_power.result) =
+      print_string (Report.power_report t modes power mcost r.Dp_power.solution)
+    in
+    match algo with
+    | Algo_greedy -> (
+        match Greedy.solve t ~w with
+        | Some sol -> describe_solution sol
+        | None -> Format.printf "no solution@.")
+    | Algo_dp_nopre -> (
+        match Dp_nopre.solve t ~w with
+        | Some r -> describe_solution r.Dp_nopre.solution
+        | None -> Format.printf "no solution@.")
+    | Algo_dp_withpre -> (
+        match Dp_withpre.solve t ~w ~cost:bcost with
+        | Some r -> describe_solution r.Dp_withpre.solution
+        | None -> Format.printf "no solution@.")
+    | Algo_dp_power -> (
+        match Dp_power.solve t ~modes ~power ~cost:mcost ~bound () with
+        | Some r -> describe_power r
+        | None -> Format.printf "no solution within bound@.")
+    | Algo_gr_power -> (
+        match Greedy_power.solve t ~modes ~power ~cost:mcost ~bound () with
+        | Some r -> describe_power r
+        | None -> Format.printf "no solution within bound@.")
+    | Algo_heuristic -> (
+        match Heuristics.solve t ~modes ~power ~cost:mcost ~bound () with
+        | Some r -> describe_power r
+        | None -> Format.printf "no solution within bound@.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve one random instance with a chosen algorithm.")
+    Term.(
+      const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ algo_arg
+      $ bound_arg $ w_arg $ verbose_flag)
+
+(* --- experiments --- *)
+
+let exp1_cmd =
+  let run shape trees nodes seed quiet csv domains =
+    let config =
+      {
+        (Workload.default_cost_config ~shape ()) with
+        Workload.cc_trees = trees;
+        cc_nodes = nodes;
+        cc_seed = seed;
+      }
+    in
+    let points =
+      Exp1.run ?domains
+        ~on_progress:(fun e -> progress quiet "exp1: E=%d done\n%!" e)
+        config
+    in
+    emit csv (Exp1.to_table points)
+  in
+  Cmd.v
+    (Cmd.info "exp1"
+       ~doc:"Experiment 1 (Fig. 4/6): reuse of pre-existing servers vs E.")
+    Term.(
+      const run $ shape_arg $ trees_arg 200 $ nodes_arg 100 $ seed_arg
+      $ quiet_progress $ csv_flag $ domains_arg)
+
+let exp2_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "steps" ] ~docv:"K" ~doc:"Number of reconfiguration steps.")
+  in
+  let run shape trees nodes seed steps quiet csv domains =
+    let config =
+      {
+        (Workload.default_cost_config ~shape ()) with
+        Workload.cc_trees = trees;
+        cc_nodes = nodes;
+        cc_seed = seed;
+      }
+    in
+    let result =
+      Exp2.run ?domains ~steps
+        ~on_progress:(fun i -> progress quiet "exp2: tree %d done\n%!" i)
+        config
+    in
+    if not csv then print_endline "cumulative reuse per step:";
+    emit csv (Exp2.steps_table result);
+    if not csv then print_endline "histogram of reused(DP) - reused(GR):";
+    emit csv (Exp2.histogram_table result)
+  in
+  Cmd.v
+    (Cmd.info "exp2"
+       ~doc:"Experiment 2 (Fig. 5/7): consecutive reconfiguration steps.")
+    Term.(
+      const run $ shape_arg $ trees_arg 200 $ nodes_arg 100 $ seed_arg
+      $ steps_arg $ quiet_progress $ csv_flag $ domains_arg)
+
+let exp3_cmd =
+  let expensive_arg =
+    Arg.(
+      value & flag
+      & info [ "expensive" ]
+          ~doc:"Use the Fig. 11 cost function (create=delete=1, changed=0.1).")
+  in
+  let run shape trees nodes pre seed expensive quiet csv domains =
+    let config =
+      {
+        (Workload.default_power_config ~shape ~pre ~expensive ()) with
+        Workload.pc_trees = trees;
+        pc_nodes = nodes;
+        pc_seed = seed;
+      }
+    in
+    let result =
+      Exp3.run ?domains
+        ~on_progress:(fun i -> progress quiet "exp3: tree %d done\n%!" i)
+        config
+    in
+    emit csv (Exp3.to_table result);
+    if not csv then
+      Printf.printf
+        "GR consumes on average %.1f%% more power than DP (peak bound: %.1f%%)\n"
+        result.Exp3.gr_overconsumption_percent
+        result.Exp3.gr_peak_overconsumption_percent
+  in
+  Cmd.v
+    (Cmd.info "exp3"
+       ~doc:
+         "Experiment 3 (Fig. 8-11): power minimization under a cost bound.")
+    Term.(
+      const run $ shape_arg $ trees_arg 100 $ nodes_arg 50 $ pre_arg 5
+      $ seed_arg $ expensive_arg $ quiet_progress $ csv_flag $ domains_arg)
+
+let policies_cmd =
+  let epochs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "epochs" ] ~docv:"K" ~doc:"Number of demand epochs.")
+  in
+  let run shape trees nodes seed epochs csv =
+    let config =
+      {
+        (Exp_policy.default_config ~shape ()) with
+        Exp_policy.trees;
+        nodes;
+        seed;
+        epochs;
+      }
+    in
+    emit csv (Exp_policy.to_table (Exp_policy.run config))
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:
+         "Ablation: lazy/systematic/periodic/drift update policies over \
+          drifting demand (the §6 trade-off).")
+    Term.(
+      const run $ shape_arg $ trees_arg 20 $ nodes_arg 50 $ seed_arg
+      $ epochs_arg $ csv_flag)
+
+let heuristics_cmd =
+  let fraction_arg =
+    Arg.(
+      value & opt float 0.35
+      & info [ "bound-fraction" ] ~docv:"F"
+          ~doc:"Cost bound as a fraction of each tree's frontier range.")
+  in
+  let run shape trees nodes pre seed fraction csv =
+    let config =
+      {
+        (Exp_heuristics.default_config ~shape ()) with
+        Exp_heuristics.trees;
+        nodes;
+        pre;
+        seed;
+        bound_fraction = fraction;
+      }
+    in
+    emit csv (Exp_heuristics.to_table (Exp_heuristics.run config))
+  in
+  Cmd.v
+    (Cmd.info "heuristics"
+       ~doc:
+         "Ablation: power heuristics (hill-climb, multi-start, annealing) \
+          vs the DP optimum.")
+    Term.(
+      const run $ shape_arg $ trees_arg 20 $ nodes_arg 40 $ pre_arg 4
+      $ seed_arg $ fraction_arg $ csv_flag)
+
+let trace_cmd =
+  let horizon_arg =
+    Arg.(
+      value & opt float 24.
+      & info [ "horizon" ] ~docv:"T" ~doc:"Trace length in time units.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "window" ] ~docv:"T" ~doc:"Epoch aggregation window.")
+  in
+  let run shape nodes seed horizon window =
+    let open Replica_trace in
+    let rng = Rng.create seed in
+    let tree =
+      Generator.random rng (Workload.profile shape ~nodes ~max_requests:6)
+    in
+    let trace = Arrivals.diurnal rng tree ~horizon ~period:24. ~floor:0.25 in
+    Printf.printf "trace: %d requests over %.1f time units\n"
+      (Trace.length trace) (Trace.duration trace);
+    let epochs = Epochs.epochs trace tree ~window in
+    let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
+    let summary =
+      Update_policy.simulate ~w:Workload.capacity ~cost Update_policy.Lazy
+        epochs
+    in
+    List.iter
+      (fun r ->
+        Printf.printf "epoch %2d: %2d servers%s\n" r.Update_policy.epoch
+          (Solution.cardinal r.Update_policy.servers)
+          (if r.Update_policy.reconfigured then
+             Printf.sprintf "  (reconfigured, cost %.2f)" r.Update_policy.step_cost
+           else ""))
+      summary.Update_policy.records;
+    Printf.printf "total: %d reconfigurations, bill %.2f, %d invalid epochs\n"
+      summary.Update_policy.reconfigurations summary.Update_policy.total_cost
+      summary.Update_policy.invalid_epochs
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Synthesize a diurnal request trace, aggregate it into epochs and \
+          follow it with the lazy update policy.")
+    Term.(
+      const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
+      $ window_arg)
+
+let scaling_cmd =
+  let power_flag =
+    Arg.(
+      value & flag
+      & info [ "power" ] ~doc:"Measure the power DP instead of the cost solvers.")
+  in
+  let run shape seed power =
+    let measurements =
+      if power then Scaling.measure_power_dp ~seed ~shape ()
+      else Scaling.measure_cost_algorithms ~seed ~shape ()
+    in
+    Table.print (Scaling.to_table measurements)
+  in
+  Cmd.v
+    (Cmd.info "scaling" ~doc:"Runtime scaling measurements (§5 claims).")
+    Term.(const run $ shape_arg $ seed_arg $ power_flag)
+
+let () =
+  let doc =
+    "Power-aware replica placement in tree networks (Benoit, Renaud-Goud, \
+     Robert)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "replica_cli" ~doc)
+          [
+            generate_cmd;
+            solve_cmd;
+            exp1_cmd;
+            exp2_cmd;
+            exp3_cmd;
+            policies_cmd;
+            heuristics_cmd;
+            trace_cmd;
+            scaling_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/access_policies.ml: Format Greedy Multiple Option Printf Replica_core Replica_tree Solution Tree Upwards

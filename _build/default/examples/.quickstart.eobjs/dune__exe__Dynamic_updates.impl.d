@@ -1,0 +1,1 @@
+examples/dynamic_updates.ml: Cost Generator List Printf Replica_core Replica_tree Rng String Tree Update_policy

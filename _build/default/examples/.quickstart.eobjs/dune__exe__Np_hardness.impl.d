@@ -1,0 +1,1 @@
+examples/np_hardness.ml: Cost Dp_power List Modes Npc Printf Replica_core Replica_tree Solution String Tree

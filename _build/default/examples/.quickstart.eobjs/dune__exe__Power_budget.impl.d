@@ -1,0 +1,1 @@
+examples/power_budget.ml: Array Cost Dp_power Generator Greedy_power Heuristics List Modes Power Printf Replica_core Replica_tree Rng Tree

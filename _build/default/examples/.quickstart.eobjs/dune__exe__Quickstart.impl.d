@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Dp_withpre Greedy List Printf Replica_core Replica_tree Solution Tree

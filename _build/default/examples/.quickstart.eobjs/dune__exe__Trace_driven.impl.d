@@ -1,0 +1,1 @@
+examples/trace_driven.ml: Arrivals Cost Epochs Generator List Printf Replica_core Replica_trace Replica_tree Rng Solution Trace Tree Update_policy

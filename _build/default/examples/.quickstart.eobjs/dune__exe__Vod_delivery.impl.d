@@ -1,0 +1,1 @@
+examples/vod_delivery.ml: Cost Dp_withpre Float Generator Greedy List Printf Replica_core Replica_tree Rng Solution Tree

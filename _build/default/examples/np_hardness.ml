@@ -1,0 +1,67 @@
+(* The Theorem 2 reduction, live: MinPower encodes 2-Partition.
+
+   §4.2 proves MinPower NP-complete by turning integers a_1..a_n into a
+   two-level tree with n+2 server modes, where the optimal placement
+   must pick, for every i, either node A_i (running at the mode that
+   "absorbs" a_i) or the cheap node B_i — and the total power lands
+   under the threshold P_max exactly when the picks split the integers
+   in half. This example builds the gadget for two instances (one
+   solvable, one not) and lets the exact power DP decide them.
+
+   Run with: dune exec examples/np_hardness.exe *)
+
+open Replica_tree
+open Replica_core
+
+let show_instance a =
+  let s = List.fold_left ( + ) 0 a in
+  Printf.printf "\n2-Partition instance {%s} (sum %d, target %d)\n"
+    (String.concat ", " (List.map string_of_int a))
+    s (s / 2);
+  let inst = Npc.build a in
+  Printf.printf "  gadget: %d-node tree, %d modes, threshold P_max = %.1f\n"
+    (Tree.size inst.Npc.tree)
+    (Modes.count inst.Npc.modes)
+    inst.Npc.threshold;
+  let cost =
+    Cost.modal_uniform
+      ~modes:(Modes.count inst.Npc.modes)
+      ~create:0. ~delete:0. ~changed:0.
+  in
+  (match
+     Dp_power.solve inst.Npc.tree ~modes:inst.Npc.modes ~power:inst.Npc.power
+       ~cost ()
+   with
+  | Some r ->
+      Printf.printf "  optimal power: %.1f (%s threshold)\n" r.Dp_power.power
+        (if r.Dp_power.power <= inst.Npc.threshold +. 1e-6 then "UNDER"
+         else "over");
+      (* Read the chosen subset off the placement: a server on A_i
+         (odd preorder ids: 1, 3, 5, ...) selects a_i into I. *)
+      let sorted = List.sort compare a in
+      let chosen =
+        List.filteri (fun i _ -> Solution.mem r.Dp_power.solution ((2 * i) + 1))
+          sorted
+      in
+      Printf.printf "  subset encoded by the placement: {%s} (sum %d)\n"
+        (String.concat ", " (List.map string_of_int chosen))
+        (List.fold_left ( + ) 0 chosen)
+  | None -> print_endline "  gadget infeasible (cannot happen)");
+  Printf.printf "  DP decision: %b   reference 2-Partition: %b\n"
+    (Npc.decide inst)
+    (Npc.two_partition_exists a)
+
+let () =
+  print_endline
+    "Theorem 2 (paper, §4.2): minimizing power with arbitrarily many modes \
+     is NP-complete.";
+  print_endline
+    "The reduction builds, from integers a_1..a_n, a tree whose optimal \
+     power dips under P_max iff the integers 2-partition.";
+  show_instance [ 1; 2; 3; 4 ];
+  (* No subset of {2,2,3,5} sums to 6. *)
+  show_instance [ 2; 2; 3; 5 ];
+  print_endline
+    "\nOn small gadgets the exponential-in-M dynamic program still decides \
+     them exactly — which is precisely why the paper restricts the \
+     polynomial claim (Theorem 3) to a constant number of modes."

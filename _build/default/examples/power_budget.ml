@@ -1,0 +1,67 @@
+(* Power budgeting: the bi-criteria MinPower-BoundedCost problem (§4.3).
+
+   An operator has a reconfiguration budget and wants the placement that
+   minimizes electricity within it. We compute the exact cost/power
+   Pareto frontier with the dynamic program, then show where the greedy
+   capacity sweep (GR) and the local-search heuristic land for a few
+   budgets — the picture behind Figures 8-11.
+
+   Run with: dune exec examples/power_budget.exe *)
+
+open Replica_tree
+open Replica_core
+
+let modes = Modes.make [ 5; 10 ]
+let power = Power.paper_exp3 ~modes
+let cost = Cost.paper_cheap ~modes:2
+
+let () =
+  let rng = Rng.create 7 in
+  let tree =
+    Generator.add_pre_existing rng ~mode:2
+      (Generator.random rng (Generator.fat ~nodes:50 ()))
+      5
+  in
+  Printf.printf
+    "tree: %d nodes, %d pre-existing servers, %d requests; modes {5, 10}, \
+     P_i = 12.5 + W_i^3\n\n"
+    (Tree.size tree)
+    (Tree.num_pre_existing tree)
+    (Tree.total_requests tree);
+
+  print_endline "exact Pareto frontier (DP): every achievable trade-off";
+  let frontier = Dp_power.frontier tree ~modes ~power ~cost in
+  Printf.printf "  %-12s %-12s %s\n" "cost" "power" "servers (mode1+mode2)";
+  List.iter
+    (fun r ->
+      let tly = r.Dp_power.tally in
+      let at m =
+        tly.Cost.created.(m)
+        + tly.Cost.reused.(0).(m)
+        + tly.Cost.reused.(1).(m)
+      in
+      Printf.printf "  %-12.3f %-12.1f %d = %d@W1 + %d@W2\n" r.Dp_power.cost
+        r.Dp_power.power
+        (Cost.tally_servers tly)
+        (at 0) (at 1))
+    frontier;
+
+  print_endline "\nalgorithms under three budgets:";
+  Printf.printf "  %-10s %-22s %-22s %s\n" "budget" "DP (optimal)"
+    "heuristic (local search)" "GR (capacity sweep)";
+  List.iter
+    (fun bound ->
+      let show = function
+        | Some r -> Printf.sprintf "%.1f W (cost %.2f)" r.Dp_power.power r.Dp_power.cost
+        | None -> "infeasible"
+      in
+      Printf.printf "  %-10.1f %-22s %-22s %s\n" bound
+        (show (Dp_power.solve tree ~modes ~power ~cost ~bound ()))
+        (show (Heuristics.solve tree ~modes ~power ~cost ~bound ()))
+        (show (Greedy_power.solve tree ~modes ~power ~cost ~bound ())))
+    [ 18.; 25.; 40. ];
+
+  print_endline
+    "\nReading: a tighter budget forces fewer, faster, hungrier servers; \
+     the DP finds every crossover exactly, the heuristic tracks it \
+     closely, the sweep lags on intermediate budgets."

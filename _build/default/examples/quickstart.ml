@@ -1,0 +1,77 @@
+(* Quickstart: the paper's §3.1 running example (Figure 1), end to end.
+
+   We build the four-node tree by hand, ask the greedy baseline and the
+   dynamic program for placements under two demand scenarios, and watch
+   the DP trade off reusing the pre-existing server against
+   load-balancing — the decision §3.1 shows cannot be made locally.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Replica_tree
+open Replica_core
+
+let w = 10
+let cost = Cost.basic ~create:0.1 ~delete:0.01 ()
+
+(* root(clients: k) -- A -- { B [pre-existing] (4 req), C (7 req) } *)
+let tree ~root_requests =
+  Tree.build
+    (Tree.node ~clients:[ root_requests ]
+       [
+         Tree.node
+           [
+             Tree.node ~clients:[ 4 ] ~pre:1 [];
+             Tree.node ~clients:[ 7 ] [];
+           ];
+       ])
+
+let name_of = function
+  | 0 -> "root"
+  | 1 -> "A"
+  | 2 -> "B"
+  | 3 -> "C"
+  | j -> string_of_int j
+
+let show_solution tree sol =
+  let ev = Solution.evaluate tree sol in
+  List.iter
+    (fun (j, load) ->
+      Printf.printf "    server at %-4s load %2d/%d%s\n" (name_of j) load w
+        (if Tree.is_pre_existing tree j then "  (reused)" else ""))
+    ev.Solution.loads
+
+let scenario root_requests =
+  Printf.printf "\n--- root has %d client requests ---\n" root_requests;
+  let t = tree ~root_requests in
+  (match Greedy.solve t ~w with
+  | Some sol ->
+      Printf.printf "  greedy (ignores pre-existing): %d servers, %d reused\n"
+        (Solution.cardinal sol) (Solution.reused t sol);
+      show_solution t sol
+  | None -> print_endline "  greedy: no solution");
+  match Dp_withpre.solve t ~w ~cost with
+  | Some r ->
+      Printf.printf
+        "  DP (update-aware):             %d servers, %d reused, cost %.2f\n"
+        r.Dp_withpre.servers r.Dp_withpre.reused r.Dp_withpre.cost;
+      show_solution t r.Dp_withpre.solution
+  | None -> print_endline "  DP: no solution"
+
+let () =
+  print_endline "Figure 1 (paper §3.1): reuse or rebalance?";
+  print_endline
+    "Tree: root -- A -- { B [pre-existing server] with 4 requests, C with 7 \
+     requests }, W = 10.";
+  (* Light root: the pre-existing server at B is worth keeping. *)
+  scenario 2;
+  print_endline
+    "  => with 2 requests at the root, the optimal update KEEPS the \
+     pre-existing server B.";
+  (* Heavy root: B becomes useless, a new server at C is better. *)
+  scenario 4;
+  print_endline
+    "  => with 4 requests at the root, two servers are needed anyway: the \
+     optimal update DELETES B and creates C.";
+  print_endline
+    "\nThe greedy, blind to pre-existing servers, pays creation/deletion \
+     costs the DP avoids."

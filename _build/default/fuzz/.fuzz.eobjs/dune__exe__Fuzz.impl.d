@@ -1,0 +1,1 @@
+fuzz/fuzz.ml: Array Brute Cost Dp_power Dp_withpre Generator Greedy Heuristics_cost Modes Multiple Option Power Printf Replica_core Replica_tree Rng Solution Sys Tree Upwards

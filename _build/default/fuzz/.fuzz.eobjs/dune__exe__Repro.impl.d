@@ -1,0 +1,1 @@
+fuzz/repro.ml: Brute Cost Dp_power Generator Greedy Modes Power Printf Replica_core Replica_tree Rng Tree

@@ -1,0 +1,1 @@
+fuzz/repro.mli:

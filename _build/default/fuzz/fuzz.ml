@@ -1,0 +1,97 @@
+(* Differential fuzzing harness: every polynomial solver against the
+   exhaustive oracle on random instances with randomized parameters
+   (shape, demand, pre-existing markings, capacities, mode ladders, cost
+   models, bounds). Run with `dune exec fuzz/fuzz.exe -- [instances]`
+   (default 4000). Exits non-zero on the first discrepancy batch, so it
+   can gate CI at any budget. *)
+open Replica_tree
+open Replica_core
+
+let () =
+  let total =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4000
+  in
+  let fails = ref 0 and runs = ref 0 in
+  let report name t msg =
+    incr fails;
+    Printf.printf "FAIL %s on %s: %s\n%!" name (Tree.to_string t) msg
+  in
+  let t0 = Sys.time () in
+  for seed = 1 to total do
+    let rng = Rng.create seed in
+    let nodes = 2 + Rng.int rng 10 in
+    let profile =
+      { Generator.nodes; min_children = 1; max_children = 4;
+        client_probability = 0.8; min_requests = 1; max_requests = 6 } in
+    let bare = Generator.random rng profile in
+    let pre = Rng.int rng (nodes + 1) in
+    let t = Generator.add_pre_existing rng ~mode:(1 + Rng.int rng 2) bare pre in
+    let w = 3 + Rng.int rng 8 in
+    incr runs;
+    (* greedy vs brute *)
+    (match (Greedy.solve_count t ~w, Option.map fst (Brute.min_servers t ~w)) with
+     | Some a, Some b when a <> b -> report "greedy" t (Printf.sprintf "w=%d %d vs %d" w a b)
+     | None, Some _ | Some _, None -> report "greedy-feas" t (Printf.sprintf "w=%d" w)
+     | _ -> ());
+    (* dp_withpre vs brute with random costs *)
+    let cost = Cost.basic ~create:(Rng.float rng 3.) ~delete:(Rng.float rng 3.) () in
+    (match (Dp_withpre.solve t ~w ~cost, Brute.min_basic_cost t ~w ~cost) with
+     | Some d, Some (bc, _) when abs_float (d.Dp_withpre.cost -. bc) > 1e-9 ->
+         report "dp_withpre" t (Printf.sprintf "w=%d %f vs %f" w d.Dp_withpre.cost bc)
+     | None, Some _ | Some _, None -> report "dp_withpre-feas" t ""
+     | _ -> ());
+    (* dp_power vs brute with random ladder *)
+    let w1 = 2 + Rng.int rng 4 in
+    let w2 = w1 + 1 + Rng.int rng 5 in
+    let modes = Modes.make [ w1; w2 ] in
+    let power = Power.make ~static:(Rng.float rng 5.) ~alpha:(2. +. Rng.float rng 1.) () in
+    let mcost = Cost.modal_uniform ~modes:2 ~create:(Rng.float rng 1.)
+        ~delete:(Rng.float rng 1.) ~changed:(Rng.float rng 0.5) in
+    let bound = if Rng.bool rng then infinity else 1. +. Rng.float rng 8. in
+    (match (Dp_power.solve t ~modes ~power ~cost:mcost ~bound (),
+            Brute.min_power t ~modes ~power ~cost:mcost ~bound ()) with
+     | Some d, Some (bp, _) when abs_float (d.Dp_power.power -. bp) > 1e-6 ->
+         report "dp_power" t (Printf.sprintf "%f vs %f" d.Dp_power.power bp)
+     | None, Some _ | Some _, None -> report "dp_power-feas" t ""
+     | _ -> ());
+    (* heuristics: sandwiched between optimum and seed, always valid *)
+    (match (Heuristics_cost.solve t ~w ~cost (), Dp_withpre.solve t ~w ~cost) with
+     | Some h, Some d ->
+         if d.Dp_withpre.cost > h.Heuristics_cost.cost +. 1e-9 then
+           report "heuristics_cost" t "beat the optimum (impossible)";
+         if not (Solution.is_valid t ~w h.Heuristics_cost.solution) then
+           report "heuristics_cost-valid" t ""
+     | None, Some _ | Some _, None -> report "heuristics_cost-feas" t ""
+     | None, None -> ());
+    (* upwards: heuristic validity + hierarchy vs closest/multiple *)
+    (if Tree.num_clients t <= Upwards.max_clients_exact then begin
+       (match Upwards.solve_heuristic t ~w with
+        | Some r ->
+            if not (Upwards.assignment_exists t ~w r.Upwards.solution) then
+              report "upwards-heuristic-valid" t ""
+        | None -> ());
+       match (Greedy.solve_count t ~w,
+              Option.map (fun r -> r.Multiple.servers) (Multiple.solve t ~w)) with
+       | Some c, Some m when m > c -> report "hierarchy" t "multiple > closest"
+       | _ -> ()
+     end);
+    (* multiple vs brute-multiple *)
+    (let best = ref None in
+     for mask = 0 to (1 lsl nodes) - 1 do
+       let sel = ref [] in
+       for j = nodes - 1 downto 0 do
+         if mask land (1 lsl j) <> 0 then sel := j :: !sel done;
+       let sol = Solution.of_nodes !sel in
+       if Multiple.is_valid t ~w sol then
+         match !best with
+         | Some b when b <= Solution.cardinal sol -> ()
+         | _ -> best := Some (Solution.cardinal sol)
+     done;
+     match (Option.map (fun r -> r.Multiple.servers) (Multiple.solve t ~w), !best) with
+     | Some a, Some b when a <> b -> report "multiple" t (Printf.sprintf "%d vs %d" a b)
+     | None, Some _ | Some _, None -> report "multiple-feas" t ""
+     | _ -> ())
+  done;
+  Printf.printf "fuzz: %d instances, %d failures, %.1fs\n" !runs !fails
+    (Sys.time () -. t0);
+  if !fails > 0 then exit 1

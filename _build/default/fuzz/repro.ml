@@ -1,0 +1,36 @@
+open Replica_tree
+open Replica_core
+
+let () =
+  for seed = 1 to 20000 do
+    let rng = Rng.create seed in
+    let nodes = 2 + Rng.int rng 10 in
+    let profile =
+      { Generator.nodes; min_children = 1; max_children = 4;
+        client_probability = 0.8; min_requests = 1; max_requests = 6 } in
+    let bare = Generator.random rng profile in
+    let pre = Rng.int rng (nodes + 1) in
+    let t = Generator.add_pre_existing rng ~mode:(1 + Rng.int rng 2) bare pre in
+    let w = 3 + Rng.int rng 8 in
+    ignore (Greedy.solve_count t ~w);
+    let _cost = Cost.basic ~create:(Rng.float rng 3.) ~delete:(Rng.float rng 3.) () in
+    let w1 = 2 + Rng.int rng 4 in
+    let w2 = w1 + 1 + Rng.int rng 5 in
+    let modes = Modes.make [ w1; w2 ] in
+    let static = Rng.float rng 5. in
+    let alpha = 2. +. Rng.float rng 1. in
+    let power = Power.make ~static ~alpha () in
+    let c1 = Rng.float rng 1. and c2 = Rng.float rng 1. and c3 = Rng.float rng 0.5 in
+    let mcost = Cost.modal_uniform ~modes:2 ~create:c1 ~delete:c2 ~changed:c3 in
+    let bound = if Rng.bool rng then infinity else 1. +. Rng.float rng 8. in
+    let dp = Dp_power.solve t ~modes ~power ~cost:mcost ~bound () in
+    let brute = Brute.min_power t ~modes ~power ~cost:mcost ~bound () in
+    (match (dp, brute) with
+     | Some _, Some _ | None, None -> ()
+     | d, b ->
+         Printf.printf "seed=%d w1=%d w2=%d static=%f alpha=%f c=(%f,%f,%f) bound=%f dp=%s brute=%s\n  tree=%s\n"
+           seed w1 w2 static alpha c1 c2 c3 bound
+           (match d with Some r -> Printf.sprintf "%f@%f" r.Dp_power.power r.Dp_power.cost | None -> "none")
+           (match b with Some (p,_) -> Printf.sprintf "%f" p | None -> "none")
+           (Tree.to_string t))
+  done

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Modes Option Solution Tree

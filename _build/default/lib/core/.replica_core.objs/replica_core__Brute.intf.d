@@ -1,0 +1,1 @@
+lib/core/brute.mli: Cost Modes Power Solution Tree

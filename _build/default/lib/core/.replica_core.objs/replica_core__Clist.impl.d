@@ -1,0 +1,1 @@
+lib/core/clist.ml: List

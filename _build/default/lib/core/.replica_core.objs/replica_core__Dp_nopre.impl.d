@@ -1,0 +1,1 @@
+lib/core/dp_nopre.ml: Array Clist List Option Solution Tree

@@ -1,0 +1,1 @@
+lib/core/dp_nopre.mli: Solution Tree

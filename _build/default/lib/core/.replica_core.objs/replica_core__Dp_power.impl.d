@@ -1,0 +1,1 @@
+lib/core/dp_power.ml: Array Clist Cost Hashtbl List Logs Modes Power Solution Tree

@@ -1,0 +1,1 @@
+lib/core/dp_power.mli: Cost Modes Power Solution Tree

@@ -1,0 +1,1 @@
+lib/core/dp_withpre.ml: Array Clist Cost List Logs Option Solution Tree

@@ -1,0 +1,1 @@
+lib/core/dp_withpre.mli: Cost Solution Tree

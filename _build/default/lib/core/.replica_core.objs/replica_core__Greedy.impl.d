@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array List Option Solution Tree

@@ -1,0 +1,1 @@
+lib/core/greedy_power.ml: Cost Dp_power Greedy List Modes Solution

@@ -1,0 +1,1 @@
+lib/core/greedy_power.mli: Cost Dp_power Modes Power Tree

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Dp_power Greedy_power Hashtbl List Modes Rng Solution Tree

@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Cost Dp_power Modes Power Rng Solution Tree

@@ -1,0 +1,1 @@
+lib/core/heuristics_cost.ml: Greedy List Solution Tree

@@ -1,0 +1,1 @@
+lib/core/heuristics_cost.mli: Cost Solution Tree

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Modes Power Tree

@@ -1,0 +1,1 @@
+lib/core/multiple.ml: Array Clist List Solution Tree

@@ -1,0 +1,1 @@
+lib/core/multiple.mli: Solution Tree

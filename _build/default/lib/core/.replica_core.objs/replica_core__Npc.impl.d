@@ -1,0 +1,1 @@
+lib/core/npc.ml: Array Cost Dp_power List Modes Power Tree

@@ -1,0 +1,1 @@
+lib/core/npc.mli: Modes Power Tree

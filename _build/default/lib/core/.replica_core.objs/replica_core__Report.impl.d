@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer List Modes Power Printf Solution String Tree

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Cost Format Int List Modes Power Set String Tree

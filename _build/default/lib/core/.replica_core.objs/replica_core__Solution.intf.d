@@ -1,0 +1,1 @@
+lib/core/solution.mli: Cost Format Modes Power Tree

@@ -1,0 +1,1 @@
+lib/core/update_policy.ml: Dp_withpre List Printf Solution Tree

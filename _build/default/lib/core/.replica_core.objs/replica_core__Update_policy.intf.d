@@ -1,0 +1,1 @@
+lib/core/update_policy.mli: Cost Solution Tree

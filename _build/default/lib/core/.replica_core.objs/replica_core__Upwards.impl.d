@@ -1,0 +1,1 @@
+lib/core/upwards.ml: Array Brute Fun List Solution Tree

@@ -1,0 +1,1 @@
+lib/core/upwards.mli: Solution Tree

@@ -1,0 +1,42 @@
+let max_nodes = 20
+
+let fold_valid tree ~w ~init ~f =
+  let n = Tree.size tree in
+  if n > max_nodes then
+    invalid_arg "Brute.fold_valid: tree too large for exhaustive search";
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    let nodes = ref [] in
+    for j = n - 1 downto 0 do
+      if mask land (1 lsl j) <> 0 then nodes := j :: !nodes
+    done;
+    let sol = Solution.of_nodes !nodes in
+    match Solution.validate tree ~w sol with
+    | Ok ev -> acc := f !acc sol ev
+    | Error _ -> ()
+  done;
+  !acc
+
+let argmin tree ~w ~value =
+  fold_valid tree ~w ~init:None ~f:(fun best sol ev ->
+      match value sol ev with
+      | None -> best
+      | Some v -> (
+          match best with
+          | Some (bv, _) when bv <= v -> best
+          | Some _ | None -> Some (v, sol)))
+
+let min_servers tree ~w =
+  Option.map
+    (fun (v, s) -> (int_of_float v, s))
+    (argmin tree ~w ~value:(fun sol _ ->
+         Some (float_of_int (Solution.cardinal sol))))
+
+let min_basic_cost tree ~w ~cost =
+  argmin tree ~w ~value:(fun sol _ -> Some (Solution.basic_cost tree cost sol))
+
+let min_power tree ~modes ~power ~cost ?(bound = infinity) () =
+  let w = Modes.max_capacity modes in
+  argmin tree ~w ~value:(fun sol _ ->
+      let c = Solution.modal_cost tree modes cost sol in
+      if c > bound then None else Some (Solution.power tree modes power sol))

@@ -1,0 +1,37 @@
+(** Exhaustive oracle for small instances.
+
+    Enumerates every subset of internal nodes, keeps the valid ones under
+    the closest policy, and optimizes any objective exactly. Exponential —
+    guarded to trees of at most {!max_nodes} nodes — and used as ground
+    truth by the test suite for every polynomial algorithm in the
+    library. *)
+
+val max_nodes : int
+(** Hard limit (20) on the tree size accepted by this module. *)
+
+val fold_valid :
+  Tree.t ->
+  w:int ->
+  init:'a ->
+  f:('a -> Solution.t -> Solution.evaluation -> 'a) ->
+  'a
+(** Fold [f] over every valid solution (all loads within [w], no client
+    unserved), including the empty one when it is valid.
+    @raise Invalid_argument if the tree exceeds {!max_nodes}. *)
+
+val min_servers : Tree.t -> w:int -> (int * Solution.t) option
+(** Optimal [MinCost-NoPre] value. *)
+
+val min_basic_cost :
+  Tree.t -> w:int -> cost:Cost.basic -> (float * Solution.t) option
+(** Optimal [MinCost-WithPre] value (Eq. 2). *)
+
+val min_power :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  unit ->
+  (float * Solution.t) option
+(** Optimal [MinPower-BoundedCost] value (Eq. 3 s.t. Eq. 4 <= bound). *)

@@ -1,0 +1,57 @@
+type 'a t = Empty | Leaf of 'a | Cat of int * 'a t * 'a t
+
+let empty = Empty
+let is_empty = function Empty -> true | Leaf _ | Cat _ -> false
+let singleton x = Leaf x
+
+let length = function Empty -> 0 | Leaf _ -> 1 | Cat (n, _, _) -> n
+
+let append a b =
+  match (a, b) with
+  | Empty, t | t, Empty -> t
+  | _ -> Cat (length a + length b, a, b)
+
+let cons x t = append (Leaf x) t
+let snoc t x = append t (Leaf x)
+
+let to_list t =
+  (* Explicit work list keeps this tail-recursive on deep spines. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Empty :: rest -> go acc rest
+    | Leaf x :: rest -> go (x :: acc) rest
+    | Cat (_, l, r) :: rest -> go acc (l :: r :: rest)
+  in
+  go [] [ t ]
+
+let of_list l = List.fold_left snoc Empty l
+
+let iter f t =
+  let rec go = function
+    | [] -> ()
+    | Empty :: rest -> go rest
+    | Leaf x :: rest ->
+        f x;
+        go rest
+    | Cat (_, l, r) :: rest -> go (l :: r :: rest)
+  in
+  go [ t ]
+
+let fold_left f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let rec map f = function
+  | Empty -> Empty
+  | Leaf x -> Leaf (f x)
+  | Cat (n, l, r) -> Cat (n, map f l, map f r)
+
+let exists p t =
+  let rec go = function
+    | [] -> false
+    | Empty :: rest -> go rest
+    | Leaf x :: rest -> p x || go rest
+    | Cat (_, l, r) :: rest -> go (l :: r :: rest)
+  in
+  go [ t ]

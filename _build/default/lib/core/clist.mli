@@ -1,0 +1,33 @@
+(** Catenable lists with O(1) append.
+
+    The dynamic programs of this library carry, in every table cell, the
+    replica placement realizing that cell. The paper's pseudo-code copies
+    an O(N) request vector on every improvement and §3.3 describes how to
+    hoist those copies out of the inner loop; here we obtain the same
+    effect functionally: a placement is a persistent binary tree of
+    segments, so extending a placement with another one is a single
+    allocation and full materialization happens once, at the root. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val singleton : 'a -> 'a t
+
+val append : 'a t -> 'a t -> 'a t
+(** O(1). *)
+
+val cons : 'a -> 'a t -> 'a t
+val snoc : 'a t -> 'a -> 'a t
+
+val length : 'a t -> int
+(** O(1) — lengths are cached in the spine. *)
+
+val to_list : 'a t -> 'a list
+(** O(n), tail-recursive; elements in left-to-right order. *)
+
+val of_list : 'a list -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val map : ('a -> 'b) -> 'a t -> 'b t
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,75 @@
+(** Reconfiguration cost models.
+
+    Without modes (Eq. 2), running a server costs 1, creating a new one
+    adds [create], and deleting a pre-existing server that is not reused
+    costs [delete]:
+    [cost = R + (R - e)·create + (E - e)·delete]
+    where [R] is the number of servers in the solution, [e] the number of
+    reused pre-existing servers and [E] the number of pre-existing ones.
+
+    With modes (Eq. 4), creation and deletion costs depend on the mode and
+    changing a reused server's mode from [W_i] to [W_{i'}] costs
+    [changed_{i,i'}]:
+    [cost = R + Σ create_i·n_i + Σ delete_i·k_i + Σ changed_{i,i'}·e_{i,i'}]. *)
+
+(** {1 Scalar model (Eq. 2)} *)
+
+type basic = { create : float; delete : float }
+
+val basic : ?create:float -> ?delete:float -> unit -> basic
+(** Defaults to [create = 0.], [delete = 0.] — in which case the cost is
+    simply the number of servers [R], the classical objective.
+    @raise Invalid_argument on negative costs. *)
+
+val basic_cost : basic -> servers:int -> reused:int -> pre_existing:int -> float
+(** Evaluate Eq. 2. [reused <= servers] and [reused <= pre_existing] are
+    required.
+    @raise Invalid_argument on inconsistent counts. *)
+
+(** {1 Modal model (Eq. 4)} *)
+
+type modal
+(** Per-mode creation/deletion costs and a mode-change matrix. *)
+
+val modal :
+  create:float array -> delete:float array -> changed:float array array -> modal
+(** [create.(i-1)] is [create_i]; [changed.(i-1).(i'-1)] is
+    [changed_{i,i'}]. All arrays must agree on [M]; the diagonal of
+    [changed] must be 0 (no cost for an unchanged mode); all entries must
+    be non-negative.
+    @raise Invalid_argument on malformed input. *)
+
+val modal_uniform :
+  modes:int -> create:float -> delete:float -> changed:float -> modal
+(** All modes share the same creation/deletion cost; every actual mode
+    change costs [changed] (the diagonal stays 0). *)
+
+val paper_cheap : modes:int -> modal
+(** §5.2 first cost function: [create_i = 0.1], [delete_i = 0.01],
+    [changed_{i,i'} = 0.001] (off-diagonal). *)
+
+val paper_expensive : modes:int -> modal
+(** §5.2 Figure 11 cost function: [create_i = delete_i = 1],
+    [changed_{i,i'} = 0.1] (off-diagonal). *)
+
+val mode_count : modal -> int
+
+type tally = {
+  created : int array;  (** [created.(i-1)] = n_i, new servers at mode i *)
+  reused : int array array;  (** [reused.(i-1).(i'-1)] = e_{i,i'} *)
+  deleted : int array;  (** [deleted.(i-1)] = k_i, dropped pre-existing *)
+}
+(** Server counts of a solution, classified as in §2.2. *)
+
+val empty_tally : modes:int -> tally
+
+val tally_servers : tally -> int
+(** [R], total servers in the solution (created + reused). *)
+
+val modal_cost : modal -> tally -> float
+(** Evaluate Eq. 4.
+    @raise Invalid_argument if the tally's mode count differs. *)
+
+val basic_of_modal_inputs :
+  basic -> servers:int -> reused:int -> pre_existing:int -> float
+(** Alias of {!basic_cost} kept for symmetry in callers. *)

@@ -1,0 +1,85 @@
+type cell = { flow : int; placed : (int * int) Clist.t }
+
+type result = { solution : Solution.t; servers : int }
+
+(* Table for a region: cells.(k) = flow-minimal placement with exactly k
+   replicas in the region, or None. All stored flows are <= w. *)
+
+let better current candidate =
+  match current with
+  | None -> true
+  | Some c -> candidate.flow < c.flow
+
+let set table k candidate =
+  if better table.(k) candidate then table.(k) <- Some candidate
+
+(* Root-to-leaves recursion; returns the table of node j over replicas
+   placed strictly below j. *)
+let rec table_of tree ~w j =
+  let start = Array.make 1 None in
+  let client = Tree.client_load tree j in
+  if client <= w then
+    start.(0) <- Some { flow = client; placed = Clist.empty };
+  List.fold_left (merge tree ~w) start (Tree.children tree j)
+
+and merge tree ~w left c =
+  let sub = table_of tree ~w c in
+  (* Extend the child's table with the "replica at c" decision. *)
+  let extended = Array.make (Array.length sub + 1) None in
+  Array.iteri
+    (fun k cell_opt ->
+      match cell_opt with
+      | None -> ()
+      | Some cell ->
+          set extended k cell;
+          set extended (k + 1)
+            { flow = 0; placed = Clist.snoc cell.placed (c, cell.flow) })
+    sub;
+  let merged = Array.make (Array.length left + Array.length extended - 1) None in
+  Array.iteri
+    (fun k1 l ->
+      match l with
+      | None -> ()
+      | Some lc ->
+          Array.iteri
+            (fun k2 r ->
+              match r with
+              | None -> ()
+              | Some rc ->
+                  let flow = lc.flow + rc.flow in
+                  if flow <= w then
+                    set merged (k1 + k2)
+                      { flow; placed = Clist.append lc.placed rc.placed })
+            extended)
+    left;
+  merged
+
+let root_table tree ~w =
+  if w <= 0 then invalid_arg "Dp_nopre: w must be positive";
+  table_of tree ~w (Tree.root tree)
+
+let solve tree ~w =
+  let table = root_table tree ~w in
+  let root = Tree.root tree in
+  let best = ref None in
+  let consider servers placed =
+    match !best with
+    | Some (s, _) when s <= servers -> ()
+    | _ -> best := Some (servers, placed)
+  in
+  Array.iteri
+    (fun k cell_opt ->
+      match cell_opt with
+      | None -> ()
+      | Some cell ->
+          if cell.flow = 0 then consider k cell.placed
+          else consider (k + 1) (Clist.snoc cell.placed (root, cell.flow)))
+    table;
+  match !best with
+  | None -> None
+  | Some (servers, placed) ->
+      let nodes = List.map fst (Clist.to_list placed) in
+      Some { solution = Solution.of_nodes nodes; servers }
+
+let min_flow_per_count tree ~w =
+  Array.map (Option.map (fun c -> c.flow)) (root_table tree ~w)

@@ -1,0 +1,22 @@
+(** Dynamic program for [MinCost-NoPre] (the O(N^2) algorithm of [6]).
+
+    For every node [j], a table indexed by the exact number [k] of
+    replicas placed strictly below [j] stores the minimal number of
+    requests that must traverse [j] (Lemma 1 justifies keeping only the
+    flow-minimal placement per [k]). Children are merged one at a time by
+    convolution, so the whole run is the classical O(N^2) tree knapsack.
+    Kept as an independently-implemented cross-check for {!Greedy} and as
+    the base case of {!Dp_withpre}. *)
+
+type result = { solution : Solution.t; servers : int }
+
+val solve : Tree.t -> w:int -> result option
+(** Minimal number of servers and a placement achieving it, or [None]
+    when the instance is infeasible.
+    @raise Invalid_argument if [w <= 0]. *)
+
+val min_flow_per_count : Tree.t -> w:int -> int option array
+(** Diagnostic view of the root table: entry [k] is the minimal number of
+    requests traversing the root with exactly [k] replicas strictly below
+    it ([None] when unachievable). Used by tests and by the examples to
+    visualize the trade-off. *)

@@ -1,0 +1,219 @@
+let src =
+  Logs.Src.create "replica.dp_power" ~doc:"MinPower-BoundedCost dynamic program"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+
+  let hash a =
+    Array.fold_left (fun h x -> (h * 31) + x + 1) 17 a land max_int
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type result = {
+  solution : Solution.t;
+  power : float;
+  cost : float;
+  tally : Cost.tally;
+}
+
+(* Cell key layout: [| n_1; ...; n_M; e_11; ...; e_MM; flow |] — the
+   exact per-mode server counts AND the number of requests traversing
+   the node. Keeping the flow in the key (rather than minimizing it per
+   state, as a literal reading of the paper's §4.3 suggests) is
+   necessary under load-determined modes: raising a subtree's residual
+   flow can keep an upstream reused server in its original (higher)
+   mode and thereby avoid a positive changed_{i,i'} cost, so two
+   placements with the same counts but different flows are NOT
+   interchangeable once mode-change costs are involved. Two placements
+   agreeing on counts AND flow are fully interchangeable (same cost,
+   same power, same influence upstream), so one representative
+   placement per key suffices. *)
+
+let state_size m = m + (m * m)
+
+let flow_of key = key.(Array.length key - 1)
+
+let bump key ~m ~initial ~operating =
+  let s = Array.copy key in
+  let idx =
+    match initial with
+    | None -> operating - 1
+    | Some i0 -> m + ((i0 - 1) * m) + (operating - 1)
+  in
+  s.(idx) <- s.(idx) + 1;
+  s
+
+let set tbl key placed = if not (Tbl.mem tbl key) then Tbl.replace tbl key placed
+
+let initial_mode_default tree j =
+  match Tree.initial_mode tree j with Some m -> m | None -> 1
+
+(* Table of node j over servers strictly below j: key -> placement. *)
+let rec table_of tree ~modes j =
+  let m = Modes.count modes in
+  let w = Modes.max_capacity modes in
+  let start = Tbl.create 16 in
+  let client = Tree.client_load tree j in
+  if client <= w then begin
+    let key = Array.make (state_size m + 1) 0 in
+    key.(state_size m) <- client;
+    Tbl.replace start key Clist.empty
+  end;
+  List.fold_left (merge tree ~modes) start (Tree.children tree j)
+
+and merge tree ~modes left c =
+  let m = Modes.count modes in
+  let sm = state_size m in
+  let w = Modes.max_capacity modes in
+  let sub = table_of tree ~modes c in
+  (* Extend the child's table with the decision at c: its operating mode
+     is forced by the flow it absorbs. *)
+  let extended = Tbl.create (2 * Tbl.length sub) in
+  let c_initial =
+    if Tree.is_pre_existing tree c then Some (initial_mode_default tree c)
+    else None
+  in
+  Tbl.iter
+    (fun key placed ->
+      set extended key placed;
+      let flow = flow_of key in
+      let operating = Modes.mode_of_load modes flow in
+      let key' = bump key ~m ~initial:c_initial ~operating in
+      key'.(sm) <- 0;
+      set extended key' (Clist.snoc placed (c, flow)))
+    sub;
+  Log.debug (fun f ->
+      f "merge child %d: %d x %d cells" c (Tbl.length left)
+        (Tbl.length extended));
+  let merged = Tbl.create (Tbl.length left * 2) in
+  Tbl.iter
+    (fun k1 p1 ->
+      Tbl.iter
+        (fun k2 p2 ->
+          let flow = k1.(sm) + k2.(sm) in
+          if flow <= w then begin
+            let key = Array.init (sm + 1) (fun i -> k1.(i) + k2.(i)) in
+            key.(sm) <- flow;
+            set merged key (Clist.append p1 p2)
+          end)
+        extended)
+    left;
+  merged
+
+let tally_of_state ~modes tree key =
+  let m = Modes.count modes in
+  let t = Cost.empty_tally ~modes:m in
+  for i = 0 to m - 1 do
+    t.Cost.created.(i) <- key.(i)
+  done;
+  let available = Array.make m 0 in
+  List.iter
+    (fun j ->
+      let i0 = initial_mode_default tree j in
+      available.(i0 - 1) <- available.(i0 - 1) + 1)
+    (Tree.pre_existing tree);
+  for i = 0 to m - 1 do
+    let reused_from_i = ref 0 in
+    for i' = 0 to m - 1 do
+      t.Cost.reused.(i).(i') <- key.(m + (i * m) + i');
+      reused_from_i := !reused_from_i + t.Cost.reused.(i).(i')
+    done;
+    t.Cost.deleted.(i) <- available.(i) - !reused_from_i
+  done;
+  t
+
+let power_of_state ~modes ~power key =
+  let m = Modes.count modes in
+  let total = ref 0. in
+  for op = 1 to m do
+    let count = ref key.(op - 1) in
+    for i0 = 1 to m do
+      count := !count + key.(m + ((i0 - 1) * m) + (op - 1))
+    done;
+    if !count > 0 then
+      total := !total +. (float_of_int !count *. Power.of_mode power modes op)
+  done;
+  !total
+
+(* Enumerate every complete solution at the root: for each root-table
+   cell, either the residual flow is zero (no root server needed — with
+   an optional zero-load reuse when the root is pre-existing), or the
+   root must host a server whose mode follows from the flow. *)
+let candidates tree ~modes ~power ~cost =
+  if Cost.mode_count cost <> Modes.count modes then
+    invalid_arg "Dp_power: cost model mode count mismatch";
+  let m = Modes.count modes in
+  let root = Tree.root tree in
+  let table = table_of tree ~modes root in
+  let root_initial =
+    if Tree.is_pre_existing tree root then
+      Some (initial_mode_default tree root)
+    else None
+  in
+  let out = ref [] in
+  let emit key placed root_used =
+    let tally = tally_of_state ~modes tree key in
+    let cost_v = Cost.modal_cost cost tally in
+    let power_v = power_of_state ~modes ~power key in
+    let nodes = List.map fst (Clist.to_list placed) in
+    let nodes = if root_used then root :: nodes else nodes in
+    out :=
+      {
+        solution = Solution.of_nodes nodes;
+        power = power_v;
+        cost = cost_v;
+        tally;
+      }
+      :: !out
+  in
+  Tbl.iter
+    (fun key placed ->
+      let flow = flow_of key in
+      if flow = 0 then begin
+        emit key placed false;
+        (* Zero-load reuse of a pre-existing root (can be cheaper than
+           deleting it, at the price of its mode-1 power). *)
+        match root_initial with
+        | Some _ ->
+            emit (bump key ~m ~initial:root_initial ~operating:1) placed true
+        | None -> ()
+      end
+      else
+        let operating = Modes.mode_of_load modes flow in
+        emit (bump key ~m ~initial:root_initial ~operating) placed true)
+    table;
+  !out
+
+let solve tree ~modes ~power ~cost ?(bound = infinity) () =
+  let best = ref None in
+  List.iter
+    (fun r ->
+      if r.cost <= bound then
+        match !best with
+        | Some b when (b.power, b.cost) <= (r.power, r.cost) -> ()
+        | Some _ | None -> best := Some r)
+    (candidates tree ~modes ~power ~cost);
+  !best
+
+let frontier tree ~modes ~power ~cost =
+  let all =
+    List.sort
+      (fun a b -> compare (a.cost, a.power) (b.cost, b.power))
+      (candidates tree ~modes ~power ~cost)
+  in
+  (* Keep points that strictly improve power as cost increases. *)
+  let rec filter best_power = function
+    | [] -> []
+    | r :: rest ->
+        if r.power < best_power then r :: filter r.power rest
+        else filter best_power rest
+  in
+  filter infinity all
+
+let root_state_count tree ~modes =
+  Tbl.length (table_of tree ~modes (Tree.root tree))

@@ -1,0 +1,77 @@
+(** Dynamic program for [MinPower] and [MinPower-BoundedCost] (§4.3).
+
+    §4.1 shows that with power modes, minimizing the requests traversing a
+    node is no longer sufficient: a single-server subtree may be better
+    served by a slow server letting requests through than by a fast one
+    absorbing everything. The paper's fix — which this module implements —
+    is to refine the per-node table: instead of the pair [(e, n)] of
+    [Dp_withpre], a table entry is indexed by the full vector state
+
+    [(n_1, …, n_M, e_{1,1}, …, e_{M,M}, flow)]
+
+    giving the exact number of new servers operated at each mode, of
+    reused pre-existing servers per (initial, operating) mode pair, and
+    the number of requests traversing the node. For a fixed key the
+    cost (Eq. 4) and power (Eq. 3) of the subtree contribution and its
+    influence upstream are fully determined, so one representative
+    placement per key suffices. A server's operating mode is forced by
+    its absorbed load ([Modes.mode_of_load]), so merging a child tries
+    exactly two decisions: no replica, or a replica whose mode follows
+    from the child's residual flow.
+
+    Note a deviation from a literal reading of the paper, uncovered by
+    this library's differential fuzzer and documented in DESIGN.md: §4.3
+    keeps, per count-vector, only the flow-minimal placement (the §3
+    Lemma 1 device). Under load-determined modes that is {e unsound}
+    once mode-change costs are positive — raising a subtree's residual
+    flow can keep an upstream reused server in its original (higher)
+    mode and avoid a [changed_{i,i'}] charge, so the flow-minimal
+    representative can be the only one that busts a tight cost bound.
+    Keying cells by (counts, flow) restores exactness at the price of a
+    factor bounded by the number of achievable flow values ([<= W]).
+
+    Tables are {e sparse} (hash tables keyed by the full vector): a
+    subtree of [s] nodes with [p] pre-existing servers can only realize
+    keys within its own [(s, p, W)] budget, which is what makes the
+    algorithm practical despite the O(N^{2M^2+2M+1}) worst case. With no
+    pre-existing server the counts collapse to [(n_1..n_M)]; [MinPower]
+    (Theorem 2, NP-complete for arbitrary M) is the special case
+    [bound = ∞]. *)
+
+type result = {
+  solution : Solution.t;
+  power : float;  (** Eq. 3 value *)
+  cost : float;  (** Eq. 4 value *)
+  tally : Cost.tally;  (** server classification behind [cost] *)
+}
+
+val solve :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  unit ->
+  result option
+(** Minimal-power placement among those of cost at most [bound] (default
+    [infinity], i.e. the pure [MinPower] problem). [None] when no valid
+    placement meets the bound.
+    @raise Invalid_argument if the cost model's mode count differs from
+    [modes]. *)
+
+val frontier :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  result list
+(** All Pareto-optimal (cost, power) trade-offs, sorted by increasing
+    cost (and strictly decreasing power). [solve ~bound] is equivalent to
+    picking the last frontier point with [cost <= bound]; computing the
+    frontier once answers every bound, which is how the Experiment 3
+    harness sweeps cost bounds. *)
+
+val root_state_count : Tree.t -> modes:Modes.t -> int
+(** Number of distinct (counts, flow) cells in the root table — a direct
+    measure of the instance's combinatorial hardness, used by the
+    scaling benches. *)

@@ -1,0 +1,125 @@
+let src =
+  Logs.Src.create "replica.dp_withpre" ~doc:"MinCost-WithPre dynamic program"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type cell = { flow : int; placed : (int * int) Clist.t }
+
+type table = {
+  pre_cap : int;  (* max reused pre-existing representable *)
+  new_cap : int;  (* max new servers representable *)
+  cells : cell option array array;  (* cells.(e).(n) *)
+}
+
+type result = {
+  solution : Solution.t;
+  cost : float;
+  servers : int;
+  reused : int;
+}
+
+let make_table pre_cap new_cap =
+  {
+    pre_cap;
+    new_cap;
+    cells = Array.make_matrix (pre_cap + 1) (new_cap + 1) None;
+  }
+
+let set t e n candidate =
+  match t.cells.(e).(n) with
+  | Some current when current.flow <= candidate.flow -> ()
+  | Some _ | None -> t.cells.(e).(n) <- Some candidate
+
+let iter_cells t f =
+  for e = 0 to t.pre_cap do
+    for n = 0 to t.new_cap do
+      match t.cells.(e).(n) with None -> () | Some c -> f e n c
+    done
+  done
+
+(* Table of node j over servers strictly below j. *)
+let rec table_of tree ~w j =
+  let start = make_table 0 0 in
+  let client = Tree.client_load tree j in
+  if client <= w then
+    start.cells.(0).(0) <- Some { flow = client; placed = Clist.empty };
+  List.fold_left (merge tree ~w) start (Tree.children tree j)
+
+and merge tree ~w left c =
+  let sub = table_of tree ~w c in
+  let c_pre = Tree.is_pre_existing tree c in
+  (* Extend the child's table with the decision at c itself. *)
+  let extended =
+    make_table
+      (sub.pre_cap + if c_pre then 1 else 0)
+      (sub.new_cap + if c_pre then 0 else 1)
+  in
+  iter_cells sub (fun e n cell ->
+      set extended e n cell;
+      let absorbed =
+        { flow = 0; placed = Clist.snoc cell.placed (c, cell.flow) }
+      in
+      if c_pre then set extended (e + 1) n absorbed
+      else set extended e (n + 1) absorbed);
+  Log.debug (fun m ->
+      m "merge child %d: left %dx%d, child %dx%d" c (left.pre_cap + 1)
+        (left.new_cap + 1) (extended.pre_cap + 1) (extended.new_cap + 1));
+  let merged =
+    make_table (left.pre_cap + extended.pre_cap)
+      (left.new_cap + extended.new_cap)
+  in
+  iter_cells left (fun e1 n1 l ->
+      iter_cells extended (fun e2 n2 r ->
+          let flow = l.flow + r.flow in
+          if flow <= w then
+            set merged (e1 + e2) (n1 + n2)
+              { flow; placed = Clist.append l.placed r.placed }));
+  merged
+
+let solve tree ~w ~cost =
+  if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
+  let root = Tree.root tree in
+  let table = table_of tree ~w root in
+  let pre_total = Tree.num_pre_existing tree in
+  let root_pre = Tree.is_pre_existing tree root in
+  let best = ref None in
+  let consider value servers reused placed root_used =
+    match !best with
+    | Some (v, _, _, _, _) when v <= value -> ()
+    | _ -> best := Some (value, servers, reused, placed, root_used)
+  in
+  iter_cells table (fun e n cell ->
+      if cell.flow = 0 then begin
+        (* Solution without a root server … *)
+        consider
+          (Cost.basic_cost cost ~servers:(e + n) ~reused:e
+             ~pre_existing:pre_total)
+          (e + n) e cell false;
+        (* … and, when the root is pre-existing, reusing it at zero load
+           (cheaper than deleting it when delete > 1). *)
+        if root_pre then
+          consider
+            (Cost.basic_cost cost ~servers:(e + n + 1) ~reused:(e + 1)
+               ~pre_existing:pre_total)
+            (e + n + 1) (e + 1) cell true
+      end
+      else begin
+        (* flow <= w by construction: the root must host a server. *)
+        let reused = e + if root_pre then 1 else 0 in
+        consider
+          (Cost.basic_cost cost ~servers:(e + n + 1) ~reused
+             ~pre_existing:pre_total)
+          (e + n + 1) reused cell true
+      end);
+  match !best with
+  | None -> None
+  | Some (value, servers, reused, cell, root_used) ->
+      let nodes = List.map fst (Clist.to_list cell.placed) in
+      let nodes = if root_used then root :: nodes else nodes in
+      Some
+        { solution = Solution.of_nodes nodes; cost = value; servers; reused }
+
+let root_table tree ~w =
+  if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
+  let table = table_of tree ~w (Tree.root tree) in
+  Array.map (Array.map (Option.map (fun c -> c.flow))) table.cells

@@ -1,0 +1,39 @@
+(** Dynamic program for [MinCost-WithPre] (§3, Theorem 1).
+
+    The paper's main update-strategy algorithm: for every node [j], a
+    table indexed by the exact number [e] of reused pre-existing servers
+    and [n] of newly created servers in the subtree below [j] (excluding
+    [j]) stores the minimal number of requests that must traverse [j]
+    together with a placement realizing it. Lemma 1 shows an optimal
+    global solution can be assembled from these flow-minimal local ones.
+    Children are merged one by one (Algorithm 3); the root table is then
+    scanned with the cost function Eq. 2 to pick the cheapest feasible
+    pair (Algorithm 4).
+
+    Two deliberate deviations from the paper's pseudo-code, both
+    documented in DESIGN.md:
+    - placements are carried as O(1)-append catenable lists instead of
+      per-cell O(N) request vectors, realizing the §3.3 "copy outside the
+      loop" optimization functionally and bounding every node's pair of
+      dimensions by its own subtree content, which is what makes the
+      worst-case O(N^5) bound loose in practice;
+    - when the root flow is zero and the root is itself a pre-existing
+      server, we additionally consider {e reusing it at zero load}, which
+      beats deleting it whenever [delete > 1]; Algorithm 4 omits that
+      branch. *)
+
+type result = {
+  solution : Solution.t;
+  cost : float;  (** Eq. 2 value of [solution] *)
+  servers : int;  (** [R] *)
+  reused : int;  (** [e = |R ∩ E|] *)
+}
+
+val solve : Tree.t -> w:int -> cost:Cost.basic -> result option
+(** Optimal-cost placement, or [None] when the instance is infeasible.
+    @raise Invalid_argument if [w <= 0]. *)
+
+val root_table : Tree.t -> w:int -> int option array array
+(** Diagnostic view: the root's [minr] table, entry [(e, n)] being the
+    minimal number of requests traversing the root with exactly [e]
+    reused and [n] new servers strictly below it. *)

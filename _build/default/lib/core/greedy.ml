@@ -1,0 +1,42 @@
+let solve tree ~w =
+  if w <= 0 then invalid_arg "Greedy.solve: w must be positive";
+  let n = Tree.size tree in
+  let flow = Array.make n 0 in
+  let replicas = ref [] in
+  let feasible = ref true in
+  let place j =
+    replicas := j :: !replicas;
+    flow.(j) <- 0
+  in
+  let process j =
+    let kids = Tree.children tree j in
+    let arriving =
+      List.fold_left (fun acc c -> acc + flow.(c)) (Tree.client_load tree j) kids
+    in
+    flow.(j) <- arriving;
+    if arriving > w then begin
+      (* Absorb the largest child flows first; own clients can only be
+         served at j or above, so they are not absorbable here. *)
+      let sorted =
+        List.sort (fun a b -> compare flow.(b) flow.(a)) kids
+      in
+      let rec absorb = function
+        | [] -> ()
+        | c :: rest ->
+            if flow.(j) > w && flow.(c) > 0 then begin
+              flow.(j) <- flow.(j) - flow.(c);
+              place c;
+              absorb rest
+            end
+      in
+      absorb sorted;
+      if flow.(j) > w then feasible := false
+    end
+  in
+  Array.iter process (Tree.postorder tree);
+  let root = Tree.root tree in
+  if flow.(root) > 0 then place root;
+  if !feasible then Some (Solution.of_nodes !replicas) else None
+
+let solve_count tree ~w =
+  Option.map Solution.cardinal (solve tree ~w)

@@ -1,0 +1,20 @@
+(** Optimal greedy algorithm for [MinCost-NoPre] (the baseline "GR").
+
+    This is the O(N log N) strategy of Wu, Lin and Liu [19] for the
+    closest policy: traverse the tree bottom-up, maintaining for every
+    node the number of requests flowing up through it; whenever the flow
+    at a node exceeds the capacity [W], place replicas at the children
+    carrying the largest flows — each absorbs its whole flow — until the
+    residue fits. Deferring placement as high as possible and absorbing
+    the largest flows first simultaneously minimizes the replica count
+    and, for that count, the number of requests traversing each node
+    (cf. Lemma 1), which makes the greedy optimal {e without}
+    pre-existing servers. §3.1 shows it is no longer optimal with them. *)
+
+val solve : Tree.t -> w:int -> Solution.t option
+(** Minimal-cardinality replica set, or [None] when no valid placement
+    exists (some aggregated client demand exceeds [w]).
+    @raise Invalid_argument if [w <= 0]. *)
+
+val solve_count : Tree.t -> w:int -> int option
+(** Cardinality of {!solve}'s answer. *)

@@ -1,0 +1,60 @@
+type candidate = { capacity : int; result : Dp_power.result }
+
+let result_of_solution tree ~modes ~power ~cost solution =
+  let tally = Solution.tally tree modes solution in
+  {
+    Dp_power.solution;
+    power = Solution.power tree modes power solution;
+    cost = Cost.modal_cost cost tally;
+    tally;
+  }
+
+let candidates tree ~modes ~power ~cost =
+  if Cost.mode_count cost <> Modes.count modes then
+    invalid_arg "Greedy_power: cost model mode count mismatch";
+  let w_min = Modes.capacity modes 1 and w_max = Modes.max_capacity modes in
+  let rec sweep w acc =
+    if w > w_max then List.rev acc
+    else
+      let acc =
+        match Greedy.solve tree ~w with
+        | None -> acc
+        | Some sol ->
+            { capacity = w; result = result_of_solution tree ~modes ~power ~cost sol }
+            :: acc
+      in
+      sweep (w + 1) acc
+  in
+  sweep w_min []
+
+let solve tree ~modes ~power ~cost ?(bound = infinity) () =
+  List.fold_left
+    (fun best c ->
+      if c.result.Dp_power.cost > bound then best
+      else
+        match best with
+        | Some b
+          when (b.Dp_power.power, b.Dp_power.cost)
+               <= (c.result.Dp_power.power, c.result.Dp_power.cost) ->
+            best
+        | Some _ | None -> Some c.result)
+    None
+    (candidates tree ~modes ~power ~cost)
+
+let frontier tree ~modes ~power ~cost =
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (a.result.Dp_power.cost, a.result.Dp_power.power)
+          (b.result.Dp_power.cost, b.result.Dp_power.power))
+      (candidates tree ~modes ~power ~cost)
+  in
+  let rec filter best_power = function
+    | [] -> []
+    | c :: rest ->
+        if c.result.Dp_power.power < best_power then
+          c.result :: filter c.result.Dp_power.power rest
+        else filter best_power rest
+  in
+  filter infinity sorted

@@ -1,0 +1,37 @@
+(** The paper's power baseline "GR" (§5.2).
+
+    The greedy of [19] knows nothing about modes or power. The paper
+    adapts it as follows: run the greedy once for every integer capacity
+    [W'] between [W_1] and [W_M] (placing more, lightly-loaded servers as
+    [W'] shrinks), operate every server at the mode its load forces (a
+    server with at most [W_1] requests runs in mode 1), evaluate the
+    modal cost (Eq. 4) and power (Eq. 3) of each of the resulting
+    solutions, and keep — for a given cost bound — the cheapest-power
+    one within the bound. *)
+
+type candidate = {
+  capacity : int;  (** the greedy's capacity parameter [W'] *)
+  result : Dp_power.result;
+}
+
+val candidates :
+  Tree.t -> modes:Modes.t -> power:Power.t -> cost:Cost.modal -> candidate list
+(** One entry per feasible capacity sweep value, increasing [W']. *)
+
+val solve :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  unit ->
+  Dp_power.result option
+(** Minimal-power candidate of cost at most [bound] (default infinity). *)
+
+val frontier :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  Dp_power.result list
+(** Pareto filtering of {!candidates}, sorted by increasing cost. *)

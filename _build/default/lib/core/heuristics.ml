@@ -1,0 +1,156 @@
+let evaluate tree ~modes ~power ~cost ~bound solution =
+  let w = Modes.max_capacity modes in
+  if not (Solution.is_valid tree ~w solution) then None
+  else
+    let c = Solution.modal_cost tree modes cost solution in
+    if c > bound then None
+    else
+      let tally = Solution.tally tree modes solution in
+      Some
+        {
+          Dp_power.solution;
+          power = Solution.power tree modes power solution;
+          cost = c;
+          tally;
+        }
+
+let neighbors tree solution =
+  let nodes = Solution.nodes solution in
+  let member = Solution.mem solution in
+  let out = ref [] in
+  let push s = out := s :: !out in
+  List.iter
+    (fun r ->
+      let without = List.filter (fun x -> x <> r) nodes in
+      (* drop *)
+      push (Solution.of_nodes without);
+      (* hoist *)
+      (match Tree.parent tree r with
+      | Some p when not (member p) -> push (Solution.of_nodes (p :: without))
+      | Some _ | None -> ());
+      (* lower *)
+      List.iter
+        (fun c ->
+          if not (member c) then push (Solution.of_nodes (c :: without)))
+        (Tree.children tree r))
+    nodes;
+  (* add *)
+  for j = 0 to Tree.size tree - 1 do
+    if not (member j) then push (Solution.of_nodes (j :: nodes))
+  done;
+  !out
+
+let strictly_better a b =
+  (* b improves on a: lower power, or equal power at lower cost. *)
+  b.Dp_power.power < a.Dp_power.power -. 1e-12
+  || (abs_float (b.Dp_power.power -. a.Dp_power.power) <= 1e-12
+     && b.Dp_power.cost < a.Dp_power.cost -. 1e-12)
+
+let improve tree ~modes ~power ~cost ?(bound = infinity) ?(max_rounds = 200)
+    seed =
+  match evaluate tree ~modes ~power ~cost ~bound seed with
+  | None -> None
+  | Some start ->
+      let current = ref start in
+      let continue = ref true in
+      let rounds = ref 0 in
+      while !continue && !rounds < max_rounds do
+        incr rounds;
+        let best_neighbor =
+          List.fold_left
+            (fun acc candidate ->
+              match evaluate tree ~modes ~power ~cost ~bound candidate with
+              | None -> acc
+              | Some r -> (
+                  match acc with
+                  | Some b when not (strictly_better b r) -> acc
+                  | Some _ | None ->
+                      if strictly_better !current r then Some r else acc))
+            None
+            (neighbors tree !current.Dp_power.solution)
+        in
+        match best_neighbor with
+        | Some r -> current := r
+        | None -> continue := false
+      done;
+      Some !current
+
+let solve tree ~modes ~power ~cost ?(bound = infinity) ?max_rounds () =
+  match Greedy_power.solve tree ~modes ~power ~cost ~bound () with
+  | None -> None
+  | Some seed ->
+      improve tree ~modes ~power ~cost ~bound ?max_rounds
+        seed.Dp_power.solution
+
+let best a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ra, Some rb -> if strictly_better ra rb then Some rb else Some ra
+
+let solve_restarts tree ~modes ~power ~cost ?(bound = infinity) ?max_rounds
+    ?(restarts = 8) rng =
+  (* Seeds: every GR sweep candidate, plus random perturbations of the
+     best one. Each seed is hill-climbed; the best climb wins. *)
+  let sweep = Greedy_power.candidates tree ~modes ~power ~cost in
+  let climb sol = improve tree ~modes ~power ~cost ~bound ?max_rounds sol in
+  let from_sweep =
+    List.fold_left
+      (fun acc c -> best acc (climb c.Greedy_power.result.Dp_power.solution))
+      None sweep
+  in
+  match from_sweep with
+  | None -> None
+  | Some initial ->
+      let nodes = Tree.size tree in
+      let perturb sol =
+        (* Toggle a few random nodes; invalid perturbations are rejected
+           by the climb's seed check and simply skipped. *)
+        let members = Solution.nodes sol in
+        let set = Hashtbl.create 16 in
+        List.iter (fun j -> Hashtbl.replace set j ()) members;
+        let flips = 1 + Rng.int rng 3 in
+        for _ = 1 to flips do
+          let j = Rng.int rng nodes in
+          if Hashtbl.mem set j then Hashtbl.remove set j
+          else Hashtbl.replace set j ()
+        done;
+        Solution.of_nodes (Hashtbl.fold (fun j () acc -> j :: acc) set [])
+      in
+      let result = ref (Some initial) in
+      for _ = 1 to restarts do
+        result := best !result (climb (perturb initial.Dp_power.solution))
+      done;
+      !result
+
+let anneal tree ~modes ~power ~cost ?(bound = infinity)
+    ?(initial_temperature = 0.) ?(cooling = 0.95) ?(iterations = 2000) rng =
+  match Greedy_power.solve tree ~modes ~power ~cost ~bound () with
+  | None -> None
+  | Some seed ->
+      let temperature =
+        if initial_temperature > 0. then ref initial_temperature
+        else ref (0.1 *. seed.Dp_power.power +. 1.)
+      in
+      let current = ref seed and best_seen = ref seed in
+      for _ = 1 to iterations do
+        let neighborhood = neighbors tree !current.Dp_power.solution in
+        (match neighborhood with
+        | [] -> ()
+        | _ ->
+            let pick = List.nth neighborhood (Rng.int rng (List.length neighborhood)) in
+            (match evaluate tree ~modes ~power ~cost ~bound pick with
+            | None -> ()
+            | Some candidate ->
+                let delta = candidate.Dp_power.power -. !current.Dp_power.power in
+                let accept =
+                  delta <= 0.
+                  || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+                in
+                if accept then begin
+                  current := candidate;
+                  if strictly_better !best_seen candidate then
+                    best_seen := candidate
+                end));
+        temperature := !temperature *. cooling
+      done;
+      Some !best_seen

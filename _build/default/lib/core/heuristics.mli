@@ -1,0 +1,79 @@
+(** Polynomial local-search heuristics for [MinPower-BoundedCost].
+
+    The paper's conclusion (§6) calls for "polynomial time heuristics
+    with a lower complexity than the optimal solution … performing local
+    optimizations to better load-balance the number of requests per
+    replica". This module implements that program: seed with the best
+    {!Greedy_power} sweep solution within the cost bound, then hill-climb
+    over single-replica moves, accepting a neighbor when it lowers power
+    (tie-broken by cost) while staying valid and within the bound.
+
+    Moves explored from a solution [R]:
+    - {b drop} a replica (its load spills to the next server up);
+    - {b hoist} a replica to its parent (merging with the parent flow);
+    - {b lower} a replica to one of its children (shedding the other
+      branches upward);
+    - {b add} a replica at any node (splitting some server's load, which
+      can downgrade it to a cheaper mode).
+
+    Each iteration costs O(N²) evaluations of O(N): cheap against the
+    exponential-in-M dynamic program, and the ablation bench measures how
+    close it lands to {!Dp_power}'s optimum. *)
+
+val solve :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  ?max_rounds:int ->
+  unit ->
+  Dp_power.result option
+(** Best solution found, or [None] when even the seed is infeasible
+    within the bound. [max_rounds] (default 200) caps hill-climbing
+    iterations; convergence is almost always much earlier. *)
+
+val improve :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  ?max_rounds:int ->
+  Solution.t ->
+  Dp_power.result option
+(** Hill-climb from an explicit seed solution. [None] if the seed itself
+    is invalid or over the bound. *)
+
+val solve_restarts :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  ?max_rounds:int ->
+  ?restarts:int ->
+  Rng.t ->
+  Dp_power.result option
+(** Multi-start variant: hill-climb from every capacity-sweep candidate
+    and from [restarts] (default 8) random perturbations of the best
+    climb, keeping the overall best. Escapes the local optima that trap
+    {!solve} on trees where the greedy seed is structurally wrong. *)
+
+val anneal :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?iterations:int ->
+  Rng.t ->
+  Dp_power.result option
+(** Simulated annealing over the same move set: random neighbor,
+    Metropolis acceptance on the power delta, geometric cooling
+    (default factor 0.95 per step over 2000 iterations; the default
+    initial temperature is a tenth of the seed's power). Returns the
+    best solution seen. [None] when no feasible seed exists within the
+    bound. *)

@@ -1,0 +1,81 @@
+type result = {
+  solution : Solution.t;
+  cost : float;
+  servers : int;
+  reused : int;
+}
+
+let evaluate tree ~w ~cost solution =
+  if not (Solution.is_valid tree ~w solution) then None
+  else
+    Some
+      {
+        solution;
+        cost = Solution.basic_cost tree cost solution;
+        servers = Solution.cardinal solution;
+        reused = Solution.reused tree solution;
+      }
+
+let neighbors tree solution =
+  let nodes = Solution.nodes solution in
+  let member = Solution.mem solution in
+  let out = ref [] in
+  let push s = out := s :: !out in
+  List.iter
+    (fun r ->
+      let without = List.filter (fun x -> x <> r) nodes in
+      push (Solution.of_nodes without);
+      (match Tree.parent tree r with
+      | Some p when not (member p) -> push (Solution.of_nodes (p :: without))
+      | Some _ | None -> ());
+      List.iter
+        (fun c ->
+          if not (member c) then push (Solution.of_nodes (c :: without)))
+        (Tree.children tree r);
+      (* retarget: swap a non-pre-existing server for an idle
+         pre-existing node anywhere in the tree *)
+      if not (Tree.is_pre_existing tree r) then
+        List.iter
+          (fun p ->
+            if not (member p) then push (Solution.of_nodes (p :: without)))
+          (Tree.pre_existing tree))
+    nodes;
+  for j = 0 to Tree.size tree - 1 do
+    if not (member j) then push (Solution.of_nodes (j :: nodes))
+  done;
+  !out
+
+let strictly_better a b = b.cost < a.cost -. 1e-12
+
+let improve tree ~w ~cost ?(max_rounds = 200) seed =
+  match evaluate tree ~w ~cost seed with
+  | None -> None
+  | Some start ->
+      let current = ref start in
+      let continue = ref true in
+      let rounds = ref 0 in
+      while !continue && !rounds < max_rounds do
+        incr rounds;
+        let improved =
+          List.fold_left
+            (fun acc candidate ->
+              match evaluate tree ~w ~cost candidate with
+              | None -> acc
+              | Some r -> (
+                  match acc with
+                  | Some b when not (strictly_better b r) -> acc
+                  | Some _ | None ->
+                      if strictly_better !current r then Some r else acc))
+            None
+            (neighbors tree !current.solution)
+        in
+        match improved with
+        | Some r -> current := r
+        | None -> continue := false
+      done;
+      Some !current
+
+let solve tree ~w ~cost ?max_rounds () =
+  match Greedy.solve tree ~w with
+  | None -> None
+  | Some seed -> improve tree ~w ~cost ?max_rounds seed

@@ -1,0 +1,38 @@
+(** Polynomial update heuristics for [MinCost-WithPre].
+
+    §6 observes that "with frequent updates or low-cost servers, we may
+    prefer to resort to faster (but sub-optimal) update heuristics" than
+    the O(N^5) dynamic program. This module is that alternative: seed
+    with the O(N log N) greedy (which ignores pre-existing servers),
+    then locally improve the Eq. 2 cost with single-replica moves:
+
+    - {b retarget}: replace a new server by an idle pre-existing node
+      whose takeover keeps the placement valid (the dominant win — it
+      converts a creation plus a deletion into a reuse);
+    - {b drop}: remove a server whose load fits upstream;
+    - {b hoist}/{b lower}: slide a server along its tree edge;
+    - {b add}: insert a server (occasionally pays when deletion is
+      expensive and an idle pre-existing node can absorb flow).
+
+    Hill-climbing with first-improvement over these moves runs in
+    O(N^2) evaluations of O(N) per round — typically two to four orders
+    of magnitude faster than the DP (see the [ablation-update] bench
+    section), at a cost gap the same section quantifies. *)
+
+type result = {
+  solution : Solution.t;
+  cost : float;  (** Eq. 2 value *)
+  servers : int;
+  reused : int;
+}
+
+val solve :
+  Tree.t -> w:int -> cost:Cost.basic -> ?max_rounds:int -> unit -> result option
+(** Greedy seed plus hill-climbing (default [max_rounds] 200). [None]
+    exactly when the instance is infeasible. *)
+
+val improve :
+  Tree.t -> w:int -> cost:Cost.basic -> ?max_rounds:int -> Solution.t ->
+  result option
+(** Hill-climb from an explicit valid seed; [None] if the seed is
+    invalid. *)

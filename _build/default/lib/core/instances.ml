@@ -1,0 +1,31 @@
+let figure1 ~root_requests =
+  Tree.build
+    (Tree.node ~clients:[ root_requests ]
+       [
+         Tree.node
+           [
+             Tree.node ~clients:[ 4 ] ~pre:1 [];
+             Tree.node ~clients:[ 7 ] [];
+           ];
+       ])
+
+let figure1_capacity = 10
+
+let figure2 ~root_requests =
+  Tree.build
+    (Tree.node ~clients:[ root_requests ]
+       [
+         Tree.node
+           [ Tree.node ~clients:[ 3 ] []; Tree.node ~clients:[ 7 ] [] ];
+       ])
+
+let figure2_modes = Modes.make [ 7; 10 ]
+
+let figure2_power = Power.make ~static:10. ~alpha:2. ()
+
+let node_name = function
+  | 0 -> "root"
+  | 1 -> "A"
+  | 2 -> "B"
+  | 3 -> "C"
+  | j -> string_of_int j

@@ -1,0 +1,39 @@
+(** The paper's running examples as ready-made instances.
+
+    These are the exact situations discussed in §3.1 (Figure 1) and §4.1
+    (Figure 2); tests assert the published trade-offs on them and the
+    examples walk through them. Node identifiers are preorder:
+    root = 0, A = 1, B = 2, C = 3. *)
+
+(** {1 Figure 1 (§3.1) — reuse vs. rebalance, W = 10} *)
+
+val figure1 : root_requests:int -> Tree.t
+(** [root -- A -- { B (pre-existing, 4 requests), C (7 requests) }] with
+    [root_requests] client requests at the root. Keeping only B leaves 7
+    requests traversing A; a new server at C instead leaves 4; B plus a
+    server at A or C leaves none. With 2 root requests the optimal
+    update reuses B; with 4 it deletes B and creates C. *)
+
+val figure1_capacity : int
+(** [W = 10]. *)
+
+(** {1 Figure 2 (§4.1) — power modes, W1 = 7, W2 = 10} *)
+
+val figure2 : root_requests:int -> Tree.t
+(** [root -- A -- { B (3 requests), C (7 requests) }] with
+    [root_requests] at the root. With the {!figure2_power} model, one
+    mode-2 server at A (110 W) beats two mode-1 servers at B and C
+    (118 W) locally — yet with 4 root requests the global optimum is a
+    mode-1 server at C letting 3 requests through (118 W total), while
+    with 10 root requests nothing may traverse A (220 W total). *)
+
+val figure2_modes : Modes.t
+(** [{W1 = 7, W2 = 10}]. *)
+
+val figure2_power : Power.t
+(** [P_i = 10 + W_i^2] (static 10, alpha 2). *)
+
+(** {1 Node names} *)
+
+val node_name : Tree.node -> string
+(** ["root"], ["A"], ["B"], ["C"] for 0–3; the decimal id otherwise. *)

@@ -1,0 +1,43 @@
+type t = int array (* strictly increasing capacities, index 0 = mode 1 *)
+
+let make ws =
+  if ws = [] then invalid_arg "Modes.make: empty ladder";
+  let a = Array.of_list ws in
+  Array.iteri
+    (fun i w ->
+      if w <= 0 then invalid_arg "Modes.make: non-positive capacity";
+      if i > 0 && w <= a.(i - 1) then
+        invalid_arg "Modes.make: capacities must be strictly increasing")
+    a;
+  a
+
+let single w = make [ w ]
+
+let count t = Array.length t
+
+let capacity t i =
+  if i < 1 || i > Array.length t then invalid_arg "Modes.capacity";
+  t.(i - 1)
+
+let max_capacity t = t.(Array.length t - 1)
+
+let capacities t = Array.to_list t
+
+let mode_of_load t req =
+  if req < 0 then invalid_arg "Modes.mode_of_load: negative load";
+  if req > max_capacity t then
+    invalid_arg "Modes.mode_of_load: load exceeds maximal capacity";
+  (* M is tiny (2 or 3 in practice): linear scan. *)
+  let rec find i = if req <= t.(i) then i + 1 else find (i + 1) in
+  find 0
+
+let fits t req = req >= 0 && req <= max_capacity t
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "W%d=%d" (i + 1) w)
+    t;
+  Format.fprintf fmt "}"

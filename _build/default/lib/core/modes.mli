@@ -1,0 +1,43 @@
+(** Server operation modes (§2.2).
+
+    A mode ladder is a strictly increasing sequence of capacities
+    [W_1 < W_2 < … < W_M]; [W_M = W] is the maximal capacity. A server
+    processing [req] requests, with [W_{i-1} < req <= W_i], is operated at
+    mode [i] — the mode is a function of the load, not a free choice.
+    Modes are 1-based, matching the paper. *)
+
+type t
+(** A validated mode ladder. *)
+
+val make : int list -> t
+(** [make ws] builds a ladder from the capacities in increasing order.
+    @raise Invalid_argument if the list is empty, non-increasing, or
+    contains a non-positive capacity. *)
+
+val single : int -> t
+(** [single w] is the one-mode ladder used by the cost-only problems. *)
+
+val count : t -> int
+(** [M], the number of modes. *)
+
+val capacity : t -> int -> int
+(** [capacity t i] is [W_i] for [1 <= i <= M].
+    @raise Invalid_argument out of range. *)
+
+val max_capacity : t -> int
+(** [W = W_M]. *)
+
+val capacities : t -> int list
+(** All capacities, increasing. *)
+
+val mode_of_load : t -> int -> int
+(** [mode_of_load t req] is the operating mode of a server processing
+    [req] requests: the smallest [i] with [req <= W_i]. A zero load maps
+    to mode 1.
+    @raise Invalid_argument if [req < 0] or [req > W_M] (capacity
+    violation — no mode can process that load). *)
+
+val fits : t -> int -> bool
+(** [fits t req] iff [0 <= req <= W_M]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** The {e Multiple} access policy (extension; cf. reference [2]).
+
+    The paper studies the {e closest} policy, defined in §2.1 against the
+    access-policy family of Benoit, Rehn-Sonigo and Robert [2]. Under
+    {e Multiple}, a client's requests may be split across several servers
+    on its path to the root, and a server may serve any subset of the
+    requests reaching it — so a replica no longer has to absorb
+    everything underneath, and the per-node demand cap of the closest
+    policy ([client load <= W]) disappears entirely.
+
+    Feasibility of a fixed replica set is decided by one bottom-up pass
+    absorbing greedily: a unit of flow served low consumes capacity no
+    other flow could use (only subtree flow reaches a server), so maximal
+    low absorption is exchange-optimal. Minimizing the number of replicas
+    is polynomial; we solve it with the same per-node flow-minimal table
+    as [Dp_nopre], except cells may carry flows above [W] (several
+    ancestors can share a load) and a server absorbs [min W flow].
+
+    This module is an extension beyond the reproduced paper; it rounds
+    out the access-policy family the framework section situates the
+    closest policy in. *)
+
+type evaluation = {
+  loads : (Tree.node * int) list;  (** absorbed requests per replica *)
+  unserved : int;  (** flow escaping past the root *)
+}
+
+val evaluate : Tree.t -> w:int -> Solution.t -> evaluation
+(** Maximal bottom-up absorption — the canonical optimal assignment. *)
+
+val is_valid : Tree.t -> w:int -> Solution.t -> bool
+(** True iff {!evaluate} serves every request. *)
+
+type result = { solution : Solution.t; servers : int }
+
+val solve : Tree.t -> w:int -> result option
+(** Minimal replica count under Multiple, or [None] if even a replica on
+    every node cannot serve the demand.
+    @raise Invalid_argument if [w <= 0]. *)
+
+val min_servers_lower_bound : Tree.t -> w:int -> int
+(** [ceil(total requests / W)] — the counting bound any policy obeys. *)

@@ -1,0 +1,92 @@
+type instance = {
+  tree : Tree.t;
+  modes : Modes.t;
+  power : Power.t;
+  threshold : float;
+}
+
+let build a =
+  if a = [] then invalid_arg "Npc.build: empty instance";
+  List.iter (fun x -> if x <= 0 then invalid_arg "Npc.build: non-positive value") a;
+  let a = List.sort compare a in
+  let n = List.length a in
+  let s = List.fold_left ( + ) 0 a in
+  if s mod 2 <> 0 then invalid_arg "Npc.build: odd sum has no 2-partition";
+  (* The proof's step "the root server must run at W_{n+2}" relies on the
+     root load K + (S/2)X exceeding every intermediate capacity K + a_i X,
+     i.e. on max a_i < S/2. Instances with max a_i >= S/2 are trivially
+     decidable 2-Partition instances (solvable iff max a_i = S/2), so
+     NP-hardness is untouched, but the gadget threshold is only sound
+     under the precondition. *)
+  let a_max = List.fold_left max 0 a in
+  if 2 * a_max >= s then
+    invalid_arg "Npc.build: requires max a_i < S/2 (see Theorem 2 proof)";
+  let k = n * s * s in
+  (* Scaled by 2K (alpha = 2, X = 1/(2K)): capacities become integers. *)
+  let scale = 2 * k in
+  let w1 = scale * k in
+  let modes =
+    (* Equal a_i values collapse onto one mode: the ladder must be
+       strictly increasing, and power depends on loads only. *)
+    Modes.make
+      (List.sort_uniq compare
+         ((w1 :: List.map (fun ai -> w1 + ai) a) @ [ w1 + s ]))
+  in
+  let power = Power.make ~static:0. ~alpha:2. () in
+  (* Tree: root has a client with K + (S/2)X requests (scaled: w1 + S/2);
+     children A_i with client a_i·X (scaled: a_i) and grandchild B_i with
+     client K (scaled: w1). *)
+  let spec =
+    Tree.node
+      ~clients:[ w1 + (s / 2) ]
+      (List.map
+         (fun ai ->
+           Tree.node ~clients:[ ai ] [ Tree.node ~clients:[ w1 ] [] ])
+         a)
+  in
+  let tree = Tree.build spec in
+  (* P_max = (K+S·X)^α + n·K^α + S/2 + (n-1)/n, scaled by (2K)^α = scale². *)
+  let fk = float_of_int k and fs = float_of_int s and fn = float_of_int n in
+  let fscale = float_of_int scale in
+  let x = 1. /. (2. *. fk) in
+  let unscaled =
+    ((fk +. (fs *. x)) ** 2.)
+    +. (fn *. (fk ** 2.))
+    +. (fs /. 2.)
+    +. ((fn -. 1.) /. fn)
+  in
+  let threshold = unscaled *. (fscale ** 2.) in
+  { tree; modes; power; threshold }
+
+let two_partition_exists a =
+  let arr = Array.of_list a in
+  let n = Array.length arr in
+  if n > 30 then invalid_arg "Npc.two_partition_exists: instance too large";
+  let s = Array.fold_left ( + ) 0 arr in
+  if s mod 2 <> 0 then false
+  else begin
+    let target = s / 2 in
+    let found = ref false in
+    for mask = 0 to (1 lsl n) - 1 do
+      if not !found then begin
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then sum := !sum + arr.(i)
+        done;
+        if !sum = target then found := true
+      end
+    done;
+    !found
+  end
+
+let decide inst =
+  let cost = Cost.modal_uniform ~modes:(Modes.count inst.modes) ~create:0. ~delete:0. ~changed:0. in
+  match
+    Dp_power.solve inst.tree ~modes:inst.modes ~power:inst.power ~cost ()
+  with
+  | None -> false
+  | Some r ->
+      (* Tolerate float rounding: the gap engineered by the proof is at
+         least 1/n of the scaled unit, far above double-precision noise
+         for small instances. *)
+      r.Dp_power.power <= inst.threshold +. 1e-6

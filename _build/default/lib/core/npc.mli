@@ -1,0 +1,49 @@
+(** The Theorem 2 NP-completeness gadget (§4.2).
+
+    The paper reduces 2-Partition to [MinPower]: from integers
+    [a_1 <= … <= a_n] of even sum [S] it builds an instance with [n+2]
+    modes — [W_1 = K], [W_{1+i} = K + a_i·X], [W_{n+2} = K + S·X] — no
+    static power, and a two-level tree where choosing, for each [i],
+    whether the server goes on [A_i] (mode [W_{1+i}]) or on [B_i]
+    (mode [W_1]) encodes choosing the subset [I].
+
+    The paper's [X = 1/(α·K^{α-1})] is fractional; our capacities are
+    integers, so we build the {e scaled} instance with [α = 2]: every
+    capacity and request is multiplied by [2K], giving
+    [W'_1 = 2K²], [W'_{1+i} = 2K² + a_i], [W'_{n+2} = 2K² + S]. Power is
+    [W^α], so uniform scaling multiplies every solution's power by the
+    same [(2K)^α] and preserves all comparisons; the decision threshold
+    [P_max] is scaled accordingly. This module is used by the tests to
+    check that {!Dp_power} decides the gadget exactly as 2-Partition
+    dictates. *)
+
+type instance = {
+  tree : Tree.t;
+  modes : Modes.t;
+  power : Power.t;  (** no static power, [alpha = 2] *)
+  threshold : float;  (** scaled [P_max]: a placement of at most this
+                          power exists iff the 2-Partition instance is
+                          solvable *)
+}
+
+val build : int list -> instance
+(** [build [a_1; …; a_n]] constructs the scaled reduction instance.
+
+    The gadget additionally requires [max a_i < S/2], a precondition the
+    paper's proof uses implicitly: it asserts the root server "must" run
+    at mode [W_{n+2}], which under load-determined modes only follows
+    when the root load [K + (S/2)X] exceeds every intermediate capacity
+    [K + a_i X]. Instances with [max a_i >= S/2] are trivially decidable
+    (solvable iff [max a_i = S/2]), so the restriction does not weaken
+    NP-hardness — but without it the threshold test is unsound (e.g. on
+    [\[1; 3\]] the placement {root, B_1, A_2} runs the root at the
+    intermediate mode [W_3] and slips under [P_max]).
+    @raise Invalid_argument if the list is empty, contains a non-positive
+    integer, has an odd sum, or violates [max a_i < S/2]. *)
+
+val two_partition_exists : int list -> bool
+(** Exhaustive 2-Partition check (for [n <= 30]), the reference answer. *)
+
+val decide : instance -> bool
+(** Run {!Dp_power} on the gadget and compare the optimal power to the
+    threshold — the [MinPower] decision problem of the proof. *)

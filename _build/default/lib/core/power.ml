@@ -1,0 +1,19 @@
+type t = { static : float; alpha : float }
+
+let make ?(static = 0.) ?(alpha = 3.) () =
+  if static < 0. then invalid_arg "Power.make: negative static power";
+  if alpha < 1. then invalid_arg "Power.make: alpha must be >= 1";
+  { static; alpha }
+
+let paper_exp3 ~modes =
+  let w1 = float_of_int (Modes.capacity modes 1) in
+  { static = (w1 ** 3.) /. 10.; alpha = 3. }
+
+let dynamic t modes i = float_of_int (Modes.capacity modes i) ** t.alpha
+
+let of_mode t modes i = t.static +. dynamic t modes i
+
+let of_load t modes load = of_mode t modes (Modes.mode_of_load modes load)
+
+let total t modes loads =
+  List.fold_left (fun acc load -> acc +. of_load t modes load) 0. loads

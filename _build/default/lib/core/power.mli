@@ -1,0 +1,30 @@
+(** Power-consumption model (Eq. 3).
+
+    A server operated at mode [W_i] dissipates
+    [P(static) + W_i^alpha] watts, where [alpha ∈ [2..3]] depends on the
+    hardware model and [P(static)] is the cost of being powered on at
+    all. The total power of a solution is the sum over its servers. *)
+
+type t = { static : float; alpha : float }
+(** Model parameters. *)
+
+val make : ?static:float -> ?alpha:float -> unit -> t
+(** Defaults: [static = 0.], [alpha = 3.] (the paper's NP-completeness
+    proof uses no static power; its Experiment 3 uses [alpha = 3] with
+    [static = W_1^3 / 10]).
+    @raise Invalid_argument if [static < 0] or [alpha < 1]. *)
+
+val paper_exp3 : modes:Modes.t -> t
+(** The §5.2 model: [P_i = W_1^3 / 10 + W_i^3]. *)
+
+val of_mode : t -> Modes.t -> int -> float
+(** [of_mode p modes i] is the power drawn by one server at mode [i]. *)
+
+val of_load : t -> Modes.t -> int -> float
+(** Power drawn by one server processing a given load (mode inferred). *)
+
+val dynamic : t -> Modes.t -> int -> float
+(** Dynamic part only, [W_i^alpha]. *)
+
+val total : t -> Modes.t -> int list -> float
+(** [total p modes loads] sums {!of_load} over the server loads. *)

@@ -1,0 +1,84 @@
+let add = Buffer.add_string
+
+let provenance tree j =
+  match Tree.initial_mode tree j with
+  | Some m -> Printf.sprintf "reused (was mode %d)" m
+  | None -> "new"
+
+let violations_section buf tree ~w solution =
+  match Solution.validate tree ~w solution with
+  | Ok _ -> ()
+  | Error violations ->
+      add buf "VIOLATIONS:\n";
+      List.iter
+        (fun v ->
+          match v with
+          | Solution.Overloaded (j, load) ->
+              add buf
+                (Printf.sprintf "  node %d overloaded: %d > %d\n" j load w)
+          | Solution.Unserved r ->
+              add buf (Printf.sprintf "  %d requests unserved\n" r))
+        violations
+
+let deletions_section buf tree solution =
+  let dropped =
+    List.filter
+      (fun j -> not (Solution.mem solution j))
+      (Tree.pre_existing tree)
+  in
+  if dropped <> [] then begin
+    add buf "deleted pre-existing servers:";
+    List.iter (fun j -> add buf (Printf.sprintf " %d" j)) dropped;
+    add buf "\n"
+  end
+
+let cost_report tree ~w cost solution =
+  let buf = Buffer.create 512 in
+  let ev = Solution.evaluate tree solution in
+  add buf
+    (Printf.sprintf "placement: %d servers for %d requests (W = %d)\n"
+       (Solution.cardinal solution)
+       (Tree.total_requests tree) w);
+  List.iter
+    (fun (j, load) ->
+      add buf
+        (Printf.sprintf "  node %-4d load %3d/%d  %s\n" j load w
+           (provenance tree j)))
+    ev.Solution.loads;
+  deletions_section buf tree solution;
+  add buf
+    (Printf.sprintf "reused %d of %d pre-existing servers\n"
+       (Solution.reused tree solution)
+       (Tree.num_pre_existing tree));
+  add buf (Printf.sprintf "cost (Eq. 2): %.3f\n" (Solution.basic_cost tree cost solution));
+  violations_section buf tree ~w solution;
+  Buffer.contents buf
+
+let power_report tree modes power cost solution =
+  let buf = Buffer.create 512 in
+  let w = Modes.max_capacity modes in
+  let ev = Solution.evaluate tree solution in
+  add buf
+    (Printf.sprintf "placement: %d servers for %d requests (modes%s)\n"
+       (Solution.cardinal solution)
+       (Tree.total_requests tree)
+       (String.concat ""
+          (List.map (fun c -> Printf.sprintf " %d" c) (Modes.capacities modes))));
+  List.iter
+    (fun (j, load) ->
+      let mode = Modes.mode_of_load modes load in
+      add buf
+        (Printf.sprintf "  node %-4d load %3d -> mode W%d (%.1f W)  %s\n" j
+           load mode
+           (Power.of_mode power modes mode)
+           (provenance tree j)))
+    ev.Solution.loads;
+  deletions_section buf tree solution;
+  add buf
+    (Printf.sprintf "power (Eq. 3): %.3f\n"
+       (Solution.power tree modes power solution));
+  add buf
+    (Printf.sprintf "cost (Eq. 4): %.3f\n"
+       (Solution.modal_cost tree modes cost solution));
+  violations_section buf tree ~w solution;
+  Buffer.contents buf

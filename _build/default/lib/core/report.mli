@@ -1,0 +1,16 @@
+(** Human-readable reports for solved instances.
+
+    Renders a placement the way an operator would want to read it: one
+    line per server (location, load, operating mode, provenance), then
+    the Eq. 2 / Eq. 3 / Eq. 4 totals, then any constraint violations.
+    Used by the CLI's [solve] subcommand and handy in the toplevel. *)
+
+val cost_report : Tree.t -> w:int -> Cost.basic -> Solution.t -> string
+(** Report for the cost-only problems: loads against the single capacity
+    [w], reuse/creation/deletion accounting, Eq. 2 total. *)
+
+val power_report :
+  Tree.t -> Modes.t -> Power.t -> Cost.modal -> Solution.t -> string
+(** Report for the power problems: per-server operating mode and watts,
+    mode-change provenance for reused servers, Eq. 4 cost and Eq. 3
+    power totals. The solution must fit within the maximal capacity. *)

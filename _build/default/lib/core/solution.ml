@@ -1,0 +1,137 @@
+module IntSet = Set.Make (Int)
+
+type t = IntSet.t
+
+let of_nodes l = IntSet.of_list l
+let nodes t = IntSet.elements t
+let cardinal = IntSet.cardinal
+let mem t j = IntSet.mem j t
+let empty = IntSet.empty
+
+type evaluation = { loads : (Tree.node * int) list; unserved : int }
+
+let check_nodes tree t =
+  IntSet.iter
+    (fun j ->
+      if j < 0 || j >= Tree.size tree then
+        invalid_arg "Solution: replica outside the tree")
+    t
+
+let evaluate tree t =
+  check_nodes tree t;
+  let n = Tree.size tree in
+  (* flow.(j) = requests leaving node j upward after absorption at j. *)
+  let flow = Array.make n 0 in
+  let loads = Array.make n 0 in
+  Array.iter
+    (fun j ->
+      let arriving =
+        List.fold_left
+          (fun acc c -> acc + flow.(c))
+          (Tree.client_load tree j)
+          (Tree.children tree j)
+      in
+      if IntSet.mem j t then begin
+        loads.(j) <- arriving;
+        flow.(j) <- 0
+      end
+      else flow.(j) <- arriving)
+    (Tree.postorder tree);
+  let load_list =
+    List.map (fun j -> (j, loads.(j))) (IntSet.elements t)
+  in
+  { loads = load_list; unserved = flow.(Tree.root tree) }
+
+let server_of tree t j =
+  let rec up j = if IntSet.mem j t then Some j else
+      match Tree.parent tree j with None -> None | Some p -> up p
+  in
+  up j
+
+type violation = Overloaded of Tree.node * int | Unserved of int
+
+let validate tree ~w t =
+  let ev = evaluate tree t in
+  let violations =
+    List.filter_map
+      (fun (j, load) -> if load > w then Some (Overloaded (j, load)) else None)
+      ev.loads
+  in
+  let violations =
+    if ev.unserved > 0 then violations @ [ Unserved ev.unserved ]
+    else violations
+  in
+  if violations = [] then Ok ev else Error violations
+
+let is_valid tree ~w t =
+  match validate tree ~w t with Ok _ -> true | Error _ -> false
+
+let reused tree t =
+  IntSet.fold
+    (fun j acc -> if Tree.is_pre_existing tree j then acc + 1 else acc)
+    t 0
+
+let basic_cost tree params t =
+  Cost.basic_cost params ~servers:(cardinal t) ~reused:(reused tree t)
+    ~pre_existing:(Tree.num_pre_existing tree)
+
+let initial_mode_default tree j =
+  match Tree.initial_mode tree j with Some m -> m | None -> 1
+
+let tally tree modes t =
+  let m = Modes.count modes in
+  let acc = Cost.empty_tally ~modes:m in
+  let ev = evaluate tree t in
+  List.iter
+    (fun (j, load) ->
+      let op = Modes.mode_of_load modes load in
+      if Tree.is_pre_existing tree j then begin
+        let init = initial_mode_default tree j in
+        acc.Cost.reused.(init - 1).(op - 1) <-
+          acc.Cost.reused.(init - 1).(op - 1) + 1
+      end
+      else acc.Cost.created.(op - 1) <- acc.Cost.created.(op - 1) + 1)
+    ev.loads;
+  List.iter
+    (fun j ->
+      if not (IntSet.mem j t) then begin
+        let init = initial_mode_default tree j in
+        acc.Cost.deleted.(init - 1) <- acc.Cost.deleted.(init - 1) + 1
+      end)
+    (Tree.pre_existing tree);
+  acc
+
+let modal_cost tree modes params t = Cost.modal_cost params (tally tree modes t)
+
+let power tree modes params t =
+  let ev = evaluate tree t in
+  Power.total params modes (List.map snd ev.loads)
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i j ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" j)
+    (nodes t);
+  Format.fprintf fmt "}"
+
+let pp_evaluation fmt ev =
+  Format.fprintf fmt "loads:";
+  List.iter (fun (j, l) -> Format.fprintf fmt " %d->%d" j l) ev.loads;
+  if ev.unserved > 0 then Format.fprintf fmt " (unserved: %d)" ev.unserved
+
+let equal = IntSet.equal
+
+let to_string t = String.concat "," (List.map string_of_int (nodes t))
+
+let of_string s =
+  if String.trim s = "" then empty
+  else
+    of_nodes
+      (List.map
+         (fun part ->
+           match int_of_string_opt (String.trim part) with
+           | Some j -> j
+           | None -> invalid_arg "Solution.of_string: malformed input")
+         (String.split_on_char ',' s))

@@ -1,0 +1,86 @@
+(** Replica placements and their evaluation under the {e closest} policy.
+
+    A solution is a set [R] of internal nodes hosting a replica. Under the
+    closest policy every client is served by the first node on its path to
+    the root that hosts a replica, so a server necessarily absorbs {e all}
+    requests reaching it from below — its load is not a degree of freedom.
+    This module computes those loads, checks capacity constraints, and
+    evaluates the cost (Eq. 2 / Eq. 4) and power (Eq. 3) of a solution. *)
+
+type t
+(** A set of replica locations. *)
+
+val of_nodes : Tree.node list -> t
+(** Build from a node list (duplicates are merged). *)
+
+val nodes : t -> Tree.node list
+(** Sorted, distinct replica locations. *)
+
+val cardinal : t -> int
+val mem : t -> Tree.node -> bool
+val empty : t
+
+(** {1 Closest-policy evaluation} *)
+
+type evaluation = {
+  loads : (Tree.node * int) list;
+      (** load of each replica, in increasing node order *)
+  unserved : int;
+      (** requests escaping through the root without meeting a server *)
+}
+
+val evaluate : Tree.t -> t -> evaluation
+(** One bottom-up pass; no capacity is enforced here.
+    @raise Invalid_argument if the solution mentions nodes outside the
+    tree. *)
+
+val server_of : Tree.t -> t -> Tree.node -> Tree.node option
+(** [server_of tree sol j] is the replica serving the clients attached at
+    node [j] (first ancestor-or-self in the solution), or [None] if their
+    requests escape unserved. *)
+
+type violation =
+  | Overloaded of Tree.node * int  (** replica load exceeds the capacity *)
+  | Unserved of int  (** this many requests reach past the root *)
+
+val validate : Tree.t -> w:int -> t -> (evaluation, violation list) result
+(** Check the capacity constraint (Eq. 1) for maximal capacity [w] and
+    that every client is served. *)
+
+val is_valid : Tree.t -> w:int -> t -> bool
+
+(** {1 Metrics} *)
+
+val reused : Tree.t -> t -> int
+(** [e = |R ∩ E|], pre-existing servers kept by the solution. *)
+
+val basic_cost : Tree.t -> Cost.basic -> t -> float
+(** Eq. 2 for this solution. *)
+
+val tally : Tree.t -> Modes.t -> t -> Cost.tally
+(** Classify the solution's servers by mode for Eq. 4: new servers by
+    operating mode, reused servers by (initial, operating) mode pair,
+    dropped pre-existing servers by initial mode. The solution must be
+    feasible (every load within [W_M]); pre-existing nodes without an
+    explicit initial mode default to mode 1.
+    @raise Invalid_argument if a load exceeds the maximal capacity. *)
+
+val modal_cost : Tree.t -> Modes.t -> Cost.modal -> t -> float
+(** Eq. 4 for this solution. *)
+
+val power : Tree.t -> Modes.t -> Power.t -> t -> float
+(** Eq. 3 for this solution.
+    @raise Invalid_argument if a load exceeds the maximal capacity. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_evaluation : Format.formatter -> evaluation -> unit
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Comma-separated node ids (empty string for the empty solution). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.
+    @raise Invalid_argument on malformed input. *)

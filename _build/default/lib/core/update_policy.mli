@@ -1,0 +1,52 @@
+(** Dynamic replica-management policies (the §6 discussion, made runnable).
+
+    The paper frames dynamic replica management as a trade-off between
+    two extremes: {e lazy} updates (reconfigure only when the current
+    placement is no longer valid — minimal update cost, possibly poor
+    resource usage) and {e systematic} updates (reconfigure every
+    time-step — optimal usage, maximal update cost), and observes that
+    "the rates and amplitudes of the variations of the number of
+    requests" should drive the update interval. This module runs those
+    policies — plus a fixed-period and a demand-drift trigger — over a
+    demand sequence, using the §3 optimal single-step reconfiguration
+    ({!Dp_withpre}) as the building block the paper provides. *)
+
+type policy =
+  | Systematic  (** reconfigure every epoch *)
+  | Lazy  (** reconfigure only when a server overflows or requests escape *)
+  | Periodic of int
+      (** reconfigure every [k] epochs, and whenever the placement breaks *)
+  | Drift of float
+      (** reconfigure when total demand drifted by more than this fraction
+          since the last reconfiguration, and whenever the placement
+          breaks *)
+
+type step_record = {
+  epoch : int;  (** 1-based *)
+  reconfigured : bool;
+  servers : Solution.t;  (** placement in force after this epoch *)
+  step_cost : float;  (** Eq. 2 reconfiguration cost paid (0 if kept) *)
+  valid : bool;  (** placement serves every client within capacity *)
+  unserved : int;
+      (** this epoch's shortfall when invalid: requests escaping past the
+          root plus per-server load beyond capacity *)
+}
+
+type summary = {
+  records : step_record list;
+  total_cost : float;
+  reconfigurations : int;
+  invalid_epochs : int;
+}
+
+val simulate :
+  w:int -> cost:Cost.basic -> policy -> Tree.t list -> summary
+(** [simulate ~w ~cost policy demands] runs the policy over the epochs.
+    Each element of [demands] is the same network with that epoch's
+    client load; on reconfiguration the previous placement becomes the
+    pre-existing set of an optimal {!Dp_withpre} solve. An epoch whose
+    demand is unserveable even by a fresh optimal placement is recorded
+    with [valid = false] and its unserved request count.
+    @raise Invalid_argument on a non-positive period or negative drift. *)
+
+val policy_to_string : policy -> string

@@ -1,0 +1,118 @@
+let max_clients_exact = 20
+
+(* All client bundles as (attachment node, requests). *)
+let bundles tree =
+  let out = ref [] in
+  for j = Tree.size tree - 1 downto 0 do
+    List.iter (fun r -> if r > 0 then out := (j, r) :: !out) (Tree.clients tree j)
+  done;
+  !out
+
+let on_path tree ~server ~client =
+  server = client || Tree.is_ancestor tree ~anc:server ~desc:client
+
+let assignment_exists tree ~w solution =
+  if w <= 0 then invalid_arg "Upwards.assignment_exists: w must be positive";
+  let all = bundles tree in
+  if List.length all > max_clients_exact then
+    invalid_arg "Upwards.assignment_exists: too many clients for exact check";
+  let servers = Array.of_list (Solution.nodes solution) in
+  let remaining = Array.map (fun _ -> w) servers in
+  (* Largest bundles first: fail fast. *)
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  let rec assign = function
+    | [] -> true
+    | (node, r) :: rest ->
+        let rec try_server i =
+          if i >= Array.length servers then false
+          else if
+            remaining.(i) >= r && on_path tree ~server:servers.(i) ~client:node
+          then begin
+            remaining.(i) <- remaining.(i) - r;
+            if assign rest then true
+            else begin
+              remaining.(i) <- remaining.(i) + r;
+              try_server (i + 1)
+            end
+          end
+          else try_server (i + 1)
+        in
+        try_server 0
+  in
+  assign sorted
+
+type result = { solution : Solution.t; servers : int }
+
+let solve_exact tree ~w =
+  let n = Tree.size tree in
+  if n > Brute.max_nodes then
+    invalid_arg "Upwards.solve_exact: tree too large";
+  if List.length (bundles tree) > max_clients_exact then
+    invalid_arg "Upwards.solve_exact: too many clients";
+  (* Subsets in increasing cardinality: the first feasible one is
+     optimal. *)
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  let masks = Array.init (1 lsl n) Fun.id in
+  Array.sort (fun a b -> compare (popcount a, a) (popcount b, b)) masks;
+  let found = ref None in
+  (try
+     Array.iter
+       (fun mask ->
+         let nodes = ref [] in
+         for j = n - 1 downto 0 do
+           if mask land (1 lsl j) <> 0 then nodes := j :: !nodes
+         done;
+         let sol = Solution.of_nodes !nodes in
+         if assignment_exists tree ~w sol then begin
+           found := Some { solution = sol; servers = Solution.cardinal sol };
+           raise Exit
+         end)
+       masks
+   with Exit -> ());
+  !found
+
+let solve_heuristic tree ~w =
+  if w <= 0 then invalid_arg "Upwards.solve_heuristic: w must be positive";
+  if List.exists (fun (_, r) -> r > w) (bundles tree) then None
+  else begin
+    let n = Tree.size tree in
+    (* carried.(j): bundles flowing up out of node j. *)
+    let carried = Array.make n [] in
+    let servers = ref [] in
+    let infeasible = ref false in
+    Array.iter
+      (fun j ->
+        let arriving =
+          List.fold_left
+            (fun acc c -> acc @ carried.(c))
+            (Tree.clients tree j)
+            (Tree.children tree j)
+        in
+        let total = List.fold_left ( + ) 0 arriving in
+        let is_root = j = Tree.root tree in
+        if total > w || (is_root && total > 0) then begin
+          (* Open a server here; pack first-fit-decreasing. *)
+          servers := j :: !servers;
+          let sorted = List.sort (fun a b -> compare b a) arriving in
+          let room = ref w in
+          let leftover =
+            List.filter
+              (fun r ->
+                if r <= !room then begin
+                  room := !room - r;
+                  false
+                end
+                else true)
+              sorted
+          in
+          if is_root && leftover <> [] then infeasible := true;
+          carried.(j) <- leftover
+        end
+        else carried.(j) <- arriving)
+      (Tree.postorder tree);
+    if !infeasible then None
+    else Some { solution = Solution.of_nodes !servers; servers = List.length !servers }
+  end

@@ -1,0 +1,42 @@
+(** The {e Upwards} access policy (extension; cf. reference [2]).
+
+    Under Upwards, each client's request bundle is served in full by
+    {e some} ancestor holding a replica — not necessarily the closest
+    one — but may not be split (that is {!Multiple}). Deciding the
+    minimal replica count under Upwards is NP-hard ([2]): even checking
+    a fixed replica set is a bin-packing-style assignment problem, so
+    this module offers an exact backtracking solver for small instances
+    (the test oracle) and a bottom-up first-fit-decreasing heuristic for
+    everything else.
+
+    Feasibility relations the test-suite checks, for any fixed replica
+    set: closest-valid ⇒ upwards-valid ⇒ multiple-valid, and therefore
+    [min-servers(Multiple) <= min-servers(Upwards) <= min-servers(closest)].
+
+    This module is an extension beyond the reproduced paper; it rounds
+    out the access-policy family the framework section situates the
+    closest policy in. *)
+
+val max_clients_exact : int
+(** Backtracking guard (20 client bundles). *)
+
+val assignment_exists : Tree.t -> w:int -> Solution.t -> bool
+(** Exact check that every client bundle fits on some replica ancestor
+    within capacity [w]. Backtracking over bundles in decreasing size.
+    @raise Invalid_argument if the tree has more than
+    {!max_clients_exact} clients or [w <= 0]. *)
+
+type result = { solution : Solution.t; servers : int }
+
+val solve_exact : Tree.t -> w:int -> result option
+(** Minimal replica count by subset enumeration in increasing
+    cardinality; exact, exponential — test oracle only.
+    @raise Invalid_argument beyond {!Brute.max_nodes} nodes or
+    {!max_clients_exact} clients. *)
+
+val solve_heuristic : Tree.t -> w:int -> result option
+(** Bottom-up heuristic: carry unassigned bundles upward; when their sum
+    exceeds [w] at a node, open a server there and pack it
+    first-fit-decreasing; close the run at the root. Always returns a
+    valid Upwards placement when it returns at all; may use more servers
+    than the optimum (tests quantify the gap against {!solve_exact}). *)

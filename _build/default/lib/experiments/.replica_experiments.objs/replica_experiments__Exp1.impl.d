@@ -1,0 +1,1 @@
+lib/experiments/exp1.ml: Cost Dp_withpre Generator Greedy List Logs Par Rng Solution Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp1.mli: Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp2.ml: Dp_withpre Generator Greedy List Par Rng Solution Stats Table Tree Workload

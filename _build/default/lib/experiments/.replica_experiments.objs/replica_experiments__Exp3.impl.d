@@ -1,0 +1,1 @@
+lib/experiments/exp3.ml: Dp_power Greedy_power List Par Rng Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp3.mli: Table Workload

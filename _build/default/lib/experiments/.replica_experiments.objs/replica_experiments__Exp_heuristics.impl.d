@@ -1,0 +1,1 @@
+lib/experiments/exp_heuristics.ml: Cost Dp_power Fun Generator Greedy_power Heuristics List Modes Option Power Rng Stats Sys Table Workload

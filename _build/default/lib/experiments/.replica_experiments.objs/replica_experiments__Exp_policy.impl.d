@@ -1,0 +1,1 @@
+lib/experiments/exp_policy.ml: Cost Generator List Rng Stats Table Tree Update_policy Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_policy.mli: Cost Table Update_policy Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_shapes.ml: Cost Dp_power Dp_withpre Generator Greedy List Modes Rng Solution Stats Sys Table Tree Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_trace.ml: Array Cost Generator List Replica_trace Rng Solution Stats Table Update_policy Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_update.ml: Cost Dp_withpre Generator Greedy Heuristics_cost List Option Rng Solution Stats Sys Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Cost Dp_nopre Dp_power Dp_withpre Generator Greedy List Modes Option Power Rng Solution Sys Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Cost Generator Modes Power Rng Tree

@@ -1,0 +1,166 @@
+type point = {
+  pre_existing : int;
+  dp_reused : float;
+  dp_reused_ci95 : float;
+  gr_reused : float;
+  gr_reused_ci95 : float;
+  dp_servers : float;
+  gr_servers : float;
+  feasible_trees : int;
+}
+
+let src = Logs.Src.create "replica.exp1" ~doc:"Experiment 1 harness"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run ?domains ?(on_progress = fun _ -> ()) (config : Workload.cost_config) =
+  let w = Workload.capacity in
+  (* The experiment's reading (reuse = solution quality at equal server
+     counts) requires the Eq. 2 cost to order solutions by server count
+     first: N·create + N·delete < 1. *)
+  let n = float_of_int config.Workload.cc_nodes in
+  if
+    (n *. config.Workload.cc_cost.Cost.create)
+    +. (n *. config.Workload.cc_cost.Cost.delete)
+    >= 1.
+  then
+    Log.warn (fun f ->
+        f
+          "cost parameters do not guarantee minimum-server solutions            (N*create + N*delete >= 1); server-count columns may diverge");
+  let master = Rng.create config.Workload.cc_seed in
+  (* One independent stream per tree so every E value sees the same
+     trees and the same pre-existing draws are comparable across E. *)
+  let tree_rngs =
+    List.init config.Workload.cc_trees (fun _ -> Rng.split master)
+  in
+  let bare_trees =
+    List.map (fun rng -> Workload.draw_cost_tree rng config) tree_rngs
+  in
+  let steps =
+    let step = max 1 (config.Workload.cc_nodes / 8) in
+    let rec up e acc =
+      if e >= config.Workload.cc_nodes then
+        List.rev (config.Workload.cc_nodes :: acc)
+      else up (e + step) (e :: acc)
+    in
+    up 0 []
+  in
+  List.map
+    (fun e ->
+      (* Per-tree work fans out over domains; every tree owns its RNG. *)
+      let per_tree =
+        Par.map2 ?domains
+          (fun rng bare ->
+            let rng = Rng.copy rng in
+            let tree = Generator.add_pre_existing rng bare e in
+            match
+              ( Dp_withpre.solve tree ~w ~cost:config.Workload.cc_cost,
+                Greedy.solve tree ~w )
+            with
+            | Some dp, Some gr ->
+                Some
+                  ( dp.Dp_withpre.reused,
+                    Solution.reused tree gr,
+                    dp.Dp_withpre.servers,
+                    Solution.cardinal gr )
+            | None, None -> None
+            | Some _, None | None, Some _ ->
+                (* Both solvers share one feasibility notion. *)
+                assert false)
+          tree_rngs bare_trees
+      in
+      let dp_reused = ref []
+      and gr_reused = ref []
+      and dp_servers = ref []
+      and gr_servers = ref []
+      and feasible = ref 0 in
+      List.iter
+        (function
+          | Some (dr, gr_r, ds, gs) ->
+              incr feasible;
+              dp_reused := float_of_int dr :: !dp_reused;
+              gr_reused := float_of_int gr_r :: !gr_reused;
+              dp_servers := float_of_int ds :: !dp_servers;
+              gr_servers := float_of_int gs :: !gr_servers
+          | None -> ())
+        per_tree;
+      on_progress e;
+      {
+        pre_existing = e;
+        dp_reused = Stats.mean !dp_reused;
+        dp_reused_ci95 = Stats.confidence95 !dp_reused;
+        gr_reused = Stats.mean !gr_reused;
+        gr_reused_ci95 = Stats.confidence95 !gr_reused;
+        dp_servers = Stats.mean !dp_servers;
+        gr_servers = Stats.mean !gr_servers;
+        feasible_trees = !feasible;
+      })
+    steps
+
+let to_table points =
+  let table =
+    Table.make
+      ~header:
+        [
+          "E";
+          "DP reused";
+          "+-95%";
+          "GR reused";
+          "+-95%";
+          "DP servers";
+          "GR servers";
+          "trees";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          string_of_int p.pre_existing;
+          Table.fmt_float ~decimals:2 p.dp_reused;
+          Table.fmt_float ~decimals:2 p.dp_reused_ci95;
+          Table.fmt_float ~decimals:2 p.gr_reused;
+          Table.fmt_float ~decimals:2 p.gr_reused_ci95;
+          Table.fmt_float ~decimals:2 p.dp_servers;
+          Table.fmt_float ~decimals:2 p.gr_servers;
+          string_of_int p.feasible_trees;
+        ])
+    points;
+  table
+
+type gap_summary = { avg_gap : float; max_gap : int; pairs : int }
+
+let gap_summary ?(on_progress = fun _ -> ()) (config : Workload.cost_config) =
+  let w = Workload.capacity in
+  let master = Rng.create config.Workload.cc_seed in
+  let tree_rngs =
+    List.init config.Workload.cc_trees (fun _ -> Rng.split master)
+  in
+  let bare_trees =
+    List.map (fun rng -> Workload.draw_cost_tree rng config) tree_rngs
+  in
+  let gaps = ref [] in
+  let step = max 1 (config.Workload.cc_nodes / 8) in
+  let e = ref step in
+  while !e < config.Workload.cc_nodes do
+    List.iter2
+      (fun rng bare ->
+        let rng = Rng.copy rng in
+        let tree = Generator.add_pre_existing rng bare !e in
+        match
+          ( Dp_withpre.solve tree ~w ~cost:config.Workload.cc_cost,
+            Greedy.solve tree ~w )
+        with
+        | Some dp, Some gr ->
+            gaps := (dp.Dp_withpre.reused - Solution.reused tree gr) :: !gaps
+        | None, None -> ()
+        | Some _, None | None, Some _ -> assert false)
+      tree_rngs bare_trees;
+    on_progress !e;
+    e := !e + step
+  done;
+  {
+    avg_gap = Stats.mean_int !gaps;
+    max_gap = List.fold_left max 0 !gaps;
+    pairs = List.length !gaps;
+  }

@@ -1,0 +1,45 @@
+(** Experiment 1 (Figures 4 and 6): impact of pre-existing servers.
+
+    For each value of [E] (number of randomly placed pre-existing
+    servers), draw the configured number of random trees and solve each
+    with the greedy baseline GR (which ignores pre-existing servers) and
+    the §3 dynamic program DP. Both return minimum-replica solutions, so
+    the cost difference is exactly the number of pre-existing servers
+    each manages to reuse — the paper plots the average reuse of both
+    algorithms against [E], DP dominating GR except at the [E ≈ 0] and
+    [E ≈ N] extremes. *)
+
+type point = {
+  pre_existing : int;  (** E, the x-axis *)
+  dp_reused : float;  (** average over trees *)
+  dp_reused_ci95 : float;  (** 95% confidence half-width of the average *)
+  gr_reused : float;
+  gr_reused_ci95 : float;
+  dp_servers : float;  (** sanity series: both algorithms agree *)
+  gr_servers : float;
+  feasible_trees : int;  (** trees where a solution exists *)
+}
+
+val run :
+  ?domains:int -> ?on_progress:(int -> unit) -> Workload.cost_config ->
+  point list
+(** Sweep [E] from 0 to [cc_nodes] in steps of [max 1 (cc_nodes / 8)];
+    [on_progress] is called with each completed [E]. Per-tree solves fan
+    out over [domains] (default {!Par.default_domains}); results are
+    identical at any domain count. *)
+
+type gap_summary = {
+  avg_gap : float;
+      (** mean of [reused(DP) - reused(GR)] over every (tree, E) pair
+          with 0 < E < N — the paper's "average reuse of 4.13 more
+          servers" statistic *)
+  max_gap : int;  (** the paper's "up to 15 more" statistic *)
+  pairs : int;  (** population size behind the averages *)
+}
+
+val gap_summary :
+  ?on_progress:(int -> unit) -> Workload.cost_config -> gap_summary
+(** Re-runs the sweep collecting per-tree gaps instead of averages. *)
+
+val to_table : point list -> Table.t
+(** Figure 4/6 as a series table. *)

@@ -1,0 +1,120 @@
+type step_point = {
+  step : int;
+  dp_cumulative_reused : float;
+  gr_cumulative_reused : float;
+  dp_servers : float;
+  gr_servers : float;
+}
+
+type result = { steps : step_point list; histogram : (int * float) list }
+
+(* Per-tree simulation: returns (dp_reused, gr_reused) for each step. *)
+let simulate_tree rng (config : Workload.cost_config) ~steps =
+  let w = Workload.capacity in
+  let profile =
+    Workload.profile config.Workload.cc_shape ~nodes:config.Workload.cc_nodes
+      ~max_requests:6
+  in
+  let base = Workload.draw_cost_tree rng config in
+  let dp_servers = ref [] and gr_servers = ref [] in
+  let out = ref [] in
+  for _ = 1 to steps do
+    (* One shared request redraw per step, seen by both algorithms. *)
+    let demand = Generator.redraw_requests rng profile base in
+    let dp_tree =
+      Tree.with_pre_existing demand (List.map (fun j -> (j, 1)) !dp_servers)
+    in
+    let gr_tree =
+      Tree.with_pre_existing demand (List.map (fun j -> (j, 1)) !gr_servers)
+    in
+    match
+      ( Dp_withpre.solve dp_tree ~w ~cost:config.Workload.cc_cost,
+        Greedy.solve gr_tree ~w )
+    with
+    | Some dp, Some gr ->
+        let gr_reused = Solution.reused gr_tree gr in
+        out :=
+          (dp.Dp_withpre.reused, gr_reused, dp.Dp_withpre.servers,
+           Solution.cardinal gr)
+          :: !out;
+        dp_servers := Solution.nodes dp.Dp_withpre.solution;
+        gr_servers := Solution.nodes gr
+    | None, None ->
+        (* Infeasible demand draw: both skip the step, keeping servers. *)
+        out :=
+          (0, 0, List.length !dp_servers, List.length !gr_servers) :: !out
+    | Some _, None | None, Some _ -> assert false
+  done;
+  List.rev !out
+
+let run ?domains ?(steps = 20) ?(on_progress = fun _ -> ())
+    (config : Workload.cost_config) =
+  let master = Rng.create config.Workload.cc_seed in
+  (* Split all streams up front, then fan the independent per-tree
+     simulations out over domains. *)
+  let rngs = List.init config.Workload.cc_trees (fun _ -> Rng.split master) in
+  let per_tree =
+    Par.map ?domains (fun rng -> simulate_tree rng config ~steps) rngs
+  in
+  List.iteri (fun i _ -> on_progress (i + 1)) per_tree;
+  let trees = float_of_int config.Workload.cc_trees in
+  let step_points =
+    List.init steps (fun k ->
+        let upto tree = List.filteri (fun i _ -> i <= k) tree in
+        let at tree = List.nth tree k in
+        let sum f =
+          List.fold_left
+            (fun acc tree ->
+              acc + List.fold_left (fun a x -> a + f x) 0 (upto tree))
+            0 per_tree
+        in
+        let mean_at f =
+          float_of_int (List.fold_left (fun acc tree -> acc + f (at tree)) 0 per_tree)
+          /. trees
+        in
+        {
+          step = k + 1;
+          dp_cumulative_reused =
+            float_of_int (sum (fun (d, _, _, _) -> d)) /. trees;
+          gr_cumulative_reused =
+            float_of_int (sum (fun (_, g, _, _) -> g)) /. trees;
+          dp_servers = mean_at (fun (_, _, ds, _) -> ds);
+          gr_servers = mean_at (fun (_, _, _, gs) -> gs);
+        })
+  in
+  let diffs =
+    List.concat_map
+      (fun tree -> List.map (fun (d, g, _, _) -> d - g) tree)
+      per_tree
+  in
+  let histogram =
+    List.map
+      (fun (v, count) -> (v, float_of_int count /. trees))
+      (Stats.histogram diffs)
+  in
+  { steps = step_points; histogram }
+
+let steps_table r =
+  let table =
+    Table.make ~header:[ "step"; "DP cumulative reused"; "GR cumulative reused" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          string_of_int p.step;
+          Table.fmt_float ~decimals:2 p.dp_cumulative_reused;
+          Table.fmt_float ~decimals:2 p.gr_cumulative_reused;
+        ])
+    r.steps;
+  table
+
+let histogram_table r =
+  let table =
+    Table.make ~header:[ "reused(DP) - reused(GR)"; "avg steps per tree" ]
+  in
+  List.iter
+    (fun (v, c) ->
+      Table.add_row table [ string_of_int v; Table.fmt_float ~decimals:2 c ])
+    r.histogram;
+  table

@@ -1,0 +1,41 @@
+(** Experiment 2 (Figures 5 and 7): consecutive reconfigurations.
+
+    Each tree evolves over [steps] update steps: at every step the client
+    request pattern is redrawn, and each algorithm recomputes a placement
+    {e starting from the servers it placed at the previous step} (its own
+    pre-existing set — after step one, DP and GR histories diverge). The
+    paper reports (left plot) the cumulative number of reused servers per
+    step for both algorithms, and (right plot) the histogram of the
+    per-step difference [reused(DP) - reused(GR)]. *)
+
+type step_point = {
+  step : int;  (** 1-based reconfiguration step *)
+  dp_cumulative_reused : float;  (** averaged over trees *)
+  gr_cumulative_reused : float;
+  dp_servers : float;  (** mean placement size this step *)
+  gr_servers : float;
+      (** the paper: "they always reach the same total number of servers
+          since they have the same requests" — these two columns must
+          coincide whenever the cost function orders by server count
+          first (the test suite pins this) *)
+}
+
+type result = {
+  steps : step_point list;
+  histogram : (int * float) list;
+      (** value of [reused(DP) - reused(GR)] → average number of steps
+          per tree at which it occurred *)
+}
+
+val run :
+  ?domains:int -> ?steps:int -> ?on_progress:(int -> unit) ->
+  Workload.cost_config -> result
+(** [steps] defaults to the paper's 20. Per-tree simulations fan out
+    over [domains] (default {!Par.default_domains}); results are
+    identical at any domain count. *)
+
+val steps_table : result -> Table.t
+(** Figure 5-left / 7-left. *)
+
+val histogram_table : result -> Table.t
+(** Figure 5-right / 7-right. *)

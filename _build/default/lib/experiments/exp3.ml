@@ -1,0 +1,120 @@
+type point = {
+  bound : float;
+  dp_inverse_power : float;
+  gr_inverse_power : float;
+  dp_feasible : int;
+  gr_feasible : int;
+}
+
+type result = {
+  points : point list;
+  gr_overconsumption_percent : float;
+  gr_peak_overconsumption_percent : float;
+}
+
+(* Cheapest power within a cost bound, from a cost-sorted frontier. *)
+let power_within frontier bound =
+  List.fold_left
+    (fun acc r ->
+      if r.Dp_power.cost <= bound +. 1e-9 then Some r.Dp_power.power else acc)
+    None frontier
+
+let run ?domains ?(on_progress = fun _ -> ()) (config : Workload.power_config) =
+  let modes = config.Workload.pc_modes in
+  let power = config.Workload.pc_power in
+  let cost = config.Workload.pc_cost in
+  let master = Rng.create config.Workload.pc_seed in
+  let rngs = List.init config.Workload.pc_trees (fun _ -> Rng.split master) in
+  let frontiers =
+    Par.map ?domains
+      (fun rng ->
+        let tree = Workload.draw_power_tree rng config in
+        let dp = Dp_power.frontier tree ~modes ~power ~cost in
+        let gr = Greedy_power.frontier tree ~modes ~power ~cost in
+        (dp, gr))
+      rngs
+  in
+  List.iteri (fun i _ -> on_progress (i + 1)) frontiers;
+  (* Sample bounds across the union of observed costs. *)
+  let all_costs =
+    List.concat_map
+      (fun (dp, gr) -> List.map (fun r -> r.Dp_power.cost) (dp @ gr))
+      frontiers
+  in
+  let bounds =
+    match all_costs with
+    | [] -> []
+    | _ ->
+        let lo = Stats.minimum all_costs and hi = Stats.maximum all_costs in
+        let n = max 2 config.Workload.pc_bounds in
+        List.init n (fun i ->
+            lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+  in
+  let points =
+    List.map
+      (fun bound ->
+        let dp_inv = ref [] and gr_inv = ref [] in
+        let dp_feasible = ref 0 and gr_feasible = ref 0 in
+        List.iter
+          (fun (dp, gr) ->
+            (match power_within dp bound with
+            | Some p ->
+                incr dp_feasible;
+                dp_inv := (1. /. p) :: !dp_inv
+            | None -> dp_inv := 0. :: !dp_inv);
+            match power_within gr bound with
+            | Some p ->
+                incr gr_feasible;
+                gr_inv := (1. /. p) :: !gr_inv
+            | None -> gr_inv := 0. :: !gr_inv)
+          frontiers;
+        {
+          bound;
+          dp_inverse_power = Stats.mean !dp_inv;
+          gr_inverse_power = Stats.mean !gr_inv;
+          dp_feasible = !dp_feasible;
+          gr_feasible = !gr_feasible;
+        })
+      bounds
+  in
+  (* Headline ratio: on per-tree, per-bound pairs where both algorithms
+     are feasible, how much more power does GR draw? *)
+  let ratios_at bound =
+    List.filter_map
+      (fun (dp, gr) ->
+        match (power_within dp bound, power_within gr bound) with
+        | Some pd, Some pg -> Some (100. *. ((pg /. pd) -. 1.))
+        | _ -> None)
+      frontiers
+  in
+  let per_bound = List.map (fun b -> Stats.mean (ratios_at b)) bounds in
+  {
+    points;
+    gr_overconsumption_percent = Stats.mean (List.concat_map ratios_at bounds);
+    gr_peak_overconsumption_percent = Stats.maximum per_bound;
+  }
+
+let to_table r =
+  let table =
+    Table.make
+      ~header:
+        [
+          "cost bound";
+          "DP 1/power";
+          "GR 1/power";
+          "DP feasible";
+          "GR feasible";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Table.fmt_float ~decimals:2 p.bound;
+          Table.fmt_float ~decimals:6 p.dp_inverse_power;
+          Table.fmt_float ~decimals:6 p.gr_inverse_power;
+          string_of_int p.dp_feasible;
+          string_of_int p.gr_feasible;
+        ])
+    r.points;
+  table

@@ -1,0 +1,40 @@
+(** Experiment 3 (Figures 8–11): power minimization under a cost bound.
+
+    For each tree, compute the bi-criteria DP's full (cost, power) Pareto
+    frontier once, and the GR baseline's capacity-sweep candidates once;
+    then for every sampled cost bound read off each algorithm's minimal
+    power within the bound. The paper plots the {e inverse} of the power
+    (0 when an algorithm finds no solution under the bound), averaged
+    over all trees — higher is better. Variants: with pre-existing
+    servers (Fig. 8), without (Fig. 9), on high trees (Fig. 10), with the
+    expensive cost function (Fig. 11). *)
+
+type point = {
+  bound : float;  (** cost bound, the x-axis *)
+  dp_inverse_power : float;  (** average of 1/power, 0 when infeasible *)
+  gr_inverse_power : float;
+  dp_feasible : int;  (** trees DP solved within the bound *)
+  gr_feasible : int;
+}
+
+type result = {
+  points : point list;
+  gr_overconsumption_percent : float;
+      (** extra power GR pays over DP, in percent, averaged over every
+          (tree, bound) pair where both are feasible *)
+  gr_peak_overconsumption_percent : float;
+      (** the same ratio at the worst bound for GR — the paper's "GR
+          consumes more than 30% more power than DP when the cost bound
+          is between 29 and 34" headline is a mid-range (peak) figure *)
+}
+
+val run :
+  ?domains:int -> ?on_progress:(int -> unit) -> Workload.power_config ->
+  result
+(** Bounds are sampled uniformly across the observed cost range of all
+    candidate solutions, [pc_bounds] of them. Per-tree frontier
+    computations fan out over [domains] (default
+    {!Par.default_domains}); results are identical at any domain
+    count. *)
+
+val to_table : result -> Table.t

@@ -1,0 +1,118 @@
+type config = {
+  shape : Workload.shape;
+  trees : int;
+  nodes : int;
+  pre : int;
+  seed : int;
+  bound_fraction : float;
+}
+
+let default_config ?(shape = Workload.Fat) () =
+  { shape; trees = 20; nodes = 40; pre = 4; seed = 1; bound_fraction = 0.35 }
+
+type row = {
+  algorithm : string;
+  solved : int;
+  avg_power_overhead_percent : float;
+  worst_power_overhead_percent : float;
+  avg_seconds : float;
+}
+
+let time f =
+  let start = Sys.time () in
+  let result = f () in
+  (Sys.time () -. start, result)
+
+let run config =
+  let modes = Modes.make [ 5; 10 ] in
+  let power = Power.paper_exp3 ~modes in
+  let cost = Cost.paper_cheap ~modes:2 in
+  let master = Rng.create config.seed in
+  let solvers =
+    [
+      ( "dp (optimal)",
+        fun tree ~bound _rng -> Dp_power.solve tree ~modes ~power ~cost ~bound () );
+      ( "hill-climb",
+        fun tree ~bound _rng -> Heuristics.solve tree ~modes ~power ~cost ~bound () );
+      ( "multi-start",
+        fun tree ~bound rng ->
+          Heuristics.solve_restarts tree ~modes ~power ~cost ~bound rng );
+      ( "anneal",
+        fun tree ~bound rng ->
+          Heuristics.anneal tree ~modes ~power ~cost ~bound ~iterations:500 rng
+      );
+      ( "gr-sweep",
+        fun tree ~bound _rng -> Greedy_power.solve tree ~modes ~power ~cost ~bound ()
+      );
+    ]
+  in
+  let instances =
+    List.filter_map
+      (fun _ ->
+        let rng = Rng.split master in
+        let t =
+          Generator.random rng
+            (Workload.profile config.shape ~nodes:config.nodes ~max_requests:5)
+        in
+        let tree = Generator.add_pre_existing rng ~mode:2 t config.pre in
+        (* Per-tree bound: a point along the frontier's cost range. *)
+        match Dp_power.frontier tree ~modes ~power ~cost with
+        | [] -> None
+        | frontier ->
+            let costs = List.map (fun r -> r.Dp_power.cost) frontier in
+            let lo = Stats.minimum costs and hi = Stats.maximum costs in
+            let bound = lo +. (config.bound_fraction *. (hi -. lo)) in
+            Some (tree, bound, rng))
+      (List.init config.trees Fun.id)
+  in
+  (* Reference optima under each tree's bound. *)
+  let optima =
+    List.map
+      (fun (tree, bound, _) ->
+        Option.map
+          (fun r -> r.Dp_power.power)
+          (Dp_power.solve tree ~modes ~power ~cost ~bound ()))
+      instances
+  in
+  List.map
+    (fun (name, solve) ->
+      let overheads = ref [] and seconds = ref [] and solved = ref 0 in
+      List.iter2
+        (fun (tree, bound, rng) optimum ->
+          let elapsed, result = time (fun () -> solve tree ~bound (Rng.copy rng)) in
+          seconds := elapsed :: !seconds;
+          match (result, optimum) with
+          | Some r, Some opt ->
+              incr solved;
+              overheads :=
+                (100. *. ((r.Dp_power.power /. opt) -. 1.)) :: !overheads
+          | None, _ -> ()
+          | Some _, None -> assert false)
+        instances optima;
+      {
+        algorithm = name;
+        solved = !solved;
+        avg_power_overhead_percent = Stats.mean !overheads;
+        worst_power_overhead_percent = Stats.maximum !overheads;
+        avg_seconds = Stats.mean !seconds;
+      })
+    solvers
+
+let to_table rows =
+  let table =
+    Table.make
+      ~header:
+        [ "algorithm"; "solved"; "avg overhead %"; "worst overhead %"; "avg seconds" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.algorithm;
+          string_of_int r.solved;
+          Table.fmt_float ~decimals:2 r.avg_power_overhead_percent;
+          Table.fmt_float ~decimals:2 r.worst_power_overhead_percent;
+          Table.fmt_float ~decimals:5 r.avg_seconds;
+        ])
+    rows;
+  table

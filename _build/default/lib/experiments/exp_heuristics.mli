@@ -1,0 +1,42 @@
+(** Heuristic-quality ablation for [MinPower].
+
+    §6 proposes polynomial heuristics as the practical alternative to
+    the exponential-in-M dynamic program. This harness measures exactly
+    what that trade buys: for each solver (GR capacity sweep, greedy
+    hill-climb, multi-start climb, simulated annealing) it reports the
+    average power overhead relative to the DP optimum and the average
+    CPU time, over a batch of random §5.2 instances. Not a paper
+    figure; an ablation this library adds. *)
+
+type config = {
+  shape : Workload.shape;
+  trees : int;
+  nodes : int;
+  pre : int;
+  seed : int;
+  bound_fraction : float;
+      (** per-tree cost bound, as a position along that tree's DP
+          frontier cost range: 0 = only the cheapest placement fits,
+          1 = unconstrained. Mid values are where heuristics diverge
+          from the optimum; with no bound the all-slow-servers solution
+          is optimal and every solver finds it. *)
+}
+
+val default_config : ?shape:Workload.shape -> unit -> config
+(** 20 trees of 40 nodes with 4 pre-existing servers,
+    [bound_fraction = 0.35]. *)
+
+type row = {
+  algorithm : string;
+  solved : int;  (** instances where the solver found a solution *)
+  avg_power_overhead_percent : float;
+      (** mean of [100·(power/optimum − 1)] over solved instances *)
+  worst_power_overhead_percent : float;
+  avg_seconds : float;
+}
+
+val run : config -> row list
+(** Rows ordered: dp (reference, 0 overhead), heuristic, restarts,
+    anneal, gr-sweep. *)
+
+val to_table : row list -> Table.t

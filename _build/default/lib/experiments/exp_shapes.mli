@@ -1,0 +1,33 @@
+(** Tree-shape sensitivity ablation.
+
+    §5 only contrasts "fat" (6–9 children) and "high" (2–4) trees and
+    remarks that "the shape of the trees does not seem to modify the
+    general behaviour". This ablation widens the panel — chain-like,
+    binary, high, fat, bushy — and measures, per shape: the DP's reuse
+    advantage over GR (solution quality) and the DP runtimes (the shape
+    does matter for speed: per-node table sizes follow the subtree
+    profile). Not a paper figure; an ablation this library adds. *)
+
+type config = {
+  trees : int;
+  nodes : int;
+  pre : int;
+  seed : int;
+  cost : Cost.basic;
+}
+
+val default_config : unit -> config
+(** 20 trees of 60 nodes with 20 pre-existing servers. *)
+
+type row = {
+  shape : string;
+  mean_height : float;
+  dp_reused : float;
+  gr_reused : float;
+  dp_seconds : float;  (** average Dp_withpre time per tree *)
+  power_states : float;
+      (** average [Dp_power.root_state_count] — the power DP's hardness *)
+}
+
+val run : config -> row list
+val to_table : row list -> Table.t

@@ -1,0 +1,46 @@
+(** Reconfiguration-interval ablation on trace-driven workloads.
+
+    §6 asks how often to reconfigure when demand evolves continuously.
+    Working from raw request traces (diurnal Poisson arrivals via
+    {!Replica_trace.Arrivals}), this harness sweeps the aggregation
+    window: short windows track the load closely but reconfigure often
+    and see noisier rate estimates; long windows smooth the demand but
+    leave placements stale (capacity violations show up as invalid
+    epochs). Reported per window: epochs, lazy-policy reconfigurations,
+    total bill, bill per unit time, and invalid epochs. Not a paper
+    figure; an ablation this library adds on top of the trace
+    substrate. *)
+
+type config = {
+  shape : Workload.shape;
+  trees : int;
+  nodes : int;
+  horizon : float;  (** trace length in time units *)
+  seed : int;
+  cost : Cost.basic;
+  floor : float;  (** diurnal modulation floor *)
+}
+
+val default_config : ?shape:Workload.shape -> unit -> config
+(** 10 high trees of 40 nodes, 48-unit horizon, diurnal floor 0.25,
+    create = 0.5, delete = 0.25. *)
+
+type row = {
+  window : float;
+  epochs : float;  (** average epoch count *)
+  reconfigurations : float;
+  total_cost : float;
+  cost_per_time : float;  (** total bill divided by the horizon *)
+  invalid_epochs : float;
+      (** epochs whose own (window-averaged) demand was unserveable *)
+  stale_fraction : float;
+      (** fraction of fine-grained (0.5-unit) sub-windows whose true
+          demand violates the placement in force — the staleness that
+          window-averaging hides: long windows flatten the diurnal peaks
+          their placements then miss *)
+}
+
+val run : config -> float list -> row list
+(** One row per window width; every width replays the same traces. *)
+
+val to_table : row list -> Table.t

@@ -1,0 +1,112 @@
+type config = {
+  shape : Workload.shape;
+  trees : int;
+  nodes : int;
+  pre : int;
+  seed : int;
+  cost : Cost.basic;
+}
+
+let default_config ?(shape = Workload.Fat) () =
+  {
+    shape;
+    trees = 20;
+    nodes = 60;
+    pre = 20;
+    seed = 1;
+    cost = Cost.basic ~create:0.5 ~delete:0.25 ();
+  }
+
+type row = {
+  algorithm : string;
+  solved : int;
+  avg_cost_overhead_percent : float;
+  worst_cost_overhead_percent : float;
+  avg_seconds : float;
+}
+
+let time f =
+  let start = Sys.time () in
+  let result = f () in
+  (Sys.time () -. start, result)
+
+let run config =
+  let w = Workload.capacity in
+  let cost = config.cost in
+  let master = Rng.create config.seed in
+  let instances =
+    List.init config.trees (fun _ ->
+        let rng = Rng.split master in
+        let t =
+          Generator.random rng
+            (Workload.profile config.shape ~nodes:config.nodes ~max_requests:6)
+        in
+        Generator.add_pre_existing rng t config.pre)
+  in
+  let solvers =
+    [
+      ( "dp (optimal)",
+        fun tree ->
+          Option.map
+            (fun r -> r.Dp_withpre.cost)
+            (Dp_withpre.solve tree ~w ~cost) );
+      ( "local search",
+        fun tree ->
+          Option.map
+            (fun r -> r.Heuristics_cost.cost)
+            (Heuristics_cost.solve tree ~w ~cost ()) );
+      ( "greedy (oblivious)",
+        fun tree ->
+          Option.map (fun s -> Solution.basic_cost tree cost s) (Greedy.solve tree ~w)
+      );
+    ]
+  in
+  let optima =
+    List.map
+      (fun tree ->
+        Option.map (fun r -> r.Dp_withpre.cost) (Dp_withpre.solve tree ~w ~cost))
+      instances
+  in
+  List.map
+    (fun (name, solve) ->
+      let overheads = ref [] and seconds = ref [] and solved = ref 0 in
+      List.iter2
+        (fun tree optimum ->
+          let elapsed, result = time (fun () -> solve tree) in
+          seconds := elapsed :: !seconds;
+          match (result, optimum) with
+          | Some c, Some opt ->
+              incr solved;
+              overheads := (100. *. ((c /. opt) -. 1.)) :: !overheads
+          | None, None -> ()
+          | None, Some _ | Some _, None ->
+              (* All three solvers share one feasibility notion. *)
+              assert false)
+        instances optima;
+      {
+        algorithm = name;
+        solved = !solved;
+        avg_cost_overhead_percent = Stats.mean !overheads;
+        worst_cost_overhead_percent = Stats.maximum !overheads;
+        avg_seconds = Stats.mean !seconds;
+      })
+    solvers
+
+let to_table rows =
+  let table =
+    Table.make
+      ~header:
+        [ "algorithm"; "solved"; "avg overhead %"; "worst overhead %"; "avg seconds" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.algorithm;
+          string_of_int r.solved;
+          Table.fmt_float ~decimals:2 r.avg_cost_overhead_percent;
+          Table.fmt_float ~decimals:2 r.worst_cost_overhead_percent;
+          Table.fmt_float ~decimals:5 r.avg_seconds;
+        ])
+    rows;
+  table

@@ -1,0 +1,33 @@
+(** Update-heuristic ablation for [MinCost-WithPre].
+
+    Quantifies the §6 proposal of "faster (but sub-optimal) update
+    heuristics" against the exact O(N^5) DP: for random trees with
+    pre-existing servers, measure each solver's Eq. 2 cost overhead over
+    the DP optimum and its CPU time. Solvers: the DP (reference), the
+    {!Replica_core.Heuristics_cost} local search, and the raw greedy
+    (which ignores pre-existing servers entirely). Not a paper figure;
+    an ablation this library adds. *)
+
+type config = {
+  shape : Workload.shape;
+  trees : int;
+  nodes : int;
+  pre : int;
+  seed : int;
+  cost : Cost.basic;
+}
+
+val default_config : ?shape:Workload.shape -> unit -> config
+(** 20 trees of 60 nodes with 20 pre-existing servers;
+    create = 0.5, delete = 0.25. *)
+
+type row = {
+  algorithm : string;
+  solved : int;
+  avg_cost_overhead_percent : float;
+  worst_cost_overhead_percent : float;
+  avg_seconds : float;
+}
+
+val run : config -> row list
+val to_table : row list -> Table.t

@@ -1,0 +1,41 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f l =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  if domains <= 1 || n <= 1 then List.map f l
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    (* The calling domain participates too; joins re-raise any helper
+       exception after it finishes its own share. *)
+    let own = try Ok (worker ()) with e -> Error e in
+    List.iter Domain.join helpers;
+    (match own with Ok () -> () | Error e -> raise e);
+    Array.to_list
+      (Array.map
+         (function
+           | Some v -> v
+           | None -> invalid_arg "Par.map: worker died before finishing")
+         results)
+  end
+
+let map2 ?domains f a b =
+  if List.length a <> List.length b then invalid_arg "Par.map2: length mismatch";
+  map ?domains (fun (x, y) -> f x y) (List.combine a b)

@@ -1,0 +1,23 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    The experiment harness is embarrassingly parallel: every tree gets
+    its own pre-split PRNG and the solvers touch no shared state, so
+    per-instance work can fan out across cores without changing any
+    result — outputs are collected positionally, and randomness is fixed
+    before the fan-out. Used by {!Exp1}, {!Exp2} and {!Exp3};
+    the timing-oriented harnesses ({!Scaling}, {!Exp_heuristics},
+    {!Exp_update}) stay sequential because they measure CPU time. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. [domains] defaults to
+    {!default_domains}; values [<= 1] (or lists of length [<= 1]) run
+    sequentially in the calling domain. Work is distributed by atomic
+    work-stealing over the input positions. An exception raised by [f]
+    propagates to the caller. *)
+
+val map2 : ?domains:int -> ('a -> 'b -> 'c) -> 'a list -> 'b list -> 'c list
+(** Pairwise variant.
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,97 @@
+type measurement = {
+  algorithm : string;
+  nodes : int;
+  pre_existing : int;
+  seconds : float;
+  servers : int;
+}
+
+let time f =
+  let start = Sys.time () in
+  let result = f () in
+  (Sys.time () -. start, result)
+
+let measure_cost_algorithms ?(sizes = [ 20; 40; 80; 160 ]) ?(seed = 7) ~shape
+    () =
+  let w = Workload.capacity in
+  let cost = Cost.basic ~create:0.01 ~delete:0.0001 () in
+  List.concat_map
+    (fun nodes ->
+      let rng = Rng.create (seed + nodes) in
+      let bare =
+        Generator.random rng (Workload.profile shape ~nodes ~max_requests:6)
+      in
+      let pre = nodes / 4 in
+      let tree = Generator.add_pre_existing rng bare pre in
+      let gr_time, gr = time (fun () -> Greedy.solve tree ~w) in
+      let dpn_time, dpn = time (fun () -> Dp_nopre.solve tree ~w) in
+      let dpp_time, dpp = time (fun () -> Dp_withpre.solve tree ~w ~cost) in
+      let card = function Some s -> Solution.cardinal s | None -> -1 in
+      [
+        {
+          algorithm = "GR";
+          nodes;
+          pre_existing = pre;
+          seconds = gr_time;
+          servers = card gr;
+        };
+        {
+          algorithm = "DP-NoPre";
+          nodes;
+          pre_existing = pre;
+          seconds = dpn_time;
+          servers = card (Option.map (fun r -> r.Dp_nopre.solution) dpn);
+        };
+        {
+          algorithm = "DP-WithPre";
+          nodes;
+          pre_existing = pre;
+          seconds = dpp_time;
+          servers = card (Option.map (fun r -> r.Dp_withpre.solution) dpp);
+        };
+      ])
+    sizes
+
+let measure_power_dp ?(sizes = [ 10; 20; 30 ]) ?(pre = 3) ?(seed = 7) ~shape
+    () =
+  let modes = Modes.make [ 5; 10 ] in
+  let power = Power.paper_exp3 ~modes in
+  let cost = Cost.paper_cheap ~modes:2 in
+  List.map
+    (fun nodes ->
+      let rng = Rng.create (seed + nodes) in
+      let bare =
+        Generator.random rng (Workload.profile shape ~nodes ~max_requests:5)
+      in
+      let tree = Generator.add_pre_existing rng ~mode:2 bare (min pre nodes) in
+      let seconds, solved =
+        time (fun () -> Dp_power.solve tree ~modes ~power ~cost ())
+      in
+      {
+        algorithm = "DP-Power";
+        nodes;
+        pre_existing = min pre nodes;
+        seconds;
+        servers =
+          (match solved with
+          | Some r -> Solution.cardinal r.Dp_power.solution
+          | None -> -1);
+      })
+    sizes
+
+let to_table measurements =
+  let table =
+    Table.make ~header:[ "algorithm"; "N"; "E"; "seconds"; "servers" ]
+  in
+  List.iter
+    (fun m ->
+      Table.add_row table
+        [
+          m.algorithm;
+          string_of_int m.nodes;
+          string_of_int m.pre_existing;
+          Table.fmt_float ~decimals:4 m.seconds;
+          string_of_int m.servers;
+        ])
+    measurements;
+  table

@@ -1,0 +1,30 @@
+(** Runtime scaling measurements (§5's wall-clock observations).
+
+    The paper reports GR running in under a second per 100-node tree
+    while DP takes ~40 s, DP handling 500-node trees in ~30 min, the
+    power DP handling 300 nodes (no pre-existing) in ~1 h and 70 nodes
+    with 10 pre-existing in ~1 h — all on 2010 hardware. We reproduce
+    the {e ratios and growth trends} on scaled sizes; Bechamel-based
+    micro-benchmarks live in [bench/main.ml], this module provides the
+    coarse-grained CPU-time sweep used by the CLI and the reports. *)
+
+type measurement = {
+  algorithm : string;
+  nodes : int;
+  pre_existing : int;
+  seconds : float;  (** CPU seconds, single run *)
+  servers : int;  (** solution size, as a sanity output *)
+}
+
+val measure_cost_algorithms :
+  ?sizes:int list -> ?seed:int -> shape:Workload.shape -> unit -> measurement list
+(** Time GR, DP-NoPre and DP-WithPre (with E = N/4 pre-existing) on one
+    random tree per size. Default sizes: [20; 40; 80; 160]. *)
+
+val measure_power_dp :
+  ?sizes:int list -> ?pre:int -> ?seed:int -> shape:Workload.shape -> unit ->
+  measurement list
+(** Time the bi-criteria power DP (modes {5, 10}) on one random tree per
+    size. Default sizes: [10; 20; 30]; [pre] defaults to 3. *)
+
+val to_table : measurement list -> Table.t

@@ -1,0 +1,63 @@
+type t = { header : string list; mutable rows : string list list }
+
+let make ~header = { header; rows = [] }
+
+let add_row t row =
+  let width = List.length t.header in
+  if List.length row > width then invalid_arg "Table.add_row: row too long";
+  let padded = row @ List.init (width - List.length row) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let fmt_float ?(decimals = 3) v =
+  if Float.is_nan v then "-"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals v
+
+let add_float_row t ?decimals row =
+  add_row t (List.map (fmt_float ?decimals) row)
+
+let columns t = List.length t.header
+
+let widths t =
+  let w = Array.make (columns t) 0 in
+  let feed row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  feed t.header;
+  List.iter feed t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 512 in
+  let line ch =
+    Array.iter
+      (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) ch))
+      w;
+    Buffer.add_string buf "+\n"
+  in
+  let row cells =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "| %*s " w.(i) cell))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  line '-';
+  row t.header;
+  line '-';
+  List.iter row (List.rev t.rows);
+  line '-';
+  Buffer.contents buf
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.header :: List.rev_map line t.rows) ^ "\n"
+
+let print t = print_string (render t)

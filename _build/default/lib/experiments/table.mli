@@ -1,0 +1,30 @@
+(** Text-table rendering for experiment outputs.
+
+    The benchmark harness prints each reproduced figure as an aligned
+    series table; this module owns the formatting so every experiment
+    reports through the same visual channel, plus CSV export for external
+    plotting. *)
+
+type t
+
+val make : header:string list -> t
+(** Start a table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells.
+    @raise Invalid_argument if the row is longer than the header. *)
+
+val add_float_row : t -> ?decimals:int -> float list -> unit
+(** Convenience: format every cell with [decimals] digits (default 3). *)
+
+val render : t -> string
+(** Aligned, boxed, human-oriented rendering. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas or quotes). *)
+
+val print : t -> unit
+(** [print t] writes {!render} to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Shared float formatting ("-" for NaN, "inf"/"-inf" for infinities). *)

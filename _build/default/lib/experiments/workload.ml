@@ -1,0 +1,69 @@
+type shape = Fat | High
+
+let shape_to_string = function Fat -> "fat" | High -> "high"
+
+let profile shape ~nodes ~max_requests =
+  let base =
+    match shape with
+    | Fat -> Generator.fat ~nodes ()
+    | High -> Generator.high ~nodes ()
+  in
+  { base with Generator.max_requests }
+
+let capacity = 10
+
+type cost_config = {
+  cc_shape : shape;
+  cc_trees : int;
+  cc_nodes : int;
+  cc_seed : int;
+  cc_cost : Cost.basic;
+}
+
+let default_cost_config ?(shape = Fat) () =
+  {
+    cc_shape = shape;
+    cc_trees = 200;
+    cc_nodes = 100;
+    cc_seed = 1;
+    cc_cost = Cost.basic ~create:0.001 ~delete:0.00001 ();
+  }
+
+type power_config = {
+  pc_shape : shape;
+  pc_trees : int;
+  pc_nodes : int;
+  pc_pre : int;
+  pc_seed : int;
+  pc_modes : Modes.t;
+  pc_power : Power.t;
+  pc_cost : Cost.modal;
+  pc_bounds : int;
+}
+
+let default_power_config ?(shape = Fat) ?(pre = 5) ?(expensive = false) () =
+  let modes = Modes.make [ 5; 10 ] in
+  {
+    pc_shape = shape;
+    pc_trees = 100;
+    pc_nodes = 50;
+    pc_pre = pre;
+    pc_seed = 1;
+    pc_modes = modes;
+    pc_power = Power.paper_exp3 ~modes;
+    pc_cost =
+      (if expensive then Cost.paper_expensive ~modes:2
+       else Cost.paper_cheap ~modes:2);
+    pc_bounds = 16;
+  }
+
+let draw_cost_tree rng config =
+  Generator.random rng
+    (profile config.cc_shape ~nodes:config.cc_nodes ~max_requests:6)
+
+let draw_power_tree rng config =
+  let t =
+    Generator.random rng
+      (profile config.pc_shape ~nodes:config.pc_nodes ~max_requests:5)
+  in
+  Generator.add_pre_existing rng ~mode:2 t config.pc_pre

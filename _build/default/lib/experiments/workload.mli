@@ -1,0 +1,71 @@
+(** The paper's §5 synthetic workloads, with a scaling knob.
+
+    §5.1 uses trees of [N = 100] internal nodes of capacity [W = 10]
+    where each node has 6–9 children ("fat"; Figures 4–5) or 2–4
+    children ("high"; Figures 6–7), carries a client with probability
+    0.5, and each client issues 1–6 requests. §5.2 uses [N = 50],
+    [E = 5] pre-existing servers, 1–5 requests, modes [{5, 10}],
+    [alpha = 3] with [P_i = W_1^3/10 + W_i^3].
+
+    The paper reports ~40 s/tree (Exp. 1) and ~5 min/tree (Exp. 3) on
+    2010 hardware; our implementation bounds every DP table by its own
+    subtree content and carries placements in O(1)-append lists, which
+    brings the full paper-scale sweep to seconds — so the defaults below
+    ARE the paper's sizes. Every field is public and exposed by the CLI.
+    EXPERIMENTS.md records the outputs. *)
+
+type shape = Fat | High
+
+val shape_to_string : shape -> string
+
+val profile : shape -> nodes:int -> max_requests:int -> Generator.profile
+(** The §5 client model (probability 0.5, 1–[max_requests] requests) on
+    the given branching shape. *)
+
+val capacity : int
+(** [W = 10], the §5 server capacity. *)
+
+(** {1 Experiment 1/2 (cost only)} *)
+
+type cost_config = {
+  cc_shape : shape;
+  cc_trees : int;  (** trees averaged over (paper: 200) *)
+  cc_nodes : int;  (** N (paper: 100) *)
+  cc_seed : int;
+  cc_cost : Cost.basic;
+      (** must satisfy [N·create + N·delete < 1] so that the optimal cost
+          orders solutions by server count first, reuse second — the
+          paper's Experiment 1 setting "both algorithms return a solution
+          with the minimum number of replicas" *)
+}
+
+val default_cost_config : ?shape:shape -> unit -> cost_config
+(** The paper's scale: 200 trees of 100 nodes, seed 1,
+    create = 0.001, delete = 0.00001 (satisfying the ordering condition
+    with room to spare at N = 100). *)
+
+(** {1 Experiment 3 (power)} *)
+
+type power_config = {
+  pc_shape : shape;
+  pc_trees : int;  (** paper: 100 *)
+  pc_nodes : int;  (** paper: 50 *)
+  pc_pre : int;  (** pre-existing servers, initial mode 2 (paper: 5) *)
+  pc_seed : int;
+  pc_modes : Modes.t;  (** paper: {5, 10} *)
+  pc_power : Power.t;  (** paper: P_i = W_1^3/10 + W_i^3 *)
+  pc_cost : Cost.modal;  (** paper: cheap (Fig. 8-10) or expensive (Fig. 11) *)
+  pc_bounds : int;  (** number of cost-bound sample points on the x axis *)
+}
+
+val default_power_config :
+  ?shape:shape -> ?pre:int -> ?expensive:bool -> unit -> power_config
+(** The paper's scale: 100 trees of 50 nodes, 5 pre-existing (0 with
+    [~pre:0] for Fig. 9), cheap cost function unless [expensive]
+    (Fig. 11), 16 bound samples. *)
+
+val draw_cost_tree : Rng.t -> cost_config -> Tree.t
+(** One §5.1 tree, without pre-existing servers. *)
+
+val draw_power_tree : Rng.t -> power_config -> Tree.t
+(** One §5.2 tree with [pc_pre] pre-existing servers at initial mode 2. *)

@@ -1,0 +1,1 @@
+lib/trace/arrivals.ml: Float List Rng Trace Tree

@@ -1,0 +1,1 @@
+lib/trace/arrivals.mli: Rng Trace Tree

@@ -1,0 +1,1 @@
+lib/trace/epochs.ml: Float Hashtbl List Trace Tree

@@ -1,0 +1,61 @@
+let exponential rng rate = -.log (1. -. Rng.float rng 1.0) /. rate
+
+let poisson_stream rng ~rate ~start ~stop ~node ~client acc =
+  if rate <= 0. then acc
+  else begin
+    let acc = ref acc in
+    let t = ref (start +. exponential rng rate) in
+    while !t < stop do
+      acc := { Trace.time = !t; node; client } :: !acc;
+      t := !t +. exponential rng rate
+    done;
+    !acc
+  end
+
+let iter_clients tree f =
+  for j = 0 to Tree.size tree - 1 do
+    List.iteri (fun i r -> f ~node:j ~client:i ~rate:(float_of_int r)) (Tree.clients tree j)
+  done
+
+let poisson rng tree ~horizon =
+  if horizon <= 0. then invalid_arg "Arrivals.poisson: horizon must be positive";
+  let acc = ref [] in
+  iter_clients tree (fun ~node ~client ~rate ->
+      acc := poisson_stream rng ~rate ~start:0. ~stop:horizon ~node ~client !acc);
+  Trace.of_events !acc
+
+let diurnal rng tree ~horizon ~period ~floor =
+  if horizon <= 0. then invalid_arg "Arrivals.diurnal: horizon must be positive";
+  if period <= 0. then invalid_arg "Arrivals.diurnal: period must be positive";
+  if floor < 0. || floor > 1. then
+    invalid_arg "Arrivals.diurnal: floor must be within [0, 1]";
+  let modulation t =
+    floor +. ((1. -. floor) *. (1. +. sin (2. *. Float.pi *. t /. period)) /. 2.)
+  in
+  (* Thinning: draw at the max rate, keep each event with probability
+     modulation(t). *)
+  let acc = ref [] in
+  iter_clients tree (fun ~node ~client ~rate ->
+      let events =
+        poisson_stream rng ~rate ~start:0. ~stop:horizon ~node ~client []
+      in
+      List.iter
+        (fun e ->
+          if Rng.float rng 1.0 < modulation e.Trace.time then acc := e :: !acc)
+        events);
+  Trace.of_events !acc
+
+let flash_crowd rng tree ~base ~at ~duration ~node ~multiplier =
+  if at < 0. || duration < 0. then
+    invalid_arg "Arrivals.flash_crowd: negative window";
+  if multiplier < 1. then
+    invalid_arg "Arrivals.flash_crowd: multiplier must be >= 1";
+  let in_subtree j = j = node || Tree.is_ancestor tree ~anc:node ~desc:j in
+  let extra = ref [] in
+  iter_clients tree (fun ~node:j ~client ~rate ->
+      if in_subtree j then
+        extra :=
+          poisson_stream rng
+            ~rate:((multiplier -. 1.) *. rate)
+            ~start:at ~stop:(at +. duration) ~node:j ~client !extra);
+  Trace.merge base (Trace.of_events !extra)

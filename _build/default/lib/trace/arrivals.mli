@@ -1,0 +1,39 @@
+(** Synthetic request-arrival generators.
+
+    Produces {!Trace.t} streams over an existing tree's client
+    population. Each client's base behaviour is a homogeneous Poisson
+    process whose rate equals its request count in the tree (requests
+    per time unit — exactly the paper's [r_i] semantics), optionally
+    modulated by a diurnal profile or perturbed by a flash crowd on one
+    subtree. All randomness comes from the seeded {!Rng}. *)
+
+val poisson :
+  Rng.t -> Tree.t -> horizon:float -> Trace.t
+(** [poisson rng tree ~horizon] draws, for every client position with
+    request count [r], a Poisson stream of rate [r] over
+    [\[0, horizon)] (exponential inter-arrivals).
+    @raise Invalid_argument if [horizon <= 0]. *)
+
+val diurnal :
+  Rng.t -> Tree.t -> horizon:float -> period:float -> floor:float -> Trace.t
+(** Like {!poisson} but with the instantaneous rate modulated by
+    [floor + (1 - floor) · (1 + sin(2πt/period)) / 2] — a smooth
+    day/night cycle bottoming at [floor · r] (thinning of a
+    max-rate process, so the trace is still exact).
+    @raise Invalid_argument if [horizon <= 0], [period <= 0], or
+    [floor] outside [\[0, 1\]]. *)
+
+val flash_crowd :
+  Rng.t ->
+  Tree.t ->
+  base:Trace.t ->
+  at:float ->
+  duration:float ->
+  node:Tree.node ->
+  multiplier:float ->
+  Trace.t
+(** Superimpose, on top of [base], extra Poisson traffic of rate
+    [(multiplier - 1) · r] for every client in the subtree of [node]
+    (inclusive) during [\[at, at + duration)] — a flash crowd localized
+    in the tree, the §6 scenario where request {e location} shifts.
+    @raise Invalid_argument on a negative window or [multiplier < 1]. *)

@@ -1,0 +1,48 @@
+let window_counts trace ~window ~index =
+  if window <= 0. then invalid_arg "Epochs: window must be positive";
+  if index < 0 then invalid_arg "Epochs: negative index";
+  let start = float_of_int index *. window in
+  let stop = start +. window in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.Trace.time >= start && e.Trace.time < stop then begin
+        let key = (e.Trace.node, e.Trace.client) in
+        Hashtbl.replace tbl key
+          ((try Hashtbl.find tbl key with Not_found -> 0) + 1)
+      end)
+    (Trace.events trace);
+  tbl
+
+let rates trace tree ~window ~index =
+  let counts = window_counts trace ~window ~index in
+  Tree.with_clients tree (fun j ->
+      List.filteri
+        (fun _ r -> r > 0)
+        (List.mapi
+           (fun i _ ->
+             let events =
+               try Hashtbl.find counts (j, i) with Not_found -> 0
+             in
+             int_of_float
+               (Float.round (float_of_int events /. window)))
+           (Tree.clients tree j)))
+
+let epoch_count trace ~window =
+  if window <= 0. then invalid_arg "Epochs: window must be positive";
+  let d = Trace.duration trace in
+  max 1 (int_of_float (Float.ceil ((d +. epsilon_float) /. window)))
+
+let epochs trace tree ~window =
+  List.init (epoch_count trace ~window) (fun index ->
+      rates trace tree ~window ~index)
+
+let conservation_check trace tree ~window =
+  ignore tree;
+  let total = Trace.length trace in
+  let summed = ref 0 in
+  for index = 0 to epoch_count trace ~window - 1 do
+    let counts = window_counts trace ~window ~index in
+    Hashtbl.iter (fun _ c -> summed := !summed + c) counts
+  done;
+  !summed = total

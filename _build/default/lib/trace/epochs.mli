@@ -1,0 +1,26 @@
+(** Aggregation of traces into the paper's steady-state epochs.
+
+    The solvers consume request {e rates} (requests per time unit). This
+    module slices a trace into fixed-width windows and produces, for
+    each, the tree annotated with every client's observed rate in that
+    window — the inputs a periodic reconfiguration pipeline
+    ({!Replica_core.Update_policy}) expects. *)
+
+val rates : Trace.t -> Tree.t -> window:float -> index:int -> Tree.t
+(** [rates trace tree ~window ~index] is [tree] with each client's
+    request count replaced by its event count in
+    [\[index·window, (index+1)·window)] divided by [window], rounded to
+    the nearest integer (clients observed idle disappear for that
+    epoch).
+    @raise Invalid_argument if [window <= 0] or [index < 0]. *)
+
+val epochs : Trace.t -> Tree.t -> window:float -> Tree.t list
+(** All epoch trees covering the trace's duration, in order. The last
+    partial window is included. An empty trace yields a single all-idle
+    epoch. *)
+
+val epoch_count : Trace.t -> window:float -> int
+
+val conservation_check : Trace.t -> Tree.t -> window:float -> bool
+(** Debug helper: total events equal the sum over epochs of each epoch's
+    raw (unrounded) counts — aggregation loses nothing. Used by tests. *)

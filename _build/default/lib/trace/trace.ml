@@ -1,0 +1,32 @@
+type event = { time : float; node : Tree.node; client : int }
+
+type t = event array
+
+let of_events l =
+  List.iter
+    (fun e ->
+      if e.time < 0. || Float.is_nan e.time then
+        invalid_arg "Trace.of_events: negative timestamp")
+    l;
+  let a = Array.of_list l in
+  Array.sort (fun a b -> compare (a.time, a.node, a.client) (b.time, b.node, b.client)) a;
+  a
+
+let events t = Array.to_list t
+let length = Array.length
+
+let duration t = if Array.length t = 0 then 0. else t.(Array.length t - 1).time
+
+let merge a b = of_events (Array.to_list a @ Array.to_list b)
+
+let filter p t = Array.of_list (List.filter p (Array.to_list t))
+
+let count_by_client t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      let key = (e.node, e.client) in
+      Hashtbl.replace tbl key
+        ((try Hashtbl.find tbl key with Not_found -> 0) + 1))
+    t;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,41 @@
+(** Request traces over a distribution tree.
+
+    The paper's model is steady-state: each client issues [r_i] requests
+    {e per time unit}, and §1/§6 frame the dynamic problem — request
+    volumes evolving over time — as a sequence of such steady states
+    punctuated by reconfigurations. This substrate supplies the missing
+    front end: a {e trace} is a time-stamped stream of individual
+    requests attributed to client positions; {!Epochs} aggregates it
+    into per-window request-rate trees that feed {!Replica_core}'s
+    solvers and {!Replica_core.Update_policy}.
+
+    A client position is identified by the internal node it attaches to
+    and its index among that node's clients. Traces are immutable sorted
+    arrays of events. *)
+
+type event = {
+  time : float;  (** seconds from the trace origin, non-negative *)
+  node : Tree.node;  (** attachment point *)
+  client : int;  (** index within the node's client list *)
+}
+
+type t
+(** An immutable trace, events sorted by time. *)
+
+val of_events : event list -> t
+(** Sorts and validates (negative times rejected).
+    @raise Invalid_argument on a negative timestamp. *)
+
+val events : t -> event list
+val length : t -> int
+
+val duration : t -> float
+(** Timestamp of the last event; 0 for the empty trace. *)
+
+val merge : t -> t -> t
+(** Interleave two traces by time. *)
+
+val filter : (event -> bool) -> t -> t
+
+val count_by_client : t -> ((Tree.node * int) * int) list
+(** Total events per client position, sorted. *)

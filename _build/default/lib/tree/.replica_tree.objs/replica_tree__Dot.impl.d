@@ -1,0 +1,1 @@
+lib/tree/dot.ml: Buffer Fun Hashtbl List Printf Tree

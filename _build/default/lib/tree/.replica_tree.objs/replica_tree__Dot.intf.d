@@ -1,0 +1,1 @@
+lib/tree/dot.mli: Tree

@@ -1,0 +1,1 @@
+lib/tree/generator.ml: Array List Queue Rng Tree

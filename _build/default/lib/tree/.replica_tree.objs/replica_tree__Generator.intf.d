@@ -1,0 +1,1 @@
+lib/tree/generator.mli: Rng Tree

@@ -1,0 +1,1 @@
+lib/tree/metrics.ml: Format Hashtbl List Tree

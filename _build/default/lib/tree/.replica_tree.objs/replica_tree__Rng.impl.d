@@ -1,0 +1,1 @@
+lib/tree/rng.ml: Array Int Int64 Set

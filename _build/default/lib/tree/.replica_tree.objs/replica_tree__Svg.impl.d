@@ -1,0 +1,1 @@
+lib/tree/svg.ml: Array Buffer Fun List Option Printf String Tree

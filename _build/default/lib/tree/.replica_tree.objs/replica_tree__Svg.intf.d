@@ -1,0 +1,1 @@
+lib/tree/svg.mli: Tree

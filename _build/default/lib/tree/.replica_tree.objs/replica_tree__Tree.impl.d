@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Buffer Format List String

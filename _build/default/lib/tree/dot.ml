@@ -1,0 +1,37 @@
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let highlighted = Hashtbl.create 16 in
+  List.iter (fun j -> Hashtbl.replace highlighted j ()) highlight;
+  add "digraph tree {\n";
+  add "  node [fontname=\"Helvetica\"];\n";
+  for j = 0 to Tree.size t - 1 do
+    let attrs = Buffer.create 32 in
+    Buffer.add_string attrs "shape=box";
+    if Tree.is_pre_existing t j then
+      Buffer.add_string attrs ", style=filled, fillcolor=lightgray";
+    if Hashtbl.mem highlighted j then
+      Buffer.add_string attrs ", penwidth=3, color=red";
+    let mode_label =
+      match Tree.initial_mode t j with
+      | Some m -> Printf.sprintf "\\npre@W%d" m
+      | None -> ""
+    in
+    add "  n%d [label=\"%d%s\", %s];\n" j j mode_label (Buffer.contents attrs);
+    (match Tree.parent t j with
+    | Some p -> add "  n%d -> n%d;\n" p j
+    | None -> ());
+    List.iteri
+      (fun i r ->
+        add "  c%d_%d [label=\"%d req\", shape=ellipse];\n" j i r;
+        add "  n%d -> c%d_%d;\n" j j i)
+      (Tree.clients t j)
+  done;
+  add "}\n";
+  Buffer.contents buf
+
+let write_file ?highlight path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight t))

@@ -1,0 +1,12 @@
+(** Graphviz (DOT) export of distribution trees.
+
+    Internal nodes are boxes, client leaves are ellipses labelled with
+    their request count; pre-existing servers are shaded. An optional
+    highlight set (e.g. a computed replica placement) is drawn in bold. *)
+
+val to_dot : ?highlight:Tree.node list -> Tree.t -> string
+(** Render the tree as a [digraph]. Nodes in [highlight] get a bold,
+    colored outline. *)
+
+val write_file : ?highlight:Tree.node list -> string -> Tree.t -> unit
+(** [write_file path t] writes {!to_dot}[ t] to [path]. *)

@@ -1,0 +1,97 @@
+type profile = {
+  nodes : int;
+  min_children : int;
+  max_children : int;
+  client_probability : float;
+  min_requests : int;
+  max_requests : int;
+}
+
+let fat ?(nodes = 100) () =
+  {
+    nodes;
+    min_children = 6;
+    max_children = 9;
+    client_probability = 0.5;
+    min_requests = 1;
+    max_requests = 6;
+  }
+
+let high ?(nodes = 100) () = { (fat ~nodes ()) with min_children = 2; max_children = 4 }
+
+let check_profile p =
+  if p.nodes <= 0 then invalid_arg "Generator: nodes must be positive";
+  if p.min_children <= 0 || p.max_children < p.min_children then
+    invalid_arg "Generator: bad branching bounds";
+  if p.min_requests <= 0 || p.max_requests < p.min_requests then
+    invalid_arg "Generator: bad request bounds";
+  if p.client_probability < 0.0 || p.client_probability > 1.0 then
+    invalid_arg "Generator: bad client probability"
+
+let draw_clients rng p =
+  if Rng.bernoulli rng p.client_probability then
+    [ Rng.int_in_range rng ~min:p.min_requests ~max:p.max_requests ]
+  else []
+
+let random rng p =
+  check_profile p;
+  let parents = Array.make p.nodes (-1) in
+  (* Breadth-first filling: each dequeued node receives a random number of
+     children, clipped to the remaining node budget. *)
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  let next = ref 1 in
+  while !next < p.nodes && not (Queue.is_empty queue) do
+    let j = Queue.take queue in
+    let want = Rng.int_in_range rng ~min:p.min_children ~max:p.max_children in
+    let take = min want (p.nodes - !next) in
+    for _ = 1 to take do
+      parents.(!next) <- j;
+      Queue.add !next queue;
+      incr next
+    done
+  done;
+  let clients = Array.init p.nodes (fun _ -> draw_clients rng p) in
+  Tree.of_parents ~parents ~clients:clients
+    ~pre:(Array.make p.nodes None)
+
+let add_pre_existing rng ?(mode = 1) t e =
+  let n = Tree.size t in
+  if e < 0 || e > n then invalid_arg "Generator.add_pre_existing";
+  let chosen = Rng.sample_without_replacement rng e n in
+  Tree.with_pre_existing t (List.map (fun j -> (j, mode)) chosen)
+
+let redraw_requests rng p t =
+  check_profile p;
+  Tree.with_clients t (fun _ -> draw_clients rng p)
+
+let path ~n ~client_requests =
+  if n <= 0 then invalid_arg "Generator.path";
+  let parents = Array.init n (fun i -> i - 1) in
+  let clients = Array.make n [] in
+  clients.(n - 1) <- [ client_requests ];
+  Tree.of_parents ~parents ~clients ~pre:(Array.make n None)
+
+let star ~leaves ~client_requests =
+  if leaves < 0 then invalid_arg "Generator.star";
+  let n = leaves + 1 in
+  let parents = Array.init n (fun i -> if i = 0 then -1 else 0) in
+  let clients = Array.init n (fun i -> if i = 0 then [] else [ client_requests ]) in
+  Tree.of_parents ~parents ~clients ~pre:(Array.make n None)
+
+let balanced ~arity ~depth ~client_requests =
+  if arity <= 0 || depth < 0 then invalid_arg "Generator.balanced";
+  let rec build d =
+    if d = 0 then Tree.node ~clients:[ client_requests ] []
+    else Tree.node (List.init arity (fun _ -> build (d - 1)))
+  in
+  Tree.build (build depth)
+
+let caterpillar ~spine ~legs ~client_requests =
+  if spine <= 0 || legs < 0 then invalid_arg "Generator.caterpillar";
+  let rec build i =
+    let leg = Tree.node ~clients:[ client_requests ] [] in
+    let below = if i = spine - 1 then [] else [ build (i + 1) ] in
+    Tree.node (below @ List.init legs (fun _ -> leg))
+  in
+  Tree.build (build 0)

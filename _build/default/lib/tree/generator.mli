@@ -1,0 +1,64 @@
+(** Random distribution-tree generators.
+
+    {!random} reproduces the synthetic workload of the paper's §5: trees
+    with a fixed number of internal nodes whose branching factor is drawn
+    uniformly in a range ("fat" trees use 6–9 children, "high" trees 2–4),
+    where each internal node independently carries a client with some
+    probability, and where a subset of nodes is marked as pre-existing
+    servers. The structured generators ({!path}, {!star}, {!balanced},
+    {!caterpillar}) are used by tests and ablation benches to probe
+    extreme shapes. *)
+
+type profile = {
+  nodes : int;  (** number of internal nodes, [N] *)
+  min_children : int;  (** inclusive lower branching bound *)
+  max_children : int;  (** inclusive upper branching bound *)
+  client_probability : float;  (** chance a node carries a client *)
+  min_requests : int;  (** inclusive per-client request bound *)
+  max_requests : int;
+}
+(** Shape and workload parameters of {!random}. *)
+
+val fat : ?nodes:int -> unit -> profile
+(** The paper's §5.1 default: 6–9 children, client probability 0.5,
+    1–6 requests per client. [nodes] defaults to 100. *)
+
+val high : ?nodes:int -> unit -> profile
+(** The paper's "high tree" variant: 2–4 children, otherwise as {!fat}. *)
+
+val random : Rng.t -> profile -> Tree.t
+(** Draw a tree. Construction is breadth-first: nodes are taken from a
+    queue, each receives a uniform number of children in
+    [\[min_children, max_children\]] as long as the node budget allows, so
+    the result has exactly [profile.nodes] internal nodes. No pre-existing
+    servers are marked (see {!add_pre_existing}).
+    @raise Invalid_argument on inconsistent profile bounds. *)
+
+val add_pre_existing : Rng.t -> ?mode:int -> Tree.t -> int -> Tree.t
+(** [add_pre_existing rng ~mode t e] marks [e] distinct nodes, drawn
+    uniformly, as pre-existing servers at initial mode [mode] (default
+    [1]). Existing marks are discarded.
+    @raise Invalid_argument if [e] exceeds the tree size. *)
+
+val redraw_requests : Rng.t -> profile -> Tree.t -> Tree.t
+(** Redraw every node's client attachment (presence, then request count)
+    from [profile], keeping the tree structure and pre-existing servers.
+    Models the paper's Experiment 2 where "the number of requests per
+    client" is updated between reconfiguration steps. *)
+
+(** {1 Structured shapes (tests and ablations)} *)
+
+val path : n:int -> client_requests:int -> Tree.t
+(** A chain of [n] internal nodes; only the deepest carries one client
+    with [client_requests] requests. *)
+
+val star : leaves:int -> client_requests:int -> Tree.t
+(** A root with [leaves] internal children, each carrying one client. *)
+
+val balanced : arity:int -> depth:int -> client_requests:int -> Tree.t
+(** Perfect [arity]-ary tree of the given [depth]; every leaf internal
+    node carries one client. [depth = 0] is a single node. *)
+
+val caterpillar : spine:int -> legs:int -> client_requests:int -> Tree.t
+(** A spine of [spine] nodes, each with [legs] extra internal children
+    that each carry one client. *)

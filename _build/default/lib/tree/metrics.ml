@@ -1,0 +1,78 @@
+type t = {
+  nodes : int;
+  height : int;
+  leaves : int;
+  min_branching : int;
+  max_branching : int;
+  mean_branching : float;
+  clients : int;
+  total_requests : int;
+  mean_requests_per_client : float;
+  max_node_demand : int;
+  pre_existing : int;
+}
+
+let compute tree =
+  let n = Tree.size tree in
+  let leaves = ref 0 in
+  let min_b = ref max_int and max_b = ref 0 and sum_b = ref 0 and parents = ref 0 in
+  let max_demand = ref 0 in
+  for j = 0 to n - 1 do
+    let c = List.length (Tree.children tree j) in
+    if c = 0 then incr leaves
+    else begin
+      incr parents;
+      sum_b := !sum_b + c;
+      if c < !min_b then min_b := c;
+      if c > !max_b then max_b := c
+    end;
+    let demand = Tree.client_load tree j in
+    if demand > !max_demand then max_demand := demand
+  done;
+  let clients = Tree.num_clients tree in
+  {
+    nodes = n;
+    height = Tree.height tree;
+    leaves = !leaves;
+    min_branching = (if !parents = 0 then 0 else !min_b);
+    max_branching = !max_b;
+    mean_branching =
+      (if !parents = 0 then 0.
+       else float_of_int !sum_b /. float_of_int !parents);
+    clients;
+    total_requests = Tree.total_requests tree;
+    mean_requests_per_client =
+      (if clients = 0 then 0.
+       else float_of_int (Tree.total_requests tree) /. float_of_int clients);
+    max_node_demand = !max_demand;
+    pre_existing = Tree.num_pre_existing tree;
+  }
+
+let tally_by f tree =
+  let tbl = Hashtbl.create 16 in
+  for j = 0 to Tree.size tree - 1 do
+    let key, value = f j in
+    Hashtbl.replace tbl key
+      ((try Hashtbl.find tbl key with Not_found -> 0) + value)
+  done;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let depth_histogram tree = tally_by (fun j -> (Tree.depth tree j, 1)) tree
+
+let branching_histogram tree =
+  tally_by (fun j -> (List.length (Tree.children tree j), 1)) tree
+
+let demand_by_depth tree =
+  List.filter
+    (fun (_, v) -> v > 0)
+    (tally_by (fun j -> (Tree.depth tree j, Tree.client_load tree j)) tree)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "nodes: %d  height: %d  leaves: %d@\n\
+     branching: %d..%d (mean %.2f)@\n\
+     clients: %d  requests: %d (mean %.2f/client, max node demand %d)@\n\
+     pre-existing servers: %d@."
+    t.nodes t.height t.leaves t.min_branching t.max_branching
+    t.mean_branching t.clients t.total_requests t.mean_requests_per_client
+    t.max_node_demand t.pre_existing

@@ -1,0 +1,34 @@
+(** Structural statistics of distribution trees.
+
+    Used by the CLI ([generate --stats]), the shape-sensitivity ablation
+    bench, and anywhere a workload needs to be characterized: the §5
+    experiments distinguish "fat" and "high" trees exactly through these
+    quantities (branching factor and height). *)
+
+type t = {
+  nodes : int;
+  height : int;
+  leaves : int;  (** internal nodes without internal children *)
+  min_branching : int;  (** over nodes with at least one child *)
+  max_branching : int;
+  mean_branching : float;
+  clients : int;
+  total_requests : int;
+  mean_requests_per_client : float;
+  max_node_demand : int;  (** largest per-node aggregate client load *)
+  pre_existing : int;
+}
+
+val compute : Tree.t -> t
+
+val depth_histogram : Tree.t -> (int * int) list
+(** Number of internal nodes at each depth, increasing. *)
+
+val branching_histogram : Tree.t -> (int * int) list
+(** Number of internal nodes with each child count, increasing. *)
+
+val demand_by_depth : Tree.t -> (int * int) list
+(** Total client requests attached at each depth, increasing. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

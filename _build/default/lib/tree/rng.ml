@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec loop () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw b in
+    if Int64.(sub raw v > add (sub max_int b) 1L) then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let int_in_range t ~min ~max =
+  if max < min then invalid_arg "Rng.int_in_range: max < min";
+  min + int t (max - min + 1)
+
+let float t bound =
+  (* 53 random bits scaled to [0,1). *)
+  let raw = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float raw /. 9007199254740992.0 *. bound
+
+let bool t = Int64.(logand (bits64 t) 1L) = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, set of size <= k. *)
+  let module IS = Set.Make (Int) in
+  let set = ref IS.empty in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if IS.mem r !set then set := IS.add j !set else set := IS.add r !set
+  done;
+  IS.elements !set

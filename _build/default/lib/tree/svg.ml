@@ -1,0 +1,167 @@
+type highlight = {
+  replicas : Tree.node list;
+  loads : (Tree.node * int) list;
+  capacity : int;
+}
+
+(* Layout: leaves of the internal tree get successive horizontal slots
+   (widened when they carry several clients); internal nodes sit at the
+   mean of their children; y is the depth. Client leaves hang half a
+   layer below their node. *)
+
+let x_gap = 70.
+let y_gap = 80.
+let node_r = 16.
+
+type layout = {
+  xs : float array;
+  client_xs : float array array; (* per node, per client *)
+  width : float;
+  height : float;
+}
+
+let layout tree =
+  let n = Tree.size tree in
+  let xs = Array.make n 0. in
+  let client_xs =
+    Array.init n (fun j ->
+        Array.make (List.length (Tree.clients tree j)) 0.)
+  in
+  let cursor = ref 0. in
+  let advance slots =
+    let start = !cursor in
+    cursor := !cursor +. (float_of_int (max 1 slots) *. x_gap);
+    start +. ((float_of_int (max 1 slots) -. 1.) *. x_gap /. 2.)
+  in
+  Array.iter
+    (fun j ->
+      let kids = Tree.children tree j in
+      let clients = List.length (Tree.clients tree j) in
+      (match kids with
+      | [] -> xs.(j) <- advance (max 1 clients)
+      | _ ->
+          let sum = List.fold_left (fun acc c -> acc +. xs.(c)) 0. kids in
+          xs.(j) <- sum /. float_of_int (List.length kids));
+      (* Spread the node's clients around its x. *)
+      let m = Array.length client_xs.(j) in
+      for i = 0 to m - 1 do
+        client_xs.(j).(i) <-
+          xs.(j)
+          +. ((float_of_int i -. (float_of_int (m - 1) /. 2.)) *. (x_gap /. 2.))
+      done)
+    (Tree.postorder tree);
+  {
+    xs;
+    client_xs;
+    width = max !cursor x_gap;
+    height = float_of_int (Tree.height tree + 2) *. y_gap;
+  }
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '<' -> "&lt;" | '>' -> "&gt;" | '&' -> "&amp;" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let render ?highlight tree =
+  let l = layout tree in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let margin = 40. in
+  let y_of j = margin +. (float_of_int (Tree.depth tree j) *. y_gap) in
+  let is_replica j =
+    match highlight with
+    | Some h -> List.mem j h.replicas
+    | None -> false
+  in
+  let load_of j =
+    Option.bind highlight (fun h -> List.assoc_opt j h.loads)
+  in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     font-family=\"Helvetica\" font-size=\"12\">\n"
+    (l.width +. (2. *. margin))
+    (l.height +. (2. *. margin));
+  (* Edges first. *)
+  for j = 0 to Tree.size tree - 1 do
+    (match Tree.parent tree j with
+    | Some p ->
+        add
+          "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+           stroke=\"#888\"/>\n"
+          (margin +. l.xs.(p))
+          (y_of p)
+          (margin +. l.xs.(j))
+          (y_of j)
+    | None -> ());
+    List.iteri
+      (fun i _ ->
+        add
+          "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+           stroke=\"#bbb\" stroke-dasharray=\"3,3\"/>\n"
+          (margin +. l.xs.(j))
+          (y_of j)
+          (margin +. l.client_xs.(j).(i))
+          (y_of j +. (y_gap /. 2.)))
+      (Tree.clients tree j)
+  done;
+  (* Internal nodes. *)
+  for j = 0 to Tree.size tree - 1 do
+    let x = margin +. l.xs.(j) and y = y_of j in
+    let fill = if Tree.is_pre_existing tree j then "#d9d9d9" else "#ffffff" in
+    let stroke, width =
+      if is_replica j then ("#c0392b", 3.) else ("#333333", 1.)
+    in
+    add
+      "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"4\" \
+       fill=\"%s\" stroke=\"%s\" stroke-width=\"%.1f\"/>\n"
+      (x -. node_r) (y -. node_r) (2. *. node_r) (2. *. node_r) fill stroke
+      width;
+    add
+      "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" dy=\"4\">%d</text>\n"
+      x y j;
+    (match Tree.initial_mode tree j with
+    | Some m ->
+        add
+          "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+           fill=\"#555\" font-size=\"9\">pre@W%d</text>\n"
+          x
+          (y -. node_r -. 4.)
+          m
+    | None -> ());
+    match (load_of j, highlight) with
+    | Some load, Some h ->
+        add
+          "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+           fill=\"#c0392b\" font-size=\"10\">%d/%d</text>\n"
+          x
+          (y +. node_r +. 12.)
+          load h.capacity
+    | _ -> ()
+  done;
+  (* Client leaves. *)
+  for j = 0 to Tree.size tree - 1 do
+    List.iteri
+      (fun i r ->
+        let x = margin +. l.client_xs.(j).(i) in
+        let y = y_of j +. (y_gap /. 2.) in
+        add
+          "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"10\" fill=\"#eaf2fb\" \
+           stroke=\"#4a78a8\"/>\n"
+          x y;
+        add
+          "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" dy=\"4\" \
+           font-size=\"10\">%s</text>\n"
+          x y
+          (escape (string_of_int r)))
+      (Tree.clients tree j)
+  done;
+  add "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?highlight path tree =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?highlight tree))

@@ -1,0 +1,19 @@
+(** Self-contained SVG rendering of distribution trees.
+
+    Unlike {!Dot} (which needs Graphviz to rasterize), this module emits
+    a complete standalone [.svg]: a layered layout (internal nodes by
+    depth, subtrees centered over their children), client leaves hanging
+    under their nodes with request counts, pre-existing servers shaded,
+    and an optional highlighted replica set with per-server loads — the
+    picture the paper's Figures 1–3 draw by hand. *)
+
+type highlight = {
+  replicas : Tree.node list;  (** drawn with a bold outline *)
+  loads : (Tree.node * int) list;  (** shown as "load/W" next to servers *)
+  capacity : int;  (** the W displayed in load labels *)
+}
+
+val render : ?highlight:highlight -> Tree.t -> string
+(** Complete SVG document. *)
+
+val write_file : ?highlight:highlight -> string -> Tree.t -> unit

@@ -1,0 +1,264 @@
+type node = int
+
+type t = {
+  parents : int array;
+  children : node array array;
+  clients : int array array;
+  pre : int option array;
+  post : node array; (* postorder *)
+  pre_order : node array;
+  sub_size : int array; (* internal nodes strictly below *)
+  sub_pre : int array; (* pre-existing strictly below *)
+  depths : int array;
+}
+
+type spec = {
+  spec_clients : int list;
+  spec_pre : int option;
+  spec_children : spec list;
+}
+
+let node ?(clients = []) ?pre spec_children =
+  { spec_clients = clients; spec_pre = pre; spec_children }
+
+let compute_orders parents children =
+  let n = Array.length parents in
+  let pre_order = Array.make n 0 in
+  let post = Array.make n 0 in
+  let depths = Array.make n 0 in
+  let pre_i = ref 0 and post_i = ref 0 in
+  (* Explicit stack to stay safe on deep (path-like) trees. *)
+  let stack = ref [ (0, `Enter) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (j, `Enter) :: rest ->
+        pre_order.(!pre_i) <- j;
+        incr pre_i;
+        let d = if parents.(j) < 0 then 0 else depths.(parents.(j)) + 1 in
+        depths.(j) <- d;
+        stack :=
+          List.fold_right
+            (fun c acc -> (c, `Enter) :: acc)
+            (Array.to_list children.(j))
+            ((j, `Exit) :: rest)
+    | (j, `Exit) :: rest ->
+        post.(!post_i) <- j;
+        incr post_i;
+        stack := rest
+  done;
+  if !pre_i <> n || !post_i <> n then
+    invalid_arg "Tree: disconnected or cyclic parent structure";
+  (pre_order, post, depths)
+
+let make parents clients pre =
+  let n = Array.length parents in
+  if n = 0 then invalid_arg "Tree: empty tree";
+  if parents.(0) <> -1 then invalid_arg "Tree: node 0 must be the root";
+  Array.iteri
+    (fun i p ->
+      if i > 0 && (p < 0 || p >= n) then
+        invalid_arg "Tree: parent out of range")
+    parents;
+  Array.iter
+    (fun cl -> Array.iter (fun r -> if r < 0 then invalid_arg "Tree: negative request count") cl)
+    clients;
+  Array.iter
+    (function Some m when m <= 0 -> invalid_arg "Tree: mode must be positive" | _ -> ())
+    pre;
+  let deg = Array.make n 0 in
+  for i = 1 to n - 1 do
+    deg.(parents.(i)) <- deg.(parents.(i)) + 1
+  done;
+  let children = Array.map (fun d -> Array.make d 0) (Array.copy deg) in
+  let fill = Array.make n 0 in
+  for i = 1 to n - 1 do
+    let p = parents.(i) in
+    children.(p).(fill.(p)) <- i;
+    fill.(p) <- fill.(p) + 1
+  done;
+  let pre_order, post, depths = compute_orders parents children in
+  let sub_size = Array.make n 0 and sub_pre = Array.make n 0 in
+  Array.iter
+    (fun j ->
+      Array.iter
+        (fun c ->
+          sub_size.(j) <- sub_size.(j) + sub_size.(c) + 1;
+          sub_pre.(j) <-
+            sub_pre.(j) + sub_pre.(c) + (if pre.(c) <> None then 1 else 0))
+        children.(j))
+    post;
+  { parents; children; clients; pre; post; pre_order; sub_size; sub_pre; depths }
+
+let of_parents ~parents ~clients ~pre =
+  let n = Array.length parents in
+  if Array.length clients <> n || Array.length pre <> n then
+    invalid_arg "Tree.of_parents: array length mismatch";
+  make (Array.copy parents)
+    (Array.map (fun l -> Array.of_list l) clients)
+    (Array.copy pre)
+
+let build spec =
+  let parents = ref [] and clients = ref [] and pre = ref [] in
+  let count = ref 0 in
+  let rec go parent s =
+    let id = !count in
+    incr count;
+    parents := (id, parent) :: !parents;
+    clients := (id, Array.of_list s.spec_clients) :: !clients;
+    pre := (id, s.spec_pre) :: !pre;
+    List.iter (go id) s.spec_children
+  in
+  go (-1) spec;
+  let n = !count in
+  let arr_of default l =
+    let a = Array.make n default in
+    List.iter (fun (i, v) -> a.(i) <- v) l;
+    a
+  in
+  make (arr_of 0 !parents) (arr_of [||] !clients) (arr_of None !pre)
+
+let size t = Array.length t.parents
+let root _ = 0
+let parent t j = if j = 0 then None else Some t.parents.(j)
+let children t j = Array.to_list t.children.(j)
+let clients t j = Array.to_list t.clients.(j)
+let client_load t j = Array.fold_left ( + ) 0 t.clients.(j)
+let initial_mode t j = t.pre.(j)
+let is_pre_existing t j = t.pre.(j) <> None
+
+let pre_existing t =
+  let acc = ref [] in
+  for j = size t - 1 downto 0 do
+    if is_pre_existing t j then acc := j :: !acc
+  done;
+  !acc
+
+let num_pre_existing t =
+  Array.fold_left (fun n p -> if p <> None then n + 1 else n) 0 t.pre
+
+let num_clients t =
+  Array.fold_left (fun n cl -> n + Array.length cl) 0 t.clients
+
+let total_requests t =
+  Array.fold_left (fun n cl -> n + Array.fold_left ( + ) 0 cl) 0 t.clients
+
+let postorder t = Array.copy t.post
+let preorder t = Array.copy t.pre_order
+
+let fold_postorder t ~init ~f = Array.fold_left f init t.post
+
+let subtree_size t j = t.sub_size.(j)
+let subtree_pre_count t j = t.sub_pre.(j)
+let depth t j = t.depths.(j)
+let height t = Array.fold_left max 0 t.depths
+
+let ancestors t j =
+  let rec up j acc =
+    if j = 0 then List.rev acc else up t.parents.(j) (t.parents.(j) :: acc)
+  in
+  up j []
+
+let is_ancestor t ~anc ~desc =
+  if desc = anc || desc = 0 then false
+  else
+    let rec up j =
+      if j = 0 then false
+      else
+        let p = t.parents.(j) in
+        p = anc || up p
+    in
+    up desc
+
+let with_pre_existing t l =
+  let pre = Array.make (size t) None in
+  List.iter
+    (fun (j, m) ->
+      if j < 0 || j >= size t then invalid_arg "Tree.with_pre_existing: bad node";
+      if m <= 0 then invalid_arg "Tree.with_pre_existing: bad mode";
+      pre.(j) <- Some m)
+    l;
+  make (Array.copy t.parents) (Array.map Array.copy t.clients) pre
+
+let with_clients t f =
+  let clients = Array.init (size t) (fun j -> Array.of_list (f j)) in
+  make (Array.copy t.parents) clients (Array.copy t.pre)
+
+(* Serialization: one line per node in id order:
+   "<parent> p<mode-or-.> c<r1,r2,...>" separated by ';'. *)
+let to_string t =
+  let buf = Buffer.create 256 in
+  for j = 0 to size t - 1 do
+    if j > 0 then Buffer.add_char buf ';';
+    Buffer.add_string buf (string_of_int t.parents.(j));
+    Buffer.add_string buf " p";
+    (match t.pre.(j) with
+    | None -> Buffer.add_char buf '.'
+    | Some m -> Buffer.add_string buf (string_of_int m));
+    Buffer.add_string buf " c";
+    Array.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int r))
+      t.clients.(j)
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let fail () = invalid_arg "Tree.of_string: malformed input" in
+  let fields = String.split_on_char ';' s in
+  let parse_node field =
+    match String.split_on_char ' ' (String.trim field) with
+    | [ p; pre; cl ] ->
+        let parent = try int_of_string p with _ -> fail () in
+        if String.length pre < 2 || pre.[0] <> 'p' then fail ();
+        let mode =
+          let body = String.sub pre 1 (String.length pre - 1) in
+          if body = "." then None
+          else Some (try int_of_string body with _ -> fail ())
+        in
+        if String.length cl < 1 || cl.[0] <> 'c' then fail ();
+        let body = String.sub cl 1 (String.length cl - 1) in
+        let reqs =
+          if body = "" then [||]
+          else
+            Array.of_list
+              (List.map
+                 (fun x -> try int_of_string x with _ -> fail ())
+                 (String.split_on_char ',' body))
+        in
+        (parent, mode, reqs)
+    | _ -> fail ()
+  in
+  let nodes = List.map parse_node fields in
+  let n = List.length nodes in
+  if n = 0 then fail ();
+  let parents = Array.make n 0
+  and pre = Array.make n None
+  and clients = Array.make n [||] in
+  List.iteri
+    (fun i (p, m, cl) ->
+      parents.(i) <- p;
+      pre.(i) <- m;
+      clients.(i) <- cl)
+    nodes;
+  make parents clients pre
+
+let pp fmt t =
+  let rec go indent j =
+    Format.fprintf fmt "%s- node %d" indent j;
+    (match t.pre.(j) with
+    | Some m -> Format.fprintf fmt " [pre-existing, mode %d]" m
+    | None -> ());
+    let cl = t.clients.(j) in
+    if Array.length cl > 0 then begin
+      Format.fprintf fmt " clients:";
+      Array.iter (fun r -> Format.fprintf fmt " %d" r) cl
+    end;
+    Format.pp_print_newline fmt ();
+    Array.iter (go (indent ^ "  ")) t.children.(j)
+  in
+  go "" 0
+
+let equal a b =
+  a.parents = b.parents && a.clients = b.clients && a.pre = b.pre

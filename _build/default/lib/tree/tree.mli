@@ -1,0 +1,143 @@
+(** Distribution-tree network model.
+
+    Following the paper's framework (§2.1), a distribution tree consists of
+    internal nodes [N] (candidate replica locations) and client leaves [C].
+    Each client issues a fixed number of requests per time unit. A client
+    is always a leaf; internal nodes may carry any number of client leaves.
+    We represent the tree over its internal nodes only and attach, to each
+    internal node, the multiset of request counts of its client children —
+    this loses no information because a client interacts with the system
+    solely through its request count and its attachment point.
+
+    Some internal nodes may host a {e pre-existing} server (the set [E] of
+    the paper), each with the mode it is initially operated at (modes are
+    1-based indices into a mode ladder, see {!Replica_core.Modes}; use mode
+    [1] when modes are irrelevant).
+
+    Nodes are dense integer identifiers [0 .. size-1]; the root is node
+    [0]. Values of type {!t} are immutable once built. *)
+
+type node = int
+(** Internal-node identifier, [0 <= node < size]. *)
+
+type t
+(** An immutable distribution tree. *)
+
+(** {1 Construction} *)
+
+type spec = {
+  spec_clients : int list;  (** request counts of client leaves here *)
+  spec_pre : int option;  (** [Some m]: pre-existing server at initial mode [m] *)
+  spec_children : spec list;  (** internal children *)
+}
+(** Recursive building block for literal trees (tests, examples). *)
+
+val node : ?clients:int list -> ?pre:int -> spec list -> spec
+(** [node ~clients ~pre children] is a convenience {!spec} constructor;
+    [pre] is the initial mode of a pre-existing server. *)
+
+val build : spec -> t
+(** Materialize a spec. Node identifiers are assigned in preorder, so the
+    spec root becomes node [0].
+    @raise Invalid_argument if a client request count is negative or a
+    pre-existing mode is not positive. *)
+
+val of_parents :
+  parents:int array -> clients:int list array -> pre:int option array -> t
+(** Low-level constructor. [parents.(0)] must be [-1] (root); every other
+    [parents.(i)] must be a valid node id that, followed transitively,
+    reaches the root (i.e. the arrays describe a single tree).
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Accessors} *)
+
+val size : t -> int
+(** Number of internal nodes, [N] in the paper. *)
+
+val root : t -> node
+
+val parent : t -> node -> node option
+(** [None] for the root. *)
+
+val children : t -> node -> node list
+(** Internal children of a node. *)
+
+val clients : t -> node -> int list
+(** Request counts of the client leaves attached to a node. *)
+
+val client_load : t -> node -> int
+(** Sum of {!clients} — [client(j)] in Algorithm 2. *)
+
+val initial_mode : t -> node -> int option
+(** [Some m] iff the node hosts a pre-existing server initially at mode
+    [m]. *)
+
+val is_pre_existing : t -> node -> bool
+
+val pre_existing : t -> node list
+(** The set [E], in increasing node order. *)
+
+val num_pre_existing : t -> int
+(** [E = |E|]. *)
+
+val num_clients : t -> int
+(** Total number of client leaves. *)
+
+val total_requests : t -> int
+(** Sum of all client request counts. *)
+
+(** {1 Traversal} *)
+
+val postorder : t -> node array
+(** All nodes, children before parents. Computed once at build time. *)
+
+val preorder : t -> node array
+(** All nodes, parents before children. *)
+
+val fold_postorder : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val subtree_size : t -> node -> int
+(** Number of internal nodes strictly below [node] (the paper's
+    [subtree_j] excludes [j] itself). *)
+
+val subtree_pre_count : t -> node -> int
+(** Pre-existing servers strictly below [node]. *)
+
+val depth : t -> node -> int
+(** Root has depth 0. *)
+
+val height : t -> int
+(** Maximum depth over internal nodes. *)
+
+val ancestors : t -> node -> node list
+(** Path from [node] (excluded) up to the root (included). *)
+
+val is_ancestor : t -> anc:node -> desc:node -> bool
+(** True iff [anc] lies strictly above [desc]. *)
+
+(** {1 Derivation} *)
+
+val with_pre_existing : t -> (node * int) list -> t
+(** [with_pre_existing t l] is [t] with its pre-existing set replaced by
+    the nodes in [l] (node, initial mode) — all previous pre-existing
+    markers are dropped. Used by dynamic-update experiments where the
+    servers of step [k] become the pre-existing set of step [k+1]. *)
+
+val with_clients : t -> (node -> int list) -> t
+(** [with_clients t f] replaces each node's client multiset by [f node];
+    structure and pre-existing markers are kept. *)
+
+(** {1 Serialization and printing} *)
+
+val to_string : t -> string
+(** Compact, parseable representation. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.
+    @raise Invalid_argument on a malformed string. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-oriented ASCII rendering, one node per line, indented. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)

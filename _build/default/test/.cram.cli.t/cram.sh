@@ -1,0 +1,12 @@
+  $ replica_cli generate --nodes 6 --pre 1 --seed 3
+  $ replica_cli generate --nodes 6 --pre 1 --seed 3 --stats
+  $ replica_cli solve --algo dp-withpre --nodes 6 --pre 2 --seed 5 -w 8
+  $ replica_cli solve --algo greedy --nodes 6 --pre 2 --seed 5 -w 8
+  $ replica_cli exp1 -q --trees 2 --nodes 8 --seed 1 --csv
+  $ replica_cli solve --algo dp-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  $ replica_cli solve --algo gr-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  $ replica_cli solve --algo heuristic --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  $ replica_cli policies --trees 2 --nodes 10 --epochs 4 --seed 2 --csv
+  $ replica_cli heuristics --trees 2 --nodes 10 --pre 2 --seed 2 --csv
+  $ replica_cli exp3 -q --trees 2 --nodes 10 --pre 2 --seed 2 --csv
+  $ replica_cli trace --nodes 12 --seed 6 --horizon 6 --window 2

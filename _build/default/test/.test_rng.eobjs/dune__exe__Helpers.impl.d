@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cost Generator Modes Power QCheck2 QCheck_alcotest Replica_core Replica_tree Solution Tree

@@ -1,0 +1,1 @@
+test/test_clist.ml: Alcotest Clist Fun Helpers List Replica_core

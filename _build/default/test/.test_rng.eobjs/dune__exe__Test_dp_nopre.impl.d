@@ -1,0 +1,1 @@
+test/test_dp_nopre.ml: Alcotest Brute Dp_nopre Generator Greedy Helpers List Option Replica_core Replica_tree Rng Solution Tree

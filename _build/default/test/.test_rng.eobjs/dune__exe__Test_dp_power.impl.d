@@ -1,0 +1,1 @@
+test/test_dp_power.ml: Alcotest Brute Cost Dp_power Fun Generator Helpers List Modes Power Printf Replica_core Replica_tree Rng Solution Tree

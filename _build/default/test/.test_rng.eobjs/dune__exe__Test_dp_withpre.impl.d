@@ -1,0 +1,1 @@
+test/test_dp_withpre.ml: Alcotest Array Brute Cost Dp_nopre Dp_withpre Helpers List Printf Replica_core Replica_tree Rng Solution Tree

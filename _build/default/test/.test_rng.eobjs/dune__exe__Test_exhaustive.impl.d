@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Brute Cost Dp_nopre Dp_power Dp_withpre Greedy Helpers List Modes Multiple Option Power Replica_core Replica_tree Tree

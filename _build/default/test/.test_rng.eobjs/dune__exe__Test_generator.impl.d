@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Generator Helpers List Printf Replica_tree Rng Tree

@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Brute Fun Generator Greedy Helpers List Option Printf Replica_core Replica_tree Rng Solution Tree

@@ -1,0 +1,1 @@
+test/test_heuristics_cost.ml: Alcotest Cost Dp_power Dp_withpre Greedy Helpers Heuristics_cost Instances List Modes Option Replica_core Replica_tree Rng Solution Tree

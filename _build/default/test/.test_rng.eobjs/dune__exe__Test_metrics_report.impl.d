@@ -1,0 +1,1 @@
+test/test_metrics_report.ml: Alcotest Cost Filename Fun Generator Helpers Metrics Modes Power Replica_core Replica_tree Report Rng Solution String Svg Sys Tree

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Cost Helpers Modes Power Replica_core

@@ -1,0 +1,1 @@
+test/test_npc.ml: Alcotest Helpers List Modes Npc Printf Replica_core Replica_tree Rng String Tree

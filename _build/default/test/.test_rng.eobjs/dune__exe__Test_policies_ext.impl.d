@@ -1,0 +1,1 @@
+test/test_policies_ext.ml: Alcotest Fun Generator Greedy Helpers List Multiple Option Printf Replica_core Replica_tree Rng Solution Tree Upwards

@@ -1,0 +1,1 @@
+test/test_power_baselines.ml: Alcotest Cost Dp_power Greedy Greedy_power Helpers Heuristics List Modes Power Replica_core Replica_tree Rng Solution Tree

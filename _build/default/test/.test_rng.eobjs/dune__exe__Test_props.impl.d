@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Cost Dp_nopre Dp_power Dp_withpre Fun Generator Greedy Greedy_power Hashtbl Helpers List Option QCheck2 Replica_core Replica_tree Rng Solution Tree

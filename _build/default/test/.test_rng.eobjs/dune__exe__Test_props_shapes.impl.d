@@ -1,0 +1,1 @@
+test/test_props_shapes.ml: Alcotest Clist Cost Dp_nopre Dp_withpre Generator Greedy Helpers List Modes Option Power QCheck2 Replica_core Replica_tree Rng Solution Tree Update_policy

@@ -1,0 +1,1 @@
+test/test_solution.ml: Alcotest Array Cost Dot Helpers Modes Power Replica_core Replica_tree Solution String Tree

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Cost Dp_power Dp_withpre Generator Greedy Greedy_power Helpers Heuristics_cost List Modes Multiple Power Replica_core Replica_tree Rng Solution Tree

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Arrivals Epochs Helpers List Printf Replica_trace Replica_tree Rng Trace Tree

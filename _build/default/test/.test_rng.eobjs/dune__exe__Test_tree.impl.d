@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Hashtbl Helpers List Replica_tree Tree

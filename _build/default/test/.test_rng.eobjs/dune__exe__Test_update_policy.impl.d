@@ -1,0 +1,1 @@
+test/test_update_policy.ml: Alcotest Cost Helpers List Replica_core Replica_tree Tree Update_policy

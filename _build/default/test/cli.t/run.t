@@ -1,0 +1,133 @@
+The CLI generates deterministic trees from a seed:
+
+  $ replica_cli generate --nodes 6 --pre 1 --seed 3
+  - node 0 [pre-existing, mode 1] clients: 3
+    - node 1
+    - node 2
+    - node 3
+    - node 4
+    - node 5
+  serialized: -1 p1 c3;0 p. c;0 p. c;0 p. c;0 p. c;0 p. c
+
+Structural statistics:
+
+  $ replica_cli generate --nodes 6 --pre 1 --seed 3 --stats
+  nodes: 6  height: 1  leaves: 5
+  branching: 5..5 (mean 5.00)
+  clients: 1  requests: 3 (mean 3.00/client, max node demand 3)
+  pre-existing servers: 1
+  nodes per depth: 0:1 1:5
+  branching histogram: 0:5 5:1
+
+Solving one instance with the update-aware DP:
+
+  $ replica_cli solve --algo dp-withpre --nodes 6 --pre 2 --seed 5 -w 8
+  placement: 0 servers for 0 requests (W = 8)
+  deleted pre-existing servers: 1 5
+  reused 0 of 2 pre-existing servers
+  cost (Eq. 2): 0.020
+
+The greedy baseline on the same instance:
+
+  $ replica_cli solve --algo greedy --nodes 6 --pre 2 --seed 5 -w 8
+  placement: 0 servers for 0 requests (W = 8)
+  deleted pre-existing servers: 1 5
+  reused 0 of 2 pre-existing servers
+  cost (Eq. 2): 0.020
+
+Experiment 1 at toy scale, as CSV:
+
+  $ replica_cli exp1 -q --trees 2 --nodes 8 --seed 1 --csv
+  E,DP reused,+-95%,GR reused,+-95%,DP servers,GR servers,trees
+  0,0.00,0.00,0.00,0.00,1.50,1.50,2
+  1,0.00,0.00,0.00,0.00,1.50,1.50,2
+  2,0.50,0.69,0.00,0.00,1.50,1.50,2
+  3,0.50,0.69,0.50,0.69,1.50,1.50,2
+  4,1.00,1.39,0.50,0.69,1.50,1.50,2
+  5,1.00,0.00,1.00,0.00,1.50,1.50,2
+  6,0.50,0.69,0.50,0.69,1.50,1.50,2
+  7,1.50,0.69,1.50,0.69,1.50,1.50,2
+  8,1.50,0.69,1.50,0.69,1.50,1.50,2
+
+The power DP with a cost bound:
+
+  $ replica_cli solve --algo dp-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  placement: 4 servers for 15 requests (modes 5 10)
+    node 0    load   5 -> mode W1 (137.5 W)  new
+    node 3    load   5 -> mode W1 (137.5 W)  reused (was mode 2)
+    node 6    load   2 -> mode W1 (137.5 W)  new
+    node 7    load   3 -> mode W1 (137.5 W)  new
+  deleted pre-existing servers: 4
+  power (Eq. 3): 550.000
+  cost (Eq. 4): 4.311
+
+The greedy power baseline and the local-search heuristic on the same instance:
+
+  $ replica_cli solve --algo gr-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  placement: 4 servers for 15 requests (modes 5 10)
+    node 0    load   5 -> mode W1 (137.5 W)  new
+    node 3    load   5 -> mode W1 (137.5 W)  reused (was mode 2)
+    node 6    load   2 -> mode W1 (137.5 W)  new
+    node 7    load   3 -> mode W1 (137.5 W)  new
+  deleted pre-existing servers: 4
+  power (Eq. 3): 550.000
+  cost (Eq. 4): 4.311
+
+  $ replica_cli solve --algo heuristic --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
+  placement: 4 servers for 15 requests (modes 5 10)
+    node 0    load   5 -> mode W1 (137.5 W)  new
+    node 3    load   5 -> mode W1 (137.5 W)  reused (was mode 2)
+    node 6    load   2 -> mode W1 (137.5 W)  new
+    node 7    load   3 -> mode W1 (137.5 W)  new
+  deleted pre-existing servers: 4
+  power (Eq. 3): 550.000
+  cost (Eq. 4): 4.311
+
+Update-policy ablation at toy scale:
+
+  $ replica_cli policies --trees 2 --nodes 10 --epochs 4 --seed 2 --csv
+  policy,avg total cost,avg reconfigurations,avg invalid epochs
+  systematic,15.25,4.00,0.00
+  lazy,5.25,1.00,0.00
+  periodic(4),8.38,2.00,0.00
+  drift(0.20),5.25,1.00,0.00
+
+Power-heuristics ablation at toy scale:
+
+  $ replica_cli heuristics --trees 2 --nodes 10 --pre 2 --seed 2 --csv
+  algorithm,solved,avg overhead %,worst overhead %,avg seconds
+  dp (optimal),2,0.00,0.00,0.00006
+  hill-climb,2,0.00,0.00,0.00006
+  multi-start,2,0.00,0.00,0.00013
+  anneal,2,0.00,0.00,0.00145
+  gr-sweep,2,0.00,0.00,0.00004
+
+Experiment 3 at toy scale, as CSV:
+
+  $ replica_cli exp3 -q --trees 2 --nodes 10 --pre 2 --seed 2 --csv
+  cost bound,DP 1/power,GR 1/power,DP feasible,GR feasible
+  3.21,0.000231,0.000000,1,0
+  3.44,0.000231,0.000231,1,1
+  3.67,0.000231,0.000231,1,1
+  3.89,0.000231,0.000231,1,1
+  4.12,0.000231,0.000231,1,1
+  4.35,0.000351,0.000231,1,1
+  4.57,0.000702,0.000702,2,2
+  4.80,0.000702,0.000702,2,2
+  5.03,0.000702,0.000702,2,2
+  5.26,0.000702,0.000702,2,2
+  5.48,0.001078,0.000702,2,2
+  5.71,0.001078,0.001078,2,2
+  5.94,0.001078,0.001078,2,2
+  6.17,0.001078,0.001078,2,2
+  6.39,0.001078,0.001078,2,2
+  6.62,0.001333,0.001333,2,2
+
+Trace-driven pipeline at toy scale:
+
+  $ replica_cli trace --nodes 12 --seed 6 --horizon 6 --window 2
+  trace: 39 requests over 6.0 time units
+  epoch  1:  1 servers  (reconfigured, cost 1.50)
+  epoch  2:  1 servers
+  epoch  3:  1 servers
+  total: 1 reconfigurations, bill 1.50, 0 invalid epochs

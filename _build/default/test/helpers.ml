@@ -1,0 +1,65 @@
+(* Shared helpers for the test suites. *)
+
+open Replica_tree
+open Replica_core
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cf = Alcotest.float 1e-9
+
+(* Small random trees for cross-checks against the brute-force oracle. *)
+let small_tree rng ~nodes ~max_requests =
+  let profile =
+    {
+      Generator.nodes;
+      min_children = 1;
+      max_children = 3;
+      client_probability = 0.7;
+      min_requests = 1;
+      max_requests;
+    }
+  in
+  Generator.random rng profile
+
+let small_tree_with_pre rng ~nodes ~max_requests ~pre =
+  let t = small_tree rng ~nodes ~max_requests in
+  Generator.add_pre_existing rng t pre
+
+(* The paper's Figure 1 situation (§3.1), W = 10. Node ids in comments.
+   Keeping only B leaves 7 requests traversing A (C's clients); removing
+   B and placing a server at C leaves 4 (B's clients); keeping B and
+   adding a server at A or C leaves 0. With [root_requests = 2] the
+   optimum reuses B ({B, root}); with [root_requests = 4] it does not
+   ({C, root}). *)
+let figure1_tree ~root_requests =
+  Tree.build
+    (Tree.node ~clients:[ root_requests ] (* root = 0 *)
+       [
+         Tree.node (* A = 1 *)
+           [
+             Tree.node ~clients:[ 4 ] ~pre:1 [] (* B = 2 *);
+             Tree.node ~clients:[ 7 ] [] (* C = 3 *);
+           ];
+       ])
+
+let fig1_root = 0
+let fig1_a = 1
+let fig1_b = 2
+let fig1_c = 3
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Deterministic seeds for reproducible suites. *)
+let seeds = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89 ]
+
+let modes_2 = Modes.make [ 5; 10 ]
+let power_exp3 = Power.paper_exp3 ~modes:modes_2
+let cost_cheap = Cost.paper_cheap ~modes:2
+let cost_expensive = Cost.paper_expensive ~modes:2
+let zero_cost = Cost.basic ()
+
+let solution_testable =
+  Alcotest.testable Solution.pp Solution.equal

@@ -1,0 +1,81 @@
+open Replica_core
+open Helpers
+
+let test_empty () =
+  check cb "is_empty" true (Clist.is_empty Clist.empty);
+  check ci "length" 0 (Clist.length Clist.empty);
+  check (Alcotest.list ci) "to_list" [] (Clist.to_list Clist.empty)
+
+let test_singleton () =
+  let c = Clist.singleton 7 in
+  check cb "not empty" false (Clist.is_empty c);
+  check ci "length" 1 (Clist.length c);
+  check (Alcotest.list ci) "to_list" [ 7 ] (Clist.to_list c)
+
+let test_append_order () =
+  let a = Clist.of_list [ 1; 2 ] and b = Clist.of_list [ 3; 4 ] in
+  check (Alcotest.list ci) "left to right" [ 1; 2; 3; 4 ]
+    (Clist.to_list (Clist.append a b));
+  check ci "length" 4 (Clist.length (Clist.append a b))
+
+let test_append_identity () =
+  let a = Clist.of_list [ 1; 2 ] in
+  check (Alcotest.list ci) "empty left" [ 1; 2 ]
+    (Clist.to_list (Clist.append Clist.empty a));
+  check (Alcotest.list ci) "empty right" [ 1; 2 ]
+    (Clist.to_list (Clist.append a Clist.empty))
+
+let test_cons_snoc () =
+  let a = Clist.of_list [ 2; 3 ] in
+  check (Alcotest.list ci) "cons" [ 1; 2; 3 ] (Clist.to_list (Clist.cons 1 a));
+  check (Alcotest.list ci) "snoc" [ 2; 3; 4 ] (Clist.to_list (Clist.snoc a 4))
+
+let test_roundtrip () =
+  let l = List.init 100 Fun.id in
+  check (Alcotest.list ci) "of_list/to_list" l (Clist.to_list (Clist.of_list l))
+
+let test_iter_fold_map () =
+  let c = Clist.of_list [ 1; 2; 3; 4 ] in
+  let sum = ref 0 in
+  Clist.iter (fun x -> sum := !sum + x) c;
+  check ci "iter" 10 !sum;
+  check ci "fold_left" 10 (Clist.fold_left ( + ) 0 c);
+  check (Alcotest.list ci) "map" [ 2; 4; 6; 8 ]
+    (Clist.to_list (Clist.map (fun x -> 2 * x) c));
+  check cb "exists" true (Clist.exists (fun x -> x = 3) c);
+  check cb "not exists" false (Clist.exists (fun x -> x = 9) c)
+
+let test_deep_spine () =
+  (* One million appends must not overflow the stack on to_list. *)
+  let c = ref Clist.empty in
+  for i = 1 to 1_000_000 do
+    c := Clist.snoc !c i
+  done;
+  check ci "length" 1_000_000 (Clist.length !c);
+  check ci "materializes" 1_000_000 (List.length (Clist.to_list !c))
+
+let test_tree_shape_balance_independent () =
+  (* Same contents through different association orders. *)
+  let a = Clist.append (Clist.of_list [ 1 ]) (Clist.of_list [ 2; 3 ]) in
+  let b = Clist.append (Clist.of_list [ 1; 2 ]) (Clist.of_list [ 3 ]) in
+  check (Alcotest.list ci) "same list" (Clist.to_list a) (Clist.to_list b)
+
+let () =
+  Alcotest.run "clist"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "append order" `Quick test_append_order;
+          Alcotest.test_case "append identity" `Quick test_append_identity;
+          Alcotest.test_case "cons/snoc" `Quick test_cons_snoc;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "iter/fold/map" `Quick test_iter_fold_map;
+          Alcotest.test_case "deep spine" `Slow test_deep_spine;
+          Alcotest.test_case "shape independence" `Quick test_tree_shape_balance_independent;
+        ] );
+    ]

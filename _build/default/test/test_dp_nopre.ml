@@ -1,0 +1,81 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+let test_single_node () =
+  let t = Tree.build (Tree.node ~clients:[ 3 ] []) in
+  match Dp_nopre.solve t ~w:5 with
+  | Some r ->
+      check ci "one server" 1 r.Dp_nopre.servers;
+      check (Alcotest.list ci) "at root" [ 0 ] (Solution.nodes r.Dp_nopre.solution)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_no_requests () =
+  let t = Tree.build (Tree.node [ Tree.node [] ]) in
+  match Dp_nopre.solve t ~w:5 with
+  | Some r -> check ci "zero servers" 0 r.Dp_nopre.servers
+  | None -> Alcotest.fail "expected the empty solution"
+
+let test_infeasible () =
+  let t = Tree.build (Tree.node [ Tree.node ~clients:[ 9 ] [] ]) in
+  check cb "infeasible" true (Dp_nopre.solve t ~w:5 = None)
+
+let test_min_flow_table () =
+  (* Star with 3 leaves of 2 requests, W=4: flows through root with k
+     replicas below: k=0 -> 6 (> W, pruned to None), k=1 -> 4, k=2 -> 2,
+     k=3 -> 0. *)
+  let t = Generator.star ~leaves:3 ~client_requests:2 in
+  let table = Dp_nopre.min_flow_per_count t ~w:4 in
+  check (Alcotest.array (Alcotest.option ci)) "root table"
+    [| None; Some 4; Some 2; Some 0 |]
+    table
+
+let test_matches_greedy_and_brute () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      for _ = 1 to 15 do
+        let nodes = 2 + Rng.int rng 9 in
+        let t = small_tree rng ~nodes ~max_requests:4 in
+        let w = 3 + Rng.int rng 6 in
+        let dp = Option.map (fun r -> r.Dp_nopre.servers) (Dp_nopre.solve t ~w) in
+        let brute = Option.map fst (Brute.min_servers t ~w) in
+        let greedy = Greedy.solve_count t ~w in
+        check (Alcotest.option ci) "dp = brute" brute dp;
+        check (Alcotest.option ci) "dp = greedy" greedy dp
+      done)
+    seeds
+
+let test_solution_consistency () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      for _ = 1 to 10 do
+        let nodes = 2 + Rng.int rng 25 in
+        let t = small_tree rng ~nodes ~max_requests:6 in
+        let w = 4 + Rng.int rng 8 in
+        match Dp_nopre.solve t ~w with
+        | Some r ->
+            check ci "cardinal matches count" r.Dp_nopre.servers
+              (Solution.cardinal r.Dp_nopre.solution);
+            check cb "valid" true (Solution.is_valid t ~w r.Dp_nopre.solution)
+        | None -> ()
+      done)
+    seeds
+
+let () =
+  Alcotest.run "dp_nopre"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "no requests" `Quick test_no_requests;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "root flow table" `Quick test_min_flow_table;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "matches greedy and brute" `Slow test_matches_greedy_and_brute;
+          Alcotest.test_case "solutions consistent" `Quick test_solution_consistency;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+(* §4.1 Figure 2 fixture: modes W1=7, W2=10; P_i = 10 + W_i^2.
+   root = 0 (clients k), A = 1, B = 2 (clients 3), C = 3 (clients 7). *)
+let figure2_tree ~root_requests =
+  Tree.build
+    (Tree.node ~clients:[ root_requests ]
+       [
+         Tree.node
+           [ Tree.node ~clients:[ 3 ] []; Tree.node ~clients:[ 7 ] [] ];
+       ])
+
+let fig2_modes = Modes.make [ 7; 10 ]
+let fig2_power = Power.make ~static:10. ~alpha:2. ()
+let fig2_cost = Cost.modal_uniform ~modes:2 ~create:0. ~delete:0. ~changed:0.
+
+let solve_fig2 ~root_requests =
+  Dp_power.solve (figure2_tree ~root_requests) ~modes:fig2_modes
+    ~power:fig2_power ~cost:fig2_cost ()
+
+let test_figure2_light_root () =
+  (* 4 requests at the root: let 3 requests through A; two mode-1 servers
+     (C and root) dissipate 2*(10+49) = 118. *)
+  match solve_fig2 ~root_requests:4 with
+  | Some r ->
+      check cf "power" 118. r.Dp_power.power;
+      check cb "C serves" true (Solution.mem r.Dp_power.solution 3);
+      check cb "root serves" true (Solution.mem r.Dp_power.solution 0);
+      check cb "A idle" false (Solution.mem r.Dp_power.solution 1)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_figure2_heavy_root () =
+  (* 10 requests at the root: nothing may traverse A, so A and the root
+     both run at mode 2: 2*(10+100) = 220. *)
+  match solve_fig2 ~root_requests:10 with
+  | Some r ->
+      check cf "power" 220. r.Dp_power.power;
+      check cb "A serves" true (Solution.mem r.Dp_power.solution 1);
+      check cb "root serves" true (Solution.mem r.Dp_power.solution 0)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_figure2_local_claim () =
+  (* The §4.1 local observation: within A's subtree, one mode-2 server at
+     A beats two mode-1 servers at B and C (110 < 118). *)
+  let t = figure2_tree ~root_requests:10 in
+  let p sol = Solution.power t fig2_modes fig2_power (Solution.of_nodes sol) in
+  check cb "A alone cheaper than B+C" true (p [ 0; 1 ] < p [ 0; 2; 3 ])
+
+let test_infeasible () =
+  let t = Tree.build (Tree.node ~clients:[ 11 ] []) in
+  check cb "infeasible" true
+    (Dp_power.solve t ~modes:fig2_modes ~power:fig2_power ~cost:fig2_cost ()
+    = None)
+
+let test_matches_brute_min_power () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      for _ = 1 to 10 do
+        let nodes = 2 + Rng.int rng 7 in
+        let pre = Rng.int rng (min 3 nodes + 1) in
+        let t = small_tree_with_pre rng ~nodes ~max_requests:4 ~pre in
+        let dp =
+          Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+        in
+        let brute =
+          Brute.min_power t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+        in
+        match (dp, brute) with
+        | None, None -> ()
+        | Some d, Some (bp, _) ->
+            check cf (Printf.sprintf "min power (seed %d)" seed) bp
+              d.Dp_power.power
+        | Some _, None -> Alcotest.fail "dp found a phantom solution"
+        | None, Some _ -> Alcotest.fail "dp missed a solution"
+      done)
+    seeds
+
+let test_matches_brute_bounded_cost () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 37) in
+      for _ = 1 to 8 do
+        let nodes = 2 + Rng.int rng 6 in
+        let pre = Rng.int rng (min 3 nodes + 1) in
+        let t = small_tree_with_pre rng ~nodes ~max_requests:4 ~pre in
+        let bound = 1. +. Rng.float rng 5. in
+        let dp =
+          Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+            ~bound ()
+        in
+        let brute =
+          Brute.min_power t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+            ~bound ()
+        in
+        match (dp, brute) with
+        | None, None -> ()
+        | Some d, Some (bp, _) ->
+            check cf "bounded min power" bp d.Dp_power.power;
+            check cb "bound respected" true (d.Dp_power.cost <= bound +. 1e-9)
+        | Some _, None -> Alcotest.fail "dp found a phantom solution"
+        | None, Some _ -> Alcotest.fail "dp missed a solution"
+      done)
+    seeds
+
+let test_frontier_properties () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 41) in
+      let nodes = 3 + Rng.int rng 8 in
+      let pre = Rng.int rng 3 in
+      let t = small_tree_with_pre rng ~nodes ~max_requests:4 ~pre in
+      let frontier =
+        Dp_power.frontier t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+      in
+      (* Costs strictly increase, powers strictly decrease. *)
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            check cb "cost increases" true (a.Dp_power.cost < b.Dp_power.cost);
+            check cb "power decreases" true (b.Dp_power.power < a.Dp_power.power);
+            walk rest
+        | _ -> ()
+      in
+      walk frontier;
+      (* The frontier answers any bound exactly like solve. *)
+      List.iter
+        (fun bound ->
+          let via_solve =
+            Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+              ~bound ()
+          in
+          let via_frontier =
+            List.fold_left
+              (fun acc r -> if r.Dp_power.cost <= bound then Some r else acc)
+              None frontier
+          in
+          match (via_solve, via_frontier) with
+          | None, None -> ()
+          | Some a, Some b -> check cf "same power" a.Dp_power.power b.Dp_power.power
+          | _ -> Alcotest.fail "frontier/solve disagree on feasibility")
+        [ 1.; 2.; 3.; 5.; 10. ])
+    seeds
+
+let test_result_consistency () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 43) in
+      let nodes = 3 + Rng.int rng 10 in
+      let pre = Rng.int rng 4 in
+      let t = small_tree_with_pre rng ~nodes ~max_requests:4 ~pre in
+      match
+        Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+      with
+      | None -> ()
+      | Some r ->
+          let w = Modes.max_capacity modes_2 in
+          check cb "valid" true (Solution.is_valid t ~w r.Dp_power.solution);
+          check cf "power recomputes"
+            (Solution.power t modes_2 power_exp3 r.Dp_power.solution)
+            r.Dp_power.power;
+          check cf "cost recomputes"
+            (Solution.modal_cost t modes_2 cost_cheap r.Dp_power.solution)
+            r.Dp_power.cost)
+    seeds
+
+let test_state_count_grows () =
+  let small = Generator.star ~leaves:3 ~client_requests:2 in
+  let big = Generator.star ~leaves:8 ~client_requests:2 in
+  let c1 = Dp_power.root_state_count small ~modes:modes_2 in
+  let c2 = Dp_power.root_state_count big ~modes:modes_2 in
+  check cb "bigger tree, more states" true (c2 > c1);
+  check cb "at least one state" true (c1 >= 1)
+
+let test_three_modes_matches_brute () =
+  (* M = 3 (the other "realistic" mode count the paper names), with
+     pre-existing servers at assorted initial modes. *)
+  let modes3 = Modes.make [ 3; 6; 9 ] in
+  let power3 = Power.make ~static:2. ~alpha:2. () in
+  let cost3 = Cost.paper_cheap ~modes:3 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 47) in
+      for _ = 1 to 6 do
+        let nodes = 2 + Rng.int rng 6 in
+        let t = small_tree rng ~nodes ~max_requests:3 in
+        let marks =
+          List.filter_map
+            (fun j ->
+              if Rng.bernoulli rng 0.4 then Some (j, 1 + Rng.int rng 3)
+              else None)
+            (List.init nodes Fun.id)
+        in
+        let t = Tree.with_pre_existing t marks in
+        let bound = if Rng.bool rng then infinity else 2. +. Rng.float rng 6. in
+        let dp =
+          Dp_power.solve t ~modes:modes3 ~power:power3 ~cost:cost3 ~bound ()
+        in
+        let brute =
+          Brute.min_power t ~modes:modes3 ~power:power3 ~cost:cost3 ~bound ()
+        in
+        match (dp, brute) with
+        | None, None -> ()
+        | Some d, Some (bp, _) ->
+            check cf
+              (Printf.sprintf "3-mode min power (seed %d)" seed)
+              bp d.Dp_power.power
+        | Some _, None -> Alcotest.fail "dp found a phantom solution"
+        | None, Some _ -> Alcotest.fail "dp missed a solution"
+      done)
+    seeds
+
+let test_three_modes_mode_boundaries () =
+  (* A chain forcing each mode: loads 2, 5, 8 under ladder {3, 6, 9}. *)
+  let modes3 = Modes.make [ 3; 6; 9 ] in
+  let power3 = Power.make ~static:0. ~alpha:2. () in
+  let cost3 = Cost.modal_uniform ~modes:3 ~create:0. ~delete:0. ~changed:0. in
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 8 ]
+         [ Tree.node ~clients:[ 5 ] [ Tree.node ~clients:[ 2 ] [] ] ])
+  in
+  match Dp_power.solve t ~modes:modes3 ~power:power3 ~cost:cost3 () with
+  | Some r ->
+      (* One server per node: 2 -> W1, 5 -> W2, 8 -> W3; any merge
+         overloads a mode or wastes power (9+36+81=126 is minimal). *)
+      check cf "power" 126. r.Dp_power.power;
+      check ci "three servers" 3 (Solution.cardinal r.Dp_power.solution)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_four_modes_matches_brute () =
+  (* M = 4 stresses the general-M machinery (state vectors of length
+     4 + 16 = 20) beyond the paper's practical 2-3 range. *)
+  let modes4 = Modes.make [ 2; 4; 6; 8 ] in
+  let power4 = Power.make ~static:1. ~alpha:2. () in
+  let cost4 = Cost.paper_cheap ~modes:4 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 53) in
+      for _ = 1 to 4 do
+        let nodes = 2 + Rng.int rng 5 in
+        let t = small_tree rng ~nodes ~max_requests:3 in
+        let marks =
+          List.filter_map
+            (fun j ->
+              if Rng.bernoulli rng 0.3 then Some (j, 1 + Rng.int rng 4)
+              else None)
+            (List.init nodes Fun.id)
+        in
+        let t = Tree.with_pre_existing t marks in
+        let dp = Dp_power.solve t ~modes:modes4 ~power:power4 ~cost:cost4 () in
+        let brute = Brute.min_power t ~modes:modes4 ~power:power4 ~cost:cost4 () in
+        match (dp, brute) with
+        | None, None -> ()
+        | Some d, Some (bp, _) ->
+            check cf (Printf.sprintf "4-mode min power (seed %d)" seed) bp
+              d.Dp_power.power
+        | Some _, None -> Alcotest.fail "dp found a phantom solution"
+        | None, Some _ -> Alcotest.fail "dp missed a solution"
+      done)
+    seeds
+
+let test_mode_count_mismatch () =
+  let t = figure2_tree ~root_requests:4 in
+  let bad_cost = Cost.modal_uniform ~modes:3 ~create:0. ~delete:0. ~changed:0. in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Dp_power: cost model mode count mismatch") (fun () ->
+      ignore (Dp_power.solve t ~modes:fig2_modes ~power:fig2_power ~cost:bad_cost ()))
+
+let () =
+  Alcotest.run "dp_power"
+    [
+      ( "paper figure 2",
+        [
+          Alcotest.test_case "light root" `Quick test_figure2_light_root;
+          Alcotest.test_case "heavy root" `Quick test_figure2_heavy_root;
+          Alcotest.test_case "local claim" `Quick test_figure2_local_claim;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "min power = brute" `Slow test_matches_brute_min_power;
+          Alcotest.test_case "bounded cost = brute" `Slow test_matches_brute_bounded_cost;
+          Alcotest.test_case "3 modes = brute" `Slow test_three_modes_matches_brute;
+          Alcotest.test_case "3-mode boundaries" `Quick test_three_modes_mode_boundaries;
+          Alcotest.test_case "4 modes = brute" `Slow test_four_modes_matches_brute;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "pareto properties" `Quick test_frontier_properties;
+          Alcotest.test_case "result consistency" `Quick test_result_consistency;
+          Alcotest.test_case "state counting" `Quick test_state_count_grows;
+          Alcotest.test_case "mode mismatch" `Quick test_mode_count_mismatch;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Small-scope exhaustive verification: enumerate EVERY tree shape with
+   up to [max_nodes] internal nodes (parent arrays with parent(i) < i
+   cover all rooted trees up to isomorphism-with-labels), a grid of
+   client demands and pre-existing markings, and check the polynomial
+   algorithms against the exhaustive oracle on all of them. Small-scope
+   bugs (off-by-one in merges, boundary capacities, root handling) have
+   nowhere to hide. *)
+
+open Replica_tree
+open Replica_core
+open Helpers
+
+let max_nodes = 4
+
+(* The cheap solvers sweep one size further: all 24 labelled shapes on 5
+   nodes with the full demand grid (~25k trees). *)
+let max_nodes_light = 5
+
+(* All parent vectors: parents.(0) = -1, parents.(i) in [0, i-1]. *)
+let all_shapes n =
+  let rec go i acc =
+    if i >= n then acc
+    else
+      go (i + 1)
+        (List.concat_map
+           (fun parents ->
+             List.init i (fun p -> parents @ [ p ]))
+           acc)
+  in
+  go 1 [ [ -1 ] ]
+
+(* Demand grids: every node gets one of these client lists. To keep the
+   product tractable the grid is small but hits the boundary cases:
+   idle, light, exactly W at one node, and two bundles. *)
+let demand_choices = [ []; [ 2 ]; [ 5 ]; [ 3; 2 ] ]
+
+let rec demand_grids n =
+  if n = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.map (fun d -> d :: rest) demand_choices)
+      (demand_grids (n - 1))
+
+let w = 5
+
+let trees_with_demands_up_to limit =
+  List.concat_map
+    (fun parents ->
+      let n = List.length parents in
+      List.map
+        (fun demands ->
+          Tree.of_parents
+            ~parents:(Array.of_list parents)
+            ~clients:(Array.of_list demands)
+            ~pre:(Array.make n None))
+        (demand_grids n))
+    (List.concat_map all_shapes (List.init limit (fun i -> i + 1)))
+
+let trees_with_demands () = trees_with_demands_up_to max_nodes
+
+let test_greedy_exhaustive () =
+  let cases = ref 0 in
+  List.iter
+    (fun t ->
+      incr cases;
+      let greedy = Greedy.solve_count t ~w in
+      let brute = Option.map fst (Brute.min_servers t ~w) in
+      if greedy <> brute then
+        Alcotest.failf "greedy mismatch on %s: %s vs %s" (Tree.to_string t)
+          (match greedy with Some k -> string_of_int k | None -> "none")
+          (match brute with Some k -> string_of_int k | None -> "none"))
+    (trees_with_demands_up_to max_nodes_light);
+  check cb "covered a real population" true (!cases > 20_000)
+
+let test_dp_nopre_exhaustive () =
+  List.iter
+    (fun t ->
+      let dp = Option.map (fun r -> r.Dp_nopre.servers) (Dp_nopre.solve t ~w) in
+      let brute = Option.map fst (Brute.min_servers t ~w) in
+      if dp <> brute then
+        Alcotest.failf "dp_nopre mismatch on %s" (Tree.to_string t))
+    (trees_with_demands_up_to max_nodes_light)
+
+let test_multiple_vs_closest_exhaustive () =
+  List.iter
+    (fun t ->
+      match (Multiple.solve t ~w, Greedy.solve_count t ~w) with
+      | Some m, Some c ->
+          if m.Multiple.servers > c then
+            Alcotest.failf "multiple beat by closest on %s" (Tree.to_string t)
+      | None, Some _ ->
+          Alcotest.failf "multiple lost a closest solution on %s"
+            (Tree.to_string t)
+      | Some _, None | None, None -> ())
+    (trees_with_demands_up_to max_nodes_light)
+
+(* With pre-existing markings the product explodes; sample the shapes
+   exhaustively but the markings per tree from a fixed subset. *)
+let test_dp_withpre_exhaustive () =
+  let cost = Cost.basic ~create:0.4 ~delete:0.3 () in
+  List.iter
+    (fun t ->
+      let n = Tree.size t in
+      (* Markings: none, node 0, last node, all. *)
+      let markings =
+        [ []; [ (0, 1) ]; [ (n - 1, 1) ]; List.init n (fun j -> (j, 1)) ]
+      in
+      List.iter
+        (fun marking ->
+          let t = Tree.with_pre_existing t marking in
+          let dp =
+            Option.map (fun r -> r.Dp_withpre.cost) (Dp_withpre.solve t ~w ~cost)
+          in
+          let brute = Option.map fst (Brute.min_basic_cost t ~w ~cost) in
+          match (dp, brute) with
+          | None, None -> ()
+          | Some a, Some b ->
+              if abs_float (a -. b) > 1e-9 then
+                Alcotest.failf "dp_withpre mismatch on %s: %f vs %f"
+                  (Tree.to_string t) a b
+          | _ -> Alcotest.failf "feasibility mismatch on %s" (Tree.to_string t))
+        markings)
+    (trees_with_demands ())
+
+let test_dp_power_exhaustive () =
+  (* The power DP on every shape with a coarser demand grid (the state
+     space is the expensive part, not the shapes). *)
+  let modes = Modes.make [ 3; 5 ] in
+  let power = Power.make ~static:1. ~alpha:2. () in
+  let cost = Cost.paper_cheap ~modes:2 in
+  let demand_choices = [ []; [ 2 ]; [ 5 ] ] in
+  let rec grids n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun d -> d :: rest) demand_choices)
+        (grids (n - 1))
+  in
+  List.iter
+    (fun parents ->
+      let n = List.length parents in
+      List.iter
+        (fun demands ->
+          let t =
+            Tree.of_parents
+              ~parents:(Array.of_list parents)
+              ~clients:(Array.of_list demands)
+              ~pre:(Array.make n None)
+          in
+          let t =
+            if n > 1 then Tree.with_pre_existing t [ (1, 2) ] else t
+          in
+          let dp =
+            Option.map
+              (fun r -> r.Dp_power.power)
+              (Dp_power.solve t ~modes ~power ~cost ())
+          in
+          let brute =
+            Option.map fst (Brute.min_power t ~modes ~power ~cost ())
+          in
+          match (dp, brute) with
+          | None, None -> ()
+          | Some a, Some b ->
+              if abs_float (a -. b) > 1e-9 then
+                Alcotest.failf "dp_power mismatch on %s" (Tree.to_string t)
+          | _ -> Alcotest.failf "power feasibility mismatch on %s" (Tree.to_string t))
+        (grids n))
+    (List.concat_map all_shapes (List.init max_nodes (fun i -> i + 1)))
+
+let test_shape_census () =
+  (* Sanity on the enumerator itself: (i-1)! labelled shapes on i nodes
+     (1, 1, 2, 6 for 1..4 nodes). *)
+  check ci "1 node" 1 (List.length (all_shapes 1));
+  check ci "2 nodes" 1 (List.length (all_shapes 2));
+  check ci "3 nodes" 2 (List.length (all_shapes 3));
+  check ci "4 nodes" 6 (List.length (all_shapes 4))
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "small scope",
+        [
+          Alcotest.test_case "shape census" `Quick test_shape_census;
+          Alcotest.test_case "greedy" `Slow test_greedy_exhaustive;
+          Alcotest.test_case "dp_nopre" `Slow test_dp_nopre_exhaustive;
+          Alcotest.test_case "multiple vs closest" `Slow test_multiple_vs_closest_exhaustive;
+          Alcotest.test_case "dp_withpre" `Slow test_dp_withpre_exhaustive;
+          Alcotest.test_case "dp_power" `Slow test_dp_power_exhaustive;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Consolidated failure injection: every public entry point must reject
+   malformed input with Invalid_argument (never crash or loop), and every
+   solver must answer [None] — not raise — on well-formed but unserveable
+   instances. *)
+
+open Replica_tree
+open Replica_core
+open Helpers
+
+let raises name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Invalid_argument, got %s" name
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument, got a value" name
+
+let feasible_tree () = Tree.build (Tree.node ~clients:[ 3 ] [])
+
+(* One client beyond every capacity: unserveable under closest/upwards. *)
+let hopeless_tree () = Tree.build (Tree.node ~clients:[ 99 ] [])
+
+let test_bad_capacities () =
+  let t = feasible_tree () in
+  raises "greedy w=0" (fun () -> Greedy.solve t ~w:0);
+  raises "greedy negative" (fun () -> Greedy.solve t ~w:(-3));
+  raises "dp_nopre w=0" (fun () -> Dp_nopre.solve t ~w:0);
+  raises "dp_withpre w=0" (fun () -> Dp_withpre.solve t ~w:0 ~cost:zero_cost);
+  raises "multiple w=0" (fun () -> Multiple.solve t ~w:0);
+  raises "upwards heuristic w=0" (fun () -> Upwards.solve_heuristic t ~w:0);
+  raises "upwards assignment w=0" (fun () ->
+      Upwards.assignment_exists t ~w:0 Solution.empty)
+
+let test_bad_models () =
+  raises "modes empty" (fun () -> Modes.make []);
+  raises "modes decreasing" (fun () -> Modes.make [ 9; 5 ]);
+  raises "power negative static" (fun () -> Power.make ~static:(-1.) ());
+  raises "cost negative" (fun () -> Cost.basic ~create:(-1.) ());
+  raises "modal mismatch" (fun () ->
+      Cost.modal ~create:[| 0. |] ~delete:[||] ~changed:[| [| 0. |] |]);
+  raises "tally mismatch" (fun () ->
+      Cost.modal_cost (Cost.paper_cheap ~modes:2) (Cost.empty_tally ~modes:3))
+
+let test_bad_trees () =
+  raises "negative client" (fun () ->
+      Tree.build (Tree.node ~clients:[ -1 ] []));
+  raises "zero mode" (fun () -> Tree.build (Tree.node ~pre:0 []));
+  raises "with_pre bad node" (fun () ->
+      Tree.with_pre_existing (feasible_tree ()) [ (7, 1) ]);
+  raises "of_string garbage" (fun () -> Tree.of_string "zzz");
+  raises "solution foreign node" (fun () ->
+      Solution.evaluate (feasible_tree ()) (Solution.of_nodes [ 5 ]))
+
+let test_guards () =
+  let big =
+    Tree.of_parents
+      ~parents:(Array.init 25 (fun i -> i - 1))
+      ~clients:(Array.make 25 [])
+      ~pre:(Array.make 25 None)
+  in
+  raises "brute too large" (fun () ->
+      Brute.min_servers big ~w:5);
+  raises "upwards exact too large" (fun () -> Upwards.solve_exact big ~w:5);
+  raises "npc empty" (fun () -> Npc.build []);
+  raises "npc precondition" (fun () -> Npc.build [ 5; 1 ])
+
+let test_infeasible_never_raises () =
+  let t = hopeless_tree () in
+  check cb "greedy" true (Greedy.solve t ~w:10 = None);
+  check cb "dp_nopre" true (Dp_nopre.solve t ~w:10 = None);
+  check cb "dp_withpre" true (Dp_withpre.solve t ~w:10 ~cost:zero_cost = None);
+  check cb "dp_power" true
+    (Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+    = None);
+  check cb "greedy_power" true
+    (Greedy_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+    = None);
+  check cb "heuristics" true
+    (Heuristics.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+    = None);
+  check cb "heuristics_cost" true
+    (Heuristics_cost.solve t ~w:10 ~cost:zero_cost () = None);
+  check cb "upwards exact" true (Upwards.solve_exact t ~w:10 = None);
+  check cb "upwards heuristic" true (Upwards.solve_heuristic t ~w:10 = None);
+  (* Multiple splits the bundle and succeeds given enough path servers —
+     one node is not enough for 99 requests at W=10 though. *)
+  check cb "multiple single node" true (Multiple.solve t ~w:10 = None)
+
+let test_infeasible_bounds () =
+  (* A bound below any achievable cost yields None everywhere. *)
+  let rng = Rng.create 9 in
+  let t = small_tree_with_pre rng ~nodes:8 ~max_requests:4 ~pre:2 in
+  let bound = -1. in
+  check cb "dp_power bound" true
+    (Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ~bound
+       ()
+    = None);
+  check cb "gr bound" true
+    (Greedy_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+       ~bound ()
+    = None);
+  check cb "heuristic bound" true
+    (Heuristics.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+       ~bound ()
+    = None)
+
+let test_empty_demand_everywhere () =
+  (* Zero requests: the empty placement is optimal for every solver. *)
+  let t = Tree.build (Tree.node [ Tree.node [] ]) in
+  check (Alcotest.option ci) "greedy" (Some 0) (Greedy.solve_count t ~w:5);
+  (match Dp_withpre.solve t ~w:5 ~cost:zero_cost with
+  | Some r -> check ci "dp servers" 0 r.Dp_withpre.servers
+  | None -> Alcotest.fail "dp failed on empty demand");
+  (match Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap () with
+  | Some r ->
+      check ci "power servers" 0 (Solution.cardinal r.Dp_power.solution);
+      check cf "zero power" 0. r.Dp_power.power
+  | None -> Alcotest.fail "power dp failed on empty demand");
+  match Multiple.solve t ~w:5 with
+  | Some r -> check ci "multiple servers" 0 r.Multiple.servers
+  | None -> Alcotest.fail "multiple failed on empty demand"
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "invalid arguments",
+        [
+          Alcotest.test_case "capacities" `Quick test_bad_capacities;
+          Alcotest.test_case "models" `Quick test_bad_models;
+          Alcotest.test_case "trees" `Quick test_bad_trees;
+          Alcotest.test_case "size guards" `Quick test_guards;
+        ] );
+      ( "graceful infeasibility",
+        [
+          Alcotest.test_case "hopeless demand" `Quick test_infeasible_never_raises;
+          Alcotest.test_case "impossible bounds" `Quick test_infeasible_bounds;
+          Alcotest.test_case "empty demand" `Quick test_empty_demand_everywhere;
+        ] );
+    ]

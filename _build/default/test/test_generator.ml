@@ -1,0 +1,157 @@
+open Replica_tree
+open Helpers
+
+let test_profiles () =
+  let f = Generator.fat () in
+  check ci "fat nodes" 100 f.Generator.nodes;
+  check ci "fat min children" 6 f.Generator.min_children;
+  check ci "fat max children" 9 f.Generator.max_children;
+  let h = Generator.high ~nodes:50 () in
+  check ci "high nodes" 50 h.Generator.nodes;
+  check ci "high min children" 2 h.Generator.min_children;
+  check ci "high max children" 4 h.Generator.max_children
+
+let test_random_size () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun n ->
+      let t = Generator.random rng (Generator.fat ~nodes:n ()) in
+      check ci (Printf.sprintf "exactly %d nodes" n) n (Tree.size t))
+    [ 1; 2; 10; 100; 357 ]
+
+let test_random_branching_bounds () =
+  let rng = Rng.create 2 in
+  let p = Generator.fat ~nodes:200 () in
+  let t = Generator.random rng p in
+  (* Every internal node has at most max_children children; interior
+     (non-frontier) nodes have at least min_children. A node is frontier
+     when the budget ran out while filling it or after it. *)
+  for j = 0 to Tree.size t - 1 do
+    let c = List.length (Tree.children t j) in
+    check cb "within max" true (c <= p.Generator.max_children);
+    check cb "min or frontier" true (c >= p.Generator.min_children || c = 0 || j > 0)
+  done
+
+let test_random_request_bounds () =
+  let rng = Rng.create 3 in
+  let p = Generator.fat ~nodes:150 () in
+  let t = Generator.random rng p in
+  let some_client = ref false in
+  for j = 0 to Tree.size t - 1 do
+    List.iter
+      (fun r ->
+        some_client := true;
+        check cb "request in range" true
+          (r >= p.Generator.min_requests && r <= p.Generator.max_requests))
+      (Tree.clients t j)
+  done;
+  check cb "clients exist" true !some_client
+
+let test_random_determinism () =
+  let p = Generator.high ~nodes:60 () in
+  let t1 = Generator.random (Rng.create 42) p in
+  let t2 = Generator.random (Rng.create 42) p in
+  check cb "same seed, same tree" true (Tree.equal t1 t2);
+  let t3 = Generator.random (Rng.create 43) p in
+  check cb "different seed, different tree" false (Tree.equal t1 t3)
+
+let test_random_high_is_higher () =
+  (* High trees (2-4 children) must be deeper than fat trees (6-9) on
+     average. *)
+  let height profile =
+    let rng = Rng.create 7 in
+    let total = ref 0 in
+    for _ = 1 to 20 do
+      total := !total + Tree.height (Generator.random rng profile)
+    done;
+    !total
+  in
+  check cb "high deeper than fat" true
+    (height (Generator.high ~nodes:100 ()) > height (Generator.fat ~nodes:100 ()))
+
+let test_add_pre_existing () =
+  let rng = Rng.create 4 in
+  let t = Generator.random rng (Generator.fat ~nodes:50 ()) in
+  let t' = Generator.add_pre_existing rng ~mode:2 t 10 in
+  check ci "ten pre-existing" 10 (Tree.num_pre_existing t');
+  List.iter
+    (fun j ->
+      check (Alcotest.option ci) "mode stamped" (Some 2) (Tree.initial_mode t' j))
+    (Tree.pre_existing t');
+  check ci "original untouched" 0 (Tree.num_pre_existing t);
+  let t_all = Generator.add_pre_existing rng t 50 in
+  check ci "all nodes" 50 (Tree.num_pre_existing t_all);
+  Alcotest.check_raises "too many" (Invalid_argument "Generator.add_pre_existing")
+    (fun () -> ignore (Generator.add_pre_existing rng t 51))
+
+let test_redraw_requests () =
+  let rng = Rng.create 5 in
+  let p = Generator.fat ~nodes:80 () in
+  let t = Generator.add_pre_existing rng (Generator.random rng p) 5 in
+  let t' = Generator.redraw_requests rng p t in
+  check ci "same size" (Tree.size t) (Tree.size t');
+  check (Alcotest.list ci) "same pre-existing" (Tree.pre_existing t)
+    (Tree.pre_existing t');
+  (* Structure preserved. *)
+  for j = 0 to Tree.size t - 1 do
+    check (Alcotest.list ci) "same children" (Tree.children t j)
+      (Tree.children t' j)
+  done
+
+let test_structured_shapes () =
+  let p = Generator.path ~n:5 ~client_requests:3 in
+  check ci "path size" 5 (Tree.size p);
+  check ci "path height" 4 (Tree.height p);
+  check ci "path load at tail" 3 (Tree.client_load p 4);
+  check ci "path requests" 3 (Tree.total_requests p);
+  let s = Generator.star ~leaves:7 ~client_requests:2 in
+  check ci "star size" 8 (Tree.size s);
+  check ci "star height" 1 (Tree.height s);
+  check ci "star requests" 14 (Tree.total_requests s);
+  let b = Generator.balanced ~arity:2 ~depth:3 ~client_requests:1 in
+  check ci "balanced size" 15 (Tree.size b);
+  check ci "balanced height" 3 (Tree.height b);
+  check ci "balanced requests" 8 (Tree.total_requests b);
+  let c = Generator.caterpillar ~spine:4 ~legs:2 ~client_requests:1 in
+  check ci "caterpillar size" 12 (Tree.size c);
+  check ci "caterpillar requests" 8 (Tree.total_requests c)
+
+let test_profile_validation () =
+  let rng = Rng.create 6 in
+  let bad p = fun () -> ignore (Generator.random rng p) in
+  Alcotest.check_raises "zero nodes"
+    (Invalid_argument "Generator: nodes must be positive")
+    (bad { (Generator.fat ()) with Generator.nodes = 0 });
+  Alcotest.check_raises "bad branching"
+    (Invalid_argument "Generator: bad branching bounds")
+    (bad { (Generator.fat ()) with Generator.min_children = 5; max_children = 3 });
+  Alcotest.check_raises "bad requests"
+    (Invalid_argument "Generator: bad request bounds")
+    (bad { (Generator.fat ()) with Generator.min_requests = 0 });
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Generator: bad client probability")
+    (bad { (Generator.fat ()) with Generator.client_probability = 1.5 })
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "random",
+        [
+          Alcotest.test_case "profiles" `Quick test_profiles;
+          Alcotest.test_case "exact size" `Quick test_random_size;
+          Alcotest.test_case "branching bounds" `Quick test_random_branching_bounds;
+          Alcotest.test_case "request bounds" `Quick test_random_request_bounds;
+          Alcotest.test_case "determinism" `Quick test_random_determinism;
+          Alcotest.test_case "high vs fat shape" `Quick test_random_high_is_higher;
+        ] );
+      ( "derivation",
+        [
+          Alcotest.test_case "add_pre_existing" `Quick test_add_pre_existing;
+          Alcotest.test_case "redraw_requests" `Quick test_redraw_requests;
+        ] );
+      ( "structured",
+        [
+          Alcotest.test_case "shapes" `Quick test_structured_shapes;
+          Alcotest.test_case "profile validation" `Quick test_profile_validation;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+let test_single_node () =
+  let t = Tree.build (Tree.node ~clients:[ 3 ] []) in
+  match Greedy.solve t ~w:5 with
+  | Some sol ->
+      check (Alcotest.list ci) "root hosts" [ 0 ] (Solution.nodes sol)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_no_requests () =
+  let t = Tree.build (Tree.node [ Tree.node [] ]) in
+  match Greedy.solve t ~w:5 with
+  | Some sol -> check ci "no server needed" 0 (Solution.cardinal sol)
+  | None -> Alcotest.fail "expected the empty solution"
+
+let test_infeasible () =
+  let t = Tree.build (Tree.node ~clients:[ 7 ] []) in
+  check cb "infeasible" true (Greedy.solve t ~w:5 = None);
+  let t2 = Tree.build (Tree.node ~clients:[ 3; 3 ] []) in
+  check cb "aggregate overload" true (Greedy.solve t2 ~w:5 = None)
+
+let test_star () =
+  (* 6 leaf nodes with 2 requests each, W=5. A leaf server only absorbs
+     its own 2 requests; the root absorbs the rest, so at least 4 leaf
+     servers are needed to bring the root load to 4: optimum is 5. *)
+  let t = Generator.star ~leaves:6 ~client_requests:2 in
+  match Greedy.solve t ~w:5 with
+  | Some sol ->
+      check ci "five servers" 5 (Solution.cardinal sol);
+      check cb "valid" true (Solution.is_valid t ~w:5 sol)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_path () =
+  let t = Generator.path ~n:10 ~client_requests:4 in
+  match Greedy.solve t ~w:5 with
+  | Some sol -> check ci "one server" 1 (Solution.cardinal sol)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_largest_first_matters () =
+  (* Root with clients 4; children with flows 5, 4, 1; W = 5.
+     Total at root = 14 > 5; absorbing 5 then 4 leaves 5 = W: 2 servers
+     below + root. A naive smallest-first would need 3 below. *)
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 4 ]
+         [
+           Tree.node ~clients:[ 5 ] [];
+           Tree.node ~clients:[ 4 ] [];
+           Tree.node ~clients:[ 1 ] [];
+         ])
+  in
+  match Greedy.solve t ~w:5 with
+  | Some sol ->
+      check ci "three servers total" 3 (Solution.cardinal sol);
+      check cb "child 1 chosen" true (Solution.mem sol 1);
+      check cb "child 2 chosen" true (Solution.mem sol 2);
+      check cb "valid" true (Solution.is_valid t ~w:5 sol)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_matches_brute_on_random_trees () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      for _ = 1 to 20 do
+        let nodes = 2 + Rng.int rng 9 in
+        let t = small_tree rng ~nodes ~max_requests:4 in
+        let w = 3 + Rng.int rng 6 in
+        let greedy = Greedy.solve_count t ~w in
+        let brute = Option.map fst (Brute.min_servers t ~w) in
+        check (Alcotest.option ci)
+          (Printf.sprintf "optimal count (seed %d)" seed)
+          brute greedy
+      done)
+    seeds
+
+let test_solutions_always_valid () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed * 100) in
+      for _ = 1 to 20 do
+        let nodes = 2 + Rng.int rng 30 in
+        let t = small_tree rng ~nodes ~max_requests:6 in
+        let w = 5 + Rng.int rng 10 in
+        match Greedy.solve t ~w with
+        | Some sol -> check cb "valid" true (Solution.is_valid t ~w sol)
+        | None ->
+            (* Infeasibility must be real: even all-nodes fails. *)
+            let all = Solution.of_nodes (List.init (Tree.size t) Fun.id) in
+            check cb "really infeasible" false (Solution.is_valid t ~w all)
+      done)
+    seeds
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "no requests" `Quick test_no_requests;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "largest-first" `Quick test_largest_first_matters;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "matches brute force" `Slow test_matches_brute_on_random_trees;
+          Alcotest.test_case "always valid" `Quick test_solutions_always_valid;
+        ] );
+    ]

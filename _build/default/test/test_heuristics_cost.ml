@@ -1,0 +1,127 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+let cost = Cost.basic ~create:0.5 ~delete:0.25 ()
+
+let test_sandwiched_between_greedy_and_dp () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 2100) in
+      for _ = 1 to 8 do
+        let nodes = 3 + Rng.int rng 15 in
+        let pre = Rng.int rng (nodes / 2 + 1) in
+        let t = small_tree_with_pre rng ~nodes ~max_requests:5 ~pre in
+        let w = 6 + Rng.int rng 6 in
+        let dp = Dp_withpre.solve t ~w ~cost in
+        let h = Heuristics_cost.solve t ~w ~cost () in
+        let gr =
+          Option.map (fun s -> Solution.basic_cost t cost s) (Greedy.solve t ~w)
+        in
+        match (dp, h, gr) with
+        | None, None, None -> ()
+        | Some d, Some h, Some g ->
+            check cb "dp <= heuristic" true
+              (d.Dp_withpre.cost <= h.Heuristics_cost.cost +. 1e-9);
+            check cb "heuristic <= greedy seed" true
+              (h.Heuristics_cost.cost <= g +. 1e-9);
+            check cb "valid" true
+              (Solution.is_valid t ~w h.Heuristics_cost.solution)
+        | _ -> Alcotest.fail "feasibility disagreement"
+      done)
+    seeds
+
+let test_retarget_move_reuses_idle_pre () =
+  (* Greedy puts a server on the root; node 1 (pre-existing) can absorb
+     the same flow. With delete > 0 the retarget strictly pays. *)
+  let t =
+    Tree.build
+      (Tree.node [ Tree.node ~pre:1 [ Tree.node ~clients:[ 7 ] [] ] ])
+  in
+  match Heuristics_cost.solve t ~w:10 ~cost () with
+  | Some r ->
+      check ci "one server" 1 r.Heuristics_cost.servers;
+      check ci "reuses the pre-existing node" 1 r.Heuristics_cost.reused;
+      check cf "cost 1" 1. r.Heuristics_cost.cost
+  | None -> Alcotest.fail "expected a solution"
+
+let test_metrics_consistent () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 2300) in
+      let nodes = 5 + Rng.int rng 20 in
+      let pre = Rng.int rng 6 in
+      let t = small_tree_with_pre rng ~nodes ~max_requests:5 ~pre in
+      match Heuristics_cost.solve t ~w:10 ~cost () with
+      | None -> ()
+      | Some r ->
+          check ci "servers" r.Heuristics_cost.servers
+            (Solution.cardinal r.Heuristics_cost.solution);
+          check ci "reused" r.Heuristics_cost.reused
+            (Solution.reused t r.Heuristics_cost.solution);
+          check cf "cost recomputes"
+            (Solution.basic_cost t cost r.Heuristics_cost.solution)
+            r.Heuristics_cost.cost)
+    seeds
+
+let test_improve_rejects_invalid_seed () =
+  let t = Tree.build (Tree.node ~clients:[ 5 ] []) in
+  check cb "invalid seed" true
+    (Heuristics_cost.improve t ~w:10 ~cost Solution.empty = None)
+
+let test_infeasible () =
+  let t = Tree.build (Tree.node ~clients:[ 11 ] []) in
+  check cb "infeasible" true (Heuristics_cost.solve t ~w:10 ~cost () = None)
+
+(* --- Instances module --- *)
+
+let test_instances_figure1 () =
+  let t = Instances.figure1 ~root_requests:2 in
+  check ci "four nodes" 4 (Tree.size t);
+  check cb "B pre-existing" true (Tree.is_pre_existing t 2);
+  check ci "capacity" 10 Instances.figure1_capacity;
+  (* The published outcome, via the DP. *)
+  let c = Cost.basic ~create:0.1 ~delete:0.01 () in
+  (match Dp_withpre.solve t ~w:Instances.figure1_capacity ~cost:c with
+  | Some r -> check cb "reuses B" true (Solution.mem r.Dp_withpre.solution 2)
+  | None -> Alcotest.fail "expected a solution");
+  let t4 = Instances.figure1 ~root_requests:4 in
+  match Dp_withpre.solve t4 ~w:Instances.figure1_capacity ~cost:c with
+  | Some r -> check cb "drops B" false (Solution.mem r.Dp_withpre.solution 2)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_instances_figure2 () =
+  let t = Instances.figure2 ~root_requests:4 in
+  check ci "four nodes" 4 (Tree.size t);
+  check ci "two modes" 2 (Modes.count Instances.figure2_modes);
+  let zero = Cost.modal_uniform ~modes:2 ~create:0. ~delete:0. ~changed:0. in
+  match
+    Dp_power.solve t ~modes:Instances.figure2_modes
+      ~power:Instances.figure2_power ~cost:zero ()
+  with
+  | Some r -> check cf "published optimum" 118. r.Dp_power.power
+  | None -> Alcotest.fail "expected a solution"
+
+let test_instances_names () =
+  check Alcotest.string "root" "root" (Instances.node_name 0);
+  check Alcotest.string "A" "A" (Instances.node_name 1);
+  check Alcotest.string "fallback" "7" (Instances.node_name 7)
+
+let () =
+  Alcotest.run "heuristics_cost"
+    [
+      ( "local search",
+        [
+          Alcotest.test_case "sandwiched" `Slow test_sandwiched_between_greedy_and_dp;
+          Alcotest.test_case "retarget" `Quick test_retarget_move_reuses_idle_pre;
+          Alcotest.test_case "metrics" `Quick test_metrics_consistent;
+          Alcotest.test_case "invalid seed" `Quick test_improve_rejects_invalid_seed;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "figure 1" `Quick test_instances_figure1;
+          Alcotest.test_case "figure 2" `Quick test_instances_figure2;
+          Alcotest.test_case "names" `Quick test_instances_names;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+(* Fixture (preorder ids):
+   0
+   ├── 1 (pre@1, clients 2 3)
+   │    ├── 2 (clients 1)
+   │    └── 3
+   └── 4 (clients 5) *)
+let sample () =
+  Tree.build
+    (Tree.node
+       [
+         Tree.node ~clients:[ 2; 3 ] ~pre:1
+           [ Tree.node ~clients:[ 1 ] []; Tree.node [] ];
+         Tree.node ~clients:[ 5 ] [];
+       ])
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+(* --- Metrics --- *)
+
+let test_compute () =
+  let m = Metrics.compute (sample ()) in
+  check ci "nodes" 5 m.Metrics.nodes;
+  check ci "height" 2 m.Metrics.height;
+  check ci "leaves" 3 m.Metrics.leaves;
+  check ci "min branching" 2 m.Metrics.min_branching;
+  check ci "max branching" 2 m.Metrics.max_branching;
+  check cf "mean branching" 2. m.Metrics.mean_branching;
+  check ci "clients" 4 m.Metrics.clients;
+  check ci "requests" 11 m.Metrics.total_requests;
+  check cf "mean per client" 2.75 m.Metrics.mean_requests_per_client;
+  check ci "max node demand" 5 m.Metrics.max_node_demand;
+  check ci "pre-existing" 1 m.Metrics.pre_existing
+
+let test_compute_single () =
+  let m = Metrics.compute (Tree.build (Tree.node [])) in
+  check ci "nodes" 1 m.Metrics.nodes;
+  check ci "leaves" 1 m.Metrics.leaves;
+  check ci "min branching (none)" 0 m.Metrics.min_branching;
+  check cf "mean branching" 0. m.Metrics.mean_branching;
+  check cf "mean per client" 0. m.Metrics.mean_requests_per_client
+
+let test_histograms () =
+  let t = sample () in
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "depth histogram"
+    [ (0, 1); (1, 2); (2, 2) ]
+    (Metrics.depth_histogram t);
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "branching histogram"
+    [ (0, 3); (2, 2) ]
+    (Metrics.branching_histogram t);
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "demand by depth"
+    [ (1, 10); (2, 1) ]
+    (Metrics.demand_by_depth t)
+
+let test_metrics_match_generator_profile () =
+  let rng = Rng.create 12 in
+  let t = Generator.random rng (Generator.fat ~nodes:150 ()) in
+  let m = Metrics.compute t in
+  check ci "nodes" 150 m.Metrics.nodes;
+  check cb "branching within profile" true
+    (m.Metrics.max_branching <= 9 && m.Metrics.mean_branching > 0.);
+  check cb "requests within profile" true
+    (m.Metrics.total_requests >= m.Metrics.clients
+    && m.Metrics.total_requests <= 6 * m.Metrics.clients)
+
+(* --- Report --- *)
+
+let test_cost_report_content () =
+  let t = sample () in
+  let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
+  let report = Report.cost_report t ~w:10 cost (Solution.of_nodes [ 0; 1 ]) in
+  check cb "mentions both servers" true
+    (contains report "node 0" && contains report "node 1");
+  check cb "provenance" true
+    (contains report "reused (was mode 1)" && contains report "new");
+  check cb "reuse summary" true (contains report "reused 1 of 1");
+  check cb "cost figure" true (contains report "cost (Eq. 2): 2.500");
+  check cb "no violations" true (not (contains report "VIOLATIONS"))
+
+let test_cost_report_deletion_and_violation () =
+  let t = sample () in
+  let cost = Cost.basic () in
+  (* Root-only drops the pre-existing node 1 and overloads at w=10. *)
+  let report = Report.cost_report t ~w:10 cost (Solution.of_nodes [ 0 ]) in
+  check cb "deletion listed" true (contains report "deleted pre-existing servers: 1");
+  check cb "violation listed" true (contains report "node 0 overloaded: 11 > 10")
+
+let test_cost_report_unserved () =
+  let t = sample () in
+  let report = Report.cost_report t ~w:10 (Cost.basic ()) Solution.empty in
+  check cb "unserved" true (contains report "11 requests unserved")
+
+let test_power_report_content () =
+  let t = sample () in
+  let modes = Modes.make [ 7; 14 ] in
+  let power = Power.make ~static:1. ~alpha:2. () in
+  let cost = Cost.paper_cheap ~modes:2 in
+  let report =
+    Report.power_report t modes power cost (Solution.of_nodes [ 0; 1 ])
+  in
+  check cb "mode shown" true (contains report "mode W1");
+  check cb "watts shown" true (contains report "(50.0 W)");
+  check cb "power total" true (contains report "power (Eq. 3): 100.000");
+  check cb "cost line" true (contains report "cost (Eq. 4):")
+
+(* --- Svg --- *)
+
+let test_svg_render () =
+  let t = sample () in
+  let svg = Svg.render t in
+  check cb "svg root" true (contains svg "<svg xmlns");
+  check cb "closes" true (contains svg "</svg>");
+  check cb "node ids" true (contains svg ">3</text>");
+  check cb "pre-existing label" true (contains svg "pre@W1");
+  check cb "client bubble" true (contains svg ">5</text>");
+  (* One rect per internal node, one circle per client. *)
+  let count needle =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length svg then acc
+      else if String.sub svg i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check ci "rects" 5 (count "<rect");
+  check ci "client circles" 4 (count "<circle")
+
+let test_svg_highlight () =
+  let t = sample () in
+  let highlight =
+    {
+      Svg.replicas = [ 0; 1 ];
+      loads = [ (0, 7); (1, 7) ];
+      capacity = 10;
+    }
+  in
+  let svg = Svg.render ~highlight t in
+  check cb "bold replica outline" true (contains svg "stroke-width=\"3.0\"");
+  check cb "load label" true (contains svg ">7/10</text>")
+
+let test_svg_write_file () =
+  let t = sample () in
+  let path = Filename.temp_file "replicaml" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Svg.write_file path t;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      close_in ic;
+      check cb "non-empty file" true (len > 200))
+
+let () =
+  Alcotest.run "metrics_report"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "compute" `Quick test_compute;
+          Alcotest.test_case "single node" `Quick test_compute_single;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "generator profile" `Quick test_metrics_match_generator_profile;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "cost content" `Quick test_cost_report_content;
+          Alcotest.test_case "deletion and violation" `Quick test_cost_report_deletion_and_violation;
+          Alcotest.test_case "unserved" `Quick test_cost_report_unserved;
+          Alcotest.test_case "power content" `Quick test_power_report_content;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "render" `Quick test_svg_render;
+          Alcotest.test_case "highlight" `Quick test_svg_highlight;
+          Alcotest.test_case "write file" `Quick test_svg_write_file;
+        ] );
+    ]

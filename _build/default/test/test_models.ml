@@ -1,0 +1,172 @@
+(* Unit tests for the Modes, Power and Cost models. *)
+
+open Replica_core
+open Helpers
+
+(* --- Modes --- *)
+
+let test_modes_make () =
+  let m = Modes.make [ 5; 10 ] in
+  check ci "count" 2 (Modes.count m);
+  check ci "W1" 5 (Modes.capacity m 1);
+  check ci "W2" 10 (Modes.capacity m 2);
+  check ci "max" 10 (Modes.max_capacity m);
+  check (Alcotest.list ci) "capacities" [ 5; 10 ] (Modes.capacities m)
+
+let test_modes_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Modes.make: empty ladder")
+    (fun () -> ignore (Modes.make []));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Modes.make: capacities must be strictly increasing")
+    (fun () -> ignore (Modes.make [ 5; 5 ]));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Modes.make: non-positive capacity") (fun () ->
+      ignore (Modes.make [ 0; 3 ]))
+
+let test_mode_of_load_boundaries () =
+  let m = Modes.make [ 5; 10 ] in
+  check ci "zero load -> mode 1" 1 (Modes.mode_of_load m 0);
+  check ci "load 5 -> mode 1" 1 (Modes.mode_of_load m 5);
+  check ci "load 6 -> mode 2" 2 (Modes.mode_of_load m 6);
+  check ci "load 10 -> mode 2" 2 (Modes.mode_of_load m 10);
+  Alcotest.check_raises "overload"
+    (Invalid_argument "Modes.mode_of_load: load exceeds maximal capacity")
+    (fun () -> ignore (Modes.mode_of_load m 11));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Modes.mode_of_load: negative load") (fun () ->
+      ignore (Modes.mode_of_load m (-1)))
+
+let test_fits () =
+  let m = Modes.make [ 5; 10 ] in
+  check cb "0 fits" true (Modes.fits m 0);
+  check cb "10 fits" true (Modes.fits m 10);
+  check cb "11 does not" false (Modes.fits m 11);
+  check cb "-1 does not" false (Modes.fits m (-1))
+
+let test_single () =
+  let m = Modes.single 7 in
+  check ci "one mode" 1 (Modes.count m);
+  check ci "any load is mode 1" 1 (Modes.mode_of_load m 7)
+
+(* --- Power --- *)
+
+let test_power_of_mode () =
+  let m = Modes.make [ 5; 10 ] in
+  let p = Power.make ~static:2. ~alpha:2. () in
+  check cf "mode 1" 27. (Power.of_mode p m 1);
+  check cf "mode 2" 102. (Power.of_mode p m 2);
+  check cf "dynamic only" 25. (Power.dynamic p m 1)
+
+let test_power_of_load () =
+  let m = Modes.make [ 5; 10 ] in
+  let p = Power.make ~static:0. ~alpha:3. () in
+  check cf "load 3 -> W1^3" 125. (Power.of_load p m 3);
+  check cf "load 7 -> W2^3" 1000. (Power.of_load p m 7);
+  check cf "total" 1125. (Power.total p m [ 3; 7 ])
+
+let test_power_paper_exp3 () =
+  let m = Modes.make [ 5; 10 ] in
+  let p = Power.paper_exp3 ~modes:m in
+  (* P_i = W1^3/10 + W_i^3 = 12.5 + W_i^3 *)
+  check cf "P1" 137.5 (Power.of_mode p m 1);
+  check cf "P2" 1012.5 (Power.of_mode p m 2)
+
+let test_power_validation () =
+  Alcotest.check_raises "negative static"
+    (Invalid_argument "Power.make: negative static power") (fun () ->
+      ignore (Power.make ~static:(-1.) ()));
+  Alcotest.check_raises "bad alpha"
+    (Invalid_argument "Power.make: alpha must be >= 1") (fun () ->
+      ignore (Power.make ~alpha:0.5 ()))
+
+(* --- Cost, Eq. 2 --- *)
+
+let test_basic_cost_formula () =
+  let c = Cost.basic ~create:0.5 ~delete:0.25 () in
+  (* R=3, e=1, E=2: 3 + 2*0.5 + 1*0.25 *)
+  check cf "Eq.2" 4.25 (Cost.basic_cost c ~servers:3 ~reused:1 ~pre_existing:2);
+  check cf "no servers" 0.5 (Cost.basic_cost c ~servers:0 ~reused:0 ~pre_existing:2)
+
+let test_basic_cost_validation () =
+  let c = Cost.basic () in
+  Alcotest.check_raises "reused > servers"
+    (Invalid_argument "Cost.basic_cost: inconsistent counts") (fun () ->
+      ignore (Cost.basic_cost c ~servers:1 ~reused:2 ~pre_existing:3));
+  Alcotest.check_raises "negative create"
+    (Invalid_argument "Cost.basic: negative cost") (fun () ->
+      ignore (Cost.basic ~create:(-0.1) ()))
+
+(* --- Cost, Eq. 4 --- *)
+
+let test_modal_cost_formula () =
+  let c = Cost.modal_uniform ~modes:2 ~create:0.1 ~delete:0.01 ~changed:0.001 in
+  let tally = Cost.empty_tally ~modes:2 in
+  tally.Cost.created.(1) <- 2;
+  (* two new servers at mode 2 *)
+  tally.Cost.reused.(0).(1) <- 1;
+  (* one upgrade 1 -> 2 *)
+  tally.Cost.deleted.(0) <- 3;
+  (* three mode-1 pre-existing dropped *)
+  check ci "R" 3 (Cost.tally_servers tally);
+  (* 3 + 2*0.1 + 3*0.01 + 1*0.001 *)
+  check cf "Eq.4" 3.231 (Cost.modal_cost c tally)
+
+let test_modal_diagonal_free () =
+  let c = Cost.modal_uniform ~modes:2 ~create:0. ~delete:0. ~changed:5. in
+  let tally = Cost.empty_tally ~modes:2 in
+  tally.Cost.reused.(0).(0) <- 1;
+  check cf "unchanged mode is free" 1. (Cost.modal_cost c tally);
+  tally.Cost.reused.(0).(1) <- 1;
+  check cf "changed mode costs" 7. (Cost.modal_cost c tally)
+
+let test_modal_validation () =
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Cost.modal: dimension mismatch") (fun () ->
+      ignore
+        (Cost.modal ~create:[| 1. |] ~delete:[| 1.; 2. |]
+           ~changed:[| [| 0. |] |]));
+  Alcotest.check_raises "nonzero diagonal"
+    (Invalid_argument "Cost.modal: changed diagonal must be 0") (fun () ->
+      ignore
+        (Cost.modal ~create:[| 1. |] ~delete:[| 1. |] ~changed:[| [| 1. |] |]));
+  let c = Cost.modal_uniform ~modes:2 ~create:0. ~delete:0. ~changed:0. in
+  Alcotest.check_raises "tally mismatch"
+    (Invalid_argument "Cost.modal_cost: mode count mismatch") (fun () ->
+      ignore (Cost.modal_cost c (Cost.empty_tally ~modes:3)))
+
+let test_paper_cost_presets () =
+  let cheap = Cost.paper_cheap ~modes:2 in
+  let tally = Cost.empty_tally ~modes:2 in
+  tally.Cost.created.(0) <- 1;
+  check cf "cheap create" 1.1 (Cost.modal_cost cheap tally);
+  let expensive = Cost.paper_expensive ~modes:2 in
+  check cf "expensive create" 2. (Cost.modal_cost expensive tally)
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "make" `Quick test_modes_make;
+          Alcotest.test_case "validation" `Quick test_modes_validation;
+          Alcotest.test_case "mode_of_load boundaries" `Quick test_mode_of_load_boundaries;
+          Alcotest.test_case "fits" `Quick test_fits;
+          Alcotest.test_case "single" `Quick test_single;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "of_mode" `Quick test_power_of_mode;
+          Alcotest.test_case "of_load" `Quick test_power_of_load;
+          Alcotest.test_case "paper exp3 model" `Quick test_power_paper_exp3;
+          Alcotest.test_case "validation" `Quick test_power_validation;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "Eq.2 formula" `Quick test_basic_cost_formula;
+          Alcotest.test_case "Eq.2 validation" `Quick test_basic_cost_validation;
+          Alcotest.test_case "Eq.4 formula" `Quick test_modal_cost_formula;
+          Alcotest.test_case "diagonal free" `Quick test_modal_diagonal_free;
+          Alcotest.test_case "Eq.4 validation" `Quick test_modal_validation;
+          Alcotest.test_case "paper presets" `Quick test_paper_cost_presets;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+let test_two_partition_reference () =
+  check cb "1+2=3" true (Npc.two_partition_exists [ 1; 2; 3 ]);
+  check cb "2+2" true (Npc.two_partition_exists [ 2; 2 ]);
+  check cb "1,3 has none" false (Npc.two_partition_exists [ 1; 3 ]);
+  check cb "1,1,4 has none" false (Npc.two_partition_exists [ 1; 1; 4 ]);
+  check cb "odd sum" false (Npc.two_partition_exists [ 1; 2 ]);
+  check cb "2,3,3,4" true (Npc.two_partition_exists [ 2; 3; 3; 4 ])
+
+let test_instance_shape () =
+  let inst = Npc.build [ 1; 2; 3; 4 ] in
+  (* Root + n pairs (A_i, B_i): 1 + 2n internal nodes; n+2 modes. *)
+  check ci "nodes" 9 (Tree.size inst.Npc.tree);
+  check ci "modes" 6 (Modes.count inst.Npc.modes);
+  (* Capacities strictly increasing with W_{n+2} = W_1 + S. *)
+  let caps = Modes.capacities inst.Npc.modes in
+  let w1 = List.hd caps and wlast = List.nth caps 5 in
+  check ci "span is S" 10 (wlast - w1)
+
+let test_gadget_decides_positive () =
+  List.iter
+    (fun a ->
+      let inst = Npc.build a in
+      check cb "solvable gadget" true (Npc.decide inst))
+    [ [ 1; 1; 1; 1 ]; [ 1; 1; 2; 2 ]; [ 1; 2; 3; 4 ]; [ 2; 3; 3; 4 ] ]
+
+let test_gadget_decides_negative () =
+  (* Hard negatives: even sum, no 2-partition, max a_i < S/2 (the
+     gadget's precondition — see Npc.build). *)
+  List.iter
+    (fun a ->
+      let inst = Npc.build a in
+      check cb "unsolvable gadget" false (Npc.decide inst))
+    [ [ 2; 2; 3; 5 ]; [ 2; 4; 5; 5 ] ]
+
+let test_precondition_enforced () =
+  (* max a_i >= S/2 would let the root slip to an intermediate mode and
+     break the threshold; build must reject such (trivial) instances. *)
+  Alcotest.check_raises "max too large"
+    (Invalid_argument "Npc.build: requires max a_i < S/2 (see Theorem 2 proof)")
+    (fun () -> ignore (Npc.build [ 1; 3 ]))
+
+let test_gadget_matches_reference () =
+  (* Systematic agreement on random small instances satisfying the
+     gadget precondition. *)
+  let rng = Rng.create 99 in
+  let tried = ref 0 in
+  while !tried < 8 do
+    let n = 3 + Rng.int rng 2 in
+    let a = List.init n (fun _ -> 1 + Rng.int rng 5) in
+    let s = List.fold_left ( + ) 0 a in
+    let a_max = List.fold_left max 0 a in
+    if s mod 2 = 0 && 2 * a_max < s then begin
+      incr tried;
+      check cb
+        (Printf.sprintf "agreement on [%s]"
+           (String.concat ";" (List.map string_of_int a)))
+        (Npc.two_partition_exists a)
+        (Npc.decide (Npc.build a))
+    end
+  done
+
+let test_build_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Npc.build: empty instance")
+    (fun () -> ignore (Npc.build []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Npc.build: non-positive value") (fun () ->
+      ignore (Npc.build [ 1; 0 ]));
+  Alcotest.check_raises "odd sum"
+    (Invalid_argument "Npc.build: odd sum has no 2-partition") (fun () ->
+      ignore (Npc.build [ 1; 2 ]))
+
+let () =
+  Alcotest.run "npc"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "two_partition_exists" `Quick test_two_partition_reference;
+          Alcotest.test_case "instance shape" `Quick test_instance_shape;
+          Alcotest.test_case "build validation" `Quick test_build_validation;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "positive instances" `Slow test_gadget_decides_positive;
+          Alcotest.test_case "negative instances" `Slow test_gadget_decides_negative;
+          Alcotest.test_case "precondition enforced" `Quick test_precondition_enforced;
+          Alcotest.test_case "random agreement" `Slow test_gadget_matches_reference;
+        ] );
+    ]

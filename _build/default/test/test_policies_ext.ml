@@ -1,0 +1,213 @@
+(* Tests for the access-policy extensions (Multiple and Upwards) and
+   their relationships to the paper's closest policy. *)
+
+open Replica_tree
+open Replica_core
+open Helpers
+
+(* --- Multiple --- *)
+
+let test_multiple_split_across_ancestors () =
+  (* A 12-request client under W=10 is unserveable by any single server
+     (closest AND upwards), but two stacked servers split it. *)
+  let t = Tree.build (Tree.node [ Tree.node ~clients:[ 12 ] [] ]) in
+  check cb "closest infeasible" true (Greedy.solve t ~w:10 = None);
+  check cb "upwards infeasible" true (Upwards.solve_exact t ~w:10 = None);
+  match Multiple.solve t ~w:10 with
+  | Some r ->
+      check ci "two servers" 2 r.Multiple.servers;
+      check cb "valid" true (Multiple.is_valid t ~w:10 r.Multiple.solution)
+  | None -> Alcotest.fail "expected a Multiple solution"
+
+let test_multiple_evaluate () =
+  let t = Tree.build (Tree.node ~clients:[ 4 ] [ Tree.node ~clients:[ 9 ] [] ]) in
+  let sol = Solution.of_nodes [ 0; 1 ] in
+  let ev = Multiple.evaluate t ~w:10 sol in
+  (* Node 1 absorbs min(10, 9) = 9; root absorbs its own 4. *)
+  check (Alcotest.list (Alcotest.pair ci ci)) "loads" [ (0, 4); (1, 9) ]
+    ev.Multiple.loads;
+  check ci "served" 0 ev.Multiple.unserved;
+  (* Single lower server: absorbs 9, the root client escapes. *)
+  let ev1 = Multiple.evaluate t ~w:10 (Solution.of_nodes [ 1 ]) in
+  check ci "unserved" 4 ev1.Multiple.unserved
+
+let test_multiple_matches_brute () =
+  (* Brute force over subsets with the greedy-absorption validity. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 61) in
+      for _ = 1 to 10 do
+        let nodes = 2 + Rng.int rng 8 in
+        let t = small_tree rng ~nodes ~max_requests:6 in
+        let w = 3 + Rng.int rng 5 in
+        let brute =
+          let best = ref None in
+          for mask = 0 to (1 lsl nodes) - 1 do
+            let sel = ref [] in
+            for j = nodes - 1 downto 0 do
+              if mask land (1 lsl j) <> 0 then sel := j :: !sel
+            done;
+            let sol = Solution.of_nodes !sel in
+            if Multiple.is_valid t ~w sol then
+              match !best with
+              | Some b when b <= Solution.cardinal sol -> ()
+              | Some _ | None -> best := Some (Solution.cardinal sol)
+          done;
+          !best
+        in
+        let dp = Option.map (fun r -> r.Multiple.servers) (Multiple.solve t ~w) in
+        check (Alcotest.option ci)
+          (Printf.sprintf "multiple optimum (seed %d)" seed)
+          brute dp
+      done)
+    seeds
+
+let test_multiple_lower_bound () =
+  let t = Generator.star ~leaves:4 ~client_requests:3 in
+  check ci "counting bound" 2 (Multiple.min_servers_lower_bound t ~w:10);
+  match Multiple.solve t ~w:10 with
+  | Some r -> check cb "bound respected" true (r.Multiple.servers >= 2)
+  | None -> Alcotest.fail "expected a solution"
+
+(* --- Upwards --- *)
+
+let test_upwards_beats_closest () =
+  (* Two 6-request bundles at the same node, W=10: under closest both
+     bundles share their first replica ancestor (12 > 10 everywhere), so
+     the instance is infeasible; upwards sends one bundle to A and the
+     other past it to the root. *)
+  let t = Tree.build (Tree.node [ Tree.node ~clients:[ 6; 6 ] [] ]) in
+  let sol = Solution.of_nodes [ 0; 1 ] in
+  check cb "closest invalid" false (Solution.is_valid t ~w:10 sol);
+  check cb "upwards valid" true (Upwards.assignment_exists t ~w:10 sol);
+  check cb "closest infeasible" true (Greedy.solve t ~w:10 = None);
+  match Upwards.solve_exact t ~w:10 with
+  | Some u -> check ci "upwards needs 2" 2 u.Upwards.servers
+  | None -> Alcotest.fail "expected an upwards solution"
+
+let test_upwards_assignment_bin_packing () =
+  (* Bundles 6,5,4,3 on one path with two servers of W=9: only the
+     {6,3}/{5,4} split works; backtracking must find it. *)
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 6; 5 ]
+         [ Tree.node ~clients:[ 4; 3 ] [] ])
+  in
+  (* Both servers on the path of every bundle? Bundles at root can only
+     go to the root. 6+5 = 11 > 9: infeasible no matter what. *)
+  check cb "root overload" false
+    (Upwards.assignment_exists t ~w:9 (Solution.of_nodes [ 0; 1 ]));
+  let t2 =
+    Tree.build
+      (Tree.node [ Tree.node ~clients:[ 6; 5; 4; 3 ] [] ])
+  in
+  check cb "path split works" true
+    (Upwards.assignment_exists t2 ~w:9 (Solution.of_nodes [ 0; 1 ]));
+  check cb "single server fails" false
+    (Upwards.assignment_exists t2 ~w:9 (Solution.of_nodes [ 0 ]))
+
+let test_upwards_heuristic_valid () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 67) in
+      for _ = 1 to 10 do
+        let nodes = 2 + Rng.int rng 7 in
+        let t = small_tree rng ~nodes ~max_requests:5 in
+        let w = 5 + Rng.int rng 6 in
+        match Upwards.solve_heuristic t ~w with
+        | Some r ->
+            check cb "heuristic placement is upwards-valid" true
+              (Upwards.assignment_exists t ~w r.Upwards.solution);
+            (* Heuristic never beats the exact optimum. *)
+            (match Upwards.solve_exact t ~w with
+            | Some e ->
+                check cb "exact <= heuristic" true
+                  (e.Upwards.servers <= r.Upwards.servers)
+            | None -> Alcotest.fail "exact solver missed a solution")
+        | None -> (
+            (* The heuristic only gives up when a bundle exceeds w; then
+               no solver can succeed. *)
+            match Upwards.solve_exact t ~w with
+            | Some _ ->
+                (* Heuristic incompleteness is allowed, but flag it if the
+                   exact solver disagrees for a reason other than packing. *)
+                ()
+            | None -> ())
+      done)
+    seeds
+
+(* --- Policy hierarchy --- *)
+
+let test_policy_hierarchy () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed + 71) in
+      for _ = 1 to 10 do
+        let nodes = 2 + Rng.int rng 6 in
+        let t = small_tree rng ~nodes ~max_requests:5 in
+        let w = 4 + Rng.int rng 6 in
+        (* Fixed random replica set: validity is ordered
+           closest => upwards => multiple. *)
+        let sel =
+          List.filter (fun _ -> Rng.bool rng) (List.init nodes Fun.id)
+        in
+        let sol = Solution.of_nodes sel in
+        let closest_ok = Solution.is_valid t ~w sol in
+        let upwards_ok = Upwards.assignment_exists t ~w sol in
+        let multiple_ok = Multiple.is_valid t ~w sol in
+        if closest_ok then check cb "closest => upwards" true upwards_ok;
+        if upwards_ok then check cb "upwards => multiple" true multiple_ok;
+        (* Optimal counts are ordered the other way. *)
+        let closest = Greedy.solve_count t ~w in
+        let upwards =
+          Option.map (fun r -> r.Upwards.servers) (Upwards.solve_exact t ~w)
+        in
+        let multiple =
+          Option.map (fun r -> r.Multiple.servers) (Multiple.solve t ~w)
+        in
+        (match (closest, upwards) with
+        | Some c, Some u -> check cb "upwards <= closest" true (u <= c)
+        | None, _ -> ()
+        | Some _, None -> Alcotest.fail "upwards lost a closest solution");
+        match (upwards, multiple) with
+        | Some u, Some m -> check cb "multiple <= upwards" true (m <= u)
+        | None, _ -> ()
+        | Some _, None -> Alcotest.fail "multiple lost an upwards solution"
+      done)
+    seeds
+
+let test_validation_errors () =
+  let t = Tree.build (Tree.node ~clients:[ 1 ] []) in
+  Alcotest.check_raises "multiple w" (Invalid_argument "Multiple.solve: w must be positive")
+    (fun () -> ignore (Multiple.solve t ~w:0));
+  Alcotest.check_raises "upwards w"
+    (Invalid_argument "Upwards.solve_heuristic: w must be positive") (fun () ->
+      ignore (Upwards.solve_heuristic t ~w:0));
+  let big = Generator.star ~leaves:25 ~client_requests:1 in
+  Alcotest.check_raises "too many clients"
+    (Invalid_argument "Upwards.assignment_exists: too many clients for exact check")
+    (fun () ->
+      ignore (Upwards.assignment_exists big ~w:5 (Solution.of_nodes [ 0 ])))
+
+let () =
+  Alcotest.run "policies_ext"
+    [
+      ( "multiple",
+        [
+          Alcotest.test_case "split across ancestors" `Quick test_multiple_split_across_ancestors;
+          Alcotest.test_case "evaluate" `Quick test_multiple_evaluate;
+          Alcotest.test_case "matches brute" `Slow test_multiple_matches_brute;
+          Alcotest.test_case "lower bound" `Quick test_multiple_lower_bound;
+        ] );
+      ( "upwards",
+        [
+          Alcotest.test_case "beats closest" `Quick test_upwards_beats_closest;
+          Alcotest.test_case "bin packing" `Quick test_upwards_assignment_bin_packing;
+          Alcotest.test_case "heuristic valid" `Slow test_upwards_heuristic_valid;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "policy hierarchy" `Slow test_policy_hierarchy;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+    ]

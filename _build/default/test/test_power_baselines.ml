@@ -1,0 +1,238 @@
+(* Tests for Greedy_power (the GR baseline of §5.2) and Heuristics (the
+   §6 local-search program). *)
+
+open Replica_tree
+open Replica_core
+open Helpers
+
+let random_instance seed =
+  let rng = Rng.create seed in
+  let nodes = 4 + Rng.int rng 12 in
+  let pre = Rng.int rng 4 in
+  small_tree_with_pre rng ~nodes ~max_requests:4 ~pre
+
+let test_gr_candidates_cover_sweep () =
+  let t = random_instance 1001 in
+  let cands = Greedy_power.candidates t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap in
+  check cb "at least one candidate" true (cands <> []);
+  List.iter
+    (fun c ->
+      check cb "capacity within sweep" true
+        (c.Greedy_power.capacity >= 5 && c.Greedy_power.capacity <= 10);
+      let r = c.Greedy_power.result in
+      check cb "valid at W_M" true
+        (Solution.is_valid t ~w:10 r.Dp_power.solution);
+      (* Every server respects the sweep capacity it was built with. *)
+      let ev = Solution.evaluate t r.Dp_power.solution in
+      List.iter
+        (fun (_, load) ->
+          check cb "load within sweep capacity" true
+            (load <= c.Greedy_power.capacity))
+        ev.Solution.loads)
+    cands
+
+let test_gr_never_beats_dp () =
+  (* DP is optimal: for any bound, GR's power is >= DP's. *)
+  List.iter
+    (fun seed ->
+      let t = random_instance seed in
+      List.iter
+        (fun bound ->
+          let dp =
+            Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+              ~bound ()
+          in
+          let gr =
+            Greedy_power.solve t ~modes:modes_2 ~power:power_exp3
+              ~cost:cost_cheap ~bound ()
+          in
+          match (dp, gr) with
+          | _, None -> ()
+          | None, Some _ -> Alcotest.fail "GR found what DP missed"
+          | Some d, Some g ->
+              check cb "dp <= gr" true
+                (d.Dp_power.power <= g.Dp_power.power +. 1e-9))
+        [ 2.; 3.; 5.; 10.; infinity ])
+    seeds
+
+let test_gr_frontier_pareto () =
+  let t = random_instance 2002 in
+  let f = Greedy_power.frontier t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        check cb "cost up" true (a.Dp_power.cost < b.Dp_power.cost);
+        check cb "power down" true (b.Dp_power.power < a.Dp_power.power);
+        walk rest
+    | _ -> ()
+  in
+  walk f
+
+let test_heuristic_improves_on_gr () =
+  (* The local search must never be worse than its greedy seed, and never
+     better than the DP optimum. *)
+  List.iter
+    (fun seed ->
+      let t = random_instance (seed + 500) in
+      let bound = 5. in
+      let gr =
+        Greedy_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+          ~bound ()
+      in
+      let h =
+        Heuristics.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+          ~bound ()
+      in
+      let dp =
+        Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+          ~bound ()
+      in
+      match (gr, h, dp) with
+      | None, None, _ -> ()
+      | Some g, Some h, Some d ->
+          check cb "h <= gr" true (h.Dp_power.power <= g.Dp_power.power +. 1e-9);
+          check cb "dp <= h" true (d.Dp_power.power <= h.Dp_power.power +. 1e-9);
+          check cb "h within bound" true (h.Dp_power.cost <= bound +. 1e-9);
+          check cb "h valid" true (Solution.is_valid t ~w:10 h.Dp_power.solution)
+      | Some _, None, _ -> Alcotest.fail "heuristic lost the greedy seed"
+      | None, Some _, _ -> Alcotest.fail "heuristic invented a seed"
+      | _, _, None -> Alcotest.fail "DP infeasible where GR was feasible")
+    seeds
+
+let test_heuristic_finds_figure2_optimum () =
+  (* On the Figure 2 instance the heuristic can reach the true optimum:
+     GR at W'=10 places a server at A (mode 2); moving it down to C is a
+     strictly improving "lower" move. *)
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 4 ]
+         [
+           Tree.node
+             [ Tree.node ~clients:[ 3 ] []; Tree.node ~clients:[ 7 ] [] ];
+         ])
+  in
+  let modes = Modes.make [ 7; 10 ] in
+  let power = Power.make ~static:10. ~alpha:2. () in
+  let cost = Cost.modal_uniform ~modes:2 ~create:0. ~delete:0. ~changed:0. in
+  match Heuristics.solve t ~modes ~power ~cost () with
+  | Some r -> check cf "reaches 118" 118. r.Dp_power.power
+  | None -> Alcotest.fail "expected a solution"
+
+let test_improve_rejects_bad_seed () =
+  let t = Tree.build (Tree.node ~clients:[ 3 ] []) in
+  (* Empty solution is invalid (unserved requests). *)
+  check cb "invalid seed rejected" true
+    (Heuristics.improve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+       Solution.empty
+    = None)
+
+let test_improve_monotone () =
+  List.iter
+    (fun seed ->
+      let t = random_instance (seed + 900) in
+      match Greedy.solve t ~w:10 with
+      | None -> ()
+      | Some sol ->
+          let seed_power = Solution.power t modes_2 power_exp3 sol in
+          (match
+             Heuristics.improve t ~modes:modes_2 ~power:power_exp3
+               ~cost:cost_cheap sol
+           with
+          | Some r ->
+              check cb "no regression" true (r.Dp_power.power <= seed_power +. 1e-9)
+          | None -> Alcotest.fail "valid seed rejected"))
+    seeds
+
+let test_restarts_at_least_as_good_as_solve () =
+  List.iter
+    (fun seed ->
+      let t = random_instance (seed + 1300) in
+      let rng = Rng.create seed in
+      let plain =
+        Heuristics.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+      in
+      let multi =
+        Heuristics.solve_restarts t ~modes:modes_2 ~power:power_exp3
+          ~cost:cost_cheap rng
+      in
+      let dp =
+        Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+      in
+      match (plain, multi, dp) with
+      | None, None, _ -> ()
+      | Some p, Some m, Some d ->
+          check cb "restarts <= plain" true
+            (m.Dp_power.power <= p.Dp_power.power +. 1e-9);
+          check cb "dp <= restarts" true
+            (d.Dp_power.power <= m.Dp_power.power +. 1e-9);
+          check cb "restarts valid" true
+            (Solution.is_valid t ~w:10 m.Dp_power.solution)
+      | _ -> Alcotest.fail "feasibility disagreement across heuristics")
+    seeds
+
+let test_anneal_sandwiched () =
+  List.iter
+    (fun seed ->
+      let t = random_instance (seed + 1700) in
+      let rng = Rng.create (seed * 3) in
+      let annealed =
+        Heuristics.anneal t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+          ~iterations:300 rng
+      in
+      let gr =
+        Greedy_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+      in
+      let dp =
+        Dp_power.solve t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap ()
+      in
+      match (annealed, gr, dp) with
+      | None, None, _ -> ()
+      | Some a, Some g, Some d ->
+          check cb "anneal <= seed" true
+            (a.Dp_power.power <= g.Dp_power.power +. 1e-9);
+          check cb "dp <= anneal" true
+            (d.Dp_power.power <= a.Dp_power.power +. 1e-9);
+          check cb "anneal valid" true
+            (Solution.is_valid t ~w:10 a.Dp_power.solution);
+          check cf "anneal metrics consistent"
+            (Solution.power t modes_2 power_exp3 a.Dp_power.solution)
+            a.Dp_power.power
+      | _ -> Alcotest.fail "feasibility disagreement")
+    seeds
+
+let test_anneal_respects_bound () =
+  List.iter
+    (fun seed ->
+      let t = random_instance (seed + 1900) in
+      let rng = Rng.create seed in
+      let bound = 4. in
+      match
+        Heuristics.anneal t ~modes:modes_2 ~power:power_exp3 ~cost:cost_cheap
+          ~bound ~iterations:200 rng
+      with
+      | None -> ()
+      | Some r -> check cb "within bound" true (r.Dp_power.cost <= bound +. 1e-9))
+    seeds
+
+let () =
+  Alcotest.run "power_baselines"
+    [
+      ( "greedy_power",
+        [
+          Alcotest.test_case "sweep candidates" `Quick test_gr_candidates_cover_sweep;
+          Alcotest.test_case "never beats DP" `Slow test_gr_never_beats_dp;
+          Alcotest.test_case "frontier pareto" `Quick test_gr_frontier_pareto;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "between GR and DP" `Slow test_heuristic_improves_on_gr;
+          Alcotest.test_case "figure 2 optimum" `Quick test_heuristic_finds_figure2_optimum;
+          Alcotest.test_case "bad seed" `Quick test_improve_rejects_bad_seed;
+          Alcotest.test_case "monotone improvement" `Quick test_improve_monotone;
+        ] );
+      ( "metaheuristics",
+        [
+          Alcotest.test_case "restarts dominate" `Slow test_restarts_at_least_as_good_as_solve;
+          Alcotest.test_case "anneal sandwiched" `Slow test_anneal_sandwiched;
+          Alcotest.test_case "anneal bound" `Quick test_anneal_respects_bound;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+open Replica_tree
+open Helpers
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check cb "different seeds differ" true !differs
+
+let test_copy_independence () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  check Alcotest.int64 "copy continues the stream" va vb
+
+let test_split_independence () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  check cb "split streams differ" true (va <> vb)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check cb "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    let v = Rng.int_in_range rng ~min:3 ~max:6 in
+    check cb "in range" true (v >= 3 && v <= 6);
+    seen.(v - 3) <- true
+  done;
+  Array.iteri (fun i s -> check cb (Printf.sprintf "value %d seen" (i + 3)) true s) seen;
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Rng.int_in_range: max < min") (fun () ->
+      ignore (Rng.int_in_range rng ~min:2 ~max:1))
+
+let test_int_uniformity () =
+  (* Coarse chi-square-free check: each of 10 buckets within 3x of mean. *)
+  let rng = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check cb
+        (Printf.sprintf "bucket %d balanced (%d)" i c)
+        true
+        (c > n / 30 && c < n * 3 / 10))
+    buckets
+
+let test_float () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check cb "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_bernoulli () =
+  let rng = Rng.create 8 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check cb "close to 0.3" true (rate > 0.25 && rate < 0.35)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array ci) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_choose () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng [| 1; 2; 3 |] in
+    check cb "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement rng 5 12 in
+    check ci "size" 5 (List.length s);
+    check ci "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> check cb "in range" true (x >= 0 && x < 12)) s;
+    check (Alcotest.list ci) "sorted" (List.sort compare s) s
+  done;
+  check (Alcotest.list ci) "all of them" [ 0; 1; 2 ]
+    (Rng.sample_without_replacement rng 3 3);
+  check (Alcotest.list ci) "none" [] (Rng.sample_without_replacement rng 0 5);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Rng.sample_without_replacement") (fun () ->
+      ignore (Rng.sample_without_replacement rng 4 3))
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independence;
+          Alcotest.test_case "split" `Quick test_split_independence;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float" `Quick test_float;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "sampling" `Quick test_sample_without_replacement;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+(* Fixture (preorder ids):
+   0 (clients 2)
+   ├── 1 (pre@1, clients 3)
+   │    └── 2 (clients 4)
+   └── 3 (clients 5)  *)
+let sample () =
+  Tree.build
+    (Tree.node ~clients:[ 2 ]
+       [
+         Tree.node ~clients:[ 3 ] ~pre:1 [ Tree.node ~clients:[ 4 ] [] ];
+         Tree.node ~clients:[ 5 ] [];
+       ])
+
+let eval_loads tree sol =
+  (Solution.evaluate tree sol).Solution.loads
+
+let test_evaluate_root_only () =
+  let t = sample () in
+  let sol = Solution.of_nodes [ 0 ] in
+  let ev = Solution.evaluate t sol in
+  check (Alcotest.list (Alcotest.pair ci ci)) "root absorbs all" [ (0, 14) ] ev.Solution.loads;
+  check ci "nothing unserved" 0 ev.Solution.unserved
+
+let test_evaluate_closest () =
+  let t = sample () in
+  (* Server at 1 absorbs its own clients and node 3's. *)
+  let sol = Solution.of_nodes [ 0; 1 ] in
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "closest split"
+    [ (0, 7); (1, 7) ]
+    (eval_loads t sol)
+
+let test_evaluate_empty () =
+  let t = sample () in
+  let ev = Solution.evaluate t Solution.empty in
+  check ci "all unserved" 14 ev.Solution.unserved
+
+let test_server_of () =
+  let t = sample () in
+  let sol = Solution.of_nodes [ 0; 1 ] in
+  check (Alcotest.option ci) "node 2 served by 1" (Some 1)
+    (Solution.server_of t sol 2);
+  check (Alcotest.option ci) "node 3 served by 0" (Some 0)
+    (Solution.server_of t sol 3);
+  check (Alcotest.option ci) "node 1 served by itself" (Some 1)
+    (Solution.server_of t sol 1);
+  check (Alcotest.option ci) "no server" None
+    (Solution.server_of t Solution.empty 3)
+
+let test_validate () =
+  let t = sample () in
+  check cb "valid at w=14" true (Solution.is_valid t ~w:14 (Solution.of_nodes [ 0 ]));
+  check cb "invalid at w=13" false (Solution.is_valid t ~w:13 (Solution.of_nodes [ 0 ]));
+  (match Solution.validate t ~w:13 (Solution.of_nodes [ 0 ]) with
+  | Error [ Solution.Overloaded (0, 14) ] -> ()
+  | _ -> Alcotest.fail "expected a single overload violation");
+  match Solution.validate t ~w:20 Solution.empty with
+  | Error [ Solution.Unserved 14 ] -> ()
+  | _ -> Alcotest.fail "expected an unserved violation"
+
+let test_out_of_tree () =
+  let t = sample () in
+  Alcotest.check_raises "foreign node"
+    (Invalid_argument "Solution: replica outside the tree") (fun () ->
+      ignore (Solution.evaluate t (Solution.of_nodes [ 9 ])))
+
+let test_reused_and_basic_cost () =
+  let t = sample () in
+  check ci "reuse of {0,1}" 1 (Solution.reused t (Solution.of_nodes [ 0; 1 ]));
+  check ci "reuse of {0}" 0 (Solution.reused t (Solution.of_nodes [ 0 ]));
+  let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
+  (* {0,1}: R=2, e=1, E=1 -> 2 + 1*0.5 + 0*0.25 = 2.5 *)
+  check cf "cost {0,1}" 2.5 (Solution.basic_cost t cost (Solution.of_nodes [ 0; 1 ]));
+  (* {0}: R=1, e=0 -> 1 + 0.5 + 0.25 = 1.75 *)
+  check cf "cost {0}" 1.75 (Solution.basic_cost t cost (Solution.of_nodes [ 0 ]))
+
+let test_tally_and_modal_cost () =
+  let t = sample () in
+  let modes = Modes.make [ 7; 14 ] in
+  let sol = Solution.of_nodes [ 0; 1 ] in
+  (* loads: node 0 -> 7 (mode 1), node 1 -> 7 (mode 1).
+     node 1 is pre-existing at mode 1 and reused at mode 1;
+     node 0 is new at mode 1; nothing deleted. *)
+  let tly = Solution.tally t modes sol in
+  check (Alcotest.array ci) "created" [| 1; 0 |] tly.Cost.created;
+  check ci "reused 1->1" 1 tly.Cost.reused.(0).(0);
+  check (Alcotest.array ci) "deleted" [| 0; 0 |] tly.Cost.deleted;
+  let cost = Cost.modal_uniform ~modes:2 ~create:0.1 ~delete:0.01 ~changed:0.001 in
+  (* R=2 + create 0.1 + changed 1->1 is free *)
+  check cf "modal cost" 2.1 (Solution.modal_cost t modes cost sol);
+  (* Dropping node 1 instead: {0} at load 14 -> mode 2, delete node 1. *)
+  let tly' = Solution.tally t modes (Solution.of_nodes [ 0 ]) in
+  check (Alcotest.array ci) "created'" [| 0; 1 |] tly'.Cost.created;
+  check (Alcotest.array ci) "deleted'" [| 1; 0 |] tly'.Cost.deleted
+
+let test_tally_mode_change () =
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 10 ] [ Tree.node ~clients:[ 2 ] ~pre:2 [] ])
+  in
+  let modes = Modes.make [ 5; 12 ] in
+  (* Node 1 pre-existing at mode 2, reused at load 2 -> mode 1: downgrade. *)
+  let tly = Solution.tally t modes (Solution.of_nodes [ 0; 1 ]) in
+  check ci "downgrade 2->1" 1 tly.Cost.reused.(1).(0);
+  check ci "servers" 2 (Cost.tally_servers tly)
+
+let test_power () =
+  let t = sample () in
+  let modes = Modes.make [ 7; 14 ] in
+  let power = Power.make ~static:1. ~alpha:2. () in
+  (* {0,1}: two servers at mode 1 -> 2*(1+49) = 100 *)
+  check cf "power {0,1}" 100. (Solution.power t modes power (Solution.of_nodes [ 0; 1 ]));
+  (* {0}: one server at mode 2 -> 1+196 = 197 *)
+  check cf "power {0}" 197. (Solution.power t modes power (Solution.of_nodes [ 0 ]))
+
+let test_serialization () =
+  let sol = Solution.of_nodes [ 3; 1; 2 ] in
+  check Alcotest.string "to_string" "1,2,3" (Solution.to_string sol);
+  check cb "roundtrip" true
+    (Solution.equal sol (Solution.of_string (Solution.to_string sol)));
+  check cb "empty roundtrip" true
+    (Solution.equal Solution.empty (Solution.of_string ""));
+  check cb "spaces tolerated" true
+    (Solution.equal sol (Solution.of_string " 1, 2 ,3 "));
+  Alcotest.check_raises "garbage"
+    (Invalid_argument "Solution.of_string: malformed input") (fun () ->
+      ignore (Solution.of_string "1,x,3"))
+
+let test_dot_export () =
+  let t = sample () in
+  let dot = Dot.to_dot ~highlight:[ 1 ] t in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec at i = i + n <= h && (String.sub dot i n = needle || at (i + 1)) in
+    at 0
+  in
+  check cb "digraph" true (contains "digraph tree");
+  check cb "pre-existing shaded" true (contains "fillcolor=lightgray");
+  check cb "highlight" true (contains "penwidth=3");
+  check cb "client labelled" true (contains "4 req");
+  check cb "edge" true (contains "n0 -> n1")
+
+let test_set_semantics () =
+  let sol = Solution.of_nodes [ 3; 1; 3; 2 ] in
+  check (Alcotest.list ci) "sorted distinct" [ 1; 2; 3 ] (Solution.nodes sol);
+  check ci "cardinal" 3 (Solution.cardinal sol);
+  check cb "mem" true (Solution.mem sol 2);
+  check cb "not mem" false (Solution.mem sol 4);
+  check cb "equal" true (Solution.equal sol (Solution.of_nodes [ 1; 2; 3 ]))
+
+let () =
+  Alcotest.run "solution"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "root only" `Quick test_evaluate_root_only;
+          Alcotest.test_case "closest policy" `Quick test_evaluate_closest;
+          Alcotest.test_case "empty solution" `Quick test_evaluate_empty;
+          Alcotest.test_case "server_of" `Quick test_server_of;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "foreign nodes rejected" `Quick test_out_of_tree;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "reuse and Eq.2 cost" `Quick test_reused_and_basic_cost;
+          Alcotest.test_case "tally and Eq.4 cost" `Quick test_tally_and_modal_cost;
+          Alcotest.test_case "mode change tally" `Quick test_tally_mode_change;
+          Alcotest.test_case "power Eq.3" `Quick test_power;
+        ] );
+      ( "sets",
+        [
+          Alcotest.test_case "set semantics" `Quick test_set_semantics;
+          Alcotest.test_case "serialization" `Quick test_serialization;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+    ]

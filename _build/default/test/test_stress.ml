@@ -1,0 +1,129 @@
+(* Scale-level sanity: at N = 100-200 the brute-force oracle is out of
+   reach, but strong relative invariants still pin the solvers down:
+   optimal solvers never lose to feasible baselines, analytic lower
+   bounds hold, and everything returned is valid. *)
+
+open Replica_tree
+open Replica_core
+open Helpers
+
+let w = 10
+let cost = Cost.basic ~create:0.2 ~delete:0.05 ()
+
+let instance seed nodes pre =
+  let rng = Rng.create seed in
+  let shape = if seed mod 2 = 0 then Generator.fat ~nodes () else Generator.high ~nodes () in
+  let t = Generator.random rng shape in
+  Generator.add_pre_existing rng ~mode:2 t pre
+
+let test_dp_withpre_dominates_feasible_baselines () =
+  List.iter
+    (fun seed ->
+      let t = instance seed 100 25 in
+      match (Dp_withpre.solve t ~w ~cost, Greedy.solve t ~w) with
+      | Some dp, Some gr ->
+          let gr_cost = Solution.basic_cost t cost gr in
+          check cb "dp <= greedy's cost" true (dp.Dp_withpre.cost <= gr_cost +. 1e-9);
+          (* … and never worse than keeping every pre-existing server plus
+             a fresh greedy fill, when that is feasible. *)
+          let heur = Heuristics_cost.solve t ~w ~cost () in
+          (match heur with
+          | Some h ->
+              check cb "dp <= local search" true
+                (dp.Dp_withpre.cost <= h.Heuristics_cost.cost +. 1e-9)
+          | None -> Alcotest.fail "heuristic lost a feasible instance");
+          check cb "valid at scale" true
+            (Solution.is_valid t ~w dp.Dp_withpre.solution)
+      | None, None -> ()
+      | Some _, None | None, Some _ -> Alcotest.fail "feasibility mismatch")
+    seeds
+
+let test_dp_power_bounds_at_scale () =
+  let modes = Modes.make [ 5; 10 ] in
+  let power = Power.paper_exp3 ~modes in
+  let mcost = Cost.paper_cheap ~modes:2 in
+  List.iter
+    (fun seed ->
+      let t = instance (seed + 1000) 60 6 in
+      match
+        ( Dp_power.solve t ~modes ~power ~cost:mcost (),
+          Greedy_power.solve t ~modes ~power ~cost:mcost () )
+      with
+      | Some dp, Some gr ->
+          check cb "dp power <= gr power" true
+            (dp.Dp_power.power <= gr.Dp_power.power +. 1e-9);
+          (* Counting lower bound: at least ceil(T / W_M) servers, each
+             drawing at least the mode-1 power. *)
+          let t_req = Tree.total_requests t in
+          let min_servers = (t_req + 9) / 10 in
+          let floor_power =
+            float_of_int min_servers *. Power.of_mode power modes 1
+          in
+          check cb "above the counting floor" true
+            (dp.Dp_power.power >= floor_power -. 1e-9);
+          check cb "valid at scale" true
+            (Solution.is_valid t ~w:10 dp.Dp_power.solution)
+      | None, None -> ()
+      | Some _, None -> () (* GR may genuinely miss bounded solutions *)
+      | None, Some _ -> Alcotest.fail "dp lost a gr-feasible instance")
+    seeds
+
+let test_multiple_bounds_at_scale () =
+  List.iter
+    (fun seed ->
+      let t = instance (seed + 2000) 150 0 in
+      match (Multiple.solve t ~w, Greedy.solve_count t ~w) with
+      | Some m, closest ->
+          check cb "multiple >= counting bound" true
+            (m.Multiple.servers >= Multiple.min_servers_lower_bound t ~w);
+          (match closest with
+          | Some c -> check cb "multiple <= closest" true (m.Multiple.servers <= c)
+          | None -> ());
+          check cb "multiple valid" true (Multiple.is_valid t ~w m.Multiple.solution)
+      | None, _ -> Alcotest.fail "multiple infeasible on a generator tree")
+    seeds
+
+let test_dp_withpre_large_single () =
+  (* One N = 300, E = 75 instance end to end: the §5 scaling claim in
+     test form, bounded to keep the suite quick. *)
+  let t = instance 7 300 75 in
+  match Dp_withpre.solve t ~w ~cost with
+  | Some r ->
+      check cb "valid" true (Solution.is_valid t ~w r.Dp_withpre.solution);
+      check cb "reuses something" true (r.Dp_withpre.reused > 0);
+      check ci "accounting holds" r.Dp_withpre.servers
+        (Solution.cardinal r.Dp_withpre.solution)
+  | None -> Alcotest.fail "expected a solution at N = 300"
+
+let test_frontier_consistency_at_scale () =
+  let modes = Modes.make [ 5; 10 ] in
+  let power = Power.paper_exp3 ~modes in
+  let mcost = Cost.paper_cheap ~modes:2 in
+  let t = instance 11 50 5 in
+  let frontier = Dp_power.frontier t ~modes ~power ~cost:mcost in
+  check cb "non-empty" true (frontier <> []);
+  (* The cheapest frontier point has minimal cost among ALL candidates:
+     solving with exactly that bound must succeed, with any tighter
+     bound must fail. *)
+  let cheapest = List.hd frontier in
+  check cb "solvable at min cost" true
+    (Dp_power.solve t ~modes ~power ~cost:mcost
+       ~bound:cheapest.Dp_power.cost ()
+    <> None);
+  check cb "unsolvable below" true
+    (Dp_power.solve t ~modes ~power ~cost:mcost
+       ~bound:(cheapest.Dp_power.cost -. 0.01) ()
+    = None)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "scale invariants",
+        [
+          Alcotest.test_case "dp_withpre dominates" `Slow test_dp_withpre_dominates_feasible_baselines;
+          Alcotest.test_case "dp_power bounds" `Slow test_dp_power_bounds_at_scale;
+          Alcotest.test_case "multiple bounds" `Slow test_multiple_bounds_at_scale;
+          Alcotest.test_case "N=300 single shot" `Slow test_dp_withpre_large_single;
+          Alcotest.test_case "frontier consistency" `Quick test_frontier_consistency_at_scale;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+open Replica_tree
+open Replica_trace
+open Helpers
+
+let ev time node client = { Trace.time; node; client }
+
+(* Fixture: root with clients [2], child with clients [3; 1]. *)
+let sample_tree () =
+  Tree.build (Tree.node ~clients:[ 2 ] [ Tree.node ~clients:[ 3; 1 ] [] ])
+
+(* --- Trace --- *)
+
+let test_of_events_sorts () =
+  let t = Trace.of_events [ ev 3. 0 0; ev 1. 1 0; ev 2. 1 1 ] in
+  check ci "length" 3 (Trace.length t);
+  let times = List.map (fun e -> e.Trace.time) (Trace.events t) in
+  check (Alcotest.list cf) "sorted" [ 1.; 2.; 3. ] times;
+  check cf "duration" 3. (Trace.duration t)
+
+let test_of_events_rejects_negative () =
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Trace.of_events: negative timestamp") (fun () ->
+      ignore (Trace.of_events [ ev (-1.) 0 0 ]))
+
+let test_empty () =
+  let t = Trace.of_events [] in
+  check ci "empty" 0 (Trace.length t);
+  check cf "zero duration" 0. (Trace.duration t);
+  check (Alcotest.list (Alcotest.pair (Alcotest.pair ci ci) ci)) "no counts" []
+    (Trace.count_by_client t)
+
+let test_merge_and_filter () =
+  let a = Trace.of_events [ ev 1. 0 0; ev 3. 0 0 ] in
+  let b = Trace.of_events [ ev 2. 1 0 ] in
+  let m = Trace.merge a b in
+  check ci "merged" 3 (Trace.length m);
+  let times = List.map (fun e -> e.Trace.time) (Trace.events m) in
+  check (Alcotest.list cf) "interleaved" [ 1.; 2.; 3. ] times;
+  let only_node0 = Trace.filter (fun e -> e.Trace.node = 0) m in
+  check ci "filtered" 2 (Trace.length only_node0)
+
+let test_count_by_client () =
+  let t = Trace.of_events [ ev 1. 0 0; ev 2. 1 0; ev 3. 0 0; ev 4. 1 1 ] in
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.pair ci ci) ci))
+    "counts"
+    [ ((0, 0), 2); ((1, 0), 1); ((1, 1), 1) ]
+    (Trace.count_by_client t)
+
+(* --- Arrivals --- *)
+
+let test_poisson_rate_convergence () =
+  (* Over a long horizon, per-client event counts approach rate·horizon. *)
+  let tree = sample_tree () in
+  let rng = Rng.create 21 in
+  let horizon = 500. in
+  let trace = Arrivals.poisson rng tree ~horizon in
+  List.iter
+    (fun ((node, client), count) ->
+      let rate = float_of_int (List.nth (Tree.clients tree node) client) in
+      let expected = rate *. horizon in
+      let observed = float_of_int count in
+      check cb
+        (Printf.sprintf "node %d client %d within 15%%" node client)
+        true
+        (abs_float (observed -. expected) < 0.15 *. expected))
+    (Trace.count_by_client trace);
+  check ci "all clients emitted" 3 (List.length (Trace.count_by_client trace))
+
+let test_poisson_determinism () =
+  let tree = sample_tree () in
+  let a = Arrivals.poisson (Rng.create 5) tree ~horizon:50. in
+  let b = Arrivals.poisson (Rng.create 5) tree ~horizon:50. in
+  check ci "same length" (Trace.length a) (Trace.length b)
+
+let test_poisson_validation () =
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Arrivals.poisson: horizon must be positive") (fun () ->
+      ignore (Arrivals.poisson (Rng.create 1) (sample_tree ()) ~horizon:0.))
+
+let test_diurnal_thins () =
+  (* The diurnal trace is a thinning of the max-rate process: strictly
+     fewer events than plain Poisson in expectation when floor < 1. *)
+  let tree = sample_tree () in
+  let horizon = 400. in
+  let plain = Arrivals.poisson (Rng.create 9) tree ~horizon in
+  let cycled =
+    Arrivals.diurnal (Rng.create 9) tree ~horizon ~period:100. ~floor:0.2
+  in
+  check cb "fewer events" true (Trace.length cycled < Trace.length plain);
+  (* The average modulation is (1 + floor)/2 = 0.6: expect roughly that
+     fraction. *)
+  let ratio = float_of_int (Trace.length cycled) /. float_of_int (Trace.length plain) in
+  check cb "ratio near 0.6" true (ratio > 0.45 && ratio < 0.75)
+
+let test_diurnal_validation () =
+  let t = sample_tree () in
+  Alcotest.check_raises "bad floor"
+    (Invalid_argument "Arrivals.diurnal: floor must be within [0, 1]")
+    (fun () ->
+      ignore (Arrivals.diurnal (Rng.create 1) t ~horizon:10. ~period:5. ~floor:2.))
+
+let test_flash_crowd_localized () =
+  let tree = sample_tree () in
+  let rng = Rng.create 31 in
+  let base = Arrivals.poisson rng tree ~horizon:100. in
+  let spiked =
+    Arrivals.flash_crowd rng tree ~base ~at:40. ~duration:20. ~node:1
+      ~multiplier:4.
+  in
+  check cb "more events" true (Trace.length spiked > Trace.length base);
+  (* Every extra event is in node 1's subtree and within the window. *)
+  let extra = Trace.length spiked - Trace.length base in
+  let in_window =
+    Trace.filter
+      (fun e -> e.Trace.node = 1 && e.Trace.time >= 40. && e.Trace.time < 60.)
+      spiked
+  in
+  let base_in_window =
+    Trace.filter
+      (fun e -> e.Trace.node = 1 && e.Trace.time >= 40. && e.Trace.time < 60.)
+      base
+  in
+  check ci "extras localized" extra
+    (Trace.length in_window - Trace.length base_in_window)
+
+(* --- Epochs --- *)
+
+let test_rates_rounding () =
+  let tree = sample_tree () in
+  (* 6 events for (1,0) in window [0,2): rate 3; 1 event for (0,0): 0.5
+     rounds to 1... Float.round 0.5 = 1. *)
+  let trace =
+    Trace.of_events
+      (List.init 6 (fun i -> ev (0.3 *. float_of_int i) 1 0) @ [ ev 1.5 0 0 ])
+  in
+  let epoch = Epochs.rates trace tree ~window:2. ~index:0 in
+  check ci "node 1 rate" 3 (Tree.client_load epoch 1);
+  check ci "node 0 rate" 1 (Tree.client_load epoch 0)
+
+let test_idle_clients_dropped () =
+  let tree = sample_tree () in
+  let trace = Trace.of_events [ ev 0.5 1 0 ] in
+  let epoch = Epochs.rates trace tree ~window:1. ~index:0 in
+  check ci "only one client left" 1 (Tree.num_clients epoch);
+  (* Structure preserved. *)
+  check ci "same size" (Tree.size tree) (Tree.size epoch)
+
+let test_epoch_partition () =
+  let tree = sample_tree () in
+  let trace = Trace.of_events [ ev 0.5 0 0; ev 4.5 1 0; ev 9.9 1 1 ] in
+  check ci "epoch count" 2 (Epochs.epoch_count trace ~window:5.);
+  let epochs = Epochs.epochs trace tree ~window:5. in
+  check ci "two epochs" 2 (List.length epochs);
+  check cb "conservation" true (Epochs.conservation_check trace tree ~window:5.)
+
+let test_empty_trace_epochs () =
+  let tree = sample_tree () in
+  let trace = Trace.of_events [] in
+  let epochs = Epochs.epochs trace tree ~window:3. in
+  check ci "one idle epoch" 1 (List.length epochs);
+  check ci "no demand" 0 (Tree.total_requests (List.hd epochs))
+
+let test_epochs_validation () =
+  let trace = Trace.of_events [] in
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Epochs: window must be positive") (fun () ->
+      ignore (Epochs.epoch_count trace ~window:0.));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Epochs: negative index") (fun () ->
+      ignore (Epochs.rates trace (sample_tree ()) ~window:1. ~index:(-1)))
+
+let test_end_to_end_rates () =
+  (* Poisson trace aggregated over whole-trace windows recovers the
+     original request counts approximately. *)
+  let tree = sample_tree () in
+  let rng = Rng.create 77 in
+  let trace = Arrivals.poisson rng tree ~horizon:300. in
+  let epochs = Epochs.epochs trace tree ~window:100. in
+  List.iter
+    (fun epoch ->
+      check cb "total demand near original" true
+        (abs (Tree.total_requests epoch - Tree.total_requests tree) <= 2))
+    epochs
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "sorting" `Quick test_of_events_sorts;
+          Alcotest.test_case "negative time" `Quick test_of_events_rejects_negative;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "merge/filter" `Quick test_merge_and_filter;
+          Alcotest.test_case "count by client" `Quick test_count_by_client;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "poisson rates" `Slow test_poisson_rate_convergence;
+          Alcotest.test_case "determinism" `Quick test_poisson_determinism;
+          Alcotest.test_case "validation" `Quick test_poisson_validation;
+          Alcotest.test_case "diurnal thinning" `Slow test_diurnal_thins;
+          Alcotest.test_case "diurnal validation" `Quick test_diurnal_validation;
+          Alcotest.test_case "flash crowd" `Quick test_flash_crowd_localized;
+        ] );
+      ( "epochs",
+        [
+          Alcotest.test_case "rounding" `Quick test_rates_rounding;
+          Alcotest.test_case "idle clients" `Quick test_idle_clients_dropped;
+          Alcotest.test_case "partition" `Quick test_epoch_partition;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace_epochs;
+          Alcotest.test_case "validation" `Quick test_epochs_validation;
+          Alcotest.test_case "end to end" `Slow test_end_to_end_rates;
+        ] );
+    ]

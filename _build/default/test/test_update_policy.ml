@@ -1,0 +1,143 @@
+open Replica_tree
+open Replica_core
+open Helpers
+
+let w = 10
+let cost = Cost.basic ~create:0.5 ~delete:0.25 ()
+
+(* A fixed 3-node chain whose leaf demand ramps up then collapses. *)
+let demand_sequence loads =
+  let base =
+    Tree.build (Tree.node [ Tree.node [ Tree.node [] ] ])
+  in
+  List.map
+    (fun load -> Tree.with_clients base (fun j -> if j = 2 then [ load ] else []))
+    loads
+
+let simulate policy loads =
+  Update_policy.simulate ~w ~cost policy (demand_sequence loads)
+
+let test_systematic_reconfigures_every_epoch () =
+  let s = simulate Update_policy.Systematic [ 3; 4; 5; 6 ] in
+  check ci "four reconfigurations" 4 s.Update_policy.reconfigurations;
+  check ci "no invalid epoch" 0 s.Update_policy.invalid_epochs;
+  List.iter
+    (fun r -> check cb "reconfigured" true r.Update_policy.reconfigured)
+    s.Update_policy.records
+
+let test_lazy_keeps_valid_placement () =
+  (* Demand stays under W: one reconfiguration, then the same server. *)
+  let s = simulate Update_policy.Lazy [ 3; 4; 5; 6 ] in
+  check ci "single reconfiguration" 1 s.Update_policy.reconfigurations;
+  let first = List.hd s.Update_policy.records in
+  List.iter
+    (fun r ->
+      check solution_testable "placement unchanged"
+        first.Update_policy.servers r.Update_policy.servers)
+    s.Update_policy.records
+
+let test_lazy_reacts_to_overflow () =
+  (* One server suffices for load <= 10; the jump to 11 is unserveable at
+     a single node (total at the client node stays <= W though), so use
+     two client nodes to overflow a shared server instead. *)
+  let base =
+    Tree.build
+      (Tree.node [ Tree.node ~clients:[] []; Tree.node ~clients:[] [] ])
+  in
+  let at l1 l2 =
+    Tree.with_clients base (fun j ->
+        if j = 1 then [ l1 ] else if j = 2 then [ l2 ] else [])
+  in
+  let demands = [ at 3 3; at 4 4; at 8 8 ] in
+  let s = Update_policy.simulate ~w ~cost Update_policy.Lazy demands in
+  (* Epoch 1: place (root alone absorbs 6). Epoch 2: still fits (8).
+     Epoch 3: 16 > 10 -> must reconfigure. *)
+  check ci "two reconfigurations" 2 s.Update_policy.reconfigurations;
+  check ci "no invalid epoch" 0 s.Update_policy.invalid_epochs
+
+let test_periodic () =
+  let s = simulate (Update_policy.Periodic 2) [ 3; 3; 3; 3; 3; 3 ] in
+  (* Epochs 2, 4, 6 are forced; epoch 1 also reconfigures because the
+     empty placement is invalid. *)
+  check ci "four reconfigurations" 4 s.Update_policy.reconfigurations
+
+let test_drift () =
+  let s = simulate (Update_policy.Drift 0.5) [ 4; 5; 4; 9; 9 ] in
+  (* Epoch 1: invalid empty placement -> reconfigure (last_demand 4).
+     Epochs 2-3: drift below 50%. Epoch 4: 9 vs 4 -> 125% drift ->
+     reconfigure. Epoch 5: no drift. *)
+  check ci "two reconfigurations" 2 s.Update_policy.reconfigurations
+
+let test_lazy_never_costs_more_than_systematic () =
+  (* On any demand sequence, lazy pays at most systematic's total cost:
+     it reconfigures on a subset of epochs with the same optimal
+     single-step solver. (Not a theorem in general — lazy can inherit a
+     worse pre-existing set — but holds on these monotone ramps.) *)
+  List.iter
+    (fun loads ->
+      let lazy_sum = simulate Update_policy.Lazy loads in
+      let sys_sum = simulate Update_policy.Systematic loads in
+      check cb "lazy <= systematic" true
+        (lazy_sum.Update_policy.total_cost
+        <= sys_sum.Update_policy.total_cost +. 1e-9))
+    [ [ 3; 4; 5 ]; [ 2; 2; 2; 2 ]; [ 1; 5; 9; 9; 9 ] ]
+
+let test_unserveable_epoch_is_reported () =
+  (* A demand of 11 at one node exceeds W: no placement at all works. *)
+  let s = simulate Update_policy.Systematic [ 3; 11; 4 ] in
+  check ci "one invalid epoch" 1 s.Update_policy.invalid_epochs;
+  let bad = List.nth s.Update_policy.records 1 in
+  check cb "flagged" false bad.Update_policy.valid;
+  (* Whatever single server epoch 1 placed sits on the chain, so the 11
+     requests reach it and overload it by 1. *)
+  check ci "shortfall" 1 bad.Update_policy.unserved;
+  (* The previous placement survives the bad epoch. *)
+  let before = List.nth s.Update_policy.records 0 in
+  check solution_testable "placement kept" before.Update_policy.servers
+    bad.Update_policy.servers
+
+let test_validation () =
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Update_policy: period must be positive") (fun () ->
+      ignore (simulate (Update_policy.Periodic 0) [ 3 ]));
+  Alcotest.check_raises "bad drift"
+    (Invalid_argument "Update_policy: negative drift") (fun () ->
+      ignore (simulate (Update_policy.Drift (-0.1)) [ 3; 4 ]))
+
+let test_policy_names () =
+  check Alcotest.string "systematic" "systematic"
+    (Update_policy.policy_to_string Update_policy.Systematic);
+  check Alcotest.string "periodic" "periodic(3)"
+    (Update_policy.policy_to_string (Update_policy.Periodic 3));
+  check Alcotest.string "drift" "drift(0.25)"
+    (Update_policy.policy_to_string (Update_policy.Drift 0.25))
+
+let test_total_cost_matches_records () =
+  let s = simulate Update_policy.Systematic [ 3; 7; 2; 9 ] in
+  let sum =
+    List.fold_left
+      (fun acc r -> acc +. r.Update_policy.step_cost)
+      0. s.Update_policy.records
+  in
+  check cf "sum of steps" sum s.Update_policy.total_cost
+
+let () =
+  Alcotest.run "update_policy"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "systematic" `Quick test_systematic_reconfigures_every_epoch;
+          Alcotest.test_case "lazy keeps valid" `Quick test_lazy_keeps_valid_placement;
+          Alcotest.test_case "lazy reacts" `Quick test_lazy_reacts_to_overflow;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "drift" `Quick test_drift;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "lazy cheaper" `Quick test_lazy_never_costs_more_than_systematic;
+          Alcotest.test_case "unserveable epoch" `Quick test_unserveable_epoch_is_reported;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "names" `Quick test_policy_names;
+          Alcotest.test_case "cost bookkeeping" `Quick test_total_cost_matches_records;
+        ] );
+    ]
