@@ -4,7 +4,10 @@
    than DP; DP still practical at paper scale).
 
    Usage: bench/main.exe [section...]
-   Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 timing (default: all). *)
+   Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dp-stats timing
+   (default: all). The dp-stats section additionally writes a
+   machine-readable BENCH_dp_power.json with the solver's counter and
+   timer registry for the pruned and unpruned merge. *)
 
 open Replica_experiments
 
@@ -135,6 +138,90 @@ let run_ablation_modes () =
       result.Exp3.gr_peak_overconsumption_percent
   end
 
+(* --- Instrumented pruned-vs-unpruned MinPower DP (BENCH_dp_power.json) --- *)
+
+let run_dp_stats () =
+  if section_enabled "dp-stats" then begin
+    banner "dp-stats"
+      "instrumented MinPower DP: dominance pruning on a 3-mode, 60-node tree";
+    let open Replica_tree in
+    let open Replica_core in
+    let nodes = 60 and pre = 5 and seed = 42 in
+    let modes = Modes.make [ 4; 7; 10 ] in
+    let power = Power.paper_exp3 ~modes in
+    let cost = Cost.paper_cheap ~modes:3 in
+    let rng = Rng.create seed in
+    let tree =
+      Generator.add_pre_existing rng ~mode:2
+        (Generator.random rng
+           (Workload.profile Workload.Fat ~nodes ~max_requests:5))
+        pre
+    in
+    (* bound = infinity makes pruning exact for any cost model (see
+       Dp_power's dominance proof), so the two runs must agree. *)
+    let run ~prune =
+      Stats_counters.reset ();
+      let result = Dp_power.solve tree ~modes ~power ~cost ~prune () in
+      (result, Stats_counters.counters (), Stats_counters.timers ())
+    in
+    let find name l = try List.assoc name l with Not_found -> 0 in
+    let findf name l = try List.assoc name l with Not_found -> 0. in
+    let unpruned, uc, ut = run ~prune:false in
+    let pruned, pc, pt = run ~prune:true in
+    (match (unpruned, pruned) with
+    | Some u, Some p ->
+        if u.Dp_power.power <> p.Dp_power.power || u.Dp_power.cost <> p.Dp_power.cost
+        then failwith "dp-stats: pruned and unpruned runs disagree"
+    | _ -> failwith "dp-stats: expected a solution");
+    let u_products = find "dp_power.merge_products" uc in
+    let p_products = find "dp_power.merge_products" pc in
+    if p_products >= u_products then
+      failwith "dp-stats: pruning did not reduce merge products";
+    Printf.printf
+      "merge products attempted: %d unpruned vs %d pruned (%.1fx fewer)\n"
+      u_products p_products
+      (float_of_int u_products /. float_of_int p_products);
+    Printf.printf "peak table size: %d unpruned vs %d pruned\n"
+      (find "dp_power.peak_table_size" uc)
+      (find "dp_power.peak_table_size" pc);
+    Printf.printf "table phase: %.4fs unpruned vs %.4fs pruned\n"
+      (findf "dp_power.tables" ut) (findf "dp_power.tables" pt);
+    Printf.printf "identical (power, cost) across both runs: verified\n";
+    let json_side (result, counters, timers) =
+      let r = Option.get result in
+      let ours (k, _) = String.starts_with ~prefix:"dp_power." k in
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v)
+          (List.filter ours counters)
+        @ List.map (fun (k, s) -> Printf.sprintf "%S: %.9f" (k ^ ".seconds") s)
+            (List.filter ours timers)
+      in
+      Printf.sprintf
+        "{\"power\": %.6f, \"cost\": %.6f, \"servers\": %d, %s}"
+        r.Dp_power.power r.Dp_power.cost
+        (Solution.cardinal r.Dp_power.solution)
+        (String.concat ", " fields)
+    in
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"bench\": \"dp_power\",\n\
+        \  \"tree\": {\"nodes\": %d, \"pre\": %d, \"seed\": %d, \"modes\": [4, 7, 10]},\n\
+        \  \"unpruned\": %s,\n\
+        \  \"pruned\": %s,\n\
+        \  \"merge_products_ratio\": %.4f\n\
+         }\n"
+        nodes pre seed
+        (json_side (unpruned, uc, ut))
+        (json_side (pruned, pc, pt))
+        (float_of_int u_products /. float_of_int p_products)
+    in
+    let oc = open_out "BENCH_dp_power.json" in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote BENCH_dp_power.json\n"
+  end
+
 (* --- Bechamel timing suite --- *)
 
 let timing_tests () =
@@ -259,4 +346,5 @@ let () =
   run_ablation_drift ();
   run_ablation_window ();
   run_ablation_modes ();
+  run_dp_stats ();
   run_timing ()

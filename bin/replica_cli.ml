@@ -152,7 +152,27 @@ let solve_cmd =
     Arg.(
       value & opt int 10 & info [ "w" ] ~docv:"W" ~doc:"Server capacity.")
   in
-  let run shape nodes pre seed algo bound w verbose =
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After solving, print the solver's counter registry (table \
+             cells created, merge products attempted, capacity-rejected \
+             pairs, dominance-pruned cells, peak table size). \
+             Deterministic for a fixed instance; combine with \
+             $(b,--verbose) for wall-clock phase timers on stderr.")
+  in
+  let prune_arg =
+    Arg.(
+      value & opt (some bool) None
+      & info [ "prune" ] ~docv:"BOOL"
+          ~doc:
+            "Force dominance pruning on or off for $(b,dp-power) \
+             (default: automatic — on exactly where it is provably \
+             exact).")
+  in
+  let run shape nodes pre seed algo bound w verbose stats prune domains =
     setup_logs verbose;
     let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:5 ~pre_mode:2 in
     let modes = if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ] in
@@ -163,7 +183,7 @@ let solve_cmd =
     let describe_power (r : Dp_power.result) =
       print_string (Report.power_report t modes power mcost r.Dp_power.solution)
     in
-    match algo with
+    (match algo with
     | Algo_greedy -> (
         match Greedy.solve t ~w with
         | Some sol -> describe_solution sol
@@ -177,7 +197,9 @@ let solve_cmd =
         | Some r -> describe_solution r.Dp_withpre.solution
         | None -> Format.printf "no solution@.")
     | Algo_dp_power -> (
-        match Dp_power.solve t ~modes ~power ~cost:mcost ~bound () with
+        match
+          Dp_power.solve t ~modes ~power ~cost:mcost ~bound ?prune ?domains ()
+        with
         | Some r -> describe_power r
         | None -> Format.printf "no solution within bound@.")
     | Algo_gr_power -> (
@@ -187,13 +209,17 @@ let solve_cmd =
     | Algo_heuristic -> (
         match Heuristics.solve t ~modes ~power ~cost:mcost ~bound () with
         | Some r -> describe_power r
-        | None -> Format.printf "no solution within bound@.")
+        | None -> Format.printf "no solution within bound@."));
+    if stats then
+      if verbose then prerr_string (Report.stats_report ~timers:true ())
+      else print_string (Report.stats_report ())
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve one random instance with a chosen algorithm.")
     Term.(
       const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ algo_arg
-      $ bound_arg $ w_arg $ verbose_flag)
+      $ bound_arg $ w_arg $ verbose_flag $ stats_flag $ prune_arg
+      $ domains_arg)
 
 (* --- experiments --- *)
 
@@ -323,7 +349,16 @@ let heuristics_cmd =
       & info [ "bound-fraction" ] ~docv:"F"
           ~doc:"Cost bound as a fraction of each tree's frontier range.")
   in
-  let run shape trees nodes pre seed fraction csv =
+  let no_time_flag =
+    Arg.(
+      value & flag
+      & info [ "no-time" ]
+          ~doc:
+            "Print '-' instead of wall-clock timings, making the output \
+             fully deterministic for a fixed seed (used by the cram \
+             test).")
+  in
+  let run shape trees nodes pre seed fraction csv no_time =
     let config =
       {
         (Exp_heuristics.default_config ~shape ()) with
@@ -334,7 +369,7 @@ let heuristics_cmd =
         bound_fraction = fraction;
       }
     in
-    emit csv (Exp_heuristics.to_table (Exp_heuristics.run config))
+    emit csv (Exp_heuristics.to_table ~no_time (Exp_heuristics.run config))
   in
   Cmd.v
     (Cmd.info "heuristics"
@@ -343,7 +378,7 @@ let heuristics_cmd =
           vs the DP optimum.")
     Term.(
       const run $ shape_arg $ trees_arg 20 $ nodes_arg 40 $ pre_arg 4
-      $ seed_arg $ fraction_arg $ csv_flag)
+      $ seed_arg $ fraction_arg $ csv_flag $ no_time_flag)
 
 let trace_cmd =
   let horizon_arg =

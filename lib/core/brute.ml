@@ -1,21 +1,31 @@
 let max_nodes = 20
 
+let c_masks = Stats_counters.counter "brute.masks_scanned"
+let c_valid = Stats_counters.counter "brute.valid_placements"
+let t_scan = Stats_counters.timer "brute.scan"
+
 let fold_valid tree ~w ~init ~f =
   let n = Tree.size tree in
   if n > max_nodes then
     invalid_arg "Brute.fold_valid: tree too large for exhaustive search";
-  let acc = ref init in
-  for mask = 0 to (1 lsl n) - 1 do
-    let nodes = ref [] in
-    for j = n - 1 downto 0 do
-      if mask land (1 lsl j) <> 0 then nodes := j :: !nodes
-    done;
-    let sol = Solution.of_nodes !nodes in
-    match Solution.validate tree ~w sol with
-    | Ok ev -> acc := f !acc sol ev
-    | Error _ -> ()
-  done;
-  !acc
+  Stats_counters.time t_scan (fun () ->
+      let acc = ref init in
+      let valid = ref 0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let nodes = ref [] in
+        for j = n - 1 downto 0 do
+          if mask land (1 lsl j) <> 0 then nodes := j :: !nodes
+        done;
+        let sol = Solution.of_nodes !nodes in
+        match Solution.validate tree ~w sol with
+        | Ok ev ->
+            incr valid;
+            acc := f !acc sol ev
+        | Error _ -> ()
+      done;
+      Stats_counters.add c_masks (1 lsl n);
+      Stats_counters.add c_valid !valid;
+      !acc)
 
 let argmin tree ~w ~value =
   fold_valid tree ~w ~init:None ~f:(fun best sol ev ->

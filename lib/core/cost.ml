@@ -45,6 +45,18 @@ let paper_expensive ~modes = modal_uniform ~modes ~create:1. ~delete:1. ~changed
 
 let mode_count t = Array.length t.create_m
 
+let is_mode_monotone t =
+  let m = mode_count t in
+  let nondecreasing get =
+    let ok = ref true in
+    for i = 0 to m - 2 do
+      if get (i + 1) < get i then ok := false
+    done;
+    !ok
+  in
+  nondecreasing (fun i -> t.create_m.(i))
+  && Array.for_all (fun row -> nondecreasing (fun i -> row.(i))) t.changed
+
 type tally = {
   created : int array;
   reused : int array array;

@@ -54,6 +54,20 @@ val paper_expensive : modes:int -> modal
 
 val mode_count : modal -> int
 
+val is_mode_monotone : modal -> bool
+(** A modal cost model is {e mode-monotone} when the charge for ending
+    up at a given operating mode never decreases as that mode rises:
+    [create_i] is non-decreasing in [i], and every row of [changed] is
+    non-decreasing ([changed_{i0,i'} <= changed_{i0,i''}] for
+    [i' <= i'']). Under a mode-monotone model, lowering a server's
+    absorbed load (hence its operating mode) can only lower its power
+    {e and} its cost contribution, which is what makes
+    {!Dp_power}'s flow-dominance pruning exact for {e every} cost bound
+    and for the full Pareto frontier. Uniform models with
+    [changed = 0] qualify; the paper's §5.2 models do {e not} (their
+    off-diagonal [changed > 0] beats the zero diagonal, so keeping a
+    reused server in its original higher mode can be cheaper). *)
+
 type tally = {
   created : int array;  (** [created.(i-1)] = n_i, new servers at mode i *)
   reused : int array array;  (** [reused.(i-1).(i'-1)] = e_{i,i'} *)

@@ -21,6 +21,21 @@ type result = {
   tally : Cost.tally;
 }
 
+(* Observability: every table cell allocated, every cartesian product
+   attempted, every pair rejected by the capacity check and every cell
+   dropped by dominance pruning is accounted here, plus a high-water
+   mark for table size and per-phase wall time. Counters accumulate
+   until [Stats_counters.reset]; totals are identical at any [domains]
+   value (atomic adds commute, and the set of tables built does not
+   depend on the fan-out). *)
+let c_cells = Stats_counters.counter "dp_power.cells_created"
+let c_products = Stats_counters.counter "dp_power.merge_products"
+let c_capacity = Stats_counters.counter "dp_power.capacity_rejected"
+let c_pruned = Stats_counters.counter "dp_power.dominance_pruned"
+let c_peak = Stats_counters.counter "dp_power.peak_table_size"
+let t_tables = Stats_counters.timer "dp_power.tables"
+let t_enumerate = Stats_counters.timer "dp_power.enumerate"
+
 (* Cell key layout: [| n_1; ...; n_M; e_11; ...; e_MM; flow |] — the
    exact per-mode server counts AND the number of requests traversing
    the node. Keeping the flow in the key (rather than minimizing it per
@@ -48,13 +63,81 @@ let bump key ~m ~initial ~operating =
   s.(idx) <- s.(idx) + 1;
   s
 
-let set tbl key placed = if not (Tbl.mem tbl key) then Tbl.replace tbl key placed
+let set tbl key placed ~created =
+  if not (Tbl.mem tbl key) then begin
+    Tbl.replace tbl key placed;
+    incr created
+  end
 
 let initial_mode_default tree j =
   match Tree.initial_mode tree j with Some m -> m | None -> 1
 
-(* Table of node j over servers strictly below j: key -> placement. *)
-let rec table_of tree ~modes j =
+(* Dominance pruning: among cells with identical count entries
+   (n_1..n_M, e_11..e_MM), keep only the one with minimal flow.
+
+   Why this is safe — the mirror argument. Let k1 = (counts, f1) and
+   k2 = (counts, f2) with f1 < f2 be cells of the same table at node j,
+   and let S2 be ANY completion of k2 (decisions at every node merged
+   later, each server's operating mode forced by its absorbed load).
+   Mirror S2 onto k1: keep every decision identical. Every capacity
+   check still passes (each flow sum only shrinks, by f2 - f1, on j's
+   root path). The two runs differ at exactly one server — the first
+   one above j that absorbs j's residual flow (or the root decision,
+   which absorbs any nonzero flow): it carries load L - (f2 - f1)
+   instead of L, hence operates at mode op1 <= op2. Since
+   [Power.of_mode] is strictly increasing in the mode:
+
+   - if op1 = op2, the final root keys coincide, and (power, cost) are
+     functions of the key alone — the mirror is exactly as good;
+   - if op1 < op2, the mirror has strictly lower power.
+
+   Consequently, for the pure MinPower problem (bound = infinity, any
+   cost model): the optimum power P* and the minimal cost c_min among
+   optimum-power placements are both preserved — a completion of k2
+   achieving power P* at cost c_min cannot have op1 < op2, since its
+   mirror would then beat the optimum; so its mirror realizes the same
+   final key and thus the same power and cost.
+
+   Under a finite cost bound or for the Pareto frontier, the op1 < op2
+   case must also not *increase* cost, which requires the cost model to
+   be mode-monotone ([Cost.is_mode_monotone]): create_i and every
+   changed_{i0,·} row non-decreasing in the operating mode. Then the
+   mirror's (power, cost) is pointwise <= S2's, so no frontier point
+   and no bound-feasible optimum is lost. The paper's §5.2 models are
+   NOT mode-monotone (off-diagonal changed > 0 versus the zero
+   diagonal), which is exactly the unsoundness of §4.3's literal
+   flow-minimal table documented in DESIGN.md — hence pruning defaults
+   to on only where the argument above applies, and stays overridable
+   for differential testing. *)
+let prune_dominated ~m tbl =
+  let sm = state_size m in
+  if Tbl.length tbl <= 1 then tbl
+  else begin
+    let best = Tbl.create (Tbl.length tbl) in
+    Tbl.iter
+      (fun key _ ->
+        let counts = Array.sub key 0 sm in
+        match Tbl.find_opt best counts with
+        | Some k0 when flow_of k0 <= flow_of key -> ()
+        | Some _ | None -> Tbl.replace best counts key)
+      tbl;
+    let dropped = Tbl.length tbl - Tbl.length best in
+    if dropped = 0 then tbl
+    else begin
+      Stats_counters.add c_pruned dropped;
+      let out = Tbl.create (Tbl.length best) in
+      Tbl.iter (fun _ key -> Tbl.replace out key (Tbl.find tbl key)) best;
+      out
+    end
+  end
+
+(* Table of node j over servers strictly below j: key -> placement.
+   [domains > 1] fans sibling subtrees out over OCaml 5 domains at the
+   first node with several children; each child's table is a pure
+   function of its subtree and is built sequentially inside its domain,
+   and the reduction over child tables below keeps the sequential
+   child order — so the result is bit-identical to [domains = 1]. *)
+let rec table_of tree ~modes ~prune ~domains j =
   let m = Modes.count modes in
   let w = Modes.max_capacity modes in
   let start = Tbl.create 16 in
@@ -62,48 +145,75 @@ let rec table_of tree ~modes j =
   if client <= w then begin
     let key = Array.make (state_size m + 1) 0 in
     key.(state_size m) <- client;
-    Tbl.replace start key Clist.empty
+    Tbl.replace start key Clist.empty;
+    Stats_counters.incr c_cells
   end;
-  List.fold_left (merge tree ~modes) start (Tree.children tree j)
+  let children = Tree.children tree j in
+  let extended_tables =
+    match children with
+    | [] -> []
+    | [ c ] -> [ extended_of tree ~modes ~prune ~domains c ]
+    | _ :: _ :: _ when domains > 1 ->
+        Par.map ~domains
+          (fun c -> extended_of tree ~modes ~prune ~domains:1 c)
+          children
+    | _ -> List.map (fun c -> extended_of tree ~modes ~prune ~domains:1 c) children
+  in
+  List.fold_left (merge ~modes ~prune) start extended_tables
 
-and merge tree ~modes left c =
+(* The child's table extended with the decision at c itself: its
+   operating mode is forced by the flow it absorbs. *)
+and extended_of tree ~modes ~prune ~domains c =
   let m = Modes.count modes in
   let sm = state_size m in
-  let w = Modes.max_capacity modes in
-  let sub = table_of tree ~modes c in
-  (* Extend the child's table with the decision at c: its operating mode
-     is forced by the flow it absorbs. *)
+  let sub = table_of tree ~modes ~prune ~domains c in
   let extended = Tbl.create (2 * Tbl.length sub) in
   let c_initial =
     if Tree.is_pre_existing tree c then Some (initial_mode_default tree c)
     else None
   in
+  let created = ref 0 in
   Tbl.iter
     (fun key placed ->
-      set extended key placed;
+      set extended key placed ~created;
       let flow = flow_of key in
       let operating = Modes.mode_of_load modes flow in
       let key' = bump key ~m ~initial:c_initial ~operating in
       key'.(sm) <- 0;
-      set extended key' (Clist.snoc placed (c, flow)))
+      set extended key' (Clist.snoc placed (c, flow)) ~created)
     sub;
+  Stats_counters.add c_cells !created;
+  let extended = if prune then prune_dominated ~m extended else extended in
+  (c, extended)
+
+and merge ~modes ~prune left (c, extended) =
+  let m = Modes.count modes in
+  let sm = state_size m in
+  let w = Modes.max_capacity modes in
   Log.debug (fun f ->
       f "merge child %d: %d x %d cells" c (Tbl.length left)
         (Tbl.length extended));
   let merged = Tbl.create (Tbl.length left * 2) in
+  let products = ref 0 and rejected = ref 0 and created = ref 0 in
   Tbl.iter
     (fun k1 p1 ->
       Tbl.iter
         (fun k2 p2 ->
+          incr products;
           let flow = k1.(sm) + k2.(sm) in
           if flow <= w then begin
             let key = Array.init (sm + 1) (fun i -> k1.(i) + k2.(i)) in
             key.(sm) <- flow;
-            set merged key (Clist.append p1 p2)
-          end)
+            set merged key (Clist.append p1 p2) ~created
+          end
+          else incr rejected)
         extended)
     left;
-  merged
+  Stats_counters.add c_products !products;
+  Stats_counters.add c_capacity !rejected;
+  Stats_counters.add c_cells !created;
+  Stats_counters.record_max c_peak (Tbl.length merged);
+  if prune then prune_dominated ~m merged else merged
 
 let tally_of_state ~modes tree key =
   let m = Modes.count modes in
@@ -144,12 +254,15 @@ let power_of_state ~modes ~power key =
    cell, either the residual flow is zero (no root server needed — with
    an optional zero-load reuse when the root is pre-existing), or the
    root must host a server whose mode follows from the flow. *)
-let candidates tree ~modes ~power ~cost =
+let candidates tree ~modes ~power ~cost ~prune ~domains =
   if Cost.mode_count cost <> Modes.count modes then
     invalid_arg "Dp_power: cost model mode count mismatch";
   let m = Modes.count modes in
   let root = Tree.root tree in
-  let table = table_of tree ~modes root in
+  let table =
+    Stats_counters.time t_tables (fun () ->
+        table_of tree ~modes ~prune ~domains root)
+  in
   let root_initial =
     if Tree.is_pre_existing tree root then
       Some (initial_mode_default tree root)
@@ -171,25 +284,35 @@ let candidates tree ~modes ~power ~cost =
       }
       :: !out
   in
-  Tbl.iter
-    (fun key placed ->
-      let flow = flow_of key in
-      if flow = 0 then begin
-        emit key placed false;
-        (* Zero-load reuse of a pre-existing root (can be cheaper than
-           deleting it, at the price of its mode-1 power). *)
-        match root_initial with
-        | Some _ ->
-            emit (bump key ~m ~initial:root_initial ~operating:1) placed true
-        | None -> ()
-      end
-      else
-        let operating = Modes.mode_of_load modes flow in
-        emit (bump key ~m ~initial:root_initial ~operating) placed true)
-    table;
+  Stats_counters.time t_enumerate (fun () ->
+      Tbl.iter
+        (fun key placed ->
+          let flow = flow_of key in
+          if flow = 0 then begin
+            emit key placed false;
+            (* Zero-load reuse of a pre-existing root (can be cheaper than
+               deleting it, at the price of its mode-1 power). *)
+            match root_initial with
+            | Some _ ->
+                emit (bump key ~m ~initial:root_initial ~operating:1) placed true
+            | None -> ()
+          end
+          else
+            let operating = Modes.mode_of_load modes flow in
+            emit (bump key ~m ~initial:root_initial ~operating) placed true)
+        table);
   !out
 
-let solve tree ~modes ~power ~cost ?(bound = infinity) () =
+let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1) ()
+    =
+  (* Pruning is exact for the pure MinPower problem regardless of the
+     cost model, and for bounded problems under mode-monotone costs —
+     see the proof above [prune_dominated]. *)
+  let prune =
+    match prune with
+    | Some p -> p
+    | None -> bound = infinity || Cost.is_mode_monotone cost
+  in
   let best = ref None in
   List.iter
     (fun r ->
@@ -197,14 +320,19 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) () =
         match !best with
         | Some b when (b.power, b.cost) <= (r.power, r.cost) -> ()
         | Some _ | None -> best := Some r)
-    (candidates tree ~modes ~power ~cost);
+    (candidates tree ~modes ~power ~cost ~prune ~domains);
   !best
 
-let frontier tree ~modes ~power ~cost =
+let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
+  (* The frontier sweeps every cost bound at once, so pruning is only
+     exact under mode-monotone costs. *)
+  let prune =
+    match prune with Some p -> p | None -> Cost.is_mode_monotone cost
+  in
   let all =
     List.sort
       (fun a b -> compare (a.cost, a.power) (b.cost, b.power))
-      (candidates tree ~modes ~power ~cost)
+      (candidates tree ~modes ~power ~cost ~prune ~domains)
   in
   (* Keep points that strictly improve power as cost increases. *)
   let rec filter best_power = function
@@ -215,5 +343,5 @@ let frontier tree ~modes ~power ~cost =
   in
   filter infinity all
 
-let root_state_count tree ~modes =
-  Tbl.length (table_of tree ~modes (Tree.root tree))
+let root_state_count ?(prune = false) ?(domains = 1) tree ~modes =
+  Tbl.length (table_of tree ~modes ~prune ~domains (Tree.root tree))

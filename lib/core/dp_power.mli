@@ -36,7 +36,31 @@
     algorithm practical despite the O(N^{2M^2+2M+1}) worst case. With no
     pre-existing server the counts collapse to [(n_1..n_M)]; [MinPower]
     (Theorem 2, NP-complete for arbitrary M) is the special case
-    [bound = ∞]. *)
+    [bound = ∞].
+
+    {2 Observability, pruning, parallelism}
+
+    Every phase is instrumented through {!Stats_counters} under the
+    [dp_power.*] namespace: [cells_created], [merge_products] (cartesian
+    pairs attempted), [capacity_rejected], [dominance_pruned],
+    [peak_table_size] (high-water mark, recorded before pruning), and
+    the [tables] / [enumerate] wall-clock timers. Counter totals are
+    deterministic for a fixed workload at any [domains] value.
+
+    {e Dominance pruning} keeps, among coexisting cells with identical
+    count entries, only the flow-minimal one. By the mirror argument
+    proved in the implementation, this is exact — identical (power,
+    cost) results — for the pure [MinPower] problem under {e any} cost
+    model, and for bounded problems and the frontier under
+    {e mode-monotone} cost models ({!Cost.is_mode_monotone}). The
+    [?prune] defaults follow exactly that rule; pass [~prune:false]
+    (resp. [true]) to force the unpruned (resp. pruned) merge, e.g. for
+    differential testing.
+
+    [?domains > 1] fans sibling subtrees out over OCaml 5 domains (via
+    {!Par}) at the first node with several children; the reduction over
+    child tables keeps the sequential order, so results — and counter
+    totals — are bit-identical to the sequential run. *)
 
 type result = {
   solution : Solution.t;
@@ -51,15 +75,21 @@ val solve :
   power:Power.t ->
   cost:Cost.modal ->
   ?bound:float ->
+  ?prune:bool ->
+  ?domains:int ->
   unit ->
   result option
 (** Minimal-power placement among those of cost at most [bound] (default
     [infinity], i.e. the pure [MinPower] problem). [None] when no valid
-    placement meets the bound.
+    placement meets the bound. [prune] defaults to the exactness rule
+    above ([bound = infinity || Cost.is_mode_monotone cost]); [domains]
+    defaults to [1] (sequential).
     @raise Invalid_argument if the cost model's mode count differs from
     [modes]. *)
 
 val frontier :
+  ?prune:bool ->
+  ?domains:int ->
   Tree.t ->
   modes:Modes.t ->
   power:Power.t ->
@@ -69,9 +99,13 @@ val frontier :
     cost (and strictly decreasing power). [solve ~bound] is equivalent to
     picking the last frontier point with [cost <= bound]; computing the
     frontier once answers every bound, which is how the Experiment 3
-    harness sweeps cost bounds. *)
+    harness sweeps cost bounds. [prune] defaults to
+    [Cost.is_mode_monotone cost] (the frontier must stay exact at every
+    bound at once). *)
 
-val root_state_count : Tree.t -> modes:Modes.t -> int
+val root_state_count : ?prune:bool -> ?domains:int -> Tree.t -> modes:Modes.t -> int
 (** Number of distinct (counts, flow) cells in the root table — a direct
     measure of the instance's combinatorial hardness, used by the
-    scaling benches. *)
+    scaling benches. [prune] defaults to [false] so the count measures
+    the raw state space; pass [~prune:true] to measure what survives
+    dominance pruning. *)

@@ -3,6 +3,12 @@ let src =
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let c_cells = Stats_counters.counter "dp_withpre.cells_created"
+let c_products = Stats_counters.counter "dp_withpre.merge_products"
+let c_capacity = Stats_counters.counter "dp_withpre.capacity_rejected"
+let c_peak = Stats_counters.counter "dp_withpre.peak_table_size"
+let t_tables = Stats_counters.timer "dp_withpre.tables"
+
 type cell = { flow : int; placed : (int * int) Clist.t }
 
 type table = {
@@ -28,7 +34,10 @@ let make_table pre_cap new_cap =
 let set t e n candidate =
   match t.cells.(e).(n) with
   | Some current when current.flow <= candidate.flow -> ()
-  | Some _ | None -> t.cells.(e).(n) <- Some candidate
+  | Some _ -> t.cells.(e).(n) <- Some candidate
+  | None ->
+      t.cells.(e).(n) <- Some candidate;
+      Stats_counters.incr c_cells
 
 let iter_cells t f =
   for e = 0 to t.pre_cap do
@@ -68,18 +77,25 @@ and merge tree ~w left c =
     make_table (left.pre_cap + extended.pre_cap)
       (left.new_cap + extended.new_cap)
   in
+  let products = ref 0 and rejected = ref 0 and live = ref 0 in
   iter_cells left (fun e1 n1 l ->
       iter_cells extended (fun e2 n2 r ->
+          incr products;
           let flow = l.flow + r.flow in
           if flow <= w then
             set merged (e1 + e2) (n1 + n2)
-              { flow; placed = Clist.append l.placed r.placed }));
+              { flow; placed = Clist.append l.placed r.placed }
+          else incr rejected));
+  Stats_counters.add c_products !products;
+  Stats_counters.add c_capacity !rejected;
+  iter_cells merged (fun _ _ _ -> incr live);
+  Stats_counters.record_max c_peak !live;
   merged
 
 let solve tree ~w ~cost =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
   let root = Tree.root tree in
-  let table = table_of tree ~w root in
+  let table = Stats_counters.time t_tables (fun () -> table_of tree ~w root) in
   let pre_total = Tree.num_pre_existing tree in
   let root_pre = Tree.is_pre_existing tree root in
   let best = ref None in

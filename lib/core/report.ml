@@ -54,6 +54,12 @@ let cost_report tree ~w cost solution =
   violations_section buf tree ~w solution;
   Buffer.contents buf
 
+let stats_report ?(timers = false) () =
+  let body =
+    if timers then Stats_counters.report () else Stats_counters.counters_report ()
+  in
+  "--- solver statistics ---\n" ^ body
+
 let power_report tree modes power cost solution =
   let buf = Buffer.create 512 in
   let w = Modes.max_capacity modes in

@@ -14,3 +14,9 @@ val power_report :
 (** Report for the power problems: per-server operating mode and watts,
     mode-change provenance for reused servers, Eq. 4 cost and Eq. 3
     power totals. The solution must fit within the maximal capacity. *)
+
+val stats_report : ?timers:bool -> unit -> string
+(** The {!Stats_counters} registry as a report section — what the CLI's
+    [--stats] flag prints after a solve. Counters only by default
+    (deterministic for a fixed workload, safe in cram tests); pass
+    [~timers:true] to append wall-clock phase timings. *)

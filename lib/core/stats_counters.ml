@@ -1,0 +1,110 @@
+type counter = { c_name : string; cell : int Atomic.t }
+type timer = { t_name : string; ns : int Atomic.t }
+
+(* Registration is rare (top-level module initializers) and protected by
+   a mutex; the hot path only ever touches the Atomic cells. *)
+let lock = Mutex.create ()
+let registered_counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registered_timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registered_counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.replace registered_counters name c;
+          c)
+
+let timer name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registered_timers name with
+      | Some t -> t
+      | None ->
+          let t = { t_name = name; ns = Atomic.make 0 } in
+          Hashtbl.replace registered_timers name t;
+          t)
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+
+let record_max c v =
+  let rec loop () =
+    let cur = Atomic.get c.cell in
+    if v > cur && not (Atomic.compare_and_set c.cell cur v) then loop ()
+  in
+  loop ()
+
+let value c = Atomic.get c.cell
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let time t f =
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Atomic.fetch_and_add t.ns (now_ns () - t0)))
+    f
+
+let seconds t = float_of_int (Atomic.get t.ns) /. 1e9
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registered_counters;
+      Hashtbl.iter (fun _ t -> Atomic.set t.ns 0) registered_timers)
+
+let sorted_values tbl value =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name v acc -> (name, value v) :: acc) tbl [])
+  |> List.sort compare
+
+let counters () = sorted_values registered_counters value
+let timers () = sorted_values registered_timers seconds
+
+let pad_to entries =
+  List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 entries
+
+let counters_report () =
+  (* Hide never-touched counters: which zero-valued cells exist depends
+     on which solver modules the binary happens to link, not on the
+     workload. *)
+  let entries = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  let width = pad_to entries in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %d\n" width name v))
+    entries;
+  Buffer.contents buf
+
+let report () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (counters_report ());
+  let entries = List.filter (fun (_, s) -> s <> 0.) (timers ()) in
+  let width = pad_to entries in
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s %.6f s\n" width name s))
+    entries;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 512 in
+  let obj fields render =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "%S: " name);
+        render v)
+      fields;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_string buf "{\"counters\": ";
+  obj (counters ()) (fun v -> Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ", \"timers_seconds\": ";
+  obj (timers ()) (fun s -> Buffer.add_string buf (Printf.sprintf "%.9f" s));
+  Buffer.add_char buf '}';
+  Buffer.contents buf

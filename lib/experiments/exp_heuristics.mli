@@ -39,4 +39,7 @@ val run : config -> row list
 (** Rows ordered: dp (reference, 0 overhead), heuristic, restarts,
     anneal, gr-sweep. *)
 
-val to_table : row list -> Table.t
+val to_table : ?no_time:bool -> row list -> Table.t
+(** [no_time] prints ["-"] in the timing column, making the output
+    deterministic for a fixed seed — what the CLI's [--no-time] flag
+    and the cram test use. *)

@@ -87,7 +87,7 @@ let run config =
       })
     (shapes config.nodes)
 
-let to_table rows =
+let to_table ?(no_time = false) rows =
   let table =
     Table.make
       ~header:
@@ -108,7 +108,7 @@ let to_table rows =
           Table.fmt_float ~decimals:1 r.mean_height;
           Table.fmt_float ~decimals:2 r.dp_reused;
           Table.fmt_float ~decimals:2 r.gr_reused;
-          Table.fmt_float ~decimals:5 r.dp_seconds;
+          (if no_time then "-" else Table.fmt_float ~decimals:5 r.dp_seconds);
           Table.fmt_float ~decimals:0 r.power_states;
         ])
     rows;

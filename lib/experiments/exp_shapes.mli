@@ -30,4 +30,7 @@ type row = {
 }
 
 val run : config -> row list
-val to_table : row list -> Table.t
+
+val to_table : ?no_time:bool -> row list -> Table.t
+(** [no_time] prints ["-"] in the timing column — nondeterministic
+    wall-clock numbers otherwise break output-pinning tests. *)

@@ -92,7 +92,7 @@ let run config =
       })
     solvers
 
-let to_table rows =
+let to_table ?(no_time = false) rows =
   let table =
     Table.make
       ~header:
@@ -106,7 +106,7 @@ let to_table rows =
           string_of_int r.solved;
           Table.fmt_float ~decimals:2 r.avg_cost_overhead_percent;
           Table.fmt_float ~decimals:2 r.worst_cost_overhead_percent;
-          Table.fmt_float ~decimals:5 r.avg_seconds;
+          (if no_time then "-" else Table.fmt_float ~decimals:5 r.avg_seconds);
         ])
     rows;
   table

@@ -61,6 +61,43 @@ The power DP with a cost bound:
   power (Eq. 3): 550.000
   cost (Eq. 4): 4.311
 
+--stats appends the solver's counter registry (counters only — timers are
+wall-clock and would not be reproducible here):
+
+  $ replica_cli solve --algo dp-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6 --stats
+  placement: 4 servers for 15 requests (modes 5 10)
+    node 0    load   5 -> mode W1 (137.5 W)  new
+    node 3    load   5 -> mode W1 (137.5 W)  reused (was mode 2)
+    node 6    load   2 -> mode W1 (137.5 W)  new
+    node 7    load   3 -> mode W1 (137.5 W)  new
+  deleted pre-existing servers: 4
+  power (Eq. 3): 550.000
+  cost (Eq. 4): 4.311
+  --- solver statistics ---
+  dp_power.capacity_rejected 16
+  dp_power.cells_created     123
+  dp_power.merge_products    128
+  dp_power.peak_table_size   38
+
+Forcing dominance pruning on the same instance gives the same answer with
+fewer merge products:
+
+  $ replica_cli solve --algo dp-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6 --stats --prune true
+  placement: 4 servers for 15 requests (modes 5 10)
+    node 0    load   5 -> mode W1 (137.5 W)  new
+    node 3    load   5 -> mode W1 (137.5 W)  reused (was mode 2)
+    node 6    load   2 -> mode W1 (137.5 W)  new
+    node 7    load   3 -> mode W1 (137.5 W)  new
+  deleted pre-existing servers: 4
+  power (Eq. 3): 550.000
+  cost (Eq. 4): 4.311
+  --- solver statistics ---
+  dp_power.capacity_rejected 8
+  dp_power.cells_created     101
+  dp_power.dominance_pruned  17
+  dp_power.merge_products    94
+  dp_power.peak_table_size   24
+
 The greedy power baseline and the local-search heuristic on the same instance:
 
   $ replica_cli solve --algo gr-power --nodes 8 --pre 2 --seed 7 -w 10 --bound 6
@@ -92,15 +129,16 @@ Update-policy ablation at toy scale:
   periodic(4),8.38,2.00,0.00
   drift(0.20),5.25,1.00,0.00
 
-Power-heuristics ablation at toy scale:
+Power-heuristics ablation at toy scale (--no-time blanks the wall-clock
+column so the output is deterministic):
 
-  $ replica_cli heuristics --trees 2 --nodes 10 --pre 2 --seed 2 --csv
+  $ replica_cli heuristics --trees 2 --nodes 10 --pre 2 --seed 2 --csv --no-time
   algorithm,solved,avg overhead %,worst overhead %,avg seconds
-  dp (optimal),2,0.00,0.00,0.00006
-  hill-climb,2,0.00,0.00,0.00006
-  multi-start,2,0.00,0.00,0.00013
-  anneal,2,0.00,0.00,0.00145
-  gr-sweep,2,0.00,0.00,0.00004
+  dp (optimal),2,0.00,0.00,-
+  hill-climb,2,0.00,0.00,-
+  multi-start,2,0.00,0.00,-
+  anneal,2,0.00,0.00,-
+  gr-sweep,2,0.00,0.00,-
 
 Experiment 3 at toy scale, as CSV:
 

@@ -1,0 +1,84 @@
+open Helpers
+
+(* Par must be a drop-in List.map at every domain count: the experiment
+   harnesses and Dp_power's sibling fan-out rely on order preservation
+   and on exceptions from the worker function reaching the caller. *)
+
+let domain_counts = [ 1; 2; 8 ]
+
+exception Boom
+
+let test_matches_list_map () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun n ->
+          let input = List.init n Fun.id in
+          let f x = (x * 37) mod 101 in
+          check (Alcotest.list ci)
+            (Printf.sprintf "domains=%d n=%d" domains n)
+            (List.map f input)
+            (Par.map ~domains f input))
+        [ 0; 1; 2; 3; 7; 64; 1000 ])
+    domain_counts
+
+let test_order_preserved () =
+  (* Slow down early items so that, with real parallelism, later items
+     finish first — the output must still be positional. *)
+  List.iter
+    (fun domains ->
+      let input = List.init 32 Fun.id in
+      let f x =
+        if x < 4 then ignore (Sys.opaque_identity (Array.init 20_000 Fun.id));
+        Printf.sprintf "item-%d" x
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "positional at domains=%d" domains)
+        (List.map f input) (Par.map ~domains f input))
+    domain_counts
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises at domains=%d" domains)
+        Boom
+        (fun () ->
+          ignore
+            (Par.map ~domains
+               (fun x -> if x = 500 then raise Boom else x)
+               (List.init 1000 Fun.id))))
+    domain_counts
+
+let test_map2 () =
+  List.iter
+    (fun domains ->
+      let a = List.init 100 Fun.id in
+      let b = List.init 100 (fun i -> i * i) in
+      check (Alcotest.list ci)
+        (Printf.sprintf "map2 at domains=%d" domains)
+        (List.map2 ( + ) a b)
+        (Par.map2 ~domains ( + ) a b))
+    domain_counts;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Par.map2: length mismatch") (fun () ->
+      ignore (Par.map2 ( + ) [ 1 ] [ 1; 2 ]))
+
+let test_default_domains () =
+  let d = Par.default_domains () in
+  check cb "within 1..8" true (d >= 1 && d <= 8)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches List.map" `Quick test_matches_list_map;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "map2" `Quick test_map2;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+        ] );
+    ]

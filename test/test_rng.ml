@@ -7,6 +7,45 @@ let test_determinism () =
     check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
   done
 
+(* Golden vectors pin the generator to the published splitmix64
+   reference (the seed-0 stream starts 0xE220A8397B1DCDAF...): any
+   change to the mixing constants silently reshuffles every "seeded,
+   deterministic" experiment in the repo, so the exact outputs are
+   frozen here. *)
+let test_golden_vectors () =
+  let expect =
+    [
+      ( 0,
+        [
+          0xE220A8397B1DCDAFL; 0x6E789E6AA1B965F4L; 0x06C45D188009454FL;
+          0xF88BB8A8724C81ECL; 0x1B39896A51A8749BL; 0x53CB9F0C747EA2EAL;
+          0x2C829ABE1F4532E1L; 0xC584133AC916AB3CL;
+        ] );
+      ( 1,
+        [
+          0xBFEF8030DDC2D772L; 0x5F552CE482F2AA47L; 0x70335FC3DAF3D8A7L;
+          0xF440FE3B62C79D2CL; 0x33BA2F29E7C168BBL; 0x98843F48A94B7866L;
+          0x74AD4C24D41A25F8L; 0x2F9A1F13648EAB6EL;
+        ] );
+      ( 0xDEADBEEF,
+        [
+          0x279A0EB29629B2F9L; 0xEF1BA5FFCEE68F7CL; 0x37A307FDF0335768L;
+          0x77D5ECE605A5FF2FL; 0xC2F94FE29D7276EBL; 0x6A4EBC46E10F3FA6L;
+          0x40E8B2011D179B46L; 0x80171B68E985267AL;
+        ] );
+    ]
+  in
+  List.iter
+    (fun (seed, outputs) ->
+      let rng = Rng.create seed in
+      List.iteri
+        (fun i expected ->
+          check Alcotest.int64
+            (Printf.sprintf "seed %#x output %d" seed i)
+            expected (Rng.bits64 rng))
+        outputs)
+    expect
+
 let test_seed_sensitivity () =
   let a = Rng.create 1 and b = Rng.create 2 in
   let differs = ref false in
@@ -125,6 +164,7 @@ let () =
       ( "streams",
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "golden vectors" `Quick test_golden_vectors;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_copy_independence;
           Alcotest.test_case "split" `Quick test_split_independence;
