@@ -4,10 +4,12 @@
    than DP; DP still practical at paper scale).
 
    Usage: bench/main.exe [section...]
-   Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dp-stats timing
-   (default: all). The dp-stats section additionally writes a
+   Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dp-stats engine
+   timing (default: all). The dp-stats section additionally writes a
    machine-readable BENCH_dp_power.json with the solver's counter and
-   timer registry for the pruned and unpruned merge. *)
+   timer registry for the pruned and unpruned merge; the engine section
+   writes BENCH_engine.json comparing full vs incremental re-solving.
+   Both artifacts share the versioned Replica_engine.Json.envelope. *)
 
 open Replica_experiments
 
@@ -187,39 +189,181 @@ let run_dp_stats () =
     Printf.printf "table phase: %.4fs unpruned vs %.4fs pruned\n"
       (findf "dp_power.tables" ut) (findf "dp_power.tables" pt);
     Printf.printf "identical (power, cost) across both runs: verified\n";
-    let json_side (result, counters, timers) =
+    let module J = Replica_engine.Json in
+    let json_side ~prune (result, counters, timers) =
       let r = Option.get result in
       let ours (k, _) = String.starts_with ~prefix:"dp_power." k in
-      let fields =
-        List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v)
-          (List.filter ours counters)
-        @ List.map (fun (k, s) -> Printf.sprintf "%S: %.9f" (k ^ ".seconds") s)
-            (List.filter ours timers)
-      in
-      Printf.sprintf
-        "{\"power\": %.6f, \"cost\": %.6f, \"servers\": %d, %s}"
-        r.Dp_power.power r.Dp_power.cost
-        (Solution.cardinal r.Dp_power.solution)
-        (String.concat ", " fields)
+      J.Obj
+        ([
+           ("prune", J.Bool prune);
+           ("power", J.Float r.Dp_power.power);
+           ("cost", J.Float r.Dp_power.cost);
+           ("servers", J.Int (Solution.cardinal r.Dp_power.solution));
+         ]
+        @ List.map (fun (k, v) -> (k, J.Int v)) (List.filter ours counters)
+        @ List.map
+            (fun (k, s) -> (k ^ ".seconds", J.Float s))
+            (List.filter ours timers))
     in
     let json =
-      Printf.sprintf
-        "{\n\
-        \  \"bench\": \"dp_power\",\n\
-        \  \"tree\": {\"nodes\": %d, \"pre\": %d, \"seed\": %d, \"modes\": [4, 7, 10]},\n\
-        \  \"unpruned\": %s,\n\
-        \  \"pruned\": %s,\n\
-        \  \"merge_products_ratio\": %.4f\n\
-         }\n"
-        nodes pre seed
-        (json_side (unpruned, uc, ut))
-        (json_side (pruned, pc, pt))
-        (float_of_int u_products /. float_of_int p_products)
+      J.envelope ~kind:"dp_power"
+        ~config:
+          [
+            ("nodes", J.Int nodes);
+            ("pre", J.Int pre);
+            ("seed", J.Int seed);
+            ("modes", J.List [ J.Int 4; J.Int 7; J.Int 10 ]);
+            ("domains", J.Int (Par.default_domains ()));
+          ]
+        [
+          ("unpruned", json_side ~prune:false (unpruned, uc, ut));
+          ("pruned", json_side ~prune:true (pruned, pc, pt));
+          ( "merge_products_ratio",
+            J.Float (float_of_int u_products /. float_of_int p_products) );
+        ]
     in
     let oc = open_out "BENCH_dp_power.json" in
-    output_string oc json;
+    output_string oc (J.to_string ~pretty:true json);
+    output_char oc '\n';
     close_out oc;
     Printf.printf "wrote BENCH_dp_power.json\n"
+  end
+
+(* --- Online engine: full vs incremental re-solving (BENCH_engine.json) --- *)
+
+let run_engine () =
+  if section_enabled "engine" then begin
+    banner "engine"
+      "online engine at N=100: incremental vs full re-solving under a \
+       single-subtree demand shift";
+    let open Replica_tree in
+    let open Replica_core in
+    let module Engine = Replica_engine.Engine in
+    let module Timeline = Replica_engine.Timeline in
+    let module J = Replica_engine.Json in
+    let nodes = 100 and seed = 7 and epochs = 32 and warm_from = 3 in
+    let w = Workload.capacity in
+    let rng = Rng.create seed in
+    let base =
+      Generator.random rng
+        (Workload.profile Workload.Fat ~nodes ~max_requests:5)
+    in
+    (* Deterministic epoch stream: all demand movement is confined to one
+       subtree under the root, whose clients gain a request on every
+       other epoch. Everything outside that subtree is untouched, so an
+       incremental re-solve only rebuilds the shifted root-to-leaf
+       paths; the full re-solve rebuilds every table every epoch. *)
+    let shifted_root =
+      match Tree.children base (Tree.root base) with
+      | c :: _ -> c
+      | [] -> Tree.root base
+    in
+    let in_subtree = Array.make (Tree.size base) false in
+    let rec mark j =
+      in_subtree.(j) <- true;
+      List.iter mark (Tree.children base j)
+    in
+    mark shifted_root;
+    let boosted =
+      Tree.with_clients base (fun j ->
+          let cs = Tree.clients base j in
+          if in_subtree.(j) then
+            match cs with
+            | c :: rest when List.fold_left ( + ) 0 cs < w -> (c + 1) :: rest
+            | _ -> cs
+          else cs)
+    in
+    let demands =
+      List.init epochs (fun i -> if i mod 2 = 1 then boosted else base)
+    in
+    let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
+    let run solver =
+      Stats_counters.reset ();
+      let cfg =
+        Engine.config ~policy:Update_policy.Systematic ~solver ~w
+          (Engine.Min_cost cost)
+      in
+      Engine.run cfg demands
+    in
+    let full = run Engine.Full in
+    let incremental = run Engine.Incremental in
+    List.iter2
+      (fun (a : Timeline.entry) (b : Timeline.entry) ->
+        if not (Solution.equal a.Timeline.servers b.Timeline.servers) then
+          failwith "engine: incremental placement diverged from full re-solve")
+      full.Timeline.entries incremental.Timeline.entries;
+    if full.Timeline.invalid_epochs > 0 then
+      failwith "engine: expected every epoch to be serveable";
+    (* Warm epochs only: the first solve is cold for both solvers and the
+       second is the first with a pre-existing set; from [warm_from] on
+       the incremental memo has seen both demand phases. *)
+    let warm (t : Timeline.t) =
+      List.filter
+        (fun (e : Timeline.entry) -> e.Timeline.epoch >= warm_from)
+        t.Timeline.entries
+    in
+    let warm_seconds t =
+      let es = warm t in
+      List.fold_left (fun a (e : Timeline.entry) -> a +. e.Timeline.solve_seconds) 0. es
+      /. float_of_int (List.length es)
+    in
+    let warm_products t =
+      List.fold_left
+        (fun a (e : Timeline.entry) ->
+          a
+          + (try List.assoc "dp_withpre.merge_products" e.Timeline.counters
+             with Not_found -> 0))
+        0 (warm t)
+    in
+    let f_sec = warm_seconds full and i_sec = warm_seconds incremental in
+    let f_prod = warm_products full and i_prod = warm_products incremental in
+    let speedup = f_sec /. i_sec in
+    let products_ratio = float_of_int f_prod /. float_of_int i_prod in
+    Printf.printf
+      "identical placements across all %d epochs: verified\n\
+       warm epoch solve: %.6fs full vs %.6fs incremental (%.1fx speedup)\n\
+       warm merge products: %d full vs %d incremental (%.1fx fewer)\n"
+      epochs f_sec i_sec speedup f_prod i_prod products_ratio;
+    if speedup < 2. then
+      failwith "engine: expected >=2x warm epoch-solve speedup";
+    let side name (t : Timeline.t) sec prod =
+      ( name,
+        J.Obj
+          [
+            ("warm_avg_solve_seconds", J.Float sec);
+            ("warm_merge_products", J.Int prod);
+            ("total_solve_seconds", J.Float t.Timeline.solve_seconds);
+            ("reconfigurations", J.Int t.Timeline.reconfigurations);
+            ("total_cost", J.Float t.Timeline.total_cost);
+          ] )
+    in
+    let json =
+      J.envelope ~kind:"engine"
+        ~config:
+          [
+            ("nodes", J.Int nodes);
+            ("seed", J.Int seed);
+            ("epochs", J.Int epochs);
+            ("warm_from_epoch", J.Int warm_from);
+            ("w", J.Int w);
+            ("policy", J.String "systematic");
+            ("objective", J.String "min_cost");
+            ("shifted_subtree_root", J.Int shifted_root);
+          ]
+        [
+          ("full", side "full" full f_sec f_prod |> snd);
+          ( "incremental",
+            side "incremental" incremental i_sec i_prod |> snd );
+          ("warm_epoch_speedup", J.Float speedup);
+          ("warm_merge_products_ratio", J.Float products_ratio);
+          ("placements_identical", J.Bool true);
+        ]
+    in
+    let oc = open_out "BENCH_engine.json" in
+    output_string oc (J.to_string ~pretty:true json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_engine.json\n"
   end
 
 (* --- Bechamel timing suite --- *)
@@ -347,4 +491,5 @@ let () =
   run_ablation_window ();
   run_ablation_modes ();
   run_dp_stats ();
+  run_engine ();
   run_timing ()

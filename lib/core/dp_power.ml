@@ -35,6 +35,9 @@ let c_pruned = Stats_counters.counter "dp_power.dominance_pruned"
 let c_peak = Stats_counters.counter "dp_power.peak_table_size"
 let t_tables = Stats_counters.timer "dp_power.tables"
 let t_enumerate = Stats_counters.timer "dp_power.enumerate"
+let c_memo_hits = Stats_counters.counter "dp_power.memo_hits"
+let c_memo_partial = Stats_counters.counter "dp_power.memo_partial"
+let c_memo_misses = Stats_counters.counter "dp_power.memo_misses"
 
 (* Cell key layout: [| n_1; ...; n_M; e_11; ...; e_MM; flow |] — the
    exact per-mode server counts AND the number of requests traversing
@@ -131,13 +134,44 @@ let prune_dominated ~m tbl =
     end
   end
 
+(* Incremental re-solving (same device as Dp_withpre): a memo caches
+   every extended child table keyed by the child's subtree fingerprint,
+   and every prefix of every node's child-merge fold keyed by a
+   fingerprint chain. An epoch re-solve then recomputes only the tables
+   under demand that actually moved; results are bit-identical to a
+   memo-less solve. Tables are never mutated after construction, so
+   sharing them across solves is safe. The memo forces the sequential
+   merge path (no [Par] fan-out — the cache is not domain-safe). *)
+type memo = {
+  mutable gen : int;
+  mutable memo_key : (int list * bool) option;
+      (* tables depend on the mode ladder and the prune flag *)
+  prefixes : (int * int64, entry) Hashtbl.t;
+  ext_cache : (int * int64, entry) Hashtbl.t;
+}
+
+and entry = { mutable stamp : int; table : (int * int) Clist.t Tbl.t }
+
+let memo () =
+  {
+    gen = 0;
+    memo_key = None;
+    prefixes = Hashtbl.create 512;
+    ext_cache = Hashtbl.create 512;
+  }
+
+let memo_size m = Hashtbl.length m.prefixes + Hashtbl.length m.ext_cache
+
+let fp_seed client =
+  Tree.combine_fingerprints 0x9E6C63D0876A9A35L (Int64.of_int client)
+
 (* Table of node j over servers strictly below j: key -> placement.
    [domains > 1] fans sibling subtrees out over OCaml 5 domains at the
    first node with several children; each child's table is a pure
    function of its subtree and is built sequentially inside its domain,
    and the reduction over child tables below keeps the sequential
    child order — so the result is bit-identical to [domains = 1]. *)
-let rec table_of tree ~modes ~prune ~domains j =
+let rec table_of ctx tree ~modes ~prune ~domains j =
   let m = Modes.count modes in
   let w = Modes.max_capacity modes in
   let start = Tbl.create 16 in
@@ -149,24 +183,76 @@ let rec table_of tree ~modes ~prune ~domains j =
     Stats_counters.incr c_cells
   end;
   let children = Tree.children tree j in
-  let extended_tables =
-    match children with
-    | [] -> []
-    | [ c ] -> [ extended_of tree ~modes ~prune ~domains c ]
-    | _ :: _ :: _ when domains > 1 ->
-        Par.map ~domains
-          (fun c -> extended_of tree ~modes ~prune ~domains:1 c)
-          children
-    | _ -> List.map (fun c -> extended_of tree ~modes ~prune ~domains:1 c) children
-  in
-  List.fold_left (merge ~modes ~prune) start extended_tables
+  match ctx with
+  | None ->
+      let extended_tables =
+        match children with
+        | [] -> []
+        | [ c ] -> [ extended_of ctx tree ~modes ~prune ~domains c ]
+        | _ :: _ :: _ when domains > 1 ->
+            Par.map ~domains
+              (fun c -> extended_of None tree ~modes ~prune ~domains:1 c)
+              children
+        | _ ->
+            List.map
+              (fun c -> extended_of ctx tree ~modes ~prune ~domains:1 c)
+              children
+      in
+      List.fold_left (merge ~modes ~prune) start extended_tables
+  | Some ((mm, fps) as c) -> (
+      match children with
+      | [] -> start
+      | _ ->
+          let arr = Array.of_list children in
+          let k = Array.length arr in
+          let keys = Array.make (k + 1) (fp_seed client) in
+          for i = 1 to k do
+            keys.(i) <- Tree.combine_fingerprints keys.(i - 1) fps.(arr.(i - 1))
+          done;
+          let best = ref 0 and acc = ref start in
+          (try
+             for i = k downto 1 do
+               match Hashtbl.find_opt mm.prefixes (j, keys.(i)) with
+               | Some e ->
+                   e.stamp <- mm.gen;
+                   best := i;
+                   acc := e.table;
+                   raise Exit
+               | None -> ()
+             done
+           with Exit -> ());
+          if !best > 0 && !best < k then Stats_counters.incr c_memo_partial;
+          for i = !best + 1 to k do
+            acc :=
+              merge ~modes ~prune !acc
+                (extended_cached c tree ~modes ~prune arr.(i - 1));
+            Hashtbl.replace mm.prefixes (j, keys.(i))
+              { stamp = mm.gen; table = !acc }
+          done;
+          !acc)
+
+(* Extended child tables, looked up by the child's subtree fingerprint:
+   a clean child costs one hash probe instead of a subtree of work. *)
+and extended_cached ((mm, fps) as ctx) tree ~modes ~prune c =
+  match Hashtbl.find_opt mm.ext_cache (c, fps.(c)) with
+  | Some e ->
+      e.stamp <- mm.gen;
+      Stats_counters.incr c_memo_hits;
+      (c, e.table)
+  | None ->
+      Stats_counters.incr c_memo_misses;
+      let _, tbl =
+        extended_of (Some ctx) tree ~modes ~prune ~domains:1 c
+      in
+      Hashtbl.replace mm.ext_cache (c, fps.(c)) { stamp = mm.gen; table = tbl };
+      (c, tbl)
 
 (* The child's table extended with the decision at c itself: its
    operating mode is forced by the flow it absorbs. *)
-and extended_of tree ~modes ~prune ~domains c =
+and extended_of ctx tree ~modes ~prune ~domains c =
   let m = Modes.count modes in
   let sm = state_size m in
-  let sub = table_of tree ~modes ~prune ~domains c in
+  let sub = table_of ctx tree ~modes ~prune ~domains c in
   let extended = Tbl.create (2 * Tbl.length sub) in
   let c_initial =
     if Tree.is_pre_existing tree c then Some (initial_mode_default tree c)
@@ -254,14 +340,14 @@ let power_of_state ~modes ~power key =
    cell, either the residual flow is zero (no root server needed — with
    an optional zero-load reuse when the root is pre-existing), or the
    root must host a server whose mode follows from the flow. *)
-let candidates tree ~modes ~power ~cost ~prune ~domains =
+let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
   if Cost.mode_count cost <> Modes.count modes then
     invalid_arg "Dp_power: cost model mode count mismatch";
   let m = Modes.count modes in
   let root = Tree.root tree in
   let table =
     Stats_counters.time t_tables (fun () ->
-        table_of tree ~modes ~prune ~domains root)
+        table_of ctx tree ~modes ~prune ~domains root)
   in
   let root_initial =
     if Tree.is_pre_existing tree root then
@@ -303,8 +389,8 @@ let candidates tree ~modes ~power ~cost ~prune ~domains =
         table);
   !out
 
-let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1) ()
-    =
+let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
+    ?memo:m () =
   (* Pruning is exact for the pure MinPower problem regardless of the
      cost model, and for bounded problems under mode-monotone costs —
      see the proof above [prune_dominated]. *)
@@ -313,6 +399,19 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1) ()
     | Some p -> p
     | None -> bound = infinity || Cost.is_mode_monotone cost
   in
+  let ctx =
+    match m with
+    | None -> None
+    | Some mm ->
+        let key = (Modes.capacities modes, prune) in
+        if mm.memo_key <> Some key then begin
+          Hashtbl.reset mm.prefixes;
+          Hashtbl.reset mm.ext_cache;
+          mm.memo_key <- Some key
+        end;
+        mm.gen <- mm.gen + 1;
+        Some (mm, Tree.subtree_fingerprints tree)
+  in
   let best = ref None in
   List.iter
     (fun r ->
@@ -320,7 +419,17 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1) ()
         match !best with
         | Some b when (b.power, b.cost) <= (r.power, r.cost) -> ()
         | Some _ | None -> best := Some r)
-    (candidates tree ~modes ~power ~cost ~prune ~domains);
+    (candidates ~ctx tree ~modes ~power ~cost ~prune ~domains);
+  (match m with
+  | Some mm ->
+      let evict tbl =
+        Hashtbl.filter_map_inplace
+          (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
+          tbl
+      in
+      evict mm.prefixes;
+      evict mm.ext_cache
+  | None -> ());
   !best
 
 let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
@@ -344,4 +453,4 @@ let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
   filter infinity all
 
 let root_state_count ?(prune = false) ?(domains = 1) tree ~modes =
-  Tbl.length (table_of tree ~modes ~prune ~domains (Tree.root tree))
+  Tbl.length (table_of None tree ~modes ~prune ~domains (Tree.root tree))

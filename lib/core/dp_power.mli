@@ -60,7 +60,21 @@
     [?domains > 1] fans sibling subtrees out over OCaml 5 domains (via
     {!Par}) at the first node with several children; the reduction over
     child tables keeps the sequential order, so results — and counter
-    totals — are bit-identical to the sequential run. *)
+    totals — are bit-identical to the sequential run.
+
+    {2 Incremental re-solving}
+
+    Passing a {!memo} to {!solve} makes consecutive solves over epoch
+    views of the same network incremental, exactly as in
+    {!Dp_withpre}: extended child tables are cached by subtree
+    fingerprint ({!Tree.subtree_fingerprints}) and every prefix of
+    every node's child-merge fold is cached by a fingerprint chain, so
+    a re-solve after a localized demand shift recomputes only the
+    dirtied tables. Results are bit-identical to a memo-less solve
+    (modulo the ~2^-64 fingerprint-collision probability). The memo
+    forces the sequential merge path ([domains] is ignored); it resets
+    itself when the mode ladder or the resolved prune flag changes, and
+    is observable through [dp_power.memo_{hits,partial,misses}]. *)
 
 type result = {
   solution : Solution.t;
@@ -68,6 +82,16 @@ type result = {
   cost : float;  (** Eq. 4 value *)
   tally : Cost.tally;  (** server classification behind [cost] *)
 }
+
+type memo
+(** A reusable cache of extended child tables and merge-fold prefixes
+    (see above). *)
+
+val memo : unit -> memo
+(** A fresh, empty memo. *)
+
+val memo_size : memo -> int
+(** Number of cached tables currently held (observability). *)
 
 val solve :
   Tree.t ->
@@ -77,13 +101,14 @@ val solve :
   ?bound:float ->
   ?prune:bool ->
   ?domains:int ->
+  ?memo:memo ->
   unit ->
   result option
 (** Minimal-power placement among those of cost at most [bound] (default
     [infinity], i.e. the pure [MinPower] problem). [None] when no valid
     placement meets the bound. [prune] defaults to the exactness rule
     above ([bound = infinity || Cost.is_mode_monotone cost]); [domains]
-    defaults to [1] (sequential).
+    defaults to [1] (sequential) and is ignored when [memo] is given.
     @raise Invalid_argument if the cost model's mode count differs from
     [modes]. *)
 

@@ -8,6 +8,9 @@ let c_products = Stats_counters.counter "dp_withpre.merge_products"
 let c_capacity = Stats_counters.counter "dp_withpre.capacity_rejected"
 let c_peak = Stats_counters.counter "dp_withpre.peak_table_size"
 let t_tables = Stats_counters.timer "dp_withpre.tables"
+let c_memo_hits = Stats_counters.counter "dp_withpre.memo_hits"
+let c_memo_partial = Stats_counters.counter "dp_withpre.memo_partial"
+let c_memo_misses = Stats_counters.counter "dp_withpre.memo_misses"
 
 type cell = { flow : int; placed : (int * int) Clist.t }
 
@@ -46,16 +49,76 @@ let iter_cells t f =
     done
   done
 
-(* Table of node j over servers strictly below j. *)
-let rec table_of tree ~w j =
+(* Incremental re-solving: a per-node cache of every prefix of the
+   child-merge fold, keyed by a fingerprint chain. The table obtained
+   after merging children c_1..c_i into node j's start cell is a pure
+   function of (w, client load of j, subtrees of c_1..c_i), so it is
+   cached under the chain key
+     k_0 = mix(load j),  k_i = combine(k_{i-1}, fp(c_i))
+   where fp is {!Tree.subtree_fingerprints}. A later solve on an epoch
+   tree that changed demand only under some child c_d resumes node j's
+   fold from the longest cached prefix (everything before the first
+   dirty child) and recomputes only the remaining merges; nodes whose
+   whole subtree is clean hit their full-table entry and do zero work.
+   Tables are never mutated after construction, so sharing them across
+   solves is safe. Entries unused for two consecutive solves are
+   evicted, bounding the cache to roughly two epochs' tables. *)
+type memo = {
+  mutable gen : int;
+  mutable memo_w : int;  (* tables depend on w; reset when it changes *)
+  prefixes : (int * int64, memo_entry) Hashtbl.t;
+}
+
+and memo_entry = { mutable stamp : int; entry_table : table }
+
+let memo () = { gen = 0; memo_w = -1; prefixes = Hashtbl.create 512 }
+let memo_size m = Hashtbl.length m.prefixes
+
+let fp_seed client =
+  Tree.combine_fingerprints 0x2545F4914F6CDD1DL (Int64.of_int client)
+
+(* Table of node j over servers strictly below j. [ctx] carries the
+   optional memo and the current tree's subtree fingerprints. *)
+let rec table_of ctx tree ~w j =
   let start = make_table 0 0 in
   let client = Tree.client_load tree j in
   if client <= w then
     start.cells.(0).(0) <- Some { flow = client; placed = Clist.empty };
-  List.fold_left (merge tree ~w) start (Tree.children tree j)
+  let children = Tree.children tree j in
+  match (ctx, children) with
+  | None, _ | _, [] -> List.fold_left (merge ctx tree ~w) start children
+  | Some (m, fps), _ ->
+      let arr = Array.of_list children in
+      let k = Array.length arr in
+      let keys = Array.make (k + 1) (fp_seed client) in
+      for i = 1 to k do
+        keys.(i) <- Tree.combine_fingerprints keys.(i - 1) fps.(arr.(i - 1))
+      done;
+      let best = ref 0 and acc = ref start in
+      (try
+         for i = k downto 1 do
+           match Hashtbl.find_opt m.prefixes (j, keys.(i)) with
+           | Some e ->
+               e.stamp <- m.gen;
+               best := i;
+               acc := e.entry_table;
+               raise Exit
+           | None -> ()
+         done
+       with Exit -> ());
+      if !best = k then Stats_counters.incr c_memo_hits
+      else begin
+        Stats_counters.incr (if !best > 0 then c_memo_partial else c_memo_misses);
+        for i = !best + 1 to k do
+          acc := merge ctx tree ~w !acc arr.(i - 1);
+          Hashtbl.replace m.prefixes (j, keys.(i))
+            { stamp = m.gen; entry_table = !acc }
+        done
+      end;
+      !acc
 
-and merge tree ~w left c =
-  let sub = table_of tree ~w c in
+and merge ctx tree ~w left c =
+  let sub = table_of ctx tree ~w c in
   let c_pre = Tree.is_pre_existing tree c in
   (* Extend the child's table with the decision at c itself. *)
   let extended =
@@ -92,10 +155,29 @@ and merge tree ~w left c =
   Stats_counters.record_max c_peak !live;
   merged
 
-let solve tree ~w ~cost =
+let solve ?memo:m tree ~w ~cost =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
+  let ctx =
+    match m with
+    | None -> None
+    | Some mm ->
+        if mm.memo_w <> w then begin
+          Hashtbl.reset mm.prefixes;
+          mm.memo_w <- w
+        end;
+        mm.gen <- mm.gen + 1;
+        Some (mm, Tree.subtree_fingerprints tree)
+  in
   let root = Tree.root tree in
-  let table = Stats_counters.time t_tables (fun () -> table_of tree ~w root) in
+  let table =
+    Stats_counters.time t_tables (fun () -> table_of ctx tree ~w root)
+  in
+  (match m with
+  | Some mm ->
+      Hashtbl.filter_map_inplace
+        (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
+        mm.prefixes
+  | None -> ());
   let pre_total = Tree.num_pre_existing tree in
   let root_pre = Tree.is_pre_existing tree root in
   let best = ref None in
@@ -137,5 +219,5 @@ let solve tree ~w ~cost =
 
 let root_table tree ~w =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
-  let table = table_of tree ~w (Tree.root tree) in
+  let table = table_of None tree ~w (Tree.root tree) in
   Array.map (Array.map (Option.map (fun c -> c.flow))) table.cells

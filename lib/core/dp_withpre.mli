@@ -20,7 +20,26 @@
     - when the root flow is zero and the root is itself a pre-existing
       server, we additionally consider {e reusing it at zero load}, which
       beats deleting it whenever [delete > 1]; Algorithm 4 omits that
-      branch. *)
+      branch.
+
+    {2 Incremental re-solving}
+
+    The online reconfiguration engine ({!Replica_engine.Engine}) calls
+    this solver once per epoch on trees that differ only where demand
+    moved. Passing a {!memo} makes those re-solves incremental: every
+    prefix of every node's child-merge fold is cached, keyed by a chain
+    of subtree fingerprints ({!Tree.subtree_fingerprints}), so a solve
+    after a demand shift recomputes only the tables of the changed
+    subtrees and the suffixes of the merge folds along their root
+    paths — everything else is reused. Results are {e identical} to a
+    memo-less solve (cached tables are exact, not approximate; the only
+    caveat is the ~2^-64 fingerprint-collision probability). Cache
+    effectiveness is observable through the
+    [dp_withpre.memo_{hits,partial,misses}] counters; entries unused
+    for two consecutive solves are evicted. A memo must only be reused
+    across trees sharing one node-id space (epoch views derived by
+    {!Tree.with_clients} / {!Tree.with_pre_existing}); it resets itself
+    when [w] changes. *)
 
 type result = {
   solution : Solution.t;
@@ -29,8 +48,20 @@ type result = {
   reused : int;  (** [e = |R ∩ E|] *)
 }
 
-val solve : Tree.t -> w:int -> cost:Cost.basic -> result option
+type memo
+(** A reusable cache of per-node merge-fold prefixes (see above). *)
+
+val memo : unit -> memo
+(** A fresh, empty memo. *)
+
+val memo_size : memo -> int
+(** Number of cached tables currently held (observability). *)
+
+val solve : ?memo:memo -> Tree.t -> w:int -> cost:Cost.basic -> result option
 (** Optimal-cost placement, or [None] when the instance is infeasible.
+    With [?memo], an incremental re-solve that reuses every table whose
+    subtree is unchanged since the previous solves — bit-identical
+    results either way.
     @raise Invalid_argument if [w <= 0]. *)
 
 val root_table : Tree.t -> w:int -> int option array array

@@ -39,6 +39,21 @@ type summary = {
   invalid_epochs : int;
 }
 
+val should_reconfigure :
+  policy ->
+  epoch:int ->
+  servers_valid:bool ->
+  demand:int ->
+  last_demand:int ->
+  bool
+(** The bare trigger decision behind {!simulate}, exposed so other
+    runtimes (notably {!Replica_engine.Engine}) fire exactly the same
+    policies: [epoch] is 1-based, [servers_valid] is whether the
+    current placement still serves this epoch within capacity, and
+    [last_demand] is the total demand at the last reconfiguration.
+    @raise Invalid_argument on a non-positive period or negative
+    drift. *)
+
 val simulate :
   w:int -> cost:Cost.basic -> policy -> Tree.t list -> summary
 (** [simulate ~w ~cost policy demands] runs the policy over the epochs.

@@ -1,0 +1,205 @@
+type objective =
+  | Min_cost of Cost.basic
+  | Min_power of {
+      modes : Modes.t;
+      power : Power.t;
+      cost : Cost.modal;
+      bound : float;
+    }
+
+type solver = Full | Incremental
+
+type config = {
+  w : int;
+  objective : objective;
+  policy : Update_policy.policy;
+  solver : solver;
+  report_power : (Modes.t * Power.t) option;
+}
+
+let config ?(policy = Update_policy.Lazy) ?(solver = Incremental) ?report_power
+    ~w objective =
+  { w; objective; policy; solver; report_power }
+
+type t = {
+  cfg : config;
+  wp_memo : Dp_withpre.memo option;
+  pw_memo : Dp_power.memo option;
+  mutable placement : Solution.t;
+  mutable placement_modes : (Tree.node * int) list;
+      (* pre-existing set (with initial modes) the next solve starts from *)
+  mutable last_demand : int;  (* total demand at the last reconfiguration *)
+  mutable epoch : int;
+  mutable staleness : int;
+  mutable prev : Tree.t option;  (* previous epoch's demand tree *)
+}
+
+let create cfg =
+  if cfg.w <= 0 then invalid_arg "Engine: w must be positive";
+  (match cfg.objective with
+  | Min_power { modes; _ } when Modes.max_capacity modes <> cfg.w ->
+      invalid_arg "Engine: w must equal the mode ladder's maximal capacity"
+  | _ -> ());
+  {
+    cfg;
+    wp_memo =
+      (match (cfg.solver, cfg.objective) with
+      | Incremental, Min_cost _ -> Some (Dp_withpre.memo ())
+      | _ -> None);
+    pw_memo =
+      (match (cfg.solver, cfg.objective) with
+      | Incremental, Min_power _ -> Some (Dp_power.memo ())
+      | _ -> None);
+    placement = Solution.empty;
+    placement_modes = [];
+    last_demand = 0;
+    epoch = 0;
+    staleness = 0;
+    prev = None;
+  }
+
+let placement t = t.placement
+let epochs_served t = t.epoch
+
+let memo_tables t =
+  (match t.wp_memo with Some m -> Dp_withpre.memo_size m | None -> 0)
+  + match t.pw_memo with Some m -> Dp_power.memo_size m | None -> 0
+
+(* Nonzero counter movement between two sorted registry snapshots. *)
+let counters_delta before after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before;
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - try Hashtbl.find base k with Not_found -> 0 in
+      if d <> 0 then Some (k, d) else None)
+    after
+
+(* Operating mode of every server under this epoch's demand — the
+   initial modes of the next epoch's pre-existing set. *)
+let modes_in_force cfg tree solution =
+  let ev = Solution.evaluate tree solution in
+  match cfg.objective with
+  | Min_cost _ -> List.map (fun (j, _) -> (j, 1)) ev.Solution.loads
+  | Min_power { modes; _ } ->
+      List.map
+        (fun (j, load) -> (j, Modes.mode_of_load modes load))
+        ev.Solution.loads
+
+let shortfall tree ~w servers =
+  let ev = Solution.evaluate tree servers in
+  List.fold_left
+    (fun acc (_, load) -> acc + max 0 (load - w))
+    ev.Solution.unserved ev.Solution.loads
+
+let solve_once t tree =
+  let with_pre = Tree.with_pre_existing tree t.placement_modes in
+  match t.cfg.objective with
+  | Min_cost cost -> (
+      match Dp_withpre.solve ?memo:t.wp_memo with_pre ~w:t.cfg.w ~cost with
+      | Some r -> Some (r.Dp_withpre.solution, r.Dp_withpre.cost)
+      | None -> None)
+  | Min_power { modes; power; cost; bound } -> (
+      match
+        Dp_power.solve with_pre ~modes ~power ~cost ~bound ?memo:t.pw_memo ()
+      with
+      | Some r -> Some (r.Dp_power.solution, r.Dp_power.cost)
+      | None -> None)
+
+let step t demand_tree =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let demand = Tree.total_requests demand_tree in
+  let size = Tree.size demand_tree in
+  let changed_list =
+    match t.prev with
+    | None -> List.init size Fun.id
+    | Some p -> Replica_trace.Epochs.changed_nodes p demand_tree
+  in
+  t.prev <- Some demand_tree;
+  let dirty =
+    let seen = Array.make size false in
+    List.iter
+      (fun j ->
+        seen.(j) <- true;
+        List.iter
+          (fun a -> seen.(a) <- true)
+          (Tree.ancestors demand_tree j))
+      changed_list;
+    Array.fold_left (fun n b -> if b then n + 1 else n) 0 seen
+  in
+  let servers_valid = Solution.is_valid demand_tree ~w:t.cfg.w t.placement in
+  let reconfigure =
+    Update_policy.should_reconfigure t.cfg.policy ~epoch ~servers_valid
+      ~demand ~last_demand:t.last_demand
+  in
+  let counters_before = if reconfigure then Stats_counters.counters () else [] in
+  let solve_start = Unix.gettimeofday () in
+  let solved = if reconfigure then solve_once t demand_tree else None in
+  let solve_seconds =
+    if reconfigure then Unix.gettimeofday () -. solve_start else 0.
+  in
+  let counters =
+    if reconfigure then counters_delta counters_before (Stats_counters.counters ())
+    else []
+  in
+  let reconfigured, step_cost =
+    match solved with
+    | Some (solution, cost) ->
+        t.placement <- solution;
+        t.placement_modes <- modes_in_force t.cfg demand_tree solution;
+        t.last_demand <- demand;
+        t.staleness <- 0;
+        (true, cost)
+    | None ->
+        (* Either the policy kept the placement, or the epoch is
+           unserveable even by a fresh optimal solve: hold position. *)
+        t.staleness <- t.staleness + 1;
+        (false, 0.)
+  in
+  let valid, unserved, overloaded =
+    match Solution.validate demand_tree ~w:t.cfg.w t.placement with
+    | Ok _ -> (true, 0, 0)
+    | Error violations ->
+        ( false,
+          shortfall demand_tree ~w:t.cfg.w t.placement,
+          List.length
+            (List.filter
+               (function Solution.Overloaded _ -> true | _ -> false)
+               violations) )
+  in
+  let power =
+    if not valid then None
+    else
+      match t.cfg.objective with
+      | Min_power { modes; power; _ } ->
+          Some (Solution.power demand_tree modes power t.placement)
+      | Min_cost _ -> (
+          match t.cfg.report_power with
+          | Some (modes, power) ->
+              Some (Solution.power demand_tree modes power t.placement)
+          | None -> None)
+  in
+  {
+    Timeline.epoch;
+    demand;
+    changed = List.length changed_list;
+    dirty;
+    reconfigured;
+    staleness = t.staleness;
+    servers = t.placement;
+    step_cost;
+    valid;
+    unserved;
+    overloaded;
+    power;
+    solve_seconds;
+    counters;
+  }
+
+let run cfg demands =
+  let t = create cfg in
+  Timeline.of_entries (List.map (step t) demands)
+
+let run_trace cfg tree trace ~window =
+  run cfg (Replica_trace.Epochs.epochs trace tree ~window)

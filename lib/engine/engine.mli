@@ -1,0 +1,102 @@
+(** Online reconfiguration engine: epoch-driven serving of a demand
+    stream against a live replica placement.
+
+    The paper's §6 frames dynamic replica management as a sequence of
+    steady-state epochs punctuated by reconfigurations, and
+    {!Replica_core.Update_policy} runs that trade-off as a batch
+    experiment. This module is the runtime the reproduction was
+    missing: a stateful engine that consumes epoch demand trees (or a
+    raw {!Replica_trace.Trace} aggregated through
+    {!Replica_trace.Epochs}), maintains the live placement and its
+    per-server loads, fires the configured {!Update_policy.policy}
+    trigger each epoch, and re-solves with the paper's optimal single
+    step — {!Dp_withpre} for the Eq. 2 cost objective, {!Dp_power}
+    under a cost bound for the Eq. 3/Eq. 4 power objective. The
+    placement chosen at epoch [k] becomes the pre-existing set of epoch
+    [k+1] (with its operating modes as initial modes in the power
+    objective), exactly the paper's update model.
+
+    {2 Incremental re-solving}
+
+    With [solver = Incremental] the engine keeps the solver's memo
+    ({!Dp_withpre.memo} / {!Dp_power.memo}) alive across epochs:
+    subtree tables are cached under demand fingerprints, so an epoch
+    that shifted demand in one subtree re-solves only the
+    root-to-changed-leaf paths — the rest of the tree is served from
+    cache. Placements are {e bit-identical} to [solver = Full] (the
+    full re-solve is the oracle the differential test suite and the
+    [bench engine] harness compare against); only the work changes,
+    visible in each timeline entry's counter deltas
+    ([dp_withpre.memo_hits], …) and solve times.
+
+    Every epoch appends a {!Timeline.entry} (demand movement, decision,
+    health, solver work), giving one machine-readable record of the
+    whole run. *)
+
+type objective =
+  | Min_cost of Cost.basic
+      (** reconfigure to the Eq. 2 optimum ({!Dp_withpre}) *)
+  | Min_power of {
+      modes : Modes.t;
+      power : Power.t;
+      cost : Cost.modal;
+      bound : float;
+    }
+      (** reconfigure to the minimal-power placement of Eq. 4 cost at
+          most [bound] ({!Dp_power}); [Modes.max_capacity modes] must
+          equal the engine's [w] *)
+
+type solver =
+  | Full  (** re-solve from scratch every reconfiguration *)
+  | Incremental  (** keep the DP memo alive across epochs *)
+
+type config = {
+  w : int;  (** server capacity (maximal mode) *)
+  objective : objective;
+  policy : Update_policy.policy;
+  solver : solver;
+  report_power : (Modes.t * Power.t) option;
+      (** with [Min_cost], also report each epoch's Eq. 3 power under
+          this model in the timeline (a [Min_power] objective always
+          reports its own) *)
+}
+
+val config :
+  ?policy:Update_policy.policy ->
+  ?solver:solver ->
+  ?report_power:Modes.t * Power.t ->
+  w:int ->
+  objective ->
+  config
+(** Convenience constructor; [policy] defaults to {!Update_policy.Lazy},
+    [solver] to [Incremental]. *)
+
+type t
+(** A running engine (mutable: placement, memo, epoch counter). *)
+
+val create : config -> t
+(** Fresh engine with an empty placement.
+    @raise Invalid_argument if [w <= 0] or a [Min_power] ladder's
+    maximal capacity differs from [w]. *)
+
+val step : t -> Tree.t -> Timeline.entry
+(** Serve one epoch: diff the demand against the previous epoch, fire
+    the update policy, re-solve if triggered (the current placement
+    becoming the pre-existing set), and record the outcome. An epoch
+    whose demand is unserveable even by a fresh optimal placement keeps
+    the current placement and is recorded invalid with its shortfall. *)
+
+val placement : t -> Solution.t
+(** Placement currently in force. *)
+
+val epochs_served : t -> int
+
+val memo_tables : t -> int
+(** Tables currently held by the incremental memo (0 for [Full]). *)
+
+val run : config -> Tree.t list -> Timeline.t
+(** [run config demands] steps a fresh engine through every epoch. *)
+
+val run_trace : config -> Tree.t -> Replica_trace.Trace.t -> window:float -> Timeline.t
+(** Aggregate the trace into window epochs over the tree
+    ({!Replica_trace.Epochs.epochs}) and {!run} them. *)

@@ -1,0 +1,100 @@
+type entry = {
+  epoch : int;
+  demand : int;
+  changed : int;
+  dirty : int;
+  reconfigured : bool;
+  staleness : int;
+  servers : Solution.t;
+  step_cost : float;
+  valid : bool;
+  unserved : int;
+  overloaded : int;
+  power : float option;
+  solve_seconds : float;
+  counters : (string * int) list;
+}
+
+type t = {
+  entries : entry list;
+  total_cost : float;
+  reconfigurations : int;
+  invalid_epochs : int;
+  solve_seconds : float;
+}
+
+let of_entries (entries : entry list) =
+  {
+    entries;
+    total_cost = List.fold_left (fun a (e : entry) -> a +. e.step_cost) 0. entries;
+    reconfigurations =
+      List.length (List.filter (fun (e : entry) -> e.reconfigured) entries);
+    invalid_epochs =
+      List.length (List.filter (fun (e : entry) -> not e.valid) entries);
+    solve_seconds =
+      List.fold_left (fun a (e : entry) -> a +. e.solve_seconds) 0. entries;
+  }
+
+let print ?(times = false) oc t =
+  List.iter
+    (fun e ->
+      Printf.fprintf oc "epoch %2d: demand %4d  changed %3d  dirty %3d  %2d servers"
+        e.epoch e.demand e.changed e.dirty
+        (Solution.cardinal e.servers);
+      if e.reconfigured then begin
+        Printf.fprintf oc "  reconfigured cost %.2f" e.step_cost;
+        if times then Printf.fprintf oc " (%.2f ms)" (1000. *. e.solve_seconds)
+      end
+      else Printf.fprintf oc "  stale %d" e.staleness;
+      (match e.power with
+      | Some p -> Printf.fprintf oc "  power %.1f" p
+      | None -> ());
+      if not e.valid then
+        Printf.fprintf oc "  INVALID unserved %d overloaded %d" e.unserved
+          e.overloaded;
+      Printf.fprintf oc "\n")
+    t.entries;
+  Printf.fprintf oc "total: %d reconfigurations, bill %.2f, %d invalid epochs"
+    t.reconfigurations t.total_cost t.invalid_epochs;
+  if times then Printf.fprintf oc ", solve %.2f ms" (1000. *. t.solve_seconds);
+  Printf.fprintf oc "\n"
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("epoch", Json.Int e.epoch);
+      ("demand", Json.Int e.demand);
+      ("changed_nodes", Json.Int e.changed);
+      ("dirty_nodes", Json.Int e.dirty);
+      ("reconfigured", Json.Bool e.reconfigured);
+      ("staleness", Json.Int e.staleness);
+      ( "servers",
+        Json.List (List.map (fun n -> Json.Int n) (Solution.nodes e.servers)) );
+      ("server_count", Json.Int (Solution.cardinal e.servers));
+      ("step_cost", Json.Float e.step_cost);
+      ("valid", Json.Bool e.valid);
+      ("unserved", Json.Int e.unserved);
+      ("overloaded", Json.Int e.overloaded);
+      ( "power",
+        match e.power with Some p -> Json.Float p | None -> Json.Null );
+      ("solve_seconds", Json.Float e.solve_seconds);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters) );
+    ]
+
+let to_json ?(config = []) t =
+  Json.envelope ~kind:"engine_timeline" ~config
+    [
+      ( "summary",
+        Json.Obj
+          [
+            ("epochs", Json.Int (List.length t.entries));
+            ("total_cost", Json.Float t.total_cost);
+            ("reconfigurations", Json.Int t.reconfigurations);
+            ("invalid_epochs", Json.Int t.invalid_epochs);
+            ("solve_seconds", Json.Float t.solve_seconds);
+          ] );
+      ("epochs", Json.List (List.map entry_to_json t.entries));
+    ]
+
+let to_json_string ?config t = Json.to_string ~pretty:true (to_json ?config t)

@@ -1,0 +1,70 @@
+(** Machine-readable record of an online reconfiguration run.
+
+    One {!entry} per served epoch: what the demand did (total, how many
+    nodes' client sets moved, how much of the tree an incremental
+    re-solver must consider dirty), what the engine decided
+    (reconfigured or kept the placement, and at what Eq. 2/Eq. 4
+    reconfiguration cost), how healthy the result is (validity,
+    unserved requests, overloaded servers, placement staleness,
+    per-epoch power), and what the solve cost the machine (wall-clock
+    seconds plus the {!Replica_core.Stats_counters} deltas attributable
+    to this epoch's solve).
+
+    The same timeline backs three surfaces: the human-oriented
+    {!print} used by [replica_cli trace] and [replica_cli engine], the
+    {!to_json} artifact (standard {!Json.envelope}, so
+    [BENCH_engine.json] shares the envelope of every other bench
+    artifact), and the test suite's differential assertions. *)
+
+type entry = {
+  epoch : int;  (** 1-based *)
+  demand : int;  (** total requests this epoch *)
+  changed : int;
+      (** nodes whose client multiset differs from the previous epoch
+          (first epoch: every node) *)
+  dirty : int;
+      (** changed nodes plus every ancestor up to the root — the tables
+          an incremental re-solve may have to rebuild *)
+  reconfigured : bool;
+  staleness : int;
+      (** epochs since the placement last changed; 0 when (re)placed
+          this epoch *)
+  servers : Solution.t;  (** placement in force after this epoch *)
+  step_cost : float;  (** reconfiguration cost paid this epoch *)
+  valid : bool;
+  unserved : int;
+      (** shortfall when invalid: requests escaping past the root plus
+          per-server load beyond capacity *)
+  overloaded : int;  (** number of servers beyond capacity *)
+  power : float option;
+      (** Eq. 3 power of the placement under this epoch's load, when a
+          power model is configured and the placement is valid *)
+  solve_seconds : float;  (** 0 when no solve ran *)
+  counters : (string * int) list;
+      (** {!Stats_counters} deltas during this epoch's solve (nonzero
+          entries only, sorted by name) *)
+}
+
+type t = {
+  entries : entry list;
+  total_cost : float;
+  reconfigurations : int;
+  invalid_epochs : int;
+  solve_seconds : float;  (** total across epochs *)
+}
+
+val of_entries : entry list -> t
+(** Aggregate the summary fields. *)
+
+val print : ?times:bool -> out_channel -> t -> unit
+(** One line per epoch plus a summary line. With [times = false] (the
+    default) the output contains no wall-clock figures and is fully
+    deterministic for a fixed run — what the cram tests and examples
+    pin. *)
+
+val to_json : ?config:(string * Json.t) list -> t -> Json.t
+(** The timeline as a {!Json.envelope} of kind ["engine_timeline"];
+    [config] records the run configuration. *)
+
+val to_json_string : ?config:(string * Json.t) list -> t -> string
+(** Pretty-printed {!to_json}. *)

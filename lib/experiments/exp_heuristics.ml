@@ -23,7 +23,7 @@ let time f =
   let result = f () in
   (Sys.time () -. start, result)
 
-let run config =
+let run ?domains config =
   let modes = Modes.make [ 5; 10 ] in
   let power = Power.paper_exp3 ~modes in
   let cost = Cost.paper_cheap ~modes:2 in
@@ -46,10 +46,14 @@ let run config =
       );
     ]
   in
-  let instances =
-    List.filter_map
-      (fun _ ->
-        let rng = Rng.split master in
+  (* Instance setup (frontier sweep + reference optimum — the untimed
+     DP work) fans out over domains; RNGs are split sequentially first
+     so results are identical at any domain count. The timed solver
+     loop below stays sequential because it measures CPU time. *)
+  let rngs = List.init config.trees (fun _ -> Rng.split master) in
+  let prepared =
+    Par.map ?domains
+      (fun rng ->
         let t =
           Generator.random rng
             (Workload.profile config.shape ~nodes:config.nodes ~max_requests:5)
@@ -62,18 +66,17 @@ let run config =
             let costs = List.map (fun r -> r.Dp_power.cost) frontier in
             let lo = Stats.minimum costs and hi = Stats.maximum costs in
             let bound = lo +. (config.bound_fraction *. (hi -. lo)) in
-            Some (tree, bound, rng))
-      (List.init config.trees Fun.id)
+            let optimum =
+              Option.map
+                (fun r -> r.Dp_power.power)
+                (Dp_power.solve tree ~modes ~power ~cost ~bound ())
+            in
+            Some ((tree, bound, rng), optimum))
+      rngs
+    |> List.filter_map Fun.id
   in
-  (* Reference optima under each tree's bound. *)
-  let optima =
-    List.map
-      (fun (tree, bound, _) ->
-        Option.map
-          (fun r -> r.Dp_power.power)
-          (Dp_power.solve tree ~modes ~power ~cost ~bound ()))
-      instances
-  in
+  let instances = List.map fst prepared in
+  let optima = List.map snd prepared in
   List.map
     (fun (name, solve) ->
       let overheads = ref [] and seconds = ref [] and solved = ref 0 in

@@ -79,7 +79,7 @@ let demand_sequence ?intensity rng config =
   in
   go base config.epochs []
 
-let run config =
+let run ?domains config =
   let master = Rng.create config.seed in
   let sequences =
     List.init config.trees (fun _ ->
@@ -87,8 +87,11 @@ let run config =
   in
   List.map
     (fun policy ->
+      (* Each sequence's simulation is independent; fan the per-tree DP
+         solves out over domains (results are positional, so identical
+         at any domain count). *)
       let summaries =
-        List.map
+        Par.map ?domains
           (fun demands ->
             Update_policy.simulate ~w:Workload.capacity ~cost:config.cost
               policy demands)

@@ -31,9 +31,10 @@ type row = {
   avg_invalid_epochs : float;
 }
 
-val run : config -> row list
+val run : ?domains:int -> config -> row list
 (** One row per policy, averaged over the trees; every policy sees the
-    same demand sequences. *)
+    same demand sequences. Per-tree simulations fan out over [domains]
+    ({!Replica_core.Par.map}); results are identical at any count. *)
 
 val to_table : row list -> Table.t
 

@@ -37,6 +37,13 @@ let epochs trace tree ~window =
   List.init (epoch_count trace ~window) (fun index ->
       rates trace tree ~window ~index)
 
+let changed_nodes prev next =
+  if Tree.size prev <> Tree.size next then
+    invalid_arg "Epochs: changed_nodes expects views of one network";
+  List.filter
+    (fun j -> Tree.clients prev j <> Tree.clients next j)
+    (List.init (Tree.size next) Fun.id)
+
 let conservation_check trace tree ~window =
   ignore tree;
   let total = Trace.length trace in

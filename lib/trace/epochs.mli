@@ -21,6 +21,14 @@ val epochs : Trace.t -> Tree.t -> window:float -> Tree.t list
 
 val epoch_count : Trace.t -> window:float -> int
 
+val changed_nodes : Tree.t -> Tree.t -> Tree.node list
+(** [changed_nodes prev next] lists, in increasing node order, the
+    nodes whose client multiset differs between two epoch views of the
+    same network — the leaves of the root-to-leaf paths an incremental
+    re-solver must treat as dirty. Structure is assumed shared (both
+    trees derived from one network by {!Tree.with_clients}).
+    @raise Invalid_argument if the trees disagree on size. *)
+
 val conservation_check : Trace.t -> Tree.t -> window:float -> bool
 (** Debug helper: total events equal the sum over epochs of each epoch's
     raw (unrounded) counts — aggregation loses nothing. Used by tests. *)

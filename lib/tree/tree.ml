@@ -153,6 +153,35 @@ let subtree_pre_count t j = t.sub_pre.(j)
 let depth t j = t.depths.(j)
 let height t = Array.fold_left max 0 t.depths
 
+(* Subtree fingerprints: 64-bit order-sensitive hashes over (clients,
+   pre-existing marker, children fingerprints), computed bottom-up in one
+   postorder pass. The mixer is splitmix64's finalizer, whose avalanche
+   makes accidental collisions across epoch-derived trees a ~2^-64
+   event — the soundness assumption of the DP memo tables. *)
+let fp_mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let combine_fingerprints h x = fp_mix (Int64.logxor (Int64.mul h 0x9E3779B97F4A7C15L) x)
+
+let subtree_fingerprints t =
+  let fps = Array.make (size t) 0L in
+  Array.iter
+    (fun j ->
+      let h = ref (fp_mix (Int64.of_int (Array.length t.clients.(j) + 1))) in
+      Array.iter
+        (fun r -> h := combine_fingerprints !h (Int64.of_int r))
+        t.clients.(j);
+      (match t.pre.(j) with
+      | None -> h := combine_fingerprints !h 0L
+      | Some m -> h := combine_fingerprints !h (Int64.of_int (m + 1)));
+      Array.iter (fun c -> h := combine_fingerprints !h fps.(c)) t.children.(j);
+      fps.(j) <- !h)
+    t.post;
+  fps
+
 let ancestors t j =
   let rec up j acc =
     if j = 0 then List.rev acc else up t.parents.(j) (t.parents.(j) :: acc)

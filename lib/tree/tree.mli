@@ -109,6 +109,23 @@ val depth : t -> node -> int
 val height : t -> int
 (** Maximum depth over internal nodes. *)
 
+val subtree_fingerprints : t -> int64 array
+(** Per-node 64-bit fingerprints of the subtree rooted at each node:
+    the fingerprint covers the node's client multiset (in order), its
+    pre-existing marker (with initial mode), and its children's
+    fingerprints (in child order) — everything a bottom-up solver's
+    per-node table can depend on besides the global parameters. Two
+    epoch views of the same network ({!with_clients} /
+    {!with_pre_existing} derivatives) agree on a node's fingerprint iff
+    the subtrees agree on that data, up to a ~2^-64 collision
+    probability; the incremental dynamic programs key their memo tables
+    on these. One postorder pass, O(size + clients). *)
+
+val combine_fingerprints : int64 -> int64 -> int64
+(** Order-sensitive 64-bit mixing step used by {!subtree_fingerprints},
+    exposed so solvers can extend fingerprints into cache-key chains
+    (e.g. hashing a prefix of merged child tables). *)
+
 val ancestors : t -> node -> node list
 (** Path from [node] (excluded) up to the root (included). *)
 

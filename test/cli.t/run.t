@@ -165,7 +165,36 @@ Trace-driven pipeline at toy scale:
 
   $ replica_cli trace --nodes 12 --seed 6 --horizon 6 --window 2
   trace: 39 requests over 6.0 time units
-  epoch  1:  1 servers  (reconfigured, cost 1.50)
-  epoch  2:  1 servers
-  epoch  3:  1 servers
+  epoch  1: demand    4  changed  12  dirty  12   1 servers  reconfigured cost 1.50
+  epoch  2: demand    8  changed   3  dirty   4   1 servers  stale 1
+  epoch  3: demand   10  changed   2  dirty   3   1 servers  stale 2
   total: 1 reconfigurations, bill 1.50, 0 invalid epochs
+
+The online engine over a flash-crowd trace; full and incremental
+re-solving print identical timelines (only the work differs):
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy periodic:2 --solver incremental --no-time
+  trace: 57 requests over 5.9 time units
+  epoch  1: demand   12  changed  12  dirty  12   2 servers  reconfigured cost 3.00
+  epoch  2: demand   12  changed   2  dirty   4   2 servers  reconfigured cost 2.00
+  epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
+  total: 2 reconfigurations, bill 5.00, 0 invalid epochs
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy periodic:2 --solver full --no-time
+  trace: 57 requests over 5.9 time units
+  epoch  1: demand   12  changed  12  dirty  12   2 servers  reconfigured cost 3.00
+  epoch  2: demand   12  changed   2  dirty   4   2 servers  reconfigured cost 2.00
+  epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
+  total: 2 reconfigurations, bill 5.00, 0 invalid epochs
+
+Power objective: each epoch also reports the Eq. 3 power in force:
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --power --policy systematic --no-time
+  trace: 39 requests over 6.0 time units
+  epoch  1: demand    4  changed  12  dirty  12   1 servers  reconfigured cost 1.10  power 137.5
+  epoch  2: demand    8  changed   3  dirty   4   2 servers  reconfigured cost 2.10  power 275.0
+  epoch  3: demand   10  changed   2  dirty   3   2 servers  reconfigured cost 2.00  power 275.0
+  total: 3 reconfigurations, bill 5.20, 0 invalid epochs

@@ -170,6 +170,87 @@ let test_epochs_validation () =
     (Invalid_argument "Epochs: negative index") (fun () ->
       ignore (Epochs.rates trace (sample_tree ()) ~window:1. ~index:(-1)))
 
+(* Windowed aggregation conserves every event, whatever the arrival
+   process (the flash-crowd generator included — previously untested). *)
+let trace_case_gen =
+  QCheck2.Gen.map
+    (fun (seed, nodes, knobs) ->
+      let rng = Rng.create (1 + seed) in
+      let nodes = 1 + (nodes mod 10) in
+      let tree = small_tree rng ~nodes ~max_requests:4 in
+      let kind = knobs mod 3 in
+      let horizon = 6. +. float_of_int (knobs mod 4) in
+      let trace =
+        match kind with
+        | 0 -> Arrivals.poisson rng tree ~horizon
+        | 1 ->
+            Arrivals.diurnal rng tree ~horizon ~period:(horizon /. 2.)
+              ~floor:0.25
+        | _ ->
+            let base = Arrivals.poisson rng tree ~horizon in
+            let node = Rng.int rng (Tree.size tree) in
+            Arrivals.flash_crowd rng tree ~base ~at:(horizon /. 4.)
+              ~duration:(horizon /. 3.) ~node ~multiplier:3.
+      in
+      let window = 0.5 +. (0.5 *. float_of_int (knobs mod 5)) in
+      (tree, trace, window))
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 1_000) (int_bound 1_000))
+
+let prop_aggregation_conserves_requests =
+  qcheck_case "epochs conserve events on poisson/diurnal/flash traces"
+    trace_case_gen
+    (fun (tree, trace, window) ->
+      Epochs.conservation_check trace tree ~window)
+
+let prop_epochs_cover_trace =
+  qcheck_case "every event lands in exactly one epoch window" trace_case_gen
+    (fun (_, trace, window) ->
+      let epochs = Epochs.epoch_count trace ~window in
+      epochs >= 1
+      && Trace.duration trace <= (float_of_int epochs *. window) +. 1e-9)
+
+(* --- changed_nodes (epoch diffing for the incremental engine) --- *)
+
+let test_changed_nodes_identity () =
+  let tree = sample_tree () in
+  check (Alcotest.list ci) "no change" [] (Epochs.changed_nodes tree tree)
+
+let test_changed_nodes_exact () =
+  let tree = sample_tree () in
+  let next =
+    Tree.with_clients tree (fun j ->
+        if j = 1 then [ 4; 1 ] else Tree.clients tree j)
+  in
+  check (Alcotest.list ci) "only node 1" [ 1 ] (Epochs.changed_nodes tree next);
+  check (Alcotest.list ci) "symmetric" [ 1 ] (Epochs.changed_nodes next tree)
+
+let test_changed_nodes_size_mismatch () =
+  let small = sample_tree () in
+  let big = Tree.build (Tree.node ~clients:[ 1 ] [ Tree.node []; Tree.node [] ]) in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Epochs: changed_nodes expects views of one network")
+    (fun () -> ignore (Epochs.changed_nodes small big))
+
+let prop_changed_nodes_match_direct_diff =
+  qcheck_case "changed_nodes = the nodes whose multisets differ"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000))
+    (fun (seed, mask) ->
+      let rng = Rng.create (1 + seed) in
+      let tree = small_tree rng ~nodes:(1 + (mask mod 9)) ~max_requests:4 in
+      let next =
+        Tree.with_clients tree (fun j ->
+            let cs = Tree.clients tree j in
+            if (mask lsr (j mod 10)) land 1 = 1 then
+              match cs with c :: rest -> (c + 1) :: rest | [] -> [ 1 ]
+            else cs)
+      in
+      let expected =
+        List.filter
+          (fun j -> Tree.clients tree j <> Tree.clients next j)
+          (List.init (Tree.size tree) Fun.id)
+      in
+      Epochs.changed_nodes tree next = expected)
+
 let test_end_to_end_rates () =
   (* Poisson trace aggregated over whole-trace windows recovers the
      original request counts approximately. *)
@@ -211,5 +292,15 @@ let () =
           Alcotest.test_case "empty trace" `Quick test_empty_trace_epochs;
           Alcotest.test_case "validation" `Quick test_epochs_validation;
           Alcotest.test_case "end to end" `Slow test_end_to_end_rates;
+          prop_aggregation_conserves_requests;
+          prop_epochs_cover_trace;
+        ] );
+      ( "changed nodes",
+        [
+          Alcotest.test_case "identity" `Quick test_changed_nodes_identity;
+          Alcotest.test_case "exact" `Quick test_changed_nodes_exact;
+          Alcotest.test_case "size mismatch" `Quick
+            test_changed_nodes_size_mismatch;
+          prop_changed_nodes_match_direct_diff;
         ] );
     ]
