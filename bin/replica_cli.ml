@@ -74,6 +74,51 @@ let make_tree ~shape ~nodes ~pre ~seed ~max_requests ~pre_mode =
   in
   Generator.add_pre_existing rng ~mode:pre_mode t pre
 
+(* --- observability --- *)
+
+let trace_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it as Chrome \
+           trace-event JSON to $(docv), loadable in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing.")
+
+let with_tracing trace f =
+  let module Span = Replica_obs.Span in
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Span.set_enabled false;
+          Replica_obs.Chrome_trace.write_file path (Span.export ());
+          if Span.dropped () > 0 then
+            Printf.eprintf "trace: %d spans dropped (buffer cap reached)\n%!"
+              (Span.dropped ());
+          Span.reset ())
+        f
+
+let metrics_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write a Prometheus text-exposition snapshot of \
+           the counter, timer and histogram registries to $(docv).")
+
+let write_metrics path =
+  let oc = open_out path in
+  output_string oc
+    (Replica_obs.Prometheus.render
+       ~counters:(Stats_counters.counters ())
+       ~timers_seconds:(Stats_counters.timers ())
+       ~histograms:(Replica_obs.Histogram.snapshots ())
+       ());
+  close_out oc
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -173,7 +218,7 @@ let solve_cmd =
              (default: automatic — on exactly where it is provably \
              exact).")
   in
-  let run shape nodes pre seed algo bound w verbose stats prune domains =
+  let run shape nodes pre seed algo bound w verbose stats prune domains trace =
     setup_logs verbose;
     let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:5 ~pre_mode:2 in
     let modes = if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ] in
@@ -184,7 +229,8 @@ let solve_cmd =
     let describe_power (r : Dp_power.result) =
       print_string (Report.power_report t modes power mcost r.Dp_power.solution)
     in
-    (match algo with
+    with_tracing trace (fun () ->
+    match algo with
     | Algo_greedy -> (
         match Greedy.solve t ~w with
         | Some sol -> describe_solution sol
@@ -220,7 +266,7 @@ let solve_cmd =
     Term.(
       const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ algo_arg
       $ bound_arg $ w_arg $ verbose_flag $ stats_flag $ prune_arg
-      $ domains_arg)
+      $ domains_arg $ trace_file_arg)
 
 (* --- experiments --- *)
 
@@ -322,7 +368,7 @@ let policies_cmd =
       value & opt int 20
       & info [ "epochs" ] ~docv:"K" ~doc:"Number of demand epochs.")
   in
-  let run shape trees nodes seed epochs csv domains =
+  let run shape trees nodes seed epochs csv domains trace =
     let config =
       {
         (Exp_policy.default_config ~shape ()) with
@@ -332,7 +378,8 @@ let policies_cmd =
         epochs;
       }
     in
-    emit csv (Exp_policy.to_table (Exp_policy.run ?domains config))
+    with_tracing trace (fun () ->
+        emit csv (Exp_policy.to_table (Exp_policy.run ?domains config)))
   in
   Cmd.v
     (Cmd.info "policies"
@@ -341,7 +388,7 @@ let policies_cmd =
           drifting demand (the §6 trade-off).")
     Term.(
       const run $ shape_arg $ trees_arg 20 $ nodes_arg 50 $ seed_arg
-      $ epochs_arg $ csv_flag $ domains_arg)
+      $ epochs_arg $ csv_flag $ domains_arg $ trace_file_arg)
 
 let heuristics_cmd =
   let fraction_arg =
@@ -534,7 +581,7 @@ let engine_cmd =
              cram test). The JSON artifact always records solve times.")
   in
   let run shape nodes seed horizon window workload policy solver w power
-      bound json no_time =
+      bound json no_time trace_file metrics =
     let open Replica_trace in
     let rng = Rng.create seed in
     let tree =
@@ -571,8 +618,11 @@ let engine_cmd =
     let cfg = Engine.config ~policy ~solver ~w objective in
     Printf.printf "trace: %d requests over %.1f time units\n"
       (Trace.length trace) (Trace.duration trace);
-    let timeline = Engine.run_trace cfg tree trace ~window in
+    let timeline =
+      with_tracing trace_file (fun () -> Engine.run_trace cfg tree trace ~window)
+    in
     Timeline.print ~times:(not no_time) stdout timeline;
+    Option.iter write_metrics metrics;
     Option.iter
       (fun path ->
         let config =
@@ -614,7 +664,67 @@ let engine_cmd =
     Term.(
       const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
       $ window_arg $ workload_arg $ policy_arg $ solver_arg $ w_arg
-      $ power_flag $ bound_arg $ json_arg $ no_time_flag)
+      $ power_flag $ bound_arg $ json_arg $ no_time_flag $ trace_file_arg
+      $ metrics_file_arg)
+
+let obs_validate_cmd =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Prometheus text-exposition file to validate.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run trace metrics =
+    if trace = None && metrics = None then begin
+      prerr_endline
+        "obs-validate: nothing to validate (pass --trace and/or --metrics)";
+      exit 2
+    end;
+    let ok = ref true in
+    Option.iter
+      (fun path ->
+        match Replica_obs.Chrome_trace.validate (read_file path) with
+        | Ok events ->
+            Printf.printf "trace %s: valid chrome trace, %d events\n"
+              (Filename.basename path) events
+        | Error e ->
+            ok := false;
+            Printf.printf "trace %s: INVALID: %s\n" (Filename.basename path) e)
+      trace;
+    Option.iter
+      (fun path ->
+        (* The sample count varies with latency bin occupancy, so only
+           the verdict is printed — cram tests pin this output. *)
+        match Replica_obs.Prometheus.validate (read_file path) with
+        | Ok _ ->
+            Printf.printf "metrics %s: valid prometheus exposition\n"
+              (Filename.basename path)
+        | Error e ->
+            ok := false;
+            Printf.printf "metrics %s: INVALID: %s\n" (Filename.basename path) e)
+      metrics;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "obs-validate"
+       ~doc:
+         "Validate observability artifacts without external tooling: a \
+          Chrome trace-event JSON file ($(b,--trace)) and/or a Prometheus \
+          text exposition ($(b,--metrics)). Exits nonzero on malformed \
+          input; used by the cram suite and the CI smoke step.")
+    Term.(const run $ trace_arg $ metrics_arg)
 
 let scaling_cmd =
   let power_flag =
@@ -651,5 +761,6 @@ let () =
             heuristics_cmd;
             trace_cmd;
             engine_cmd;
+            obs_validate_cmd;
             scaling_cmd;
           ]))

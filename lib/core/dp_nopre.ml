@@ -58,7 +58,11 @@ let root_table tree ~w =
   if w <= 0 then invalid_arg "Dp_nopre: w must be positive";
   table_of tree ~w (Tree.root tree)
 
+module Span = Replica_obs.Span
+
 let solve tree ~w =
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_nopre.solve";
   let table = root_table tree ~w in
   let root = Tree.root tree in
   let best = ref None in
@@ -75,11 +79,23 @@ let solve tree ~w =
           if cell.flow = 0 then consider k cell.placed
           else consider (k + 1) (Clist.snoc cell.placed (root, cell.flow)))
     table;
-  match !best with
-  | None -> None
-  | Some (servers, placed) ->
-      let nodes = List.map fst (Clist.to_list placed) in
-      Some { solution = Solution.of_nodes nodes; servers }
+  let result =
+    match !best with
+    | None -> None
+    | Some (servers, placed) ->
+        let nodes = List.map fst (Clist.to_list placed) in
+        Some { solution = Solution.of_nodes nodes; servers }
+  in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int (Tree.size tree));
+          ("w", Span.Int w);
+          ("solved", Span.Bool (result <> None));
+        ]
+      ();
+  result
 
 let min_flow_per_count tree ~w =
   Array.map (Option.map (fun c -> c.flow)) (root_table tree ~w)

@@ -39,6 +39,19 @@ let c_memo_hits = Stats_counters.counter "dp_power.memo_hits"
 let c_memo_partial = Stats_counters.counter "dp_power.memo_partial"
 let c_memo_misses = Stats_counters.counter "dp_power.memo_misses"
 
+(* Structured observability (replicaml.obs): per-node spans nest the
+   child-merge and prune phases under each node's solve, and the
+   per-node merge-product count feeds a log2 histogram — so one trace
+   shows *where inside a solve* the cartesian blowup happens, not just
+   the aggregate totals above. Span sites are guarded by
+   [Span.enabled] (a single atomic load) so the disabled path
+   allocates nothing; the histogram, like the counters, is always
+   on. *)
+module Span = Replica_obs.Span
+
+let h_products =
+  Replica_obs.Histogram.create "dp_power.merge_products_per_node"
+
 (* Cell key layout: [| n_1; ...; n_M; e_11; ...; e_MM; flow |] — the
    exact per-mode server counts AND the number of requests traversing
    the node. Keeping the flow in the key (rather than minimizing it per
@@ -116,6 +129,8 @@ let prune_dominated ~m tbl =
   let sm = state_size m in
   if Tbl.length tbl <= 1 then tbl
   else begin
+    let tracing = Span.enabled () in
+    if tracing then Span.begin_span "dp_power.prune";
     let best = Tbl.create (Tbl.length tbl) in
     Tbl.iter
       (fun key _ ->
@@ -125,13 +140,21 @@ let prune_dominated ~m tbl =
         | Some _ | None -> Tbl.replace best counts key)
       tbl;
     let dropped = Tbl.length tbl - Tbl.length best in
-    if dropped = 0 then tbl
-    else begin
-      Stats_counters.add c_pruned dropped;
-      let out = Tbl.create (Tbl.length best) in
-      Tbl.iter (fun _ key -> Tbl.replace out key (Tbl.find tbl key)) best;
-      out
-    end
+    let result =
+      if dropped = 0 then tbl
+      else begin
+        Stats_counters.add c_pruned dropped;
+        let out = Tbl.create (Tbl.length best) in
+        Tbl.iter (fun _ key -> Tbl.replace out key (Tbl.find tbl key)) best;
+        out
+      end
+    in
+    if tracing then
+      Span.end_span
+        ~args:
+          [ ("cells_in", Span.Int (Tbl.length tbl)); ("pruned", Span.Int dropped) ]
+        ();
+    result
   end
 
 (* Incremental re-solving (same device as Dp_withpre): a memo caches
@@ -172,6 +195,27 @@ let fp_seed client =
    and the reduction over child tables below keeps the sequential
    child order — so the result is bit-identical to [domains = 1]. *)
 let rec table_of ctx tree ~modes ~prune ~domains j =
+  if not (Span.enabled ()) then node_table ctx tree ~modes ~prune ~domains j
+  else begin
+    Span.begin_span "dp_power.node";
+    let tbl =
+      try node_table ctx tree ~modes ~prune ~domains j
+      with e ->
+        Span.end_span ();
+        raise e
+    in
+    Span.end_span
+      ~args:
+        [
+          ("node", Span.Int j);
+          ("subtree_size", Span.Int (Tree.subtree_size tree j));
+          ("cells", Span.Int (Tbl.length tbl));
+        ]
+      ();
+    tbl
+  end
+
+and node_table ctx tree ~modes ~prune ~domains j =
   let m = Modes.count modes in
   let w = Modes.max_capacity modes in
   let start = Tbl.create 16 in
@@ -222,6 +266,12 @@ let rec table_of ctx tree ~modes ~prune ~domains j =
              done
            with Exit -> ());
           if !best > 0 && !best < k then Stats_counters.incr c_memo_partial;
+          if Span.enabled () then
+            Span.add_arg "memo"
+              (Span.Str
+                 (if !best = k then "hit"
+                  else if !best > 0 then "partial"
+                  else "miss"));
           for i = !best + 1 to k do
             acc :=
               merge ~modes ~prune !acc
@@ -238,6 +288,13 @@ and extended_cached ((mm, fps) as ctx) tree ~modes ~prune c =
   | Some e ->
       e.stamp <- mm.gen;
       Stats_counters.incr c_memo_hits;
+      if Span.enabled () then begin
+        (* A hit costs one probe instead of a subtree of work; the
+           zero-length span keeps the skipped subtree visible in the
+           trace. *)
+        Span.begin_span "dp_power.memo_hit";
+        Span.end_span ~args:[ ("node", Span.Int c) ] ()
+      end;
       (c, e.table)
   | None ->
       Stats_counters.incr c_memo_misses;
@@ -279,6 +336,8 @@ and merge ~modes ~prune left (c, extended) =
   Log.debug (fun f ->
       f "merge child %d: %d x %d cells" c (Tbl.length left)
         (Tbl.length extended));
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_power.merge";
   let merged = Tbl.create (Tbl.length left * 2) in
   let products = ref 0 and rejected = ref 0 and created = ref 0 in
   Tbl.iter
@@ -299,7 +358,20 @@ and merge ~modes ~prune left (c, extended) =
   Stats_counters.add c_capacity !rejected;
   Stats_counters.add c_cells !created;
   Stats_counters.record_max c_peak (Tbl.length merged);
-  if prune then prune_dominated ~m merged else merged
+  Replica_obs.Histogram.observe h_products !products;
+  let result = if prune then prune_dominated ~m merged else merged in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("child", Span.Int c);
+          ("left_cells", Span.Int (Tbl.length left));
+          ("child_cells", Span.Int (Tbl.length extended));
+          ("products", Span.Int !products);
+          ("merged_cells", Span.Int (Tbl.length result));
+        ]
+      ();
+  result
 
 let tally_of_state ~modes tree key =
   let m = Modes.count modes in
@@ -345,10 +417,14 @@ let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
     invalid_arg "Dp_power: cost model mode count mismatch";
   let m = Modes.count modes in
   let root = Tree.root tree in
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_power.tables";
   let table =
     Stats_counters.time t_tables (fun () ->
         table_of ctx tree ~modes ~prune ~domains root)
   in
+  if tracing then
+    Span.end_span ~args:[ ("root_cells", Span.Int (Tbl.length table)) ] ();
   let root_initial =
     if Tree.is_pre_existing tree root then
       Some (initial_mode_default tree root)
@@ -370,6 +446,7 @@ let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
       }
       :: !out
   in
+  if tracing then Span.begin_span "dp_power.enumerate";
   Stats_counters.time t_enumerate (fun () ->
       Tbl.iter
         (fun key placed ->
@@ -387,6 +464,8 @@ let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
             let operating = Modes.mode_of_load modes flow in
             emit (bump key ~m ~initial:root_initial ~operating) placed true)
         table);
+  if tracing then
+    Span.end_span ~args:[ ("candidates", Span.Int (List.length !out)) ] ();
   !out
 
 let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
@@ -412,6 +491,8 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
         mm.gen <- mm.gen + 1;
         Some (mm, Tree.subtree_fingerprints tree)
   in
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_power.solve";
   let best = ref None in
   List.iter
     (fun r ->
@@ -430,6 +511,17 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
       evict mm.prefixes;
       evict mm.ext_cache
   | None -> ());
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int (Tree.size tree));
+          ("prune", Span.Bool prune);
+          ("domains", Span.Int domains);
+          ("memo", Span.Bool (m <> None));
+          ("solved", Span.Bool (!best <> None));
+        ]
+      ();
   !best
 
 let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =

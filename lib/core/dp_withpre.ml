@@ -12,6 +12,15 @@ let c_memo_hits = Stats_counters.counter "dp_withpre.memo_hits"
 let c_memo_partial = Stats_counters.counter "dp_withpre.memo_partial"
 let c_memo_misses = Stats_counters.counter "dp_withpre.memo_misses"
 
+(* Structured observability: per-node solve and child-merge spans (with
+   memo hit/partial/miss tags) plus a log2 histogram of per-node merge
+   products. Span sites are guarded by [Span.enabled] — the disabled
+   path is one atomic load, no allocation. *)
+module Span = Replica_obs.Span
+
+let h_products =
+  Replica_obs.Histogram.create "dp_withpre.merge_products_per_node"
+
 type cell = { flow : int; placed : (int * int) Clist.t }
 
 type table = {
@@ -80,6 +89,26 @@ let fp_seed client =
 (* Table of node j over servers strictly below j. [ctx] carries the
    optional memo and the current tree's subtree fingerprints. *)
 let rec table_of ctx tree ~w j =
+  if not (Span.enabled ()) then node_table ctx tree ~w j
+  else begin
+    Span.begin_span "dp_withpre.node";
+    let tbl =
+      try node_table ctx tree ~w j
+      with e ->
+        Span.end_span ();
+        raise e
+    in
+    Span.end_span
+      ~args:
+        [
+          ("node", Span.Int j);
+          ("subtree_size", Span.Int (Tree.subtree_size tree j));
+        ]
+      ();
+    tbl
+  end
+
+and node_table ctx tree ~w j =
   let start = make_table 0 0 in
   let client = Tree.client_load tree j in
   if client <= w then
@@ -106,6 +135,12 @@ let rec table_of ctx tree ~w j =
            | None -> ()
          done
        with Exit -> ());
+      if Span.enabled () then
+        Span.add_arg "memo"
+          (Span.Str
+             (if !best = k then "hit"
+              else if !best > 0 then "partial"
+              else "miss"));
       if !best = k then Stats_counters.incr c_memo_hits
       else begin
         Stats_counters.incr (if !best > 0 then c_memo_partial else c_memo_misses);
@@ -136,6 +171,8 @@ and merge ctx tree ~w left c =
   Log.debug (fun m ->
       m "merge child %d: left %dx%d, child %dx%d" c (left.pre_cap + 1)
         (left.new_cap + 1) (extended.pre_cap + 1) (extended.new_cap + 1));
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_withpre.merge";
   let merged =
     make_table (left.pre_cap + extended.pre_cap)
       (left.new_cap + extended.new_cap)
@@ -151,8 +188,18 @@ and merge ctx tree ~w left c =
           else incr rejected));
   Stats_counters.add c_products !products;
   Stats_counters.add c_capacity !rejected;
+  Replica_obs.Histogram.observe h_products !products;
   iter_cells merged (fun _ _ _ -> incr live);
   Stats_counters.record_max c_peak !live;
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("child", Span.Int c);
+          ("products", Span.Int !products);
+          ("live_cells", Span.Int !live);
+        ]
+      ();
   merged
 
 let solve ?memo:m tree ~w ~cost =
@@ -169,6 +216,8 @@ let solve ?memo:m tree ~w ~cost =
         Some (mm, Tree.subtree_fingerprints tree)
   in
   let root = Tree.root tree in
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_withpre.solve";
   let table =
     Stats_counters.time t_tables (fun () -> table_of ctx tree ~w root)
   in
@@ -209,13 +258,26 @@ let solve ?memo:m tree ~w ~cost =
              ~pre_existing:pre_total)
           (e + n + 1) reused cell true
       end);
-  match !best with
-  | None -> None
-  | Some (value, servers, reused, cell, root_used) ->
-      let nodes = List.map fst (Clist.to_list cell.placed) in
-      let nodes = if root_used then root :: nodes else nodes in
-      Some
-        { solution = Solution.of_nodes nodes; cost = value; servers; reused }
+  let result =
+    match !best with
+    | None -> None
+    | Some (value, servers, reused, cell, root_used) ->
+        let nodes = List.map fst (Clist.to_list cell.placed) in
+        let nodes = if root_used then root :: nodes else nodes in
+        Some
+          { solution = Solution.of_nodes nodes; cost = value; servers; reused }
+  in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int (Tree.size tree));
+          ("w", Span.Int w);
+          ("memo", Span.Bool (m <> None));
+          ("solved", Span.Bool (result <> None));
+        ]
+      ();
+  result
 
 let root_table tree ~w =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";

@@ -1,5 +1,9 @@
+module Span = Replica_obs.Span
+
 let solve tree ~w =
   if w <= 0 then invalid_arg "Greedy.solve: w must be positive";
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "greedy.solve";
   let n = Tree.size tree in
   let flow = Array.make n 0 in
   let replicas = ref [] in
@@ -36,7 +40,18 @@ let solve tree ~w =
   Array.iter process (Tree.postorder tree);
   let root = Tree.root tree in
   if flow.(root) > 0 then place root;
-  if !feasible then Some (Solution.of_nodes !replicas) else None
+  let result = if !feasible then Some (Solution.of_nodes !replicas) else None in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int n);
+          ("w", Span.Int w);
+          ("servers", Span.Int (List.length !replicas));
+          ("solved", Span.Bool !feasible);
+        ]
+      ();
+  result
 
 let solve_count tree ~w =
   Option.map Solution.cardinal (solve tree ~w)

@@ -54,11 +54,34 @@ let cost_report tree ~w cost solution =
   violations_section buf tree ~w solution;
   Buffer.contents buf
 
+let histograms_report ~timers () =
+  let module H = Replica_obs.Histogram in
+  (* Wall-clock histograms (the [_ns] convention) are nondeterministic;
+     keep the default report pinnable by cram tests. *)
+  let wanted (name, _) =
+    timers || not (String.length name > 3 && Filename.check_suffix name "_ns")
+  in
+  match List.filter wanted (H.snapshots ()) with
+  | [] -> ""
+  | snaps ->
+      let buf = Buffer.create 256 in
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 snaps
+      in
+      List.iter
+        (fun (name, h) ->
+          let s = H.summary h in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s count %d  p50 %d  p90 %d  p99 %d\n" width
+               name s.H.s_count s.H.p50 s.H.p90 s.H.p99))
+        snaps;
+      Buffer.contents buf
+
 let stats_report ?(timers = false) () =
   let body =
     if timers then Stats_counters.report () else Stats_counters.counters_report ()
   in
-  "--- solver statistics ---\n" ^ body
+  "--- solver statistics ---\n" ^ body ^ histograms_report ~timers ()
 
 let power_report tree modes power cost solution =
   let buf = Buffer.create 512 in

@@ -17,6 +17,10 @@ val power_report :
 
 val stats_report : ?timers:bool -> unit -> string
 (** The {!Stats_counters} registry as a report section — what the CLI's
-    [--stats] flag prints after a solve. Counters only by default
-    (deterministic for a fixed workload, safe in cram tests); pass
-    [~timers:true] to append wall-clock phase timings. *)
+    [--stats] flag prints after a solve — followed by a
+    [count/p50/p90/p99] summary line per non-empty
+    {!Replica_obs.Histogram} (e.g. merge products per node). Counters
+    and size-distribution histograms are deterministic for a fixed
+    workload, safe in cram tests; pass [~timers:true] to additionally
+    include wall-clock phase timings and latency ([_ns]-suffixed)
+    histograms. *)

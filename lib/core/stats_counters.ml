@@ -41,7 +41,10 @@ let record_max c v =
 
 let value c = Atomic.get c.cell
 
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+(* CLOCK_MONOTONIC, not gettimeofday: the wall clock is steppable by
+   NTP and can go backwards, which used to let accumulated [seconds]
+   go negative under an adjustment landing inside a timed section. *)
+let now_ns = Replica_obs.Clock.now_ns
 
 let time t f =
   let t0 = now_ns () in
@@ -63,6 +66,19 @@ let sorted_values tbl value =
 
 let counters () = sorted_values registered_counters value
 let timers () = sorted_values registered_timers seconds
+
+type snapshot = (string * int) list
+
+let snapshot () = counters ()
+
+let diff before after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before;
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base k) in
+      if d <> 0 then Some (k, d) else None)
+    after
 
 let pad_to entries =
   List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 entries

@@ -24,10 +24,13 @@
       {!to_json} list entries sorted by name.
 
     The registry accumulates across solves until {!reset}; harnesses
-    that attribute numbers to a single run must call {!reset} first.
-    Timers measure wall-clock (not CPU) seconds so that parallel phases
-    report elapsed time, and are therefore {e not} reproducible between
-    runs — deterministic surfaces (cram tests) print counters only. *)
+    that attribute numbers to a single run must call {!reset} first —
+    or bracket the run with {!snapshot} and attribute {!diff}s, as the
+    engine does per epoch. Timers measure elapsed (not CPU) seconds on
+    {!Replica_obs.Clock}'s monotonic clock, so parallel phases report
+    wall time and accumulated {!seconds} can never go negative; they
+    remain {e not} reproducible between runs — deterministic surfaces
+    (cram tests) print counters only. *)
 
 type counter
 (** A named monotonic integer cell. *)
@@ -69,6 +72,18 @@ val counters : unit -> (string * int) list
 
 val timers : unit -> (string * float) list
 (** All timers as accumulated seconds, sorted by name. *)
+
+type snapshot = (string * int) list
+(** A point-in-time copy of every counter, sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> (string * int) list
+(** [diff before after] is the per-counter movement between two
+    snapshots: [(name, after - before)] for every counter whose value
+    changed (counters absent from [before] — registered in between —
+    count from 0). Sorted by name, zero deltas omitted. This is how
+    the engine attributes registry movement to a single epoch. *)
 
 val counters_report : unit -> string
 (** Aligned [name value] lines for counters only — deterministic for a

@@ -21,8 +21,20 @@ let config ?(policy = Update_policy.Lazy) ?(solver = Incremental) ?report_power
     ~w objective =
   { w; objective; policy; solver; report_power }
 
+module Span = Replica_obs.Span
+module Histogram = Replica_obs.Histogram
+module Clock = Replica_obs.Clock
+
+(* Registered (process-global) histograms feed the Prometheus export;
+   each engine instance additionally owns an unregistered latency
+   histogram so concurrent engines in an experiment sweep don't mix
+   their timelines' percentiles. *)
+let h_solve_ns = Histogram.create "engine.epoch_solve_ns"
+let h_memo_ratio = Histogram.create "engine.memo_hit_ratio_pct"
+
 type t = {
   cfg : config;
+  lat_h : Histogram.t;
   wp_memo : Dp_withpre.memo option;
   pw_memo : Dp_power.memo option;
   mutable placement : Solution.t;
@@ -42,6 +54,7 @@ let create cfg =
   | _ -> ());
   {
     cfg;
+    lat_h = Histogram.make "engine.epoch_solve_ns";
     wp_memo =
       (match (cfg.solver, cfg.objective) with
       | Incremental, Min_cost _ -> Some (Dp_withpre.memo ())
@@ -65,15 +78,19 @@ let memo_tables t =
   (match t.wp_memo with Some m -> Dp_withpre.memo_size m | None -> 0)
   + match t.pw_memo with Some m -> Dp_power.memo_size m | None -> 0
 
-(* Nonzero counter movement between two sorted registry snapshots. *)
-let counters_delta before after =
-  let base = Hashtbl.create 64 in
-  List.iter (fun (k, v) -> Hashtbl.replace base k v) before;
-  List.filter_map
-    (fun (k, v) ->
-      let d = v - try Hashtbl.find base k with Not_found -> 0 in
-      if d <> 0 then Some (k, d) else None)
-    after
+(* Memo hit percentage over this epoch's solve, from the counter
+   deltas; None when the solver consulted no memo at all. *)
+let memo_hit_pct counters =
+  let get k = try List.assoc k counters with Not_found -> 0 in
+  let hits = get "dp_withpre.memo_hits" + get "dp_power.memo_hits" in
+  let total =
+    hits
+    + get "dp_withpre.memo_partial"
+    + get "dp_withpre.memo_misses"
+    + get "dp_power.memo_partial"
+    + get "dp_power.memo_misses"
+  in
+  if total = 0 then None else Some (100 * hits / total)
 
 (* Operating mode of every server under this epoch's demand — the
    initial modes of the next epoch's pre-existing set. *)
@@ -107,10 +124,13 @@ let solve_once t tree =
       | None -> None)
 
 let step t demand_tree =
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "engine.epoch";
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
   let demand = Tree.total_requests demand_tree in
   let size = Tree.size demand_tree in
+  if tracing then Span.begin_span "engine.demand_diff";
   let changed_list =
     match t.prev with
     | None -> List.init size Fun.id
@@ -128,21 +148,49 @@ let step t demand_tree =
       changed_list;
     Array.fold_left (fun n b -> if b then n + 1 else n) 0 seen
   in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("changed", Span.Int (List.length changed_list));
+          ("dirty", Span.Int dirty);
+        ]
+      ();
+  if tracing then Span.begin_span "engine.policy";
   let servers_valid = Solution.is_valid demand_tree ~w:t.cfg.w t.placement in
   let reconfigure =
     Update_policy.should_reconfigure t.cfg.policy ~epoch ~servers_valid
       ~demand ~last_demand:t.last_demand
   in
-  let counters_before = if reconfigure then Stats_counters.counters () else [] in
-  let solve_start = Unix.gettimeofday () in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("servers_valid", Span.Bool servers_valid);
+          ("reconfigure", Span.Bool reconfigure);
+        ]
+      ();
+  let counters_before = if reconfigure then Stats_counters.snapshot () else [] in
+  if tracing && reconfigure then Span.begin_span "engine.solve";
+  let solve_start = Clock.now_ns () in
   let solved = if reconfigure then solve_once t demand_tree else None in
-  let solve_seconds =
-    if reconfigure then Unix.gettimeofday () -. solve_start else 0.
-  in
+  let solve_ns = if reconfigure then Clock.now_ns () - solve_start else 0 in
+  if tracing && reconfigure then
+    Span.end_span ~args:[ ("solved", Span.Bool (solved <> None)) ] ();
   let counters =
-    if reconfigure then counters_delta counters_before (Stats_counters.counters ())
+    if reconfigure then
+      Stats_counters.diff counters_before (Stats_counters.snapshot ())
     else []
   in
+  if reconfigure then begin
+    Histogram.observe t.lat_h solve_ns;
+    Histogram.observe h_solve_ns solve_ns;
+    match memo_hit_pct counters with
+    | Some pct -> Histogram.observe h_memo_ratio pct
+    | None -> ()
+  end;
+  let solve_seconds = float_of_int solve_ns *. 1e-9 in
+  if tracing then Span.begin_span "engine.apply";
   let reconfigured, step_cost =
     match solved with
     | Some (solution, cost) ->
@@ -180,22 +228,48 @@ let step t demand_tree =
               Some (Solution.power demand_tree modes power t.placement)
           | None -> None)
   in
-  {
-    Timeline.epoch;
-    demand;
-    changed = List.length changed_list;
-    dirty;
-    reconfigured;
-    staleness = t.staleness;
-    servers = t.placement;
-    step_cost;
-    valid;
-    unserved;
-    overloaded;
-    power;
-    solve_seconds;
-    counters;
-  }
+  if tracing then
+    Span.end_span ~args:[ ("reconfigured", Span.Bool reconfigured) ] ();
+  let solve_latency =
+    if Histogram.count t.lat_h = 0 then None
+    else
+      let s = Histogram.summary t.lat_h in
+      Some
+        {
+          Timeline.p50 = float_of_int s.Histogram.p50 *. 1e-9;
+          p90 = float_of_int s.Histogram.p90 *. 1e-9;
+          p99 = float_of_int s.Histogram.p99 *. 1e-9;
+        }
+  in
+  let entry =
+    {
+      Timeline.epoch;
+      demand;
+      changed = List.length changed_list;
+      dirty;
+      reconfigured;
+      staleness = t.staleness;
+      servers = t.placement;
+      step_cost;
+      valid;
+      unserved;
+      overloaded;
+      power;
+      solve_seconds;
+      solve_latency;
+      counters;
+    }
+  in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("epoch", Span.Int epoch);
+          ("demand", Span.Int demand);
+          ("reconfigured", Span.Bool reconfigured);
+        ]
+      ();
+  entry
 
 let run cfg demands =
   let t = create cfg in

@@ -1,87 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let schema_version = 1
-
-let envelope ~kind ~config fields =
-  Obj
-    ([ ("schema_version", Int schema_version); ("bench", String kind) ]
-    @ (if config = [] then [] else [ ("config", Obj config) ])
-    @ fields)
-
-let add_escaped buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let add_float buf f =
-  if Float.is_nan f || f = infinity || f = neg_infinity then
-    Buffer.add_string buf "null"
-  else Buffer.add_string buf (Printf.sprintf "%.9g" f)
-
-let to_string ?(pretty = false) json =
-  let buf = Buffer.create 256 in
-  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
-  let newline () = if pretty then Buffer.add_char buf '\n' in
-  let rec emit depth = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f -> add_float buf f
-    | String s ->
-        Buffer.add_char buf '"';
-        add_escaped buf s;
-        Buffer.add_char buf '"'
-    | List [] -> Buffer.add_string buf "[]"
-    | List items ->
-        Buffer.add_char buf '[';
-        newline ();
-        List.iteri
-          (fun i item ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              newline ()
-            end;
-            pad (depth + 1);
-            emit (depth + 1) item)
-          items;
-        newline ();
-        pad depth;
-        Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj members ->
-        Buffer.add_char buf '{';
-        newline ();
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              newline ()
-            end;
-            pad (depth + 1);
-            Buffer.add_char buf '"';
-            add_escaped buf k;
-            Buffer.add_string buf (if pretty then "\": " else "\":");
-            emit (depth + 1) v)
-          members;
-        newline ();
-        pad depth;
-        Buffer.add_char buf '}'
-  in
-  emit 0 json;
-  Buffer.contents buf
+(* The JSON tree/printer/parser moved down to replicaml.obs so the
+   observability exporters can share it; this forwarding module keeps
+   [Replica_engine.Json] working for existing consumers (bench, CLI). *)
+include Replica_obs.Json

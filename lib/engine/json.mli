@@ -1,34 +1,8 @@
-(** Minimal JSON emission for machine-readable run artifacts.
+(** Re-export of {!Replica_obs.Json}, where the shared JSON tree,
+    printer and parser now live (the observability exporters in
+    [replicaml.obs] need them below this library in the dependency
+    stack). See that module for documentation. *)
 
-    The engine's timelines and the benchmark harness's [BENCH_*.json]
-    files are consumed by plotting scripts and cross-PR trajectory
-    comparisons, so they need a stable, self-describing envelope — but
-    nothing here warrants a parser dependency. This module is an
-    emitter only: a value type, deterministic serialization (object
-    keys are emitted in the order given; floats via ["%.9g"]; NaN and
-    infinities become [null]), and the shared envelope every artifact
-    opens with. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val schema_version : int
-(** Version of the shared artifact envelope. Bump when a field of an
-    emitted [BENCH_*.json] or timeline changes meaning — consumers
-    comparing trajectories across PRs key on this. *)
-
-val envelope : kind:string -> config:(string * t) list -> (string * t) list -> t
-(** [envelope ~kind ~config fields] is the standard artifact object:
-    [{"schema_version": …, "bench": kind, "config": {…}, …fields}].
-    The [config] block records the run configuration (tree size, seed,
-    prune/domains, …) so trajectories stay comparable across PRs. *)
-
-val to_string : ?pretty:bool -> t -> string
-(** Serialize. [pretty] (default [false]) indents objects and lists by
-    two spaces per level, one member per line. *)
+include module type of struct
+  include Replica_obs.Json
+end

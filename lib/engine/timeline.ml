@@ -1,3 +1,5 @@
+type latency = { p50 : float; p90 : float; p99 : float }
+
 type entry = {
   epoch : int;
   demand : int;
@@ -12,6 +14,7 @@ type entry = {
   overloaded : int;
   power : float option;
   solve_seconds : float;
+  solve_latency : latency option;
   counters : (string * int) list;
 }
 
@@ -21,6 +24,7 @@ type t = {
   reconfigurations : int;
   invalid_epochs : int;
   solve_seconds : float;
+  solve_latency : latency option;
 }
 
 let of_entries (entries : entry list) =
@@ -33,6 +37,12 @@ let of_entries (entries : entry list) =
       List.length (List.filter (fun (e : entry) -> not e.valid) entries);
     solve_seconds =
       List.fold_left (fun a (e : entry) -> a +. e.solve_seconds) 0. entries;
+    solve_latency =
+      (* The last entry carrying quantiles has seen every solve. *)
+      List.fold_left
+        (fun acc (e : entry) ->
+          match e.solve_latency with Some _ as l -> l | None -> acc)
+        None entries;
   }
 
 let print ?(times = false) oc t =
@@ -56,8 +66,25 @@ let print ?(times = false) oc t =
     t.entries;
   Printf.fprintf oc "total: %d reconfigurations, bill %.2f, %d invalid epochs"
     t.reconfigurations t.total_cost t.invalid_epochs;
-  if times then Printf.fprintf oc ", solve %.2f ms" (1000. *. t.solve_seconds);
+  if times then begin
+    Printf.fprintf oc ", solve %.2f ms" (1000. *. t.solve_seconds);
+    match t.solve_latency with
+    | Some l ->
+        Printf.fprintf oc " (p50/p90/p99 %.2f/%.2f/%.2f ms)" (1000. *. l.p50)
+          (1000. *. l.p90) (1000. *. l.p99)
+    | None -> ()
+  end;
   Printf.fprintf oc "\n"
+
+let latency_to_json = function
+  | None -> Json.Null
+  | Some l ->
+      Json.Obj
+        [
+          ("p50_s", Json.Float l.p50);
+          ("p90_s", Json.Float l.p90);
+          ("p99_s", Json.Float l.p99);
+        ]
 
 let entry_to_json e =
   Json.Obj
@@ -78,6 +105,7 @@ let entry_to_json e =
       ( "power",
         match e.power with Some p -> Json.Float p | None -> Json.Null );
       ("solve_seconds", Json.Float e.solve_seconds);
+      ("solve_latency", latency_to_json e.solve_latency);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters) );
     ]
@@ -93,6 +121,7 @@ let to_json ?(config = []) t =
             ("reconfigurations", Json.Int t.reconfigurations);
             ("invalid_epochs", Json.Int t.invalid_epochs);
             ("solve_seconds", Json.Float t.solve_seconds);
+            ("solve_latency", latency_to_json t.solve_latency);
           ] );
       ("epochs", Json.List (List.map entry_to_json t.entries));
     ]

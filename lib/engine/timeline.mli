@@ -16,6 +16,11 @@
     [BENCH_engine.json] shares the envelope of every other bench
     artifact), and the test suite's differential assertions. *)
 
+type latency = { p50 : float; p90 : float; p99 : float }
+(** Solve-latency quantiles in seconds, estimated from the engine's
+    log2 histogram (upper bin bounds, so overestimates by at most 2x;
+    always [p50 <= p90 <= p99]). *)
+
 type entry = {
   epoch : int;  (** 1-based *)
   demand : int;  (** total requests this epoch *)
@@ -40,9 +45,13 @@ type entry = {
       (** Eq. 3 power of the placement under this epoch's load, when a
           power model is configured and the placement is valid *)
   solve_seconds : float;  (** 0 when no solve ran *)
+  solve_latency : latency option;
+      (** running quantiles over every solve up to and including this
+          epoch; [None] until the first solve *)
   counters : (string * int) list;
       (** {!Stats_counters} deltas during this epoch's solve (nonzero
-          entries only, sorted by name) *)
+          entries only, sorted by name, computed with
+          {!Stats_counters.diff}) *)
 }
 
 type t = {
@@ -51,6 +60,7 @@ type t = {
   reconfigurations : int;
   invalid_epochs : int;
   solve_seconds : float;  (** total across epochs *)
+  solve_latency : latency option;  (** quantiles over the whole run *)
 }
 
 val of_entries : entry list -> t

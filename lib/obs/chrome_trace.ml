@@ -1,0 +1,94 @@
+let arg_to_json : Span.arg -> Json.t = function
+  | Span.Str s -> Json.String s
+  | Span.Int i -> Json.Int i
+  | Span.Float f -> Json.Float f
+  | Span.Bool b -> Json.Bool b
+
+let event ~origin_ns (s : Span.span) =
+  Json.Obj
+    ([
+       ("name", Json.String s.Span.name);
+       ("cat", Json.String "replicaml");
+       ("ph", Json.String "X");
+       ("ts", Json.Float (float_of_int (s.Span.start_ns - origin_ns) /. 1e3));
+       ("dur", Json.Float (float_of_int s.Span.dur_ns /. 1e3));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int s.Span.tid);
+     ]
+    @
+    match s.Span.args with
+    | [] -> []
+    | args ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ])
+
+let to_json spans =
+  let origin_ns =
+    List.fold_left
+      (fun acc (s : Span.span) -> min acc s.Span.start_ns)
+      max_int spans
+  in
+  let origin_ns = if origin_ns = max_int then 0 else origin_ns in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (event ~origin_ns) spans));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string ?pretty spans = Json.to_string ?pretty (to_json spans)
+
+let write_file path spans =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string ~pretty:true spans);
+      output_char oc '\n')
+
+(* --- validation --- *)
+
+let ( let* ) = Result.bind
+
+let check_event i json =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> Error (Printf.sprintf "event %d: %s" i m))
+      fmt
+  in
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> Ok s
+    | _ -> fail "missing or non-string %S" key
+  in
+  let number key =
+    match Json.member key json with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int n) -> Ok (float_of_int n)
+    | _ -> fail "missing or non-numeric %S" key
+  in
+  let int key =
+    match Json.member key json with
+    | Some (Json.Int _) -> Ok ()
+    | _ -> fail "missing or non-integer %S" key
+  in
+  let* name = str "name" in
+  let* () = if name = "" then fail "empty name" else Ok () in
+  let* ph = str "ph" in
+  let* _ts = number "ts" in
+  let* () = int "pid" in
+  let* () = int "tid" in
+  if ph = "X" then
+    let* dur = number "dur" in
+    if dur < 0. then fail "negative dur" else Ok ()
+  else Ok ()
+
+let validate contents =
+  let* json = Json.parse contents in
+  match Json.member "traceEvents" json with
+  | Some (Json.List events) ->
+      let rec loop i = function
+        | [] -> Ok i
+        | e :: rest ->
+            let* () = check_event i e in
+            loop (i + 1) rest
+      in
+      loop 0 events
+  | Some _ -> Error "\"traceEvents\" is not a list"
+  | None -> Error "missing \"traceEvents\""

@@ -1,0 +1,27 @@
+(** Chrome trace-event JSON export of recorded spans.
+
+    Produces the ["traceEvents"] object format understood by Perfetto
+    ({:https://ui.perfetto.dev}) and [chrome://tracing]: each completed
+    span becomes one complete ("ph": "X") event with microsecond [ts]
+    and [dur], [pid] 1, and the recording domain's id as [tid] — so a
+    [Par]-parallel solve shows sibling subtree merges on separate
+    tracks. Timestamps are rebased to the earliest span so traces
+    start near zero regardless of the monotonic clock's origin.
+
+    The {!validate} direction (parse + structural checks) backs the
+    [obs-validate] CLI command, the cram suite and the CI smoke step:
+    exporter regressions fail fast without external tooling. *)
+
+val to_json : Span.span list -> Json.t
+
+val to_string : ?pretty:bool -> Span.span list -> string
+
+val write_file : string -> Span.span list -> unit
+(** Pretty-printed, trailing newline. *)
+
+val validate : string -> (int, string) result
+(** [validate contents] checks that [contents] parses as JSON and has
+    the trace-event shape: a top-level object with a ["traceEvents"]
+    list whose members each carry a string ["name"], string ["ph"],
+    numeric ["ts"] and integer ["pid"]/["tid"]; "X" events must also
+    carry a non-negative numeric ["dur"]. Returns the event count. *)

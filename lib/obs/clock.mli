@@ -1,0 +1,14 @@
+(** Monotonic time source for every measurement in the tree.
+
+    All spans, timers and latency histograms are measured against
+    [CLOCK_MONOTONIC]: unlike [Unix.gettimeofday] it is immune to NTP
+    steps and never goes backwards, so durations and accumulated
+    seconds are guaranteed non-negative. The origin is arbitrary
+    (boot time on Linux) — only differences are meaningful. *)
+
+external now_ns : unit -> int = "obs_monotonic_ns" [@@noalloc]
+(** Monotonic nanoseconds since an arbitrary origin. Allocation-free. *)
+
+val now_us : unit -> float
+(** {!now_ns} in (fractional) microseconds — the unit Chrome trace
+    events use. *)

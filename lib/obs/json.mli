@@ -1,0 +1,44 @@
+(** Minimal JSON tree, printer and parser shared by every
+    machine-readable artifact in the repository.
+
+    Lives at the bottom of the dependency stack (this library depends
+    on nothing) so the solvers' observability exporters, the engine's
+    timeline and the benchmark harness all emit the same dialect.
+    [Replica_engine.Json] re-exports this module for compatibility.
+
+    The printer is deliberately tiny: sorted emission is the caller's
+    job, floats go through [%.9g] (NaN/infinities become [null]), and
+    [pretty] adds two-space indentation. The parser accepts exactly the
+    JSON this printer emits plus standard escapes and number forms — it
+    exists so tests and the [obs-validate] CLI can check exported
+    artifacts without external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val schema_version : int
+(** Version stamped into every envelope; bump on breaking shape
+    changes. *)
+
+val envelope : kind:string -> config:(string * t) list -> (string * t) list -> t
+(** [envelope ~kind ~config fields] is the versioned wrapper every
+    benchmark artifact shares:
+    [{"schema_version": ..., "bench": kind, "config": {...}, ...fields}].
+    [config] is omitted when empty. *)
+
+val to_string : ?pretty:bool -> t -> string
+
+val parse : string -> (t, string) result
+(** [parse s] reads one JSON value (surrounding whitespace allowed).
+    Errors carry a byte offset. Numbers without [.], [e] or [E] parse
+    as [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value under [key] when [json] is an
+    object. *)

@@ -1,0 +1,18 @@
+/* Monotonic nanosecond clock for the observability layer.
+
+   OCaml 5.1's Unix library exposes only gettimeofday (wall clock,
+   steppable by NTP, can go backwards), which is unusable for span
+   durations and accumulated timers. clock_gettime(CLOCK_MONOTONIC) is
+   POSIX and never goes backwards. The result fits OCaml's 63-bit int
+   for ~146 years of uptime, so we return an untagged immediate and the
+   call stays allocation-free ([@@noalloc]). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

@@ -1,0 +1,184 @@
+let metric_name raw =
+  let buf = Buffer.create (String.length raw + 10) in
+  Buffer.add_string buf "replicaml_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    raw;
+  Buffer.contents buf
+
+let render ?(counters = []) ?(timers_seconds = []) ?(histograms = []) () =
+  let buf = Buffer.create 1024 in
+  let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (sort counters);
+  List.iter
+    (fun (name, s) ->
+      let n = metric_name (name ^ "_seconds") in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %.9f\n" n n s))
+    (sort timers_seconds);
+  List.iter
+    (fun (name, h) ->
+      let n = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      List.iter
+        (fun (le, cumulative) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le cumulative))
+        (Histogram.buckets h);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n (Histogram.sum h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
+    (sort histograms);
+  Buffer.contents buf
+
+(* --- validation --- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let scan_name line pos =
+  let n = String.length line in
+  if pos >= n || not (is_name_start line.[pos]) then None
+  else begin
+    let i = ref pos in
+    while !i < n && is_name_char line.[!i] do
+      incr i
+    done;
+    Some (String.sub line pos (!i - pos), !i)
+  end
+
+(* labels: '{' name '="' chars-with-\-escapes '"' (',' ...)* '}' *)
+let scan_labels line pos =
+  let n = String.length line in
+  if pos >= n || line.[pos] <> '{' then Some pos
+  else begin
+    let i = ref (pos + 1) in
+    let ok = ref true in
+    let scan_one () =
+      match scan_name line !i with
+      | None -> ok := false
+      | Some (_, p) ->
+          i := p;
+          if !i + 1 < n && line.[!i] = '=' && line.[!i + 1] = '"' then begin
+            i := !i + 2;
+            let closed = ref false in
+            while (not !closed) && !i < n do
+              if line.[!i] = '\\' then i := !i + 2
+              else if line.[!i] = '"' then begin
+                closed := true;
+                incr i
+              end
+              else incr i
+            done;
+            if not !closed then ok := false
+          end
+          else ok := false
+    in
+    if !i < n && line.[!i] = '}' then incr i
+    else begin
+      scan_one ();
+      while !ok && !i < n && line.[!i] = ',' do
+        incr i;
+        scan_one ()
+      done;
+      if !ok && !i < n && line.[!i] = '}' then incr i else ok := false
+    end;
+    if !ok then Some !i else None
+  end
+
+let is_value s =
+  match s with
+  | "+Inf" | "-Inf" | "NaN" -> true
+  | _ -> float_of_string_opt s <> None
+
+let validate contents =
+  let lines = String.split_on_char '\n' contents in
+  let samples = ref 0 in
+  let family = ref None in
+  let family_seen = ref true in
+  let err lineno msg line =
+    Error (Printf.sprintf "line %d: %s: %S" lineno msg line)
+  in
+  let rec check lineno = function
+    | [] ->
+        if not !family_seen then
+          Error
+            (Printf.sprintf "# TYPE %s declared but no samples follow"
+               (Option.value ~default:"?" !family))
+        else Ok !samples
+    | line :: rest ->
+        let result =
+          if line = "" then Ok ()
+          else if String.length line > 0 && line.[0] = '#' then begin
+            (* comment: "# HELP name ..." | "# TYPE name type" | free text *)
+            if String.starts_with ~prefix:"# TYPE " line then begin
+              match scan_name line 7 with
+              | None -> err lineno "malformed # TYPE" line
+              | Some (name, p) -> (
+                  let rest_str =
+                    String.trim (String.sub line p (String.length line - p))
+                  in
+                  match rest_str with
+                  | "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ->
+                      if not !family_seen then
+                        err lineno
+                          (Printf.sprintf
+                             "# TYPE %s declared but no samples follow"
+                             (Option.value ~default:"?" !family))
+                          line
+                      else begin
+                        family := Some name;
+                        family_seen := false;
+                        Ok ()
+                      end
+                  | _ -> err lineno "unknown metric type" line)
+            end
+            else if String.starts_with ~prefix:"# HELP " line then Ok ()
+            else err lineno "malformed comment (expected # HELP or # TYPE)" line
+          end
+          else begin
+            match scan_name line 0 with
+            | None -> err lineno "malformed metric name" line
+            | Some (name, p) -> (
+                match scan_labels line p with
+                | None -> err lineno "malformed label set" line
+                | Some p ->
+                    let tail =
+                      String.sub line p (String.length line - p)
+                      |> String.trim
+                    in
+                    let fields =
+                      String.split_on_char ' ' tail
+                      |> List.filter (fun f -> f <> "")
+                    in
+                    let value_ok =
+                      match fields with
+                      | [ v ] -> is_value v
+                      | [ v; ts ] -> is_value v && int_of_string_opt ts <> None
+                      | _ -> false
+                    in
+                    if not value_ok then err lineno "malformed sample value" line
+                    else begin
+                      (match !family with
+                      | Some f when String.starts_with ~prefix:f name ->
+                          family_seen := true
+                      | _ -> ());
+                      incr samples;
+                      Ok ()
+                    end)
+          end
+        in
+        (match result with Ok () -> check (lineno + 1) rest | Error e -> Error e)
+  in
+  check 1 lines

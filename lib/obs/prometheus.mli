@@ -1,0 +1,35 @@
+(** Prometheus text exposition (version 0.0.4) of the metrics
+    registries.
+
+    Renders counters, accumulated timers and log2 histograms as a
+    scrape-able snapshot: dotted registry names ([dp_power.cells])
+    become [replicaml_dp_power_cells], counters expose as [counter],
+    timers as [gauge] seconds, histograms as cumulative
+    [_bucket{le="..."}] / [_sum] / [_count] families. Callers pass the
+    data in (this module does not reach into
+    [Replica_core.Stats_counters] — the dependency points the other
+    way), so any registry can be exposed.
+
+    {!validate} checks the exposition grammar line by line (comment
+    lines, metric-name syntax, optional label set, float value,
+    optional timestamp) and backs the [obs-validate] CLI command and
+    the CI smoke step. *)
+
+val metric_name : string -> string
+(** [metric_name "dp_power.cells"] is ["replicaml_dp_power_cells"]:
+    prefixed, and every character outside [[a-zA-Z0-9_:]] mapped to
+    [_]. *)
+
+val render :
+  ?counters:(string * int) list ->
+  ?timers_seconds:(string * float) list ->
+  ?histograms:(string * Histogram.t) list ->
+  unit ->
+  string
+(** A complete exposition snapshot, families sorted by metric name
+    within each section (counters, then timers, then histograms). *)
+
+val validate : string -> (int, string) result
+(** [validate contents] checks every line against the exposition
+    grammar and that each [# TYPE] is followed by samples of that
+    family. Returns the number of samples. *)

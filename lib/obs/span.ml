@@ -1,0 +1,144 @@
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  tid : int;
+  depth : int;
+  args : (string * arg) list;
+}
+
+type frame = {
+  f_name : string;
+  f_start : int;
+  f_depth : int;
+  mutable f_args : (string * arg) list;
+}
+
+(* One recording buffer per domain. Only its owning domain ever writes
+   [stack], [spans] or [len]; the registry mutex protects the list of
+   states, and export/reset read the buffers (documented as quiescent
+   operations). *)
+type dstate = {
+  tid : int;
+  mutable stack : frame list;
+  mutable spans : span array;
+  mutable len : int;
+  mutable drop : int;
+}
+
+let enabled_flag = Atomic.make false
+let capacity = Atomic.make 1_000_000
+
+let[@inline] enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let set_capacity c = Atomic.set capacity (max 1 c)
+
+let registry_lock = Mutex.create ()
+let registry : dstate list ref = ref []
+
+let dummy_span =
+  { name = ""; start_ns = 0; dur_ns = 0; tid = 0; depth = 0; args = [] }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          tid = (Domain.self () :> int);
+          stack = [];
+          spans = Array.make 256 dummy_span;
+          len = 0;
+          drop = 0;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := st :: !registry;
+      Mutex.unlock registry_lock;
+      st)
+
+let push st sp =
+  let cap = Atomic.get capacity in
+  if st.len >= cap then st.drop <- st.drop + 1
+  else begin
+    if st.len = Array.length st.spans then begin
+      let bigger =
+        Array.make (min cap (2 * Array.length st.spans)) dummy_span
+      in
+      Array.blit st.spans 0 bigger 0 st.len;
+      st.spans <- bigger
+    end;
+    st.spans.(st.len) <- sp;
+    st.len <- st.len + 1
+  end
+
+let begin_span name =
+  if enabled () then begin
+    let st = Domain.DLS.get key in
+    let depth = match st.stack with [] -> 0 | f :: _ -> f.f_depth + 1 in
+    st.stack <-
+      { f_name = name; f_start = Clock.now_ns (); f_depth = depth; f_args = [] }
+      :: st.stack
+  end
+
+let end_span ?(args = []) () =
+  if enabled () then begin
+    let st = Domain.DLS.get key in
+    match st.stack with
+    | [] -> ()
+    | f :: rest ->
+        st.stack <- rest;
+        push st
+          {
+            name = f.f_name;
+            start_ns = f.f_start;
+            dur_ns = Clock.now_ns () - f.f_start;
+            tid = st.tid;
+            depth = f.f_depth;
+            args = (match f.f_args with [] -> args | fa -> List.rev fa @ args);
+          }
+  end
+
+let add_arg k v =
+  if enabled () then
+    let st = Domain.DLS.get key in
+    match st.stack with
+    | [] -> ()
+    | f :: _ -> f.f_args <- (k, v) :: f.f_args
+
+let with_span ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    begin_span name;
+    Fun.protect ~finally:(fun () -> end_span ?args ()) f
+  end
+
+let with_states f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) (fun () ->
+      f !registry)
+
+let export () =
+  with_states (fun states ->
+      List.concat_map
+        (fun st -> Array.to_list (Array.sub st.spans 0 st.len))
+        states)
+  |> List.sort (fun a b ->
+         compare (a.start_ns, a.tid, a.depth) (b.start_ns, b.tid, b.depth))
+
+let count () =
+  with_states (fun states ->
+      List.fold_left (fun acc st -> acc + st.len) 0 states)
+
+let dropped () =
+  with_states (fun states ->
+      List.fold_left (fun acc st -> acc + st.drop) 0 states)
+
+let reset () =
+  with_states (fun states ->
+      List.iter
+        (fun st ->
+          st.stack <- [];
+          st.len <- 0;
+          st.drop <- 0)
+        states)

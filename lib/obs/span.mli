@@ -1,0 +1,84 @@
+(** Structured span tracing with per-domain lock-free buffers.
+
+    A {e span} is a named interval of work with string-keyed attributes
+    ([args]); spans nest, and the nesting is tracked per domain with an
+    explicit stack, so sibling subtree merges fanned out by
+    [Replica_core.Par] trace safely: every domain appends completed
+    spans to its own buffer (registered once, under a mutex, when the
+    domain first traces) and the buffers are only merged at
+    {!export} time. No lock is ever taken on the recording path.
+
+    {b Cost contract.} Tracing is globally off by default. The
+    disabled path of {!enabled} is a single [Atomic.get] — no
+    allocation, no branch beyond the caller's [if]. Hot loops are
+    expected to guard with [if Span.enabled () then ...] so that
+    argument lists are not even constructed when tracing is off;
+    {!begin_span} and {!end_span} also self-check so an unguarded call
+    site stays correct, just one load more expensive. When tracing is
+    {e on}, recording a span costs two clock reads, one small record
+    and one buffer slot.
+
+    {b Well-formedness.} Within a domain, begin/end pairs form a
+    balanced bracket sequence by construction ({!end_span} pops the
+    innermost open frame). A child span's [start_ns, start_ns + dur_ns]
+    interval always lies within its parent's, because the clock
+    ({!Clock.now_ns}) is monotonic. Frames still open at {!export} are
+    not emitted. Each domain's buffer is capped ({!set_capacity});
+    spans beyond the cap are counted in {!dropped} rather than
+    recorded, so a pathological run degrades gracefully instead of
+    exhausting memory. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int;  (** monotonic, arbitrary origin *)
+  dur_ns : int;  (** non-negative *)
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth within its domain, root = 0 *)
+  args : (string * arg) list;
+}
+
+val enabled : unit -> bool
+(** Single atomic load; the guard for every instrumentation site. *)
+
+val set_enabled : bool -> unit
+(** Toggle tracing globally. Enable before the work under study and
+    disable (or {!export}) after; toggling mid-span loses at most the
+    spans open at the transition. *)
+
+val set_capacity : int -> unit
+(** Per-domain buffer cap (default [1_000_000] spans). Observations
+    past the cap increment {!dropped}. *)
+
+val begin_span : string -> unit
+(** Open a span on the calling domain's stack. No-op when disabled. *)
+
+val end_span : ?args:(string * arg) list -> unit -> unit
+(** Close the innermost open span, attaching [args], and record it.
+    No-op when disabled or when no span is open. *)
+
+val add_arg : string -> arg -> unit
+(** Attach one attribute to the innermost open span (e.g. a memo
+    hit/miss tag discovered mid-phase). No-op when disabled or no span
+    is open. *)
+
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f] in a span, closing it on
+    exceptions too. Convenience for cold paths; hot paths should guard
+    explicit {!begin_span}/{!end_span} with {!enabled} to avoid
+    constructing [args] and closures when tracing is off. *)
+
+val export : unit -> span list
+(** Completed spans from every domain, merged and sorted by
+    [(start_ns, tid, depth)]. Does not clear the buffers. *)
+
+val count : unit -> int
+(** Number of completed spans currently buffered across domains. *)
+
+val dropped : unit -> int
+(** Spans discarded because a domain's buffer was full. *)
+
+val reset : unit -> unit
+(** Clear every domain's buffer, stack and drop count. Call between
+    independent runs attributed separately. *)

@@ -78,6 +78,7 @@ wall-clock and would not be reproducible here):
   dp_power.cells_created     123
   dp_power.merge_products    128
   dp_power.peak_table_size   38
+  dp_power.merge_products_per_node count 7  p50 15  p90 63  p99 63
 
 Forcing dominance pruning on the same instance gives the same answer with
 fewer merge products:
@@ -97,6 +98,7 @@ fewer merge products:
   dp_power.dominance_pruned  17
   dp_power.merge_products    94
   dp_power.peak_table_size   24
+  dp_power.merge_products_per_node count 7  p50 15  p90 31  p99 31
 
 The greedy power baseline and the local-search heuristic on the same instance:
 
@@ -198,3 +200,42 @@ Power objective: each epoch also reports the Eq. 3 power in force:
   epoch  2: demand    8  changed   3  dirty   4   2 servers  reconfigured cost 2.10  power 275.0
   epoch  3: demand   10  changed   2  dirty   3   2 servers  reconfigured cost 2.00  power 275.0
   total: 3 reconfigurations, bill 5.20, 0 invalid epochs
+
+Span tracing: --trace records the run as Chrome trace-event JSON and
+obs-validate checks it structurally without external tooling. Event
+counts are workload-deterministic (one "X" event per completed span):
+
+  $ replica_cli solve --algo dp-withpre --nodes 6 --pre 2 --seed 5 -w 8 \
+  >   --trace solve_trace.json
+  placement: 0 servers for 0 requests (W = 8)
+  deleted pre-existing servers: 1 5
+  reused 0 of 2 pre-existing servers
+  cost (Eq. 2): 0.020
+  $ replica_cli obs-validate --trace solve_trace.json
+  trace solve_trace.json: valid chrome trace, 12 events
+
+The engine exports both a trace and a Prometheus metrics snapshot, and
+the traced timeline is identical to the untraced one above:
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy periodic:2 --no-time \
+  >   --trace engine_trace.json --metrics engine_metrics.prom
+  trace: 57 requests over 5.9 time units
+  epoch  1: demand   12  changed  12  dirty  12   2 servers  reconfigured cost 3.00
+  epoch  2: demand   12  changed   2  dirty   4   2 servers  reconfigured cost 2.00
+  epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
+  total: 2 reconfigurations, bill 5.00, 0 invalid epochs
+  $ replica_cli obs-validate --trace engine_trace.json --metrics engine_metrics.prom
+  trace engine_trace.json: valid chrome trace, 60 events
+  metrics engine_metrics.prom: valid prometheus exposition
+
+obs-validate rejects malformed artifacts and fails loudly when given
+nothing to check:
+
+  $ echo '{}' > bogus.json
+  $ replica_cli obs-validate --trace bogus.json
+  trace bogus.json: INVALID: missing "traceEvents"
+  [1]
+  $ replica_cli obs-validate
+  obs-validate: nothing to validate (pass --trace and/or --metrics)
+  [2]

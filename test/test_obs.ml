@@ -1,0 +1,323 @@
+(* The observability substrate: histograms, span tracing, the JSON
+   parser and both exporters, plus the Stats_counters snapshot/diff and
+   monotonic-clock regressions. *)
+
+open Replica_core
+open Helpers
+module Obs = Replica_obs
+module H = Obs.Histogram
+module Span = Obs.Span
+module Json = Obs.Json
+
+(* --- Histogram --- *)
+
+let observations_gen =
+  QCheck2.Gen.(list_size (int_range 1 200) (int_range (-5) 1_000_000))
+
+let prop_each_observation_in_one_bin =
+  qcheck_case "histogram: every observation lands in exactly one bin"
+    observations_gen (fun obs ->
+      let h = H.make "test" in
+      List.iter (H.observe h) obs;
+      (* The last cumulative bucket count equals the observation count
+         exactly when each observation incremented exactly one bin. *)
+      H.count h = List.length obs
+      && (match List.rev (H.buckets h) with
+         | (_, cum) :: _ -> cum = List.length obs
+         | [] -> false)
+      && H.sum h = List.fold_left ( + ) 0 obs)
+
+let prop_quantiles_monotone =
+  qcheck_case "histogram: p50 <= p90 <= p99" observations_gen (fun obs ->
+      let h = H.make "test" in
+      List.iter (H.observe h) obs;
+      let s = H.summary h in
+      s.H.p50 <= s.H.p90 && s.H.p90 <= s.H.p99)
+
+let prop_quantile_brackets_value =
+  qcheck_case "histogram: bin upper bound covers the value within 2x"
+    QCheck2.Gen.(int_range 1 (1 lsl 40))
+    (fun v ->
+      let h = H.make "test" in
+      H.observe h v;
+      let q = H.quantile h 0.99 in
+      v <= q && q < 2 * v)
+
+let test_histogram_edges () =
+  let h = H.make "edges" in
+  check ci "empty quantile" 0 (H.quantile h 0.5);
+  H.observe h 0;
+  H.observe h (-3);
+  check ci "non-positive values in bin 0" 0 (H.quantile h 1.0);
+  check ci "count" 2 (H.count h);
+  H.reset h;
+  check ci "reset clears" 0 (H.count h)
+
+let test_histogram_registry () =
+  let a = H.create "test_obs.registered" in
+  let b = H.create "test_obs.registered" in
+  H.observe a 7;
+  check ci "interned by name" (H.count a) (H.count b);
+  check cb "snapshots sees it"
+    true
+    (List.mem_assoc "test_obs.registered" (H.snapshots ()));
+  H.reset a
+
+(* --- Span tracing --- *)
+
+let with_tracing f =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ())
+    f
+
+let record_nested () =
+  Span.with_span "outer" (fun () ->
+      Span.with_span ~args:[ ("k", Span.Int 1) ] "inner_a" (fun () -> ());
+      Span.with_span "inner_b" (fun () ->
+          Span.with_span "leaf" (fun () -> ())))
+
+let test_span_nesting () =
+  let spans = with_tracing (fun () ->
+      record_nested ();
+      Span.export ())
+  in
+  check ci "four spans" 4 (List.length spans);
+  (* Well-formedness: every non-root span lies inside some span one
+     level up on the same domain. *)
+  List.iter
+    (fun (s : Span.span) ->
+      if s.Span.depth > 0 then
+        check cb (Printf.sprintf "%s has an enclosing parent" s.Span.name) true
+          (List.exists
+             (fun (p : Span.span) ->
+               p.Span.tid = s.Span.tid
+               && p.Span.depth = s.Span.depth - 1
+               && p.Span.start_ns <= s.Span.start_ns
+               && s.Span.start_ns + s.Span.dur_ns
+                  <= p.Span.start_ns + p.Span.dur_ns)
+             spans))
+    spans;
+  List.iter
+    (fun (s : Span.span) -> check cb "non-negative dur" true (s.Span.dur_ns >= 0))
+    spans
+
+let test_span_disabled_records_nothing () =
+  Span.reset ();
+  check cb "disabled by default" false (Span.enabled ());
+  record_nested ();
+  check ci "nothing recorded when disabled" 0 (Span.count ())
+
+let test_span_exception_safety () =
+  let spans = with_tracing (fun () ->
+      (try Span.with_span "raises" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Span.export ())
+  in
+  check ci "span closed on exception" 1 (List.length spans)
+
+(* --- JSON parser --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("nan_becomes_null", Json.Float Float.nan);
+        ("string", Json.String "a \"quoted\"\nline\twith \\ escapes");
+        ("list", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  let printed = Json.to_string ~pretty:true v in
+  match Json.parse printed with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      check Alcotest.string "print/parse/print fixpoint" printed
+        (Json.to_string ~pretty:true parsed)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parse accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* --- Chrome trace exporter --- *)
+
+let test_chrome_trace_valid () =
+  let spans = with_tracing (fun () ->
+      record_nested ();
+      Span.export ())
+  in
+  let contents = Obs.Chrome_trace.to_string ~pretty:true spans in
+  match Obs.Chrome_trace.validate contents with
+  | Ok n -> check ci "one event per span" (List.length spans) n
+  | Error e -> Alcotest.failf "exporter output invalid: %s" e
+
+let test_chrome_trace_rejects () =
+  List.iter
+    (fun s ->
+      match Obs.Chrome_trace.validate s with
+      | Ok _ -> Alcotest.failf "validate accepted %S" s
+      | Error _ -> ())
+    [
+      "{}";
+      "{\"traceEvents\": 3}";
+      "{\"traceEvents\": [{\"ph\": \"X\"}]}";
+      (* an X event missing dur *)
+      "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", \"ts\": 0, \
+       \"pid\": 1, \"tid\": 0}]}";
+    ]
+
+let test_chrome_trace_deterministic_structure () =
+  (* Same workload twice: identical event names in identical order once
+     timestamps are ignored — the structural determinism the cram test
+     relies on. *)
+  let names () =
+    with_tracing (fun () ->
+        record_nested ();
+        List.map (fun (s : Span.span) -> (s.Span.name, s.Span.depth))
+          (Span.export ()))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "stable (name, depth) sequence" (names ()) (names ())
+
+(* --- Prometheus exporter --- *)
+
+let test_prometheus_valid () =
+  let h = H.make "test_obs.latency_ns" in
+  List.iter (H.observe h) [ 10; 100; 1000; 10_000 ];
+  let out =
+    Obs.Prometheus.render
+      ~counters:[ ("dp.merge_products", 42); ("dp.cells", 7) ]
+      ~timers_seconds:[ ("dp.tables", 0.25) ]
+      ~histograms:[ ("test_obs.latency_ns", h) ]
+      ()
+  in
+  match Obs.Prometheus.validate out with
+  | Ok samples -> check cb "has samples" true (samples > 0)
+  | Error e -> Alcotest.failf "exposition invalid: %s\n%s" e out
+
+let test_prometheus_name_mangling () =
+  check Alcotest.string "dotted name" "replicaml_dp_power_cells"
+    (Obs.Prometheus.metric_name "dp_power.cells");
+  check Alcotest.string "hostile characters" "replicaml_a_b_c"
+    (Obs.Prometheus.metric_name "a b-c")
+
+let test_prometheus_rejects () =
+  List.iter
+    (fun s ->
+      match Obs.Prometheus.validate s with
+      | Ok _ -> Alcotest.failf "validate accepted %S" s
+      | Error _ -> ())
+    [
+      "not a metric line\n";
+      "metric_without_value\n";
+      "9starts_with_digit 1\n";
+      "# TYPE replicaml_x counter\n";
+      (* TYPE with no samples *)
+    ]
+
+(* --- Stats_counters: snapshot/diff and the monotonic clock --- *)
+
+let test_snapshot_diff () =
+  let c = Stats_counters.counter "test_obs.diff_counter" in
+  let before = Stats_counters.snapshot () in
+  Stats_counters.add c 5;
+  Stats_counters.incr c;
+  let after = Stats_counters.snapshot () in
+  let d = Stats_counters.diff before after in
+  check ci "delta attributed" 6 (List.assoc "test_obs.diff_counter" d);
+  check cb "zero deltas omitted" false
+    (List.exists (fun (_, v) -> v = 0) d);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string ci))
+    "quiescent diff is empty" []
+    (Stats_counters.diff after (Stats_counters.snapshot ()))
+
+let test_diff_counts_new_counters_from_zero () =
+  let before = Stats_counters.snapshot () in
+  let c = Stats_counters.counter "test_obs.registered_later" in
+  Stats_counters.add c 3;
+  let d = Stats_counters.diff before (Stats_counters.snapshot ()) in
+  check ci "absent in before counts from 0" 3
+    (List.assoc "test_obs.registered_later" d)
+
+let test_timer_seconds_non_negative () =
+  (* Regression: timers once used Unix.gettimeofday, which an NTP step
+     can pull backwards mid-measurement; on the monotonic clock elapsed
+     time can never be negative. *)
+  let t = Stats_counters.timer "test_obs.timer" in
+  for _ = 1 to 100 do
+    Stats_counters.time t (fun () -> Sys.opaque_identity (Sys.opaque_identity 0))
+    |> ignore
+  done;
+  check cb "accumulated seconds >= 0" true (Stats_counters.seconds t >= 0.)
+
+let test_clock_monotone () =
+  let rec loop prev n =
+    if n > 0 then begin
+      let now = Obs.Clock.now_ns () in
+      check cb "clock never goes backwards" true (now >= prev);
+      loop now (n - 1)
+    end
+  in
+  loop (Obs.Clock.now_ns ()) 1000
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          prop_each_observation_in_one_bin;
+          prop_quantiles_monotone;
+          prop_quantile_brackets_value;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          Alcotest.test_case "registry" `Quick test_histogram_registry;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting well-formed" `Quick test_span_nesting;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "exporter validates" `Quick test_chrome_trace_valid;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_chrome_trace_rejects;
+          Alcotest.test_case "structurally deterministic" `Quick
+            test_chrome_trace_deterministic_structure;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "exposition validates" `Quick test_prometheus_valid;
+          Alcotest.test_case "name mangling" `Quick test_prometheus_name_mangling;
+          Alcotest.test_case "rejects malformed" `Quick test_prometheus_rejects;
+        ] );
+      ( "stats-counters",
+        [
+          Alcotest.test_case "snapshot/diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "diff counts new counters from 0" `Quick
+            test_diff_counts_new_counters_from_zero;
+          Alcotest.test_case "timer seconds non-negative" `Quick
+            test_timer_seconds_non_negative;
+          Alcotest.test_case "monotonic clock" `Quick test_clock_monotone;
+        ] );
+    ]
