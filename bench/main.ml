@@ -10,8 +10,12 @@
    timer registry for the pruned and unpruned merge; the engine section
    writes BENCH_engine.json comparing full vs incremental re-solving;
    the obs section writes BENCH_obs.json quantifying the span-tracing
-   overhead (on, and estimated when off) against its 2% budget.
-   All artifacts share the versioned Replica_engine.Json.envelope. *)
+   overhead (on, via interleaved paired runs with a noise floor; and
+   estimated when off) against its 2% budget.
+   All artifacts share the versioned Replica_engine.Json.envelope, and
+   every artifact is also appended to the local BENCH_history.jsonl
+   (gitignored) through Replica_obs.Bench_history so any two past runs
+   can be compared with `replica_cli bench-diff`. *)
 
 open Replica_experiments
 
@@ -228,6 +232,7 @@ let run_dp_stats () =
     output_string oc (J.to_string ~pretty:true json);
     output_char oc '\n';
     close_out oc;
+    Replica_obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
     Printf.printf "wrote BENCH_dp_power.json\n"
   end
 
@@ -365,6 +370,7 @@ let run_engine () =
     output_string oc (J.to_string ~pretty:true json);
     output_char oc '\n';
     close_out oc;
+    Replica_obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
     Printf.printf "wrote BENCH_engine.json\n"
   end
 
@@ -373,11 +379,11 @@ let run_engine () =
 let run_obs () =
   if section_enabled "obs" then begin
     banner "obs"
-      "span-tracing overhead: instrumented MinCost DP with tracing off vs on";
+      "span-tracing overhead: interleaved paired solves, tracing off vs on";
     let open Replica_tree in
     let open Replica_core in
     let module Obs = Replica_obs in
-    let nodes = 100 and pre = 25 and seed = 11 and runs = 9 in
+    let nodes = 100 and pre = 25 and seed = 11 and pairs = 25 in
     let w = Workload.capacity in
     let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
     let rng = Rng.create seed in
@@ -387,6 +393,10 @@ let run_obs () =
            (Workload.profile Workload.Fat ~nodes ~max_requests:5))
         pre
     in
+    (* Earlier sections (dp-stats, engine) share the global histogram
+       registry; reset so the published histogram rows count only this
+       section's solves and stay bit-deterministic for a fixed seed. *)
+    Obs.Histogram.reset_all ();
     let time_solve () =
       let t0 = Obs.Clock.now_ns () in
       ignore (Sys.opaque_identity (Dp_withpre.solve tree ~w ~cost));
@@ -396,15 +406,40 @@ let run_obs () =
       let a = List.sort compare l in
       List.nth a (List.length a / 2)
     in
+    (* warm: the first runs pay allocator/page-cache noise for both modes *)
     ignore (time_solve ());
-    (* warm: first run pays allocator/page-cache noise for both modes *)
-    let off_ns = median (List.init runs (fun _ -> time_solve ())) in
-    Obs.Span.set_enabled true;
-    Obs.Span.reset ();
-    let on_ns = median (List.init runs (fun _ -> time_solve ())) in
-    let spans_per_solve = Obs.Span.count () / runs in
-    Obs.Span.set_enabled false;
-    Obs.Span.reset ();
+    ignore (time_solve ());
+    (* Interleaved paired runs: each iteration times one tracing-off and
+       one tracing-on solve back to back, so slow drift (frequency
+       scaling, competing load) hits both sides of every pair instead of
+       biasing whichever mode ran second — the bias that once produced a
+       published negative overhead. *)
+    let offs = Array.make pairs 0 and ons = Array.make pairs 0 in
+    let spans_per_solve = ref 0 in
+    for i = 0 to pairs - 1 do
+      Obs.Span.set_enabled false;
+      offs.(i) <- time_solve ();
+      Obs.Span.reset ();
+      Obs.Span.set_enabled true;
+      ons.(i) <- time_solve ();
+      spans_per_solve := Obs.Span.count ();
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ()
+    done;
+    let spans_per_solve = !spans_per_solve in
+    let off_ns = median (Array.to_list offs) in
+    let on_ns = median (Array.to_list ons) in
+    let deltas = List.init pairs (fun i -> ons.(i) - offs.(i)) in
+    let delta_ns = median deltas in
+    (* Median absolute deviation of the paired deltas = the noise floor
+       of the delta estimate itself. *)
+    let mad_ns = median (List.map (fun d -> abs (d - delta_ns)) deltas) in
+    let raw_pct = 100. *. float_of_int delta_ns /. float_of_int off_ns in
+    let below_noise = abs delta_ns <= mad_ns || raw_pct < 0. in
+    (* Clamp rather than publish a negative overhead: a measured delta
+       below the noise floor is "indistinguishable from zero", not a
+       speedup. *)
+    let on_overhead_pct = if below_noise then 0. else raw_pct in
     (* The disabled path is one atomic load per guard; time it directly
        rather than trying to resolve <2% inside run-to-run solve noise. *)
     let guard_iters = 10_000_000 in
@@ -423,15 +458,20 @@ let run_obs () =
     let disabled_overhead_pct =
       100. *. guard_ns *. float_of_int guard_checks /. float_of_int off_ns
     in
-    let on_overhead_pct =
-      100. *. float_of_int (on_ns - off_ns) /. float_of_int off_ns
-    in
     Printf.printf
-      "solve (N=%d, E=%d): %.3f ms tracing off, %.3f ms tracing on (%+.1f%%)\n"
+      "solve (N=%d, E=%d): %.3f ms tracing off, %.3f ms tracing on\n\
+       paired delta over %d interleaved pairs: median %+.3f ms, MAD %.3f ms\n"
       nodes pre
       (float_of_int off_ns /. 1e6)
       (float_of_int on_ns /. 1e6)
-      on_overhead_pct;
+      pairs
+      (float_of_int delta_ns /. 1e6)
+      (float_of_int mad_ns /. 1e6);
+    Printf.printf "tracing-on overhead: %.2f%%%s\n" on_overhead_pct
+      (if below_noise then " (measured delta below noise floor; clamped to 0)"
+       else "");
+    if on_overhead_pct < 0. then
+      failwith "obs: refusing to publish a negative tracing-on overhead";
     Printf.printf "spans per traced solve: %d\n" spans_per_solve;
     Printf.printf
       "disabled-path guard: %.2f ns/check -> estimated %.4f%% overhead when \
@@ -442,18 +482,23 @@ let run_obs () =
     let module J = Replica_engine.Json in
     let histograms =
       J.Obj
-        (List.map
+        (List.filter_map
            (fun (name, h) ->
-             let s = Obs.Histogram.summary h in
-             ( name,
-               J.Obj
-                 [
-                   ("count", J.Int s.Obs.Histogram.s_count);
-                   ("sum", J.Int s.Obs.Histogram.s_sum);
-                   ("p50", J.Int s.Obs.Histogram.p50);
-                   ("p90", J.Int s.Obs.Histogram.p90);
-                   ("p99", J.Int s.Obs.Histogram.p99);
-                 ] ))
+             (* _ns histograms hold wall-clock latencies; publishing them
+                would break the artifact's count-metric determinism. *)
+             if String.ends_with ~suffix:"_ns" name then None
+             else
+               let s = Obs.Histogram.summary h in
+               Some
+                 ( name,
+                   J.Obj
+                     [
+                       ("count", J.Int s.Obs.Histogram.s_count);
+                       ("sum", J.Int s.Obs.Histogram.s_sum);
+                       ("p50", J.Int s.Obs.Histogram.p50);
+                       ("p90", J.Int s.Obs.Histogram.p90);
+                       ("p99", J.Int s.Obs.Histogram.p99);
+                     ] ))
            (Obs.Histogram.snapshots ()))
     in
     let json =
@@ -463,13 +508,16 @@ let run_obs () =
             ("nodes", J.Int nodes);
             ("pre", J.Int pre);
             ("seed", J.Int seed);
-            ("runs_per_mode", J.Int runs);
+            ("pairs", J.Int pairs);
             ("solver", J.String "dp_withpre");
           ]
         [
           ("tracing_off_median_ns", J.Int off_ns);
           ("tracing_on_median_ns", J.Int on_ns);
+          ("paired_delta_median_ns", J.Int delta_ns);
+          ("paired_delta_mad_ns", J.Int mad_ns);
           ("tracing_on_overhead_percent", J.Float on_overhead_pct);
+          ("tracing_on_overhead_below_noise_floor", J.Bool below_noise);
           ("spans_per_solve", J.Int spans_per_solve);
           ("guard_ns_per_check", J.Float guard_ns);
           ( "disabled_overhead_percent_estimate",
@@ -482,6 +530,7 @@ let run_obs () =
     output_string oc (J.to_string ~pretty:true json);
     output_char oc '\n';
     close_out oc;
+    Obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
     Printf.printf "wrote BENCH_obs.json\n"
   end
 

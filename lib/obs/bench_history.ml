@@ -1,0 +1,276 @@
+type direction = Lower_better | Higher_better | Exact
+type severity = Hard | Soft
+
+type spec = {
+  path : string list;
+  direction : direction;
+  severity : severity;
+  rel_tol : float;
+  abs_floor : float;
+}
+
+let hard path direction = { path; direction; severity = Hard; rel_tol = 0.; abs_floor = 0. }
+
+let soft path direction ~rel_tol ~abs_floor =
+  { path; direction; severity = Soft; rel_tol; abs_floor }
+
+(* One spec list per artifact kind. Hard metrics are deterministic for
+   a fixed seed (counters, optima, placements); soft ones are
+   wall-clock and only warn. *)
+let specs_for = function
+  | "dp_power" ->
+      [
+        hard [ "unpruned"; "power" ] Exact;
+        hard [ "unpruned"; "cost" ] Exact;
+        hard [ "pruned"; "power" ] Exact;
+        hard [ "pruned"; "cost" ] Exact;
+        hard [ "pruned"; "servers" ] Exact;
+        hard [ "unpruned"; "dp_power.merge_products" ] Lower_better;
+        hard [ "pruned"; "dp_power.merge_products" ] Lower_better;
+        hard [ "pruned"; "dp_power.cells_created" ] Lower_better;
+        hard [ "pruned"; "dp_power.peak_table_size" ] Lower_better;
+        soft [ "merge_products_ratio" ] Higher_better ~rel_tol:0.10
+          ~abs_floor:0.25;
+        soft
+          [ "unpruned"; "dp_power.tables.seconds" ]
+          Lower_better ~rel_tol:0.25 ~abs_floor:0.002;
+        soft
+          [ "pruned"; "dp_power.tables.seconds" ]
+          Lower_better ~rel_tol:0.25 ~abs_floor:0.002;
+      ]
+  | "engine" ->
+      [
+        hard [ "placements_identical" ] Exact;
+        hard [ "full"; "reconfigurations" ] Exact;
+        hard [ "incremental"; "reconfigurations" ] Exact;
+        hard [ "full"; "total_cost" ] Exact;
+        hard [ "incremental"; "total_cost" ] Exact;
+        hard [ "full"; "warm_merge_products" ] Lower_better;
+        hard [ "incremental"; "warm_merge_products" ] Lower_better;
+        soft [ "warm_merge_products_ratio" ] Higher_better ~rel_tol:0.10
+          ~abs_floor:0.5;
+        soft [ "warm_epoch_speedup" ] Higher_better ~rel_tol:0.25 ~abs_floor:1.;
+        soft [ "full"; "warm_avg_solve_seconds" ] Lower_better ~rel_tol:0.25
+          ~abs_floor:0.002;
+        soft
+          [ "incremental"; "warm_avg_solve_seconds" ]
+          Lower_better ~rel_tol:0.25 ~abs_floor:0.0005;
+        soft [ "full"; "total_solve_seconds" ] Lower_better ~rel_tol:0.25
+          ~abs_floor:0.01;
+        soft
+          [ "incremental"; "total_solve_seconds" ]
+          Lower_better ~rel_tol:0.25 ~abs_floor:0.01;
+      ]
+  | "obs" ->
+      [
+        hard [ "spans_per_solve" ] Exact;
+        hard
+          [ "histograms"; "dp_withpre.merge_products_per_node"; "count" ]
+          Exact;
+        hard [ "histograms"; "dp_withpre.merge_products_per_node"; "sum" ] Exact;
+        soft [ "tracing_on_overhead_percent" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:2.;
+        soft [ "disabled_overhead_percent_estimate" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:0.5;
+        soft [ "guard_ns_per_check" ] Lower_better ~rel_tol:0.5 ~abs_floor:2.;
+        soft [ "tracing_off_median_ns" ] Lower_better ~rel_tol:0.25
+          ~abs_floor:500_000.;
+      ]
+  | _ -> []
+
+type status = Improved | Unchanged | Regressed
+
+type comparison = {
+  metric : string;
+  base : float;
+  cur : float;
+  delta_pct : float;
+  status : status;
+  severity : severity;
+}
+
+type report = {
+  kind : string;
+  comparisons : comparison list;
+  missing : string list;
+  hard_regressions : int;
+  soft_regressions : int;
+}
+
+let lookup path json =
+  let rec go json = function
+    | [] -> (
+        match json with
+        | Json.Int i -> Some (float_of_int i)
+        | Json.Float f -> Some f
+        | Json.Bool b -> Some (if b then 1. else 0.)
+        | _ -> None)
+    | key :: rest -> (
+        match Json.member key json with Some v -> go v rest | None -> None)
+  in
+  go json path
+
+let compare_one ?rel_tol spec ~base ~cur =
+  let metric = String.concat "." spec.path in
+  let delta = cur -. base in
+  let delta_pct = if base = 0. then 0. else 100. *. delta /. base in
+  let status =
+    match spec.direction with
+    | Exact -> if base = cur then Unchanged else Regressed
+    | Lower_better | Higher_better ->
+        let worse =
+          match spec.direction with
+          | Lower_better -> delta > 0.
+          | _ -> delta < 0.
+        in
+        let rel_tol = Option.value ~default:spec.rel_tol rel_tol in
+        let rel =
+          if base = 0. then if delta = 0. then 0. else infinity
+          else Float.abs delta /. Float.abs base
+        in
+        let beyond = rel > rel_tol && Float.abs delta > spec.abs_floor in
+        if not beyond then Unchanged
+        else if worse then Regressed
+        else Improved
+  in
+  { metric; base; cur; delta_pct; status; severity = spec.severity }
+
+let ( let* ) = Result.bind
+
+let envelope_meta json =
+  match (Json.member "schema_version" json, Json.member "bench" json) with
+  | Some (Json.Int v), Some (Json.String kind) -> Ok (v, kind)
+  | _ -> Error "not a bench envelope (missing schema_version or bench kind)"
+
+let diff ?rel_tol ~baseline ~current () =
+  let* bv, bkind = envelope_meta baseline in
+  let* cv, ckind = envelope_meta current in
+  let* () =
+    if bv <> cv || bv <> Json.schema_version then
+      Error
+        (Printf.sprintf
+           "schema_version mismatch: baseline v%d, current v%d (this tool \
+            speaks v%d)"
+           bv cv Json.schema_version)
+    else Ok ()
+  in
+  let* () =
+    if bkind <> ckind then
+      Error (Printf.sprintf "bench kind mismatch: %S vs %S" bkind ckind)
+    else Ok ()
+  in
+  let* specs =
+    match specs_for bkind with
+    | [] -> Error (Printf.sprintf "no metric specs for bench kind %S" bkind)
+    | specs -> Ok specs
+  in
+  let comparisons, missing =
+    List.fold_left
+      (fun (cs, ms) spec ->
+        match (lookup spec.path baseline, lookup spec.path current) with
+        | Some base, Some cur ->
+            (compare_one ?rel_tol spec ~base ~cur :: cs, ms)
+        | _ -> (cs, String.concat "." spec.path :: ms))
+      ([], []) specs
+  in
+  let comparisons = List.rev comparisons and missing = List.rev missing in
+  let count sev =
+    List.length
+      (List.filter
+         (fun c -> c.status = Regressed && c.severity = sev)
+         comparisons)
+  in
+  Ok
+    {
+      kind = bkind;
+      comparisons;
+      missing;
+      hard_regressions = count Hard;
+      soft_regressions = count Soft;
+    }
+
+let value_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.6g" v
+
+let status_str c =
+  match (c.status, c.severity) with
+  | Regressed, Hard -> "REGRESSED"
+  | Regressed, Soft -> "regressed (warn)"
+  | Improved, _ -> "improved"
+  | Unchanged, _ -> "ok"
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench %s: %d metric(s) compared\n" r.kind
+       (List.length r.comparisons));
+  let metric_w =
+    List.fold_left (fun w c -> max w (String.length c.metric)) 6 r.comparisons
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s  %12s  %12s  %8s  %s\n" metric_w "metric"
+       "baseline" "current" "delta" "status");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s  %12s  %12s  %+7.1f%%  %s\n" metric_w c.metric
+           (value_str c.base) (value_str c.cur) c.delta_pct (status_str c)))
+    r.comparisons;
+  List.iter
+    (fun c ->
+      if c.status = Regressed && c.severity = Soft then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "warning: %s regressed (%s -> %s); timing metric, not gating\n"
+             c.metric (value_str c.base) (value_str c.cur)))
+    r.comparisons;
+  if r.missing <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "missing from one side: %s\n"
+         (String.concat ", " r.missing));
+  Buffer.add_string buf
+    (Printf.sprintf "verdict: %d hard regression(s), %d warning(s)\n"
+       r.hard_regressions r.soft_regressions);
+  Buffer.contents buf
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json.schema_version);
+      ("bench", Json.String r.kind);
+      ( "comparisons",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("metric", Json.String c.metric);
+                   ("baseline", Json.Float c.base);
+                   ("current", Json.Float c.cur);
+                   ("delta_percent", Json.Float c.delta_pct);
+                   ( "status",
+                     Json.String
+                       (match c.status with
+                       | Improved -> "improved"
+                       | Unchanged -> "unchanged"
+                       | Regressed -> "regressed") );
+                   ( "severity",
+                     Json.String
+                       (match c.severity with Hard -> "hard" | Soft -> "soft")
+                   );
+                 ])
+             r.comparisons) );
+      ("missing", Json.List (List.map (fun m -> Json.String m) r.missing));
+      ("hard_regressions", Json.Int r.hard_regressions);
+      ("soft_regressions", Json.Int r.soft_regressions);
+    ]
+
+let append ~path json =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

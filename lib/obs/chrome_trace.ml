@@ -21,7 +21,23 @@ let event ~origin_ns (s : Span.span) =
     | args ->
         [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ])
 
-let to_json spans =
+(* Metadata ("ph": "M") event carrying the number of spans lost to a
+   saturated per-domain buffer, so a truncated trace is detectable by
+   Trace_reader/profile instead of silently incomplete. Always
+   emitted; a complete trace carries count 0. *)
+let dropped_event count =
+  Json.Obj
+    [
+      ("name", Json.String "spans_dropped");
+      ("cat", Json.String "replicaml");
+      ("ph", Json.String "M");
+      ("ts", Json.Int 0);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("count", Json.Int count) ]);
+    ]
+
+let to_json ?(dropped = 0) spans =
   let origin_ns =
     List.fold_left
       (fun acc (s : Span.span) -> min acc s.Span.start_ns)
@@ -30,16 +46,19 @@ let to_json spans =
   let origin_ns = if origin_ns = max_int then 0 else origin_ns in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map (event ~origin_ns) spans));
+      ( "traceEvents",
+        Json.List
+          (List.map (event ~origin_ns) spans @ [ dropped_event dropped ]) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string ?pretty spans = Json.to_string ?pretty (to_json spans)
+let to_string ?pretty ?dropped spans =
+  Json.to_string ?pretty (to_json ?dropped spans)
 
-let write_file path spans =
+let write_file ?dropped path spans =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_string ~pretty:true spans);
+      output_string oc (to_string ~pretty:true ?dropped spans);
       output_char oc '\n')
 
 (* --- validation --- *)

@@ -8,15 +8,23 @@
     tracks. Timestamps are rebased to the earliest span so traces
     start near zero regardless of the monotonic clock's origin.
 
+    Every trace also carries one metadata ("ph": "M") event named
+    [spans_dropped] whose [args.count] records how many spans the
+    recorder discarded (saturated per-domain buffer, or an export
+    taken mid-solve) — [0] for a complete trace. {!Trace_reader}
+    surfaces it and [profile] warns when it is nonzero, so a truncated
+    profile is detectable rather than silently wrong.
+
     The {!validate} direction (parse + structural checks) backs the
     [obs-validate] CLI command, the cram suite and the CI smoke step:
     exporter regressions fail fast without external tooling. *)
 
-val to_json : Span.span list -> Json.t
+val to_json : ?dropped:int -> Span.span list -> Json.t
+(** [dropped] defaults to [0]; pass {!Span.dropped} at export time. *)
 
-val to_string : ?pretty:bool -> Span.span list -> string
+val to_string : ?pretty:bool -> ?dropped:int -> Span.span list -> string
 
-val write_file : string -> Span.span list -> unit
+val write_file : ?dropped:int -> string -> Span.span list -> unit
 (** Pretty-printed, trailing newline. *)
 
 val validate : string -> (int, string) result

@@ -1,0 +1,75 @@
+type step = { name : string; dur_ns : int; contribution_ns : int; depth : int }
+
+let widest (children : Trace_reader.node list) =
+  (* Children arrive sorted by start; [>] keeps the earliest of equal
+     durations, making tie-breaks deterministic. *)
+  List.fold_left
+    (fun best (c : Trace_reader.node) ->
+      match best with
+      | Some (b : Trace_reader.node)
+        when b.Trace_reader.span.Span.dur_ns >= c.Trace_reader.span.Span.dur_ns
+        ->
+          best
+      | _ -> Some c)
+    None children
+
+let of_node root =
+  let rec descend depth (n : Trace_reader.node) =
+    let dur = n.Trace_reader.span.Span.dur_ns in
+    match widest n.Trace_reader.children with
+    | None ->
+        [
+          {
+            name = n.Trace_reader.span.Span.name;
+            dur_ns = dur;
+            contribution_ns = dur;
+            depth;
+          };
+        ]
+    | Some child ->
+        {
+          name = n.Trace_reader.span.Span.name;
+          dur_ns = dur;
+          contribution_ns = dur - child.Trace_reader.span.Span.dur_ns;
+          depth;
+        }
+        :: descend (depth + 1) child
+  in
+  descend 0 root
+
+let longest roots =
+  match widest roots with None -> [] | Some root -> of_node root
+
+let total_ns steps =
+  List.fold_left (fun acc s -> acc + s.contribution_ns) 0 steps
+
+let render steps =
+  match steps with
+  | [] -> "critical path: empty trace\n"
+  | _ ->
+      let total = total_ns steps in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "critical path: %.3f us across %d spans\n"
+           (float_of_int total /. 1e3)
+           (List.length steps));
+      let name_w =
+        List.fold_left
+          (fun w s -> max w ((2 * s.depth) + String.length s.name))
+          4 steps
+      in
+      List.iter
+        (fun s ->
+          let pct =
+            if total = 0 then 0.
+            else 100. *. float_of_int s.contribution_ns /. float_of_int total
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s  %12.3f us  self %12.3f us  %5.1f%%\n"
+               name_w
+               (String.make (2 * s.depth) ' ' ^ s.name)
+               (float_of_int s.dur_ns /. 1e3)
+               (float_of_int s.contribution_ns /. 1e3)
+               pct))
+        steps;
+      Buffer.contents buf

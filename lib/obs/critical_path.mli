@@ -1,0 +1,41 @@
+(** Longest-chain extraction through a span tree.
+
+    For a trace of an engine epoch (demand_diff → policy → solve →
+    apply, with the solve recursing into per-node child merges) the
+    interesting question is not "which name is hottest" but "which
+    chain of nested phases did the wall time actually pass through".
+    The critical path of a root span is built by descending, at every
+    level, into the direct child with the largest duration (ties break
+    towards the earlier start), until a span with no children is
+    reached.
+
+    Each step on the path is attributed a {e contribution}: the span's
+    duration minus the duration of the child the path descends into
+    (the full duration at the leaf). Contributions telescope — their
+    sum is exactly the root span's duration — so the rendering reads
+    as "of the epoch's 1.2 ms, 0.9 ms were inside solve, of which
+    0.7 ms inside the merge of node 17, ...". Two invariants hold for
+    any well-formed tree and are property-tested: the path's total
+    duration equals the root duration (hence is bounded by it), and it
+    is at least every single phase duration along the path. *)
+
+type step = {
+  name : string;
+  dur_ns : int;  (** the span's own duration *)
+  contribution_ns : int;  (** duration not covered by the next step *)
+  depth : int;  (** 0 at the path's root *)
+}
+
+val of_node : Trace_reader.node -> step list
+(** The critical path of one tree, root first. Never empty. *)
+
+val longest : Trace_reader.node list -> step list
+(** The critical path of the longest-duration root of a forest; [[]]
+    for an empty forest. *)
+
+val total_ns : step list -> int
+(** Sum of contributions = duration of the path's root span. *)
+
+val render : step list -> string
+(** Indented table: one line per step with duration, contribution and
+    percentage of the path total. *)

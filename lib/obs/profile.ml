@@ -1,0 +1,74 @@
+type row = { name : string; calls : int; total_ns : int; self_ns : int }
+
+let children_ns (n : Trace_reader.node) =
+  List.fold_left
+    (fun acc (c : Trace_reader.node) -> acc + c.Trace_reader.span.Span.dur_ns)
+    0 n.Trace_reader.children
+
+let self_ns (n : Trace_reader.node) =
+  n.Trace_reader.span.Span.dur_ns - children_ns n
+
+let rows roots =
+  let tbl : (string, int * int * int) Hashtbl.t = Hashtbl.create 32 in
+  Trace_reader.fold
+    (fun () (n : Trace_reader.node) ->
+      let name = n.Trace_reader.span.Span.name in
+      let calls, total, self =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl name)
+      in
+      Hashtbl.replace tbl name
+        (calls + 1, total + n.Trace_reader.span.Span.dur_ns, self + self_ns n))
+    () roots;
+  Hashtbl.fold
+    (fun name (calls, total_ns, self_ns) acc ->
+      { name; calls; total_ns; self_ns } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (-a.self_ns, a.name) (-b.self_ns, b.name))
+
+let us ns = float_of_int ns /. 1e3
+
+let top_table ?(k = 10) roots =
+  let all = rows roots in
+  let wall = Trace_reader.wall_ns roots in
+  let shown = List.filteri (fun i _ -> i < k) all in
+  let buf = Buffer.create 256 in
+  let name_w =
+    List.fold_left (fun w r -> max w (String.length r.name)) 4 shown
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %6s  %12s  %12s  %6s\n" name_w "name" "calls"
+       "total(us)" "self(us)" "self%");
+  List.iter
+    (fun r ->
+      let pct =
+        if wall = 0 then 0.
+        else 100. *. float_of_int r.self_ns /. float_of_int wall
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %6d  %12.3f  %12.3f  %5.1f%%\n" name_w r.name
+           r.calls (us r.total_ns) (us r.self_ns) pct))
+    shown;
+  if List.length all > k then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d more span names below the top %d)\n"
+         (List.length all - k) k);
+  Buffer.contents buf
+
+let folded roots =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk prefix (n : Trace_reader.node) =
+    let path =
+      if prefix = "" then n.Trace_reader.span.Span.name
+      else prefix ^ ";" ^ n.Trace_reader.span.Span.name
+    in
+    let self = self_ns n in
+    if self > 0 then
+      Hashtbl.replace tbl path
+        (self + Option.value ~default:0 (Hashtbl.find_opt tbl path));
+    List.iter (walk path) n.Trace_reader.children
+  in
+  List.iter (walk "") roots;
+  Hashtbl.fold (fun path ns acc -> (path, ns) :: acc) tbl []
+  |> List.sort compare
+  |> List.map (fun (path, ns) -> Printf.sprintf "%s %d\n" path ns)
+  |> String.concat ""

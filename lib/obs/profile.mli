@@ -1,0 +1,44 @@
+(** Aggregate a span forest into hotspot rows and folded stacks.
+
+    Answers "where did the time go" for a trace read back by
+    {!Trace_reader}: per span name, how many times it ran, how long it
+    was on stack in total, and how much of that was {e self} time (the
+    span's duration minus the durations of the spans nested directly
+    inside it). Self times partition wall time — over a well-formed
+    forest they sum exactly to the root spans' total duration — which
+    makes them the right weight for both the top-K table and the
+    folded output.
+
+    {b Folded stacks.} {!folded} emits Brendan Gregg's collapsed-stack
+    format: one line per distinct stack, frames joined by [";"] from
+    root to leaf, followed by a space and the stack's aggregated self
+    time in nanoseconds. The output loads directly into inferno
+    ([inferno-flamegraph]), speedscope or [flamegraph.pl] — the
+    nanosecond weights simply take the place of sample counts. Lines
+    are emitted in lexicographic order so equal traces fold to
+    byte-equal output (the golden cram test relies on this).
+
+    Recursive spans (a name nested under itself) are counted once per
+    occurrence in [calls] and [self_ns], but their [total_ns]
+    accumulates each occurrence's full duration, so a recursive
+    frame's total can exceed wall time — the usual profiler caveat. *)
+
+type row = {
+  name : string;
+  calls : int;
+  total_ns : int;  (** summed durations of every span with this name *)
+  self_ns : int;  (** summed durations minus direct children *)
+}
+
+val rows : Trace_reader.node list -> row list
+(** One row per distinct span name, sorted by self time (descending),
+    then name. *)
+
+val top_table : ?k:int -> Trace_reader.node list -> string
+(** Aligned hotspot table of the top [k] (default 10) rows by self
+    time, with self percentages relative to the forest wall time. *)
+
+val folded : Trace_reader.node list -> string
+(** Collapsed-stack lines ["a;b;c <self_ns>"], lexicographically
+    sorted, only stacks with positive self time. Empty string for an
+    empty forest. *)

@@ -57,24 +57,30 @@ let scan_name line pos =
     Some (String.sub line pos (!i - pos), !i)
   end
 
-(* labels: '{' name '="' chars-with-\-escapes '"' (',' ...)* '}' *)
+(* labels: '{' name '="' chars-with-\-escapes '"' (',' ...)* '}';
+   returns the parsed (name, raw value) pairs plus the position after
+   the closing brace. *)
 let scan_labels line pos =
   let n = String.length line in
-  if pos >= n || line.[pos] <> '{' then Some pos
+  if pos >= n || line.[pos] <> '{' then Some ([], pos)
   else begin
     let i = ref (pos + 1) in
     let ok = ref true in
+    let labels = ref [] in
     let scan_one () =
       match scan_name line !i with
       | None -> ok := false
-      | Some (_, p) ->
+      | Some (lname, p) ->
           i := p;
           if !i + 1 < n && line.[!i] = '=' && line.[!i + 1] = '"' then begin
             i := !i + 2;
+            let vstart = !i in
             let closed = ref false in
             while (not !closed) && !i < n do
               if line.[!i] = '\\' then i := !i + 2
               else if line.[!i] = '"' then begin
+                labels :=
+                  (lname, String.sub line vstart (!i - vstart)) :: !labels;
                 closed := true;
                 incr i
               end
@@ -93,29 +99,141 @@ let scan_labels line pos =
       done;
       if !ok && !i < n && line.[!i] = '}' then incr i else ok := false
     end;
-    if !ok then Some !i else None
+    if !ok then Some (List.rev !labels, !i) else None
   end
 
-let is_value s =
+let parse_value s =
   match s with
-  | "+Inf" | "-Inf" | "NaN" -> true
-  | _ -> float_of_string_opt s <> None
+  | "+Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | _ -> float_of_string_opt s
+
+(* Histogram families get semantic checks on top of the line grammar:
+   only _bucket/_sum/_count samples, le labels parseable, cumulative
+   counts and le bounds non-decreasing, a final le="+Inf" bucket whose
+   value equals _count, and _sum present. *)
+type hist_acc = {
+  mutable buckets_rev : (float * float) list;
+  mutable sum_seen : bool;
+  mutable count_value : float option;
+}
 
 let validate contents =
   let lines = String.split_on_char '\n' contents in
   let samples = ref 0 in
   let family = ref None in
   let family_seen = ref true in
+  let hist : hist_acc option ref = ref None in
   let err lineno msg line =
     Error (Printf.sprintf "line %d: %s: %S" lineno msg line)
   in
+  let finalize_family lineno line =
+    let fname = Option.value ~default:"?" !family in
+    if not !family_seen then
+      err lineno
+        (Printf.sprintf "# TYPE %s declared but no samples follow" fname)
+        line
+    else
+      match !hist with
+      | None -> Ok ()
+      | Some h -> (
+          hist := None;
+          let buckets = List.rev h.buckets_rev in
+          let rec monotone = function
+            | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+                if le2 < le1 then
+                  err lineno
+                    (Printf.sprintf "histogram %s: le bounds not increasing"
+                       fname)
+                    line
+                else if c2 < c1 then
+                  err lineno
+                    (Printf.sprintf
+                       "histogram %s: cumulative bucket counts decrease" fname)
+                    line
+                else monotone rest
+            | _ -> Ok ()
+          in
+          match List.rev buckets with
+          | [] ->
+              err lineno
+                (Printf.sprintf "histogram %s has no _bucket samples" fname)
+                line
+          | (last_le, last_cum) :: _ -> (
+              let ( let* ) = Result.bind in
+              let* () = monotone buckets in
+              if last_le <> infinity then
+                err lineno
+                  (Printf.sprintf "histogram %s: missing le=\"+Inf\" bucket"
+                     fname)
+                  line
+              else if not h.sum_seen then
+                err lineno
+                  (Printf.sprintf "histogram %s: missing _sum sample" fname)
+                  line
+              else
+                match h.count_value with
+                | None ->
+                    err lineno
+                      (Printf.sprintf "histogram %s: missing _count sample"
+                         fname)
+                      line
+                | Some c when c <> last_cum ->
+                    err lineno
+                      (Printf.sprintf
+                         "histogram %s: _count %g disagrees with le=\"+Inf\" \
+                          bucket %g"
+                         fname c last_cum)
+                      line
+                | Some _ -> Ok ()))
+  in
+  let record_sample lineno line name labels value =
+    match (!family, !hist) with
+    | Some f, Some h when String.starts_with ~prefix:f name -> (
+        family_seen := true;
+        let suffix = String.sub name (String.length f)
+            (String.length name - String.length f)
+        in
+        match suffix with
+        | "_bucket" -> (
+            match List.assoc_opt "le" labels with
+            | None ->
+                err lineno
+                  (Printf.sprintf "histogram %s: _bucket without le label" f)
+                  line
+            | Some le_str -> (
+                match parse_value le_str with
+                | None ->
+                    err lineno
+                      (Printf.sprintf "histogram %s: unparseable le=%S" f
+                         le_str)
+                      line
+                | Some le ->
+                    h.buckets_rev <- (le, value) :: h.buckets_rev;
+                    Ok ()))
+        | "_sum" ->
+            h.sum_seen <- true;
+            Ok ()
+        | "_count" ->
+            h.count_value <- Some value;
+            Ok ()
+        | _ ->
+            err lineno
+              (Printf.sprintf
+                 "histogram %s: unexpected sample %s (want _bucket/_sum/_count)"
+                 f name)
+              line)
+    | Some f, None when String.starts_with ~prefix:f name ->
+        family_seen := true;
+        Ok ()
+    | _ -> Ok ()
+  in
   let rec check lineno = function
-    | [] ->
-        if not !family_seen then
-          Error
-            (Printf.sprintf "# TYPE %s declared but no samples follow"
-               (Option.value ~default:"?" !family))
-        else Ok !samples
+    | [] -> (
+        match finalize_family lineno "<end of input>" with
+        | Ok () -> Ok !samples
+        | Error e -> Error e)
     | line :: rest ->
         let result =
           if line = "" then Ok ()
@@ -130,18 +248,22 @@ let validate contents =
                   in
                   match rest_str with
                   | "counter" | "gauge" | "histogram" | "summary" | "untyped"
-                    ->
-                      if not !family_seen then
-                        err lineno
-                          (Printf.sprintf
-                             "# TYPE %s declared but no samples follow"
-                             (Option.value ~default:"?" !family))
-                          line
-                      else begin
-                        family := Some name;
-                        family_seen := false;
-                        Ok ()
-                      end
+                    -> (
+                      match finalize_family lineno line with
+                      | Error e -> Error e
+                      | Ok () ->
+                          family := Some name;
+                          family_seen := false;
+                          hist :=
+                            (if rest_str = "histogram" then
+                               Some
+                                 {
+                                   buckets_rev = [];
+                                   sum_seen = false;
+                                   count_value = None;
+                                 }
+                             else None);
+                          Ok ())
                   | _ -> err lineno "unknown metric type" line)
             end
             else if String.starts_with ~prefix:"# HELP " line then Ok ()
@@ -153,7 +275,7 @@ let validate contents =
             | Some (name, p) -> (
                 match scan_labels line p with
                 | None -> err lineno "malformed label set" line
-                | Some p ->
+                | Some (labels, p) -> (
                     let tail =
                       String.sub line p (String.length line - p)
                       |> String.trim
@@ -162,21 +284,22 @@ let validate contents =
                       String.split_on_char ' ' tail
                       |> List.filter (fun f -> f <> "")
                     in
-                    let value_ok =
+                    let value =
                       match fields with
-                      | [ v ] -> is_value v
-                      | [ v; ts ] -> is_value v && int_of_string_opt ts <> None
-                      | _ -> false
+                      | [ v ] -> parse_value v
+                      | [ v; ts ] ->
+                          if int_of_string_opt ts <> None then parse_value v
+                          else None
+                      | _ -> None
                     in
-                    if not value_ok then err lineno "malformed sample value" line
-                    else begin
-                      (match !family with
-                      | Some f when String.starts_with ~prefix:f name ->
-                          family_seen := true
-                      | _ -> ());
-                      incr samples;
-                      Ok ()
-                    end)
+                    match value with
+                    | None -> err lineno "malformed sample value" line
+                    | Some value -> (
+                        match record_sample lineno line name labels value with
+                        | Error e -> Error e
+                        | Ok () ->
+                            incr samples;
+                            Ok ())))
           end
         in
         (match result with Ok () -> check (lineno + 1) rest | Error e -> Error e)

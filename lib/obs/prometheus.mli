@@ -32,4 +32,8 @@ val render :
 val validate : string -> (int, string) result
 (** [validate contents] checks every line against the exposition
     grammar and that each [# TYPE] is followed by samples of that
-    family. Returns the number of samples. *)
+    family. Families declared [histogram] additionally get semantic
+    checks: only [_bucket]/[_sum]/[_count] samples, a parseable [le]
+    label on every bucket, non-decreasing [le] bounds and cumulative
+    counts, a final [le="+Inf"] bucket whose value equals [_count],
+    and a [_sum] sample. Returns the number of samples. *)

@@ -1,0 +1,49 @@
+(** Read a Chrome trace-event JSON file back into a span forest.
+
+    {!Chrome_trace} is the write direction; this module closes the
+    loop so the [profile] CLI command, the golden tests and the
+    critical-path extractor can analyse a trace without external
+    tooling. Input is first checked with {!Chrome_trace.validate} (the
+    same structural validator behind [obs-validate]), then the "X"
+    complete events are turned back into {!Span.span} values
+    (microsecond [ts]/[dur] rescaled to nanoseconds) and stacked into
+    a forest per recording domain by interval containment: event [b]
+    is a child of event [a] when they share a [tid] and [b]'s interval
+    lies inside [a]'s. Span depths are recomputed from the
+    reconstructed nesting, so they are meaningful even for traces
+    produced by other tools.
+
+    The [spans_dropped] metadata event written by {!Chrome_trace}
+    (counting spans lost to a saturated per-domain buffer or a
+    mid-solve export) is surfaced as {!field:dropped} so consumers can
+    tell a truncated profile from a complete one. *)
+
+type node = { span : Span.span; children : node list }
+(** One reconstructed span with the spans nested inside it, in start
+    order. *)
+
+type t = {
+  roots : node list;  (** forest roots sorted by (start, tid) *)
+  span_count : int;  (** number of "X" events read *)
+  dropped : int;  (** [spans_dropped] metadata count, [0] if absent *)
+}
+
+val forest_of_spans : Span.span list -> node list
+(** Pure reconstruction from in-memory spans (no JSON involved);
+    exposed for tests and for profiling a live {!Span.export} without
+    a file roundtrip. Spans that overlap a sibling without nesting —
+    impossible for spans recorded by {!Span} on a monotonic clock —
+    are adopted by the enclosing open span on a best-effort basis. *)
+
+val of_string : string -> (t, string) result
+(** Parse and validate one Chrome trace-event JSON document. Errors
+    come from {!Chrome_trace.validate} (malformed JSON or event
+    shape). *)
+
+val of_file : string -> (t, string) result
+
+val fold : ('a -> node -> 'a) -> 'a -> node list -> 'a
+(** Pre-order fold over every node of a forest. *)
+
+val wall_ns : node list -> int
+(** Sum of the root span durations — the forest's total wall time. *)

@@ -212,7 +212,7 @@ counts are workload-deterministic (one "X" event per completed span):
   reused 0 of 2 pre-existing servers
   cost (Eq. 2): 0.020
   $ replica_cli obs-validate --trace solve_trace.json
-  trace solve_trace.json: valid chrome trace, 12 events
+  trace solve_trace.json: valid chrome trace, 13 events
 
 The engine exports both a trace and a Prometheus metrics snapshot, and
 the traced timeline is identical to the untraced one above:
@@ -226,7 +226,7 @@ the traced timeline is identical to the untraced one above:
   epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
   total: 2 reconfigurations, bill 5.00, 0 invalid epochs
   $ replica_cli obs-validate --trace engine_trace.json --metrics engine_metrics.prom
-  trace engine_trace.json: valid chrome trace, 60 events
+  trace engine_trace.json: valid chrome trace, 61 events
   metrics engine_metrics.prom: valid prometheus exposition
 
 obs-validate rejects malformed artifacts and fails loudly when given
@@ -238,4 +238,118 @@ nothing to check:
   [1]
   $ replica_cli obs-validate
   obs-validate: nothing to validate (pass --trace and/or --metrics)
+  [2]
+
+Profile analysis of the committed engine-epoch fixture trace. The
+fixture records spans_dropped = 2, so every profile invocation warns
+(on stderr) that the numbers undercount. Default output is the
+self-time hotspot table:
+
+  $ replica_cli profile --trace epoch_trace.json
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  name                 calls     total(us)      self(us)   self%
+  dp_withpre.merge         1       600.000       600.000   50.0%
+  dp_withpre.node          1       300.000       300.000   25.0%
+  engine.apply             1       120.000       120.000   10.0%
+  dp_withpre.solve         1       950.000        50.000    4.2%
+  engine.epoch             1      1200.000        50.000    4.2%
+  engine.demand_diff       1        40.000        40.000    3.3%
+  engine.solve             1       980.000        30.000    2.5%
+  engine.policy            1        10.000        10.000    0.8%
+
+--folded emits Brendan Gregg collapsed stacks (frame;frame;frame
+self_ns), loadable by inferno/speedscope/flamegraph.pl; the weights
+partition the root's wall time exactly:
+
+  $ replica_cli profile --trace epoch_trace.json --folded
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  engine.epoch 50000
+  engine.epoch;engine.apply 120000
+  engine.epoch;engine.demand_diff 40000
+  engine.epoch;engine.policy 10000
+  engine.epoch;engine.solve 30000
+  engine.epoch;engine.solve;dp_withpre.solve 50000
+  engine.epoch;engine.solve;dp_withpre.solve;dp_withpre.merge 600000
+  engine.epoch;engine.solve;dp_withpre.solve;dp_withpre.node 300000
+
+--critical-path descends the widest child at every level; the
+contributions telescope to the epoch's full duration:
+
+  $ replica_cli profile --trace epoch_trace.json --critical-path
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  critical path: 1200.000 us across 4 spans
+    engine.epoch                1200.000 us  self      220.000 us   18.3%
+      engine.solve               980.000 us  self       30.000 us    2.5%
+        dp_withpre.solve         950.000 us  self      350.000 us   29.2%
+          dp_withpre.merge       600.000 us  self      600.000 us   50.0%
+
+  $ replica_cli profile --trace bogus.json
+  profile: bogus.json: missing "traceEvents"
+  [2]
+
+bench-diff gates benchmark artifacts: deterministic count metrics
+hard-fail, wall-clock metrics only warn. An identical run passes:
+
+  $ cat > bench_base.json <<'EOF'
+  > {
+  >   "schema_version": 1,
+  >   "bench": "dp_power",
+  >   "merge_products_ratio": 1.36,
+  >   "unpruned": { "power": 550.0, "cost": 4.311,
+  >                 "dp_power.merge_products": 128,
+  >                 "dp_power.tables.seconds": 0.010 },
+  >   "pruned": { "power": 550.0, "cost": 4.311, "servers": 4,
+  >               "dp_power.merge_products": 94,
+  >               "dp_power.cells_created": 101,
+  >               "dp_power.peak_table_size": 24,
+  >               "dp_power.tables.seconds": 0.008 }
+  > }
+  > EOF
+  $ replica_cli bench-diff bench_base.json bench_base.json
+  bench dp_power: 12 metric(s) compared
+    metric                                baseline       current     delta  status
+    unpruned.power                             550           550     +0.0%  ok
+    unpruned.cost                            4.311         4.311     +0.0%  ok
+    pruned.power                               550           550     +0.0%  ok
+    pruned.cost                              4.311         4.311     +0.0%  ok
+    pruned.servers                               4             4     +0.0%  ok
+    unpruned.dp_power.merge_products           128           128     +0.0%  ok
+    pruned.dp_power.merge_products              94            94     +0.0%  ok
+    pruned.dp_power.cells_created              101           101     +0.0%  ok
+    pruned.dp_power.peak_table_size             24            24     +0.0%  ok
+    merge_products_ratio                      1.36          1.36     +0.0%  ok
+    unpruned.dp_power.tables.seconds          0.01          0.01     +0.0%  ok
+    pruned.dp_power.tables.seconds           0.008         0.008     +0.0%  ok
+  verdict: 0 hard regression(s), 0 warning(s)
+
+A run with 20% more merge products (a deterministic counter) and a
+slower table build (wall clock) exits nonzero for the former and only
+warns about the latter:
+
+  $ sed -e 's/"dp_power.merge_products": 94/"dp_power.merge_products": 113/' \
+  >     -e 's/"dp_power.tables.seconds": 0.008/"dp_power.tables.seconds": 0.020/' \
+  >     bench_base.json > bench_regressed.json
+  $ replica_cli bench-diff bench_base.json bench_regressed.json
+  bench dp_power: 12 metric(s) compared
+    metric                                baseline       current     delta  status
+    unpruned.power                             550           550     +0.0%  ok
+    unpruned.cost                            4.311         4.311     +0.0%  ok
+    pruned.power                               550           550     +0.0%  ok
+    pruned.cost                              4.311         4.311     +0.0%  ok
+    pruned.servers                               4             4     +0.0%  ok
+    unpruned.dp_power.merge_products           128           128     +0.0%  ok
+    pruned.dp_power.merge_products              94           113    +20.2%  REGRESSED
+    pruned.dp_power.cells_created              101           101     +0.0%  ok
+    pruned.dp_power.peak_table_size             24            24     +0.0%  ok
+    merge_products_ratio                      1.36          1.36     +0.0%  ok
+    unpruned.dp_power.tables.seconds          0.01          0.01     +0.0%  ok
+    pruned.dp_power.tables.seconds           0.008          0.02   +150.0%  regressed (warn)
+  warning: pruned.dp_power.tables.seconds regressed (0.008 -> 0.02); timing metric, not gating
+  verdict: 1 hard regression(s), 1 warning(s)
+  [1]
+
+Artifacts of different kinds cannot be compared:
+
+  $ replica_cli bench-diff solve_trace.json bench_base.json
+  bench-diff: not a bench envelope (missing schema_version or bench kind)
   [2]

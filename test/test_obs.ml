@@ -159,7 +159,8 @@ let test_chrome_trace_valid () =
   in
   let contents = Obs.Chrome_trace.to_string ~pretty:true spans in
   match Obs.Chrome_trace.validate contents with
-  | Ok n -> check ci "one event per span" (List.length spans) n
+  (* + 1 for the always-emitted spans_dropped metadata event *)
+  | Ok n -> check ci "one event per span" (List.length spans + 1) n
   | Error e -> Alcotest.failf "exporter output invalid: %s" e
 
 let test_chrome_trace_rejects () =
@@ -225,6 +226,56 @@ let test_prometheus_rejects () =
       "9starts_with_digit 1\n";
       "# TYPE replicaml_x counter\n";
       (* TYPE with no samples *)
+    ]
+
+let test_prometheus_histogram_semantics () =
+  (* The validator understands histogram families semantically, not
+     just lexically: buckets must be cumulative and monotone in [le],
+     end at +Inf, and agree with _count; only _bucket/_sum/_count
+     samples may appear under a histogram TYPE. *)
+  let hist body = "# TYPE replicaml_h histogram\n" ^ body in
+  let ok =
+    hist
+      "replicaml_h_bucket{le=\"1\"} 2\n\
+       replicaml_h_bucket{le=\"10\"} 5\n\
+       replicaml_h_bucket{le=\"+Inf\"} 7\n\
+       replicaml_h_sum 40\n\
+       replicaml_h_count 7\n"
+  in
+  (match Obs.Prometheus.validate ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed histogram: %s" e);
+  List.iter
+    (fun (what, s) ->
+      match Obs.Prometheus.validate (hist s) with
+      | Ok _ -> Alcotest.failf "validate accepted histogram with %s" what
+      | Error _ -> ())
+    [
+      ( "no +Inf bucket",
+        "replicaml_h_bucket{le=\"1\"} 2\nreplicaml_h_sum 1\nreplicaml_h_count \
+         2\n" );
+      ( "non-cumulative buckets",
+        "replicaml_h_bucket{le=\"1\"} 5\n\
+         replicaml_h_bucket{le=\"10\"} 3\n\
+         replicaml_h_bucket{le=\"+Inf\"} 5\n\
+         replicaml_h_sum 9\n\
+         replicaml_h_count 5\n" );
+      ( "count disagreeing with the +Inf bucket",
+        "replicaml_h_bucket{le=\"1\"} 2\n\
+         replicaml_h_bucket{le=\"+Inf\"} 7\n\
+         replicaml_h_sum 40\n\
+         replicaml_h_count 8\n" );
+      ( "a stray sample under the histogram TYPE",
+        "replicaml_h_bucket{le=\"+Inf\"} 1\n\
+         replicaml_h_sum 1\n\
+         replicaml_h_count 1\n\
+         replicaml_h_quantile 3\n" );
+      ( "a bucket missing its le label",
+        "replicaml_h_bucket 2\n\
+         replicaml_h_bucket{le=\"+Inf\"} 2\n\
+         replicaml_h_sum 1\n\
+         replicaml_h_count 2\n" );
+      ("no buckets at all", "replicaml_h_sum 1\nreplicaml_h_count 2\n");
     ]
 
 (* --- Stats_counters: snapshot/diff and the monotonic clock --- *)
@@ -310,6 +361,8 @@ let () =
           Alcotest.test_case "exposition validates" `Quick test_prometheus_valid;
           Alcotest.test_case "name mangling" `Quick test_prometheus_name_mangling;
           Alcotest.test_case "rejects malformed" `Quick test_prometheus_rejects;
+          Alcotest.test_case "histogram family semantics" `Quick
+            test_prometheus_histogram_semantics;
         ] );
       ( "stats-counters",
         [
