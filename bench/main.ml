@@ -12,7 +12,7 @@
    the obs section writes BENCH_obs.json quantifying the span-tracing
    overhead (on, via interleaved paired runs with a noise floor; and
    estimated when off) against its 2% budget.
-   All artifacts share the versioned Replica_engine.Json.envelope, and
+   All artifacts share the versioned Replica_obs.Json.envelope, and
    every artifact is also appended to the local BENCH_history.jsonl
    (gitignored) through Replica_obs.Bench_history so any two past runs
    can be compared with `replica_cli bench-diff`. *)
@@ -166,10 +166,24 @@ let run_dp_stats () =
         pre
     in
     (* bound = infinity makes pruning exact for any cost model (see
-       Dp_power's dominance proof), so the two runs must agree. *)
+       Dp_power's dominance proof), so the two runs must agree. The
+       solve goes through the registry entry — the same dispatch the
+       engine and CLI use — so this section also gates registry-seam
+       overhead: the counter totals below are bit-compared against the
+       committed baseline by `replica_cli bench-diff`. *)
+    let entry =
+      match Registry.find "dp-power" with
+      | Some s -> s
+      | None -> failwith "dp-stats: dp-power not registered"
+    in
+    let problem = Problem.min_power tree ~modes ~power ~cost () in
     let run ~prune =
       Stats_counters.reset ();
-      let result = Dp_power.solve tree ~modes ~power ~cost ~prune () in
+      let result =
+        match Solver.run entry problem (Solver.request ~prune ()) with
+        | Ok r -> r
+        | Error e -> failwith ("dp-stats: " ^ e)
+      in
       (result, Stats_counters.counters (), Stats_counters.timers ())
     in
     let find name l = try List.assoc name l with Not_found -> 0 in
@@ -177,8 +191,8 @@ let run_dp_stats () =
     let unpruned, uc, ut = run ~prune:false in
     let pruned, pc, pt = run ~prune:true in
     (match (unpruned, pruned) with
-    | Some u, Some p ->
-        if u.Dp_power.power <> p.Dp_power.power || u.Dp_power.cost <> p.Dp_power.cost
+    | Some (u : Solver.outcome), Some (p : Solver.outcome) ->
+        if u.Solver.power <> p.Solver.power || u.Solver.cost <> p.Solver.cost
         then failwith "dp-stats: pruned and unpruned runs disagree"
     | _ -> failwith "dp-stats: expected a solution");
     let u_products = find "dp_power.merge_products" uc in
@@ -195,16 +209,16 @@ let run_dp_stats () =
     Printf.printf "table phase: %.4fs unpruned vs %.4fs pruned\n"
       (findf "dp_power.tables" ut) (findf "dp_power.tables" pt);
     Printf.printf "identical (power, cost) across both runs: verified\n";
-    let module J = Replica_engine.Json in
+    let module J = Replica_obs.Json in
     let json_side ~prune (result, counters, timers) =
-      let r = Option.get result in
+      let o : Solver.outcome = Option.get result in
       let ours (k, _) = String.starts_with ~prefix:"dp_power." k in
       J.Obj
         ([
            ("prune", J.Bool prune);
-           ("power", J.Float r.Dp_power.power);
-           ("cost", J.Float r.Dp_power.cost);
-           ("servers", J.Int (Solution.cardinal r.Dp_power.solution));
+           ("power", J.Float (Option.value o.Solver.power ~default:nan));
+           ("cost", J.Float (Option.value o.Solver.cost ~default:nan));
+           ("servers", J.Int o.Solver.servers);
          ]
         @ List.map (fun (k, v) -> (k, J.Int v)) (List.filter ours counters)
         @ List.map
@@ -247,7 +261,7 @@ let run_engine () =
     let open Replica_core in
     let module Engine = Replica_engine.Engine in
     let module Timeline = Replica_engine.Timeline in
-    let module J = Replica_engine.Json in
+    let module J = Replica_obs.Json in
     let nodes = 100 and seed = 7 and epochs = 32 and warm_from = 3 in
     let w = Workload.capacity in
     let rng = Rng.create seed in
@@ -479,7 +493,7 @@ let run_obs () =
       guard_ns disabled_overhead_pct;
     if disabled_overhead_pct > 2. then
       failwith "obs: tracing-disabled overhead above the 2% budget";
-    let module J = Replica_engine.Json in
+    let module J = Replica_obs.Json in
     let histograms =
       J.Obj
         (List.filter_map
@@ -565,37 +579,53 @@ let timing_tests () =
   let p50 = power_tree 50 5 in
   let p70 = power_tree 70 10 in
   let open Bechamel in
-  [
-    Test.make ~name:"greedy/N=100" (Staged.stage (fun () -> Greedy.solve t100 ~w));
-    Test.make ~name:"greedy/N=200" (Staged.stage (fun () -> Greedy.solve t200 ~w));
-    Test.make ~name:"dp-nopre/N=100" (Staged.stage (fun () -> Dp_nopre.solve t100 ~w));
-    Test.make ~name:"dp-withpre/N=100,E=25"
-      (Staged.stage (fun () -> Dp_withpre.solve t100 ~w ~cost));
-    Test.make ~name:"dp-withpre/N=200,E=50"
-      (Staged.stage (fun () -> Dp_withpre.solve t200 ~w ~cost));
-    Test.make ~name:"dp-power/N=50,E=5"
-      (Staged.stage (fun () -> Dp_power.solve p50 ~modes ~power ~cost:mcost ()));
-    Test.make ~name:"dp-power/N=70,E=10"
-      (Staged.stage (fun () -> Dp_power.solve p70 ~modes ~power ~cost:mcost ()));
-    Test.make ~name:"gr-power/N=50,E=5"
-      (Staged.stage (fun () ->
-           Greedy_power.solve p50 ~modes ~power ~cost:mcost ()));
-    Test.make ~name:"heuristic/N=50,E=5"
-      (Staged.stage (fun () ->
-           Heuristics.solve p50 ~modes ~power ~cost:mcost ()));
-    Test.make ~name:"multiple/N=100" (Staged.stage (fun () -> Multiple.solve t100 ~w));
-    Test.make ~name:"upwards-heuristic/N=100"
-      (Staged.stage (fun () -> Upwards.solve_heuristic t100 ~w));
-    (* The design choice behind the DP's speed: placements as catenable
-       lists (O(1) append) vs naive list concatenation (O(n)). *)
-    (let chunks = List.init 200 (fun i -> Clist.of_list [ (i, i) ]) in
-     Test.make ~name:"clist/200-appends"
-       (Staged.stage (fun () ->
-            List.fold_left Clist.append Clist.empty chunks)));
-    (let chunks = List.init 200 (fun i -> [ (i, i) ]) in
-     Test.make ~name:"list/200-appends"
-       (Staged.stage (fun () -> List.fold_left ( @ ) [] chunks)));
-  ]
+  (* One timing test per registered solver (two sizes for the exact
+     ones), driven off the registry: a newly registered algorithm shows
+     up here with no bench change. Solves go through the entry's solve
+     — the same seam the engine and CLI dispatch over. *)
+  let instance_for (s : Solver.t) =
+    let c = s.Solver.capability in
+    if c.Solver.handles_power && not c.Solver.handles_cost then
+      let small = (Problem.min_power p50 ~modes ~power ~cost:mcost (), "N=50,E=5") in
+      let big = (Problem.min_power p70 ~modes ~power ~cost:mcost (), "N=70,E=10") in
+      if c.Solver.exactness = Solver.Exact then [ small; big ] else [ small ]
+    else
+      let small = (Problem.min_cost t100 ~w ~cost, "N=100,E=25") in
+      let big = (Problem.min_cost t200 ~w ~cost, "N=200,E=50") in
+      if c.Solver.exactness = Solver.Exact then [ small; big ] else [ small ]
+  in
+  let fits (s : Solver.t) (p : Problem.t) =
+    match s.Solver.capability.Solver.max_nodes with
+    | Some n -> Tree.size p.Problem.tree <= n
+    | None -> true
+  in
+  let solver_tests =
+    List.concat_map
+      (fun (s : Solver.t) ->
+        List.filter_map
+          (fun (problem, label) ->
+            if not (fits s problem) then None
+            else
+              Some
+                (Test.make
+                   ~name:(Printf.sprintf "%s/%s" s.Solver.name label)
+                   (Staged.stage (fun () ->
+                        s.Solver.solve problem Solver.default_request))))
+          (instance_for s))
+      (Registry.all ())
+  in
+  solver_tests
+  @ [
+      (* The design choice behind the DP's speed: placements as catenable
+         lists (O(1) append) vs naive list concatenation (O(n)). *)
+      (let chunks = List.init 200 (fun i -> Clist.of_list [ (i, i) ]) in
+       Test.make ~name:"clist/200-appends"
+         (Staged.stage (fun () ->
+              List.fold_left Clist.append Clist.empty chunks)));
+      (let chunks = List.init 200 (fun i -> [ (i, i) ]) in
+       Test.make ~name:"list/200-appends"
+         (Staged.stage (fun () -> List.fold_left ( @ ) [] chunks)));
+    ]
 
 let run_timing () =
   if section_enabled "timing" then begin

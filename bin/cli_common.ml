@@ -1,0 +1,166 @@
+(* Arguments, helpers and the shared error path used by every
+   replica_cli subcommand module. *)
+
+open Replica_tree
+open Replica_core
+open Replica_experiments
+open Cmdliner
+
+(* --- shared error path ---
+
+   Unknown algorithm names and capability mismatches all exit through
+   here, so the CLI has exactly one failure shape (stderr line + exit
+   2) for "you asked a solver for something it cannot do". The cram
+   suite pins both the message and the status. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("replica_cli: " ^ s);
+      exit 2)
+    fmt
+
+let warn fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "replica_cli: warning: %s\n%!" s) fmt
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nodes_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of internal nodes.")
+
+let shape_arg =
+  let shape_conv =
+    Arg.enum [ ("fat", Workload.Fat); ("high", Workload.High) ]
+  in
+  Arg.(
+    value & opt shape_conv Workload.Fat
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:"Tree shape: $(b,fat) (6-9 children) or $(b,high) (2-4).")
+
+let pre_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "pre" ] ~docv:"E" ~doc:"Number of pre-existing servers.")
+
+let trees_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "trees" ] ~docv:"T" ~doc:"Number of random trees to average over.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Enable debug logging of the DP internals.")
+
+let quiet_progress =
+  Arg.(
+    value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for parallel per-tree solves (default: the machine's \
+           recommended count). Results are identical at any value.")
+
+let csv_flag =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+
+let emit csv table =
+  if csv then print_string (Table.to_csv table) else Table.print table
+
+let progress quiet fmt =
+  if quiet then Printf.ifprintf stderr fmt else Printf.eprintf fmt
+
+let make_tree ~shape ~nodes ~pre ~seed ~max_requests ~pre_mode =
+  let rng = Rng.create seed in
+  let t =
+    Generator.random rng (Workload.profile shape ~nodes ~max_requests)
+  in
+  Generator.add_pre_existing rng ~mode:pre_mode t pre
+
+(* --- observability --- *)
+
+let trace_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it as Chrome \
+           trace-event JSON to $(docv), loadable in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing.")
+
+let with_tracing trace f =
+  let module Span = Replica_obs.Span in
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Span.set_enabled false;
+          Replica_obs.Chrome_trace.write_file ~dropped:(Span.dropped ()) path
+            (Span.export ());
+          if Span.dropped () > 0 then
+            Printf.eprintf "trace: %d spans dropped (buffer cap reached)\n%!"
+              (Span.dropped ());
+          Span.reset ())
+        f
+
+let metrics_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write a Prometheus text-exposition snapshot of \
+           the counter, timer and histogram registries to $(docv).")
+
+let write_metrics path =
+  let oc = open_out path in
+  output_string oc
+    (Replica_obs.Prometheus.render
+       ~counters:
+         (Stats_counters.counters ()
+         (* Dropped spans are surfaced as a counter so a scrape can tell
+            a truncated trace from a quiet one. *)
+         @ [ ("obs.spans_dropped", Replica_obs.Span.dropped ()) ])
+       ~timers_seconds:(Stats_counters.timers ())
+       ~histograms:(Replica_obs.Histogram.snapshots ())
+       ());
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- solver selection (registry-backed) --- *)
+
+let algo_doc () =
+  Printf.sprintf
+    "Solver name from the registry: %s. See $(b,--list-algos) for the \
+     capability matrix."
+    (String.concat ", "
+       (List.map (fun n -> Printf.sprintf "$(b,%s)" n) (Registry.names ())))
+
+(* The name is parsed as a plain string and resolved at run time so an
+   unknown name flows through the shared [die] path (exit 2) instead of
+   cmdliner's usage error (exit 124). *)
+let resolve_algo name =
+  match Registry.find name with
+  | Some s -> s
+  | None ->
+      die "unknown algorithm %S (try --list-algos for the registry)" name

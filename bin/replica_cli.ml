@@ -1,883 +1,9 @@
 (* Command-line interface to the replicaml library: generate trees, solve
-   single instances with any algorithm, and run the paper's experiments. *)
+   single instances with any registered algorithm, and run the paper's
+   experiments. Each subcommand lives in its own Cli_* module; this file
+   only assembles the group. *)
 
-open Replica_tree
-open Replica_core
-open Replica_experiments
-open Replica_engine
 open Cmdliner
-
-(* --- shared arguments --- *)
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let nodes_arg default =
-  Arg.(
-    value & opt int default
-    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of internal nodes.")
-
-let shape_arg =
-  let shape_conv =
-    Arg.enum [ ("fat", Workload.Fat); ("high", Workload.High) ]
-  in
-  Arg.(
-    value & opt shape_conv Workload.Fat
-    & info [ "shape" ] ~docv:"SHAPE"
-        ~doc:"Tree shape: $(b,fat) (6-9 children) or $(b,high) (2-4).")
-
-let pre_arg default =
-  Arg.(
-    value & opt int default
-    & info [ "pre" ] ~docv:"E" ~doc:"Number of pre-existing servers.")
-
-let trees_arg default =
-  Arg.(
-    value & opt int default
-    & info [ "trees" ] ~docv:"T" ~doc:"Number of random trees to average over.")
-
-let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
-
-let verbose_flag =
-  Arg.(
-    value & flag
-    & info [ "v"; "verbose" ] ~doc:"Enable debug logging of the DP internals.")
-
-let quiet_progress =
-  Arg.(
-    value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
-
-let domains_arg =
-  Arg.(
-    value & opt (some int) None
-    & info [ "j"; "domains" ] ~docv:"D"
-        ~doc:
-          "Domains for parallel per-tree solves (default: the machine's \
-           recommended count). Results are identical at any value.")
-
-let csv_flag =
-  Arg.(
-    value & flag
-    & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
-
-let emit csv table = if csv then print_string (Table.to_csv table) else Table.print table
-
-let progress quiet fmt =
-  if quiet then Printf.ifprintf stderr fmt else Printf.eprintf fmt
-
-let make_tree ~shape ~nodes ~pre ~seed ~max_requests ~pre_mode =
-  let rng = Rng.create seed in
-  let t =
-    Generator.random rng (Workload.profile shape ~nodes ~max_requests)
-  in
-  Generator.add_pre_existing rng ~mode:pre_mode t pre
-
-(* --- observability --- *)
-
-let trace_file_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Record a span trace of the run and write it as Chrome \
-           trace-event JSON to $(docv), loadable in Perfetto \
-           (ui.perfetto.dev) or chrome://tracing.")
-
-let with_tracing trace f =
-  let module Span = Replica_obs.Span in
-  match trace with
-  | None -> f ()
-  | Some path ->
-      Span.set_enabled true;
-      Fun.protect
-        ~finally:(fun () ->
-          Span.set_enabled false;
-          Replica_obs.Chrome_trace.write_file ~dropped:(Span.dropped ()) path
-            (Span.export ());
-          if Span.dropped () > 0 then
-            Printf.eprintf "trace: %d spans dropped (buffer cap reached)\n%!"
-              (Span.dropped ());
-          Span.reset ())
-        f
-
-let metrics_file_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "metrics" ] ~docv:"FILE"
-        ~doc:
-          "After the run, write a Prometheus text-exposition snapshot of \
-           the counter, timer and histogram registries to $(docv).")
-
-let write_metrics path =
-  let oc = open_out path in
-  output_string oc
-    (Replica_obs.Prometheus.render
-       ~counters:
-         (Stats_counters.counters ()
-         (* Dropped spans are surfaced as a counter so a scrape can tell
-            a truncated trace from a quiet one. *)
-         @ [ ("obs.spans_dropped", Replica_obs.Span.dropped ()) ])
-       ~timers_seconds:(Stats_counters.timers ())
-       ~histograms:(Replica_obs.Histogram.snapshots ())
-       ());
-  close_out oc
-
-(* --- generate --- *)
-
-let generate_cmd =
-  let dot_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
-  in
-  let stats_flag =
-    Arg.(
-      value & flag
-      & info [ "stats" ] ~doc:"Print structural statistics instead of the tree.")
-  in
-  let svg_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "svg" ] ~docv:"FILE" ~doc:"Also write a standalone SVG rendering.")
-  in
-  let run shape nodes pre seed dot stats svg =
-    let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:6 ~pre_mode:1 in
-    if stats then begin
-      Format.printf "%a" Metrics.pp (Metrics.compute t);
-      Format.printf "nodes per depth:";
-      List.iter
-        (fun (d, c) -> Format.printf " %d:%d" d c)
-        (Metrics.depth_histogram t);
-      Format.printf "@.branching histogram:";
-      List.iter
-        (fun (b, c) -> Format.printf " %d:%d" b c)
-        (Metrics.branching_histogram t);
-      Format.printf "@."
-    end
-    else begin
-      Format.printf "%a" Tree.pp t;
-      Format.printf "serialized: %s@." (Tree.to_string t)
-    end;
-    Option.iter (fun path -> Dot.write_file path t) dot;
-    Option.iter (fun path -> Svg.write_file path t) svg
-  in
-  Cmd.v
-    (Cmd.info "generate" ~doc:"Generate and print a random distribution tree.")
-    Term.(
-      const run $ shape_arg $ nodes_arg 20 $ pre_arg 0 $ seed_arg $ dot_arg
-      $ stats_flag $ svg_arg)
-
-(* --- solve --- *)
-
-type algo = Algo_greedy | Algo_dp_nopre | Algo_dp_withpre | Algo_dp_power
-          | Algo_gr_power | Algo_heuristic
-
-let solve_cmd =
-  let algo_arg =
-    let algo_conv =
-      Arg.enum
-        [
-          ("greedy", Algo_greedy);
-          ("dp-nopre", Algo_dp_nopre);
-          ("dp-withpre", Algo_dp_withpre);
-          ("dp-power", Algo_dp_power);
-          ("gr-power", Algo_gr_power);
-          ("heuristic", Algo_heuristic);
-        ]
-    in
-    Arg.(
-      value & opt algo_conv Algo_dp_withpre
-      & info [ "algo" ] ~docv:"ALGO"
-          ~doc:
-            "Solver: $(b,greedy), $(b,dp-nopre), $(b,dp-withpre), \
-             $(b,dp-power), $(b,gr-power) or $(b,heuristic).")
-  in
-  let bound_arg =
-    Arg.(
-      value & opt float infinity
-      & info [ "bound" ] ~docv:"COST" ~doc:"Cost bound for power solvers.")
-  in
-  let w_arg =
-    Arg.(
-      value & opt int 10 & info [ "w" ] ~docv:"W" ~doc:"Server capacity.")
-  in
-  let stats_flag =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:
-            "After solving, print the solver's counter registry (table \
-             cells created, merge products attempted, capacity-rejected \
-             pairs, dominance-pruned cells, peak table size). \
-             Deterministic for a fixed instance; combine with \
-             $(b,--verbose) for wall-clock phase timers on stderr.")
-  in
-  let prune_arg =
-    Arg.(
-      value & opt (some bool) None
-      & info [ "prune" ] ~docv:"BOOL"
-          ~doc:
-            "Force dominance pruning on or off for $(b,dp-power) \
-             (default: automatic — on exactly where it is provably \
-             exact).")
-  in
-  let run shape nodes pre seed algo bound w verbose stats prune domains trace =
-    setup_logs verbose;
-    let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:5 ~pre_mode:2 in
-    let modes = if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ] in
-    let power = Power.paper_exp3 ~modes in
-    let mcost = Cost.paper_cheap ~modes:(Modes.count modes) in
-    let bcost = Cost.basic ~create:0.1 ~delete:0.01 () in
-    let describe_solution sol = print_string (Report.cost_report t ~w bcost sol) in
-    let describe_power (r : Dp_power.result) =
-      print_string (Report.power_report t modes power mcost r.Dp_power.solution)
-    in
-    with_tracing trace (fun () ->
-    match algo with
-    | Algo_greedy -> (
-        match Greedy.solve t ~w with
-        | Some sol -> describe_solution sol
-        | None -> Format.printf "no solution@.")
-    | Algo_dp_nopre -> (
-        match Dp_nopre.solve t ~w with
-        | Some r -> describe_solution r.Dp_nopre.solution
-        | None -> Format.printf "no solution@.")
-    | Algo_dp_withpre -> (
-        match Dp_withpre.solve t ~w ~cost:bcost with
-        | Some r -> describe_solution r.Dp_withpre.solution
-        | None -> Format.printf "no solution@.")
-    | Algo_dp_power -> (
-        match
-          Dp_power.solve t ~modes ~power ~cost:mcost ~bound ?prune ?domains ()
-        with
-        | Some r -> describe_power r
-        | None -> Format.printf "no solution within bound@.")
-    | Algo_gr_power -> (
-        match Greedy_power.solve t ~modes ~power ~cost:mcost ~bound () with
-        | Some r -> describe_power r
-        | None -> Format.printf "no solution within bound@.")
-    | Algo_heuristic -> (
-        match Heuristics.solve t ~modes ~power ~cost:mcost ~bound () with
-        | Some r -> describe_power r
-        | None -> Format.printf "no solution within bound@."));
-    if stats then
-      if verbose then prerr_string (Report.stats_report ~timers:true ())
-      else print_string (Report.stats_report ())
-  in
-  Cmd.v
-    (Cmd.info "solve" ~doc:"Solve one random instance with a chosen algorithm.")
-    Term.(
-      const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ algo_arg
-      $ bound_arg $ w_arg $ verbose_flag $ stats_flag $ prune_arg
-      $ domains_arg $ trace_file_arg)
-
-(* --- experiments --- *)
-
-let exp1_cmd =
-  let run shape trees nodes seed quiet csv domains =
-    let config =
-      {
-        (Workload.default_cost_config ~shape ()) with
-        Workload.cc_trees = trees;
-        cc_nodes = nodes;
-        cc_seed = seed;
-      }
-    in
-    let points =
-      Exp1.run ?domains
-        ~on_progress:(fun e -> progress quiet "exp1: E=%d done\n%!" e)
-        config
-    in
-    emit csv (Exp1.to_table points)
-  in
-  Cmd.v
-    (Cmd.info "exp1"
-       ~doc:"Experiment 1 (Fig. 4/6): reuse of pre-existing servers vs E.")
-    Term.(
-      const run $ shape_arg $ trees_arg 200 $ nodes_arg 100 $ seed_arg
-      $ quiet_progress $ csv_flag $ domains_arg)
-
-let exp2_cmd =
-  let steps_arg =
-    Arg.(
-      value & opt int 20
-      & info [ "steps" ] ~docv:"K" ~doc:"Number of reconfiguration steps.")
-  in
-  let run shape trees nodes seed steps quiet csv domains =
-    let config =
-      {
-        (Workload.default_cost_config ~shape ()) with
-        Workload.cc_trees = trees;
-        cc_nodes = nodes;
-        cc_seed = seed;
-      }
-    in
-    let result =
-      Exp2.run ?domains ~steps
-        ~on_progress:(fun i -> progress quiet "exp2: tree %d done\n%!" i)
-        config
-    in
-    if not csv then print_endline "cumulative reuse per step:";
-    emit csv (Exp2.steps_table result);
-    if not csv then print_endline "histogram of reused(DP) - reused(GR):";
-    emit csv (Exp2.histogram_table result)
-  in
-  Cmd.v
-    (Cmd.info "exp2"
-       ~doc:"Experiment 2 (Fig. 5/7): consecutive reconfiguration steps.")
-    Term.(
-      const run $ shape_arg $ trees_arg 200 $ nodes_arg 100 $ seed_arg
-      $ steps_arg $ quiet_progress $ csv_flag $ domains_arg)
-
-let exp3_cmd =
-  let expensive_arg =
-    Arg.(
-      value & flag
-      & info [ "expensive" ]
-          ~doc:"Use the Fig. 11 cost function (create=delete=1, changed=0.1).")
-  in
-  let run shape trees nodes pre seed expensive quiet csv domains =
-    let config =
-      {
-        (Workload.default_power_config ~shape ~pre ~expensive ()) with
-        Workload.pc_trees = trees;
-        pc_nodes = nodes;
-        pc_seed = seed;
-      }
-    in
-    let result =
-      Exp3.run ?domains
-        ~on_progress:(fun i -> progress quiet "exp3: tree %d done\n%!" i)
-        config
-    in
-    emit csv (Exp3.to_table result);
-    if not csv then
-      Printf.printf
-        "GR consumes on average %.1f%% more power than DP (peak bound: %.1f%%)\n"
-        result.Exp3.gr_overconsumption_percent
-        result.Exp3.gr_peak_overconsumption_percent
-  in
-  Cmd.v
-    (Cmd.info "exp3"
-       ~doc:
-         "Experiment 3 (Fig. 8-11): power minimization under a cost bound.")
-    Term.(
-      const run $ shape_arg $ trees_arg 100 $ nodes_arg 50 $ pre_arg 5
-      $ seed_arg $ expensive_arg $ quiet_progress $ csv_flag $ domains_arg)
-
-let policies_cmd =
-  let epochs_arg =
-    Arg.(
-      value & opt int 20
-      & info [ "epochs" ] ~docv:"K" ~doc:"Number of demand epochs.")
-  in
-  let run shape trees nodes seed epochs csv domains trace =
-    let config =
-      {
-        (Exp_policy.default_config ~shape ()) with
-        Exp_policy.trees;
-        nodes;
-        seed;
-        epochs;
-      }
-    in
-    with_tracing trace (fun () ->
-        emit csv (Exp_policy.to_table (Exp_policy.run ?domains config)))
-  in
-  Cmd.v
-    (Cmd.info "policies"
-       ~doc:
-         "Ablation: lazy/systematic/periodic/drift update policies over \
-          drifting demand (the §6 trade-off).")
-    Term.(
-      const run $ shape_arg $ trees_arg 20 $ nodes_arg 50 $ seed_arg
-      $ epochs_arg $ csv_flag $ domains_arg $ trace_file_arg)
-
-let heuristics_cmd =
-  let fraction_arg =
-    Arg.(
-      value & opt float 0.35
-      & info [ "bound-fraction" ] ~docv:"F"
-          ~doc:"Cost bound as a fraction of each tree's frontier range.")
-  in
-  let no_time_flag =
-    Arg.(
-      value & flag
-      & info [ "no-time" ]
-          ~doc:
-            "Print '-' instead of wall-clock timings, making the output \
-             fully deterministic for a fixed seed (used by the cram \
-             test).")
-  in
-  let setup_domains_arg =
-    Arg.(
-      value & opt (some int) None
-      & info [ "j"; "domains" ] ~docv:"D"
-          ~doc:
-            "Domains for the untimed setup solves (frontier sweep and \
-             reference optima). The measured heuristic runs stay \
-             sequential, so reported timings remain meaningful; results \
-             are identical at any value.")
-  in
-  let run shape trees nodes pre seed fraction csv no_time domains =
-    let config =
-      {
-        (Exp_heuristics.default_config ~shape ()) with
-        Exp_heuristics.trees;
-        nodes;
-        pre;
-        seed;
-        bound_fraction = fraction;
-      }
-    in
-    emit csv
-      (Exp_heuristics.to_table ~no_time (Exp_heuristics.run ?domains config))
-  in
-  Cmd.v
-    (Cmd.info "heuristics"
-       ~doc:
-         "Ablation: power heuristics (hill-climb, multi-start, annealing) \
-          vs the DP optimum.")
-    Term.(
-      const run $ shape_arg $ trees_arg 20 $ nodes_arg 40 $ pre_arg 4
-      $ seed_arg $ fraction_arg $ csv_flag $ no_time_flag
-      $ setup_domains_arg)
-
-(* --- online runs over synthetic traces --- *)
-
-let horizon_arg =
-  Arg.(
-    value & opt float 24.
-    & info [ "horizon" ] ~docv:"T" ~doc:"Trace length in time units.")
-
-let window_arg =
-  Arg.(
-    value & opt float 1.
-    & info [ "window" ] ~docv:"T" ~doc:"Epoch aggregation window.")
-
-let policy_arg =
-  let parse s =
-    let fail () =
-      Error
-        (`Msg
-           (Printf.sprintf
-              "invalid policy %S: expected lazy, systematic, periodic:K or \
-               drift:F"
-              s))
-    in
-    match String.lowercase_ascii s with
-    | "lazy" -> Ok Update_policy.Lazy
-    | "systematic" -> Ok Update_policy.Systematic
-    | s -> (
-        match String.index_opt s ':' with
-        | None -> fail ()
-        | Some i -> (
-            let kind = String.sub s 0 i
-            and v = String.sub s (i + 1) (String.length s - i - 1) in
-            match kind with
-            | "periodic" -> (
-                match int_of_string_opt v with
-                | Some k when k > 0 -> Ok (Update_policy.Periodic k)
-                | _ -> fail ())
-            | "drift" -> (
-                match float_of_string_opt v with
-                | Some f when f > 0. -> Ok (Update_policy.Drift f)
-                | _ -> fail ())
-            | _ -> fail ()))
-  in
-  let print ppf p =
-    Format.pp_print_string ppf (Update_policy.policy_to_string p)
-  in
-  Arg.(
-    value
-    & opt (conv (parse, print)) Update_policy.Lazy
-    & info [ "policy" ] ~docv:"POLICY"
-        ~doc:
-          "Update policy: $(b,lazy), $(b,systematic), $(b,periodic:K) \
-           (every K epochs) or $(b,drift:F) (relative demand drift \
-           threshold F).")
-
-let trace_cmd =
-  let run shape nodes seed horizon window policy =
-    let open Replica_trace in
-    let rng = Rng.create seed in
-    let tree =
-      Generator.random rng (Workload.profile shape ~nodes ~max_requests:6)
-    in
-    let trace = Arrivals.diurnal rng tree ~horizon ~period:24. ~floor:0.25 in
-    Printf.printf "trace: %d requests over %.1f time units\n"
-      (Trace.length trace) (Trace.duration trace);
-    let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
-    let cfg =
-      Engine.config ~policy ~w:Workload.capacity (Engine.Min_cost cost)
-    in
-    Timeline.print stdout (Engine.run_trace cfg tree trace ~window)
-  in
-  Cmd.v
-    (Cmd.info "trace"
-       ~doc:
-         "Synthesize a diurnal request trace, aggregate it into epochs and \
-          serve it through the online engine under an update policy.")
-    Term.(
-      const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
-      $ window_arg $ policy_arg)
-
-let engine_cmd =
-  let workload_arg =
-    let workload_conv =
-      Arg.enum [ ("poisson", `Poisson); ("diurnal", `Diurnal); ("flash", `Flash) ]
-    in
-    Arg.(
-      value & opt workload_conv `Diurnal
-      & info [ "workload" ] ~docv:"KIND"
-          ~doc:
-            "Arrival process: $(b,poisson) (homogeneous), $(b,diurnal) \
-             (day/night modulation) or $(b,flash) (Poisson plus a flash \
-             crowd on the root's first subtree).")
-  in
-  let solver_arg =
-    let solver_conv =
-      Arg.enum [ ("full", Engine.Full); ("incremental", Engine.Incremental) ]
-    in
-    Arg.(
-      value & opt solver_conv Engine.Incremental
-      & info [ "solver" ] ~docv:"SOLVER"
-          ~doc:
-            "Re-solving strategy: $(b,full) rebuilds every DP table each \
-             reconfiguration; $(b,incremental) reuses subtree tables \
-             cached under demand fingerprints. Placements are identical; \
-             only the work differs (visible in the per-epoch counter \
-             deltas and solve times).")
-  in
-  let w_arg =
-    Arg.(
-      value & opt int Workload.capacity
-      & info [ "w" ] ~docv:"W" ~doc:"Server capacity (maximal mode).")
-  in
-  let power_flag =
-    Arg.(
-      value & flag
-      & info [ "power" ]
-          ~doc:
-            "Minimize power under a cost bound (the Eq. 3/4 objective, \
-             modes W/2 and W) instead of reconfiguration cost alone.")
-  in
-  let bound_arg =
-    Arg.(
-      value & opt float infinity
-      & info [ "bound" ] ~docv:"COST"
-          ~doc:"Per-reconfiguration cost bound for $(b,--power).")
-  in
-  let json_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the full machine-readable timeline to $(docv).")
-  in
-  let no_time_flag =
-    Arg.(
-      value & flag
-      & info [ "no-time" ]
-          ~doc:
-            "Omit wall-clock figures from the printed timeline, making \
-             the output fully deterministic for a fixed seed (used by the \
-             cram test). The JSON artifact always records solve times.")
-  in
-  let run shape nodes seed horizon window workload policy solver w power
-      bound json no_time trace_file metrics =
-    let open Replica_trace in
-    let rng = Rng.create seed in
-    let tree =
-      Generator.random rng (Workload.profile shape ~nodes ~max_requests:6)
-    in
-    let trace =
-      match workload with
-      | `Poisson -> Arrivals.poisson rng tree ~horizon
-      | `Diurnal -> Arrivals.diurnal rng tree ~horizon ~period:24. ~floor:0.25
-      | `Flash ->
-          let base = Arrivals.poisson rng tree ~horizon in
-          let node =
-            match Tree.children tree (Tree.root tree) with
-            | c :: _ -> c
-            | [] -> Tree.root tree
-          in
-          Arrivals.flash_crowd rng tree ~base ~at:(horizon /. 3.)
-            ~duration:(horizon /. 4.) ~node ~multiplier:3.
-    in
-    let objective =
-      if power then
-        let modes =
-          if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ]
-        in
-        Engine.Min_power
-          {
-            modes;
-            power = Power.paper_exp3 ~modes;
-            cost = Cost.paper_cheap ~modes:(Modes.count modes);
-            bound;
-          }
-      else Engine.Min_cost (Cost.basic ~create:0.5 ~delete:0.25 ())
-    in
-    let cfg = Engine.config ~policy ~solver ~w objective in
-    Printf.printf "trace: %d requests over %.1f time units\n"
-      (Trace.length trace) (Trace.duration trace);
-    let timeline =
-      with_tracing trace_file (fun () ->
-          let tl = Engine.run_trace cfg tree trace ~window in
-          (* Metrics are written inside the traced region: with_tracing's
-             cleanup resets the span buffers (and the dropped-span count
-             the exposition includes), so snapshotting after it would
-             always report obs.spans_dropped 0. *)
-          Option.iter write_metrics metrics;
-          tl)
-    in
-    Timeline.print ~times:(not no_time) stdout timeline;
-    Option.iter
-      (fun path ->
-        let config =
-          [
-            ( "workload",
-              Json.String
-                (match workload with
-                | `Poisson -> "poisson"
-                | `Diurnal -> "diurnal"
-                | `Flash -> "flash") );
-            ("policy", Json.String (Update_policy.policy_to_string policy));
-            ( "solver",
-              Json.String
-                (match solver with
-                | Engine.Full -> "full"
-                | Engine.Incremental -> "incremental") );
-            ( "objective",
-              Json.String (if power then "min_power" else "min_cost") );
-            ("w", Json.Int w);
-            ("nodes", Json.Int nodes);
-            ("seed", Json.Int seed);
-            ("horizon", Json.Float horizon);
-            ("window", Json.Float window);
-          ]
-        in
-        let oc = open_out path in
-        output_string oc (Timeline.to_json_string ~config timeline);
-        output_char oc '\n';
-        close_out oc)
-      json
-  in
-  Cmd.v
-    (Cmd.info "engine"
-       ~doc:
-         "Run the online reconfiguration engine over a synthetic trace: \
-          aggregate arrivals into epochs, fire the update policy each \
-          epoch, re-solve (fully or incrementally) and print the \
-          timeline.")
-    Term.(
-      const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
-      $ window_arg $ workload_arg $ policy_arg $ solver_arg $ w_arg
-      $ power_flag $ bound_arg $ json_arg $ no_time_flag $ trace_file_arg
-      $ metrics_file_arg)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let profile_cmd =
-  let trace_arg =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Chrome trace-event JSON file to analyse (as written by \
-             $(b,solve --trace) or $(b,engine --trace)).")
-  in
-  let folded_flag =
-    Arg.(
-      value & flag
-      & info [ "folded" ]
-          ~doc:
-            "Emit Brendan Gregg collapsed-stack lines (stack frames joined \
-             by ';', weighted by self time in nanoseconds) instead of the \
-             hotspot table — pipe into inferno, speedscope or \
-             flamegraph.pl to render a flamegraph.")
-  in
-  let critical_flag =
-    Arg.(
-      value & flag
-      & info [ "critical-path" ]
-          ~doc:
-            "Print the longest chain of nested spans through the trace's \
-             longest root span, with each phase's contribution to the \
-             total.")
-  in
-  let top_arg =
-    Arg.(
-      value & opt int 10
-      & info [ "top" ] ~docv:"K"
-          ~doc:"Rows in the hotspot table (default 10).")
-  in
-  let run trace folded critical top =
-    let module Obs = Replica_obs in
-    match Obs.Trace_reader.of_file trace with
-    | Error e ->
-        Printf.eprintf "profile: %s: %s\n" trace e;
-        exit 2
-    | Ok t ->
-        if t.Obs.Trace_reader.dropped > 0 then
-          Printf.eprintf
-            "profile: warning: %d spans were dropped while recording %s — \
-             self times and counts undercount the truncated subtrees\n%!"
-            t.Obs.Trace_reader.dropped (Filename.basename trace);
-        let roots = t.Obs.Trace_reader.roots in
-        if folded then print_string (Obs.Profile.folded roots);
-        if critical then
-          print_string (Obs.Critical_path.render (Obs.Critical_path.longest roots));
-        if not (folded || critical) then
-          print_string (Obs.Profile.top_table ~k:top roots)
-  in
-  Cmd.v
-    (Cmd.info "profile"
-       ~doc:
-         "Analyse a recorded span trace: aggregate per-span self/total \
-          times into a hotspot table (default), emit folded stacks for \
-          flamegraph tooling ($(b,--folded)), or extract the critical \
-          path ($(b,--critical-path)). Warns when the trace was \
-          truncated by the span-buffer cap.")
-    Term.(const run $ trace_arg $ folded_flag $ critical_flag $ top_arg)
-
-let bench_diff_cmd =
-  let baseline_arg =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"BASELINE" ~doc:"Committed BENCH_*.json baseline.")
-  in
-  let current_arg =
-    Arg.(
-      required
-      & pos 1 (some file) None
-      & info [] ~docv:"CURRENT" ~doc:"Freshly produced BENCH_*.json artifact.")
-  in
-  let threshold_arg =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "threshold" ] ~docv:"PCT"
-          ~doc:
-            "Override every directional metric's relative tolerance with \
-             $(docv) percent (exact-match metrics are unaffected).")
-  in
-  let json_flag =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit the comparison report as JSON.")
-  in
-  let run baseline current threshold json =
-    let module Obs = Replica_obs in
-    let parse what path =
-      match Obs.Json.parse (read_file path) with
-      | Ok v -> v
-      | Error e ->
-          Printf.eprintf "bench-diff: %s %s: %s\n" what path e;
-          exit 2
-    in
-    let b = parse "baseline" baseline and c = parse "current" current in
-    let rel_tol = Option.map (fun pct -> pct /. 100.) threshold in
-    match Obs.Bench_history.diff ?rel_tol ~baseline:b ~current:c () with
-    | Error e ->
-        Printf.eprintf "bench-diff: %s\n" e;
-        exit 2
-    | Ok report ->
-        if json then
-          print_endline
-            (Obs.Json.to_string ~pretty:true
-               (Obs.Bench_history.to_json report))
-        else print_string (Obs.Bench_history.render report);
-        if report.Obs.Bench_history.hard_regressions > 0 then exit 1
-  in
-  Cmd.v
-    (Cmd.info "bench-diff"
-       ~doc:
-         "Compare two BENCH_*.json artifacts of the same kind and schema \
-          version with the noise-aware regression gate: deterministic \
-          count metrics (merge products, optima, placements) hard-fail \
-          with a nonzero exit on any worsening; wall-clock metrics only \
-          warn unless they move beyond both a relative tolerance and an \
-          absolute noise floor.")
-    Term.(const run $ baseline_arg $ current_arg $ threshold_arg $ json_flag)
-
-let obs_validate_cmd =
-  let trace_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Chrome trace-event JSON file to validate.")
-  in
-  let metrics_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"Prometheus text-exposition file to validate.")
-  in
-  let run trace metrics =
-    if trace = None && metrics = None then begin
-      prerr_endline
-        "obs-validate: nothing to validate (pass --trace and/or --metrics)";
-      exit 2
-    end;
-    let ok = ref true in
-    Option.iter
-      (fun path ->
-        match Replica_obs.Chrome_trace.validate (read_file path) with
-        | Ok events ->
-            Printf.printf "trace %s: valid chrome trace, %d events\n"
-              (Filename.basename path) events
-        | Error e ->
-            ok := false;
-            Printf.printf "trace %s: INVALID: %s\n" (Filename.basename path) e)
-      trace;
-    Option.iter
-      (fun path ->
-        (* The sample count varies with latency bin occupancy, so only
-           the verdict is printed — cram tests pin this output. *)
-        match Replica_obs.Prometheus.validate (read_file path) with
-        | Ok _ ->
-            Printf.printf "metrics %s: valid prometheus exposition\n"
-              (Filename.basename path)
-        | Error e ->
-            ok := false;
-            Printf.printf "metrics %s: INVALID: %s\n" (Filename.basename path) e)
-      metrics;
-    if not !ok then exit 1
-  in
-  Cmd.v
-    (Cmd.info "obs-validate"
-       ~doc:
-         "Validate observability artifacts without external tooling: a \
-          Chrome trace-event JSON file ($(b,--trace)) and/or a Prometheus \
-          text exposition ($(b,--metrics)). Exits nonzero on malformed \
-          input; used by the cram suite and the CI smoke step.")
-    Term.(const run $ trace_arg $ metrics_arg)
-
-let scaling_cmd =
-  let power_flag =
-    Arg.(
-      value & flag
-      & info [ "power" ] ~doc:"Measure the power DP instead of the cost solvers.")
-  in
-  let run shape seed power =
-    let measurements =
-      if power then Scaling.measure_power_dp ~seed ~shape ()
-      else Scaling.measure_cost_algorithms ~seed ~shape ()
-    in
-    Table.print (Scaling.to_table measurements)
-  in
-  Cmd.v
-    (Cmd.info "scaling" ~doc:"Runtime scaling measurements (§5 claims).")
-    Term.(const run $ shape_arg $ seed_arg $ power_flag)
 
 let () =
   let doc =
@@ -888,17 +14,17 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "replica_cli" ~doc)
           [
-            generate_cmd;
-            solve_cmd;
-            exp1_cmd;
-            exp2_cmd;
-            exp3_cmd;
-            policies_cmd;
-            heuristics_cmd;
-            trace_cmd;
-            engine_cmd;
-            profile_cmd;
-            bench_diff_cmd;
-            obs_validate_cmd;
-            scaling_cmd;
+            Cli_generate.cmd;
+            Cli_solve.cmd;
+            Cli_experiments.exp1_cmd;
+            Cli_experiments.exp2_cmd;
+            Cli_experiments.exp3_cmd;
+            Cli_experiments.policies_cmd;
+            Cli_experiments.heuristics_cmd;
+            Cli_engine.trace_cmd;
+            Cli_engine.engine_cmd;
+            Cli_obs.profile_cmd;
+            Cli_obs.bench_diff_cmd;
+            Cli_obs.obs_validate_cmd;
+            Cli_experiments.scaling_cmd;
           ]))

@@ -1,0 +1,38 @@
+type objective =
+  | Min_servers
+  | Min_cost of Cost.basic
+  | Min_power of {
+      modes : Modes.t;
+      power : Power.t;
+      cost : Cost.modal;
+      bound : float;
+    }
+
+type t = { tree : Tree.t; w : int; objective : objective }
+
+let make tree ~w objective =
+  if w <= 0 then invalid_arg "Problem.make: w must be positive";
+  (match objective with
+  | Min_power { modes; _ } when Modes.max_capacity modes <> w ->
+      invalid_arg "Problem.make: w must equal the mode ladder's maximal capacity"
+  | _ -> ());
+  { tree; w; objective }
+
+let min_servers tree ~w = make tree ~w Min_servers
+let min_cost tree ~w ~cost = make tree ~w (Min_cost cost)
+
+let min_power tree ~modes ~power ~cost ?(bound = infinity) () =
+  make tree
+    ~w:(Modes.max_capacity modes)
+    (Min_power { modes; power; cost; bound })
+
+let bound t =
+  match t.objective with Min_power { bound; _ } -> bound | _ -> infinity
+
+let is_power t =
+  match t.objective with Min_power _ -> true | _ -> false
+
+let objective_name = function
+  | Min_servers -> "min-servers"
+  | Min_cost _ -> "min-cost"
+  | Min_power _ -> "min-power"

@@ -1,0 +1,52 @@
+(** One instance of the paper's problem family, named uniformly.
+
+    The paper defines a family — [MinCost-NoPre], [MinCost-WithPre]
+    (Eq. 2), [MinPower] and [MinPower-BoundedCost] (Eq. 3 under
+    Eq. 4 <= bound) — and the repo historically grew one ad-hoc entry
+    point per algorithm. A {!t} packages what every entry point needs:
+    the tree (whose markings carry the pre-existing set and initial
+    modes), the capacity [w], and the objective. {!Solver} implementors
+    consume this record; consumers (engine, CLI, bench, experiments)
+    build it once and dispatch through the {!Registry}. *)
+
+type objective =
+  | Min_servers
+      (** minimize the replica count ([MinCost-NoPre]; also the Eq. 2
+          objective with zero creation/deletion costs) *)
+  | Min_cost of Cost.basic  (** minimize Eq. 2 ([MinCost-WithPre]) *)
+  | Min_power of {
+      modes : Modes.t;
+      power : Power.t;
+      cost : Cost.modal;
+      bound : float;
+    }
+      (** minimize Eq. 3 subject to Eq. 4 <= [bound];
+          [bound = infinity] is the pure [MinPower] problem *)
+
+type t = { tree : Tree.t; w : int; objective : objective }
+
+val make : Tree.t -> w:int -> objective -> t
+(** @raise Invalid_argument if [w <= 0], or a [Min_power] ladder's
+    maximal capacity differs from [w]. *)
+
+val min_servers : Tree.t -> w:int -> t
+val min_cost : Tree.t -> w:int -> cost:Cost.basic -> t
+
+val min_power :
+  Tree.t ->
+  modes:Modes.t ->
+  power:Power.t ->
+  cost:Cost.modal ->
+  ?bound:float ->
+  unit ->
+  t
+(** [w] is the ladder's maximal capacity; [bound] defaults to
+    [infinity]. *)
+
+val bound : t -> float
+(** The cost bound ([infinity] for the cost objectives). *)
+
+val is_power : t -> bool
+
+val objective_name : objective -> string
+(** ["min-servers" | "min-cost" | "min-power"]. *)

@@ -1,0 +1,213 @@
+type exactness = Exact | Heuristic
+type access = Closest | Multiple_access | Upwards_access
+
+type capability = {
+  handles_cost : bool;
+  handles_power : bool;
+  handles_pre : bool;
+  handles_bound : bool;
+  exactness : exactness;
+  access : access;
+  supports_domains : bool;
+  supports_prune : bool;
+  supports_incremental : bool;
+  max_nodes : int option;
+}
+
+let capability ?(handles_cost = false) ?(handles_power = false)
+    ?(handles_pre = false) ?(handles_bound = false) ?(exactness = Heuristic)
+    ?(access = Closest) ?(supports_domains = false) ?(supports_prune = false)
+    ?(supports_incremental = false) ?max_nodes () =
+  if not (handles_cost || handles_power) then
+    invalid_arg "Solver.capability: must handle at least one objective";
+  {
+    handles_cost;
+    handles_power;
+    handles_pre;
+    handles_bound;
+    exactness;
+    access;
+    supports_domains;
+    supports_prune;
+    supports_incremental;
+    max_nodes;
+  }
+
+type memo = ..
+
+type request = {
+  domains : int option;
+  prune : bool option;
+  memo : memo option;
+  rng : Rng.t option;
+  rounds : int option;
+}
+
+let request ?domains ?prune ?memo ?rng ?rounds () =
+  { domains; prune; memo; rng; rounds }
+
+let default_request = request ()
+
+type outcome = {
+  solution : Solution.t;
+  objective_value : float;
+  cost : float option;
+  power : float option;
+  servers : int;
+  reused : int option;
+  counters : (string * int) list;
+  note : string option;
+}
+
+let outcome ?cost ?power ?reused ?note ~objective_value solution =
+  {
+    solution;
+    objective_value;
+    cost;
+    power;
+    servers = Solution.cardinal solution;
+    reused;
+    counters = [];
+    note;
+  }
+
+type t = {
+  name : string;
+  summary : string;
+  capability : capability;
+  solve : Problem.t -> request -> outcome option;
+  make_memo : (unit -> memo) option;
+  memo_size : (memo -> int) option;
+}
+
+(* --- registration --- *)
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let register s =
+  if String.length s.name = 0 then invalid_arg "Solver.register: empty name";
+  if Hashtbl.mem table s.name then
+    invalid_arg (Printf.sprintf "Solver.register: duplicate name %S" s.name);
+  Hashtbl.replace table s.name s;
+  order := s.name :: !order
+
+let find name = Hashtbl.find_opt table name
+let names () = List.rev !order
+let all () = List.rev_map (fun n -> Hashtbl.find table n) !order
+
+(* --- capability checking --- *)
+
+let mismatch s (p : Problem.t) =
+  let c = s.capability in
+  let fail fmt = Printf.ksprintf Option.some fmt in
+  match p.Problem.objective with
+  | Problem.Min_power { bound; _ } ->
+      if not c.handles_power then
+        fail "%s solves cost problems only (no power objective)" s.name
+      else if bound < infinity && not c.handles_bound then
+        fail "%s does not support a finite cost bound" s.name
+      else (
+        match c.max_nodes with
+        | Some n when Tree.size p.Problem.tree > n ->
+            fail "%s only accepts trees of at most %d nodes" s.name n
+        | _ -> None)
+  | Problem.Min_servers | Problem.Min_cost _ ->
+      if not c.handles_cost then
+        fail "%s solves power problems only (no cost objective)" s.name
+      else (
+        match c.max_nodes with
+        | Some n when Tree.size p.Problem.tree > n ->
+            fail "%s only accepts trees of at most %d nodes" s.name n
+        | _ -> None)
+
+let compatible s p =
+  match mismatch s p with None -> Ok () | Some e -> Error e
+
+let option_warnings s (r : request) =
+  let c = s.capability in
+  let w = ref [] in
+  if r.prune <> None && not c.supports_prune then
+    w := Printf.sprintf "%s has no dominance pruning; --prune ignored" s.name :: !w;
+  if r.domains <> None && not c.supports_domains then
+    w :=
+      Printf.sprintf "%s has no parallel merge; --domains ignored" s.name :: !w;
+  if r.memo <> None && not c.supports_incremental then
+    w :=
+      Printf.sprintf "%s cannot re-solve incrementally; memo ignored" s.name
+      :: !w;
+  List.rev !w
+
+let run s p r =
+  match mismatch s p with
+  | Some e -> Error e
+  | None ->
+      let before = Stats_counters.snapshot () in
+      let result = s.solve p r in
+      let counters = Stats_counters.diff before (Stats_counters.snapshot ()) in
+      Ok (Option.map (fun o -> { o with counters }) result)
+
+(* --- capability matrix (shared by `solve --list-algos`, DESIGN.md and
+   the doc-sync test; one renderer so the three can never drift) --- *)
+
+let yn b = if b then "yes" else "-"
+
+let solves_string c =
+  match (c.handles_cost, c.handles_power) with
+  | true, true -> "cost+power"
+  | true, false -> "cost"
+  | false, true -> "power"
+  | false, false -> "-"
+
+let exactness_string = function Exact -> "exact" | Heuristic -> "heuristic"
+
+let access_string = function
+  | Closest -> "closest"
+  | Multiple_access -> "multiple"
+  | Upwards_access -> "upwards"
+
+let matrix_header =
+  [
+    "name"; "solves"; "kind"; "access"; "pre"; "bound"; "prune"; "domains";
+    "memo"; "max N";
+  ]
+
+let capability_row s =
+  let c = s.capability in
+  [
+    s.name;
+    solves_string c;
+    exactness_string c.exactness;
+    access_string c.access;
+    yn c.handles_pre;
+    yn c.handles_bound;
+    yn c.supports_prune;
+    yn c.supports_domains;
+    yn c.supports_incremental;
+    (match c.max_nodes with Some n -> string_of_int n | None -> "-");
+  ]
+
+let matrix_markdown () =
+  let row cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep = row (List.map (fun _ -> "---") matrix_header) in
+  String.concat "\n"
+    (row matrix_header :: sep :: List.map (fun s -> row (capability_row s)) (all ()))
+  ^ "\n"
+
+let list_algos () =
+  let rows = matrix_header :: List.map capability_row (all ()) in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map (fun _ -> 0) matrix_header)
+      rows
+  in
+  let render row =
+    String.concat "  " (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths row)
+    (* right-trim so the table has no trailing spaces (cram-friendly) *)
+    |> fun line ->
+    let n = ref (String.length line) in
+    while !n > 0 && line.[!n - 1] = ' ' do decr n done;
+    String.sub line 0 !n
+  in
+  String.concat "\n" (List.map render rows) ^ "\n"

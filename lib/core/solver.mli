@@ -1,0 +1,159 @@
+(** First-class solver registry: one uniform seam between the problem
+    family ({!Problem}) and every algorithm in the library.
+
+    Each algorithm registers a {!t}: a name, a {!capability} descriptor
+    (which objectives it handles, whether it is exact, which execution
+    options it supports), and a [solve] function from {!Problem.t} and a
+    uniform {!request} to a uniform {!outcome}. Downstream layers — the
+    online engine, the CLI's [solve --algo], the bench harness and the
+    experiment sweeps — dispatch through {!find}/{!all} instead of
+    hard-coding per-algorithm match arms, so a new algorithm plugs in
+    once, here, and is immediately selectable everywhere.
+
+    This module owns only the mechanism; the built-in algorithms are
+    registered by {!Registry} (forcing that module populates the
+    table). The per-module [solve] signatures remain as the primary
+    implementations; registry entries are thin adapters over them. *)
+
+type exactness = Exact | Heuristic
+
+type access = Closest | Multiple_access | Upwards_access
+(** Access policy the solver places for (§2.1 situates the paper's
+    closest policy in this family). Solvers of different access
+    policies optimize different feasible sets and must not be
+    differentially compared. *)
+
+type capability = {
+  handles_cost : bool;  (** accepts [Min_servers] / [Min_cost] problems *)
+  handles_power : bool;  (** accepts [Min_power] problems *)
+  handles_pre : bool;
+      (** optimizes reuse of pre-existing servers (a [false] solver
+          still runs on marked trees; it just places obliviously) *)
+  handles_bound : bool;  (** accepts a finite Eq. 4 cost bound *)
+  exactness : exactness;
+      (** [Exact] = provably optimal on every problem it handles (for
+          [handles_pre = false] cost solvers: exact on the no-pre
+          objective) *)
+  access : access;
+  supports_domains : bool;  (** parallel sibling-subtree merges *)
+  supports_prune : bool;  (** dominance pruning toggle *)
+  supports_incremental : bool;
+      (** memoized incremental re-solving across epoch views *)
+  max_nodes : int option;  (** guard for exhaustive oracles *)
+}
+
+val capability :
+  ?handles_cost:bool ->
+  ?handles_power:bool ->
+  ?handles_pre:bool ->
+  ?handles_bound:bool ->
+  ?exactness:exactness ->
+  ?access:access ->
+  ?supports_domains:bool ->
+  ?supports_prune:bool ->
+  ?supports_incremental:bool ->
+  ?max_nodes:int ->
+  unit ->
+  capability
+(** Everything defaults to [false] / [Heuristic] / [Closest] / [None].
+    @raise Invalid_argument if neither objective is handled. *)
+
+type memo = ..
+(** Solver-private incremental state (extended per adapter); obtained
+    from {!t.make_memo} and threaded back through {!request.memo}. *)
+
+type request = {
+  domains : int option;  (** parallel fan-out (where supported) *)
+  prune : bool option;  (** force dominance pruning on/off *)
+  memo : memo option;  (** incremental re-solve cache *)
+  rng : Rng.t option;  (** randomness for stochastic heuristics *)
+  rounds : int option;
+      (** effort knob: local-search round / annealing iteration cap *)
+}
+
+val request :
+  ?domains:int ->
+  ?prune:bool ->
+  ?memo:memo ->
+  ?rng:Rng.t ->
+  ?rounds:int ->
+  unit ->
+  request
+
+val default_request : request
+
+type outcome = {
+  solution : Solution.t;
+  objective_value : float;
+      (** the problem's objective: servers, Eq. 2 cost, or Eq. 3 power *)
+  cost : float option;  (** Eq. 2 / Eq. 4 value where defined *)
+  power : float option;  (** Eq. 3 value where defined *)
+  servers : int;
+  reused : int option;
+  counters : (string * int) list;
+      (** {!Stats_counters} movement during the solve (filled by {!run}) *)
+  note : string option;  (** free-form diagnostics *)
+}
+
+val outcome :
+  ?cost:float ->
+  ?power:float ->
+  ?reused:int ->
+  ?note:string ->
+  objective_value:float ->
+  Solution.t ->
+  outcome
+(** Adapter helper; [servers] is derived, [counters] starts empty. *)
+
+type t = {
+  name : string;  (** CLI-facing identifier, e.g. ["dp-power"] *)
+  summary : string;  (** one line for [--list-algos] docs *)
+  capability : capability;
+  solve : Problem.t -> request -> outcome option;
+      (** [None] = no feasible solution (within the bound); capability
+          mismatches are the caller's to check ({!run} does). *)
+  make_memo : (unit -> memo) option;
+      (** present iff [supports_incremental] *)
+  memo_size : (memo -> int) option;
+      (** cached-table count for observability (iff incremental) *)
+}
+
+val register : t -> unit
+(** @raise Invalid_argument on an empty or duplicate name. *)
+
+val find : string -> t option
+val all : unit -> t list
+(** Registration order (stable; the CLI, bench tables and the DESIGN.md
+    matrix all present solvers in this order). *)
+
+val names : unit -> string list
+
+val mismatch : t -> Problem.t -> string option
+(** [Some reason] when the solver cannot solve this problem (wrong
+    objective, finite bound unsupported, tree above [max_nodes]). *)
+
+val compatible : t -> Problem.t -> (unit, string) result
+
+val option_warnings : t -> request -> string list
+(** Human-readable warnings for requested options the solver ignores
+    ([--prune], [--domains], memo) — the shared capability-mismatch UX
+    the CLI surfaces instead of silently dropping flags. *)
+
+val run : t -> Problem.t -> request -> (outcome option, string) result
+(** Capability check, then solve with the {!Stats_counters} movement
+    recorded into [outcome.counters]. [Error] is a {!mismatch} reason;
+    [Ok None] means the instance is infeasible. One registry lookup and
+    two counter snapshots per solve — nothing on the per-node path. *)
+
+(** {2 Capability matrix}
+
+    One renderer feeds [solve --list-algos], the DESIGN.md §2.11 matrix
+    and the doc-sync test, so the three cannot drift. *)
+
+val matrix_header : string list
+val capability_row : t -> string list
+val matrix_markdown : unit -> string
+(** GitHub-flavoured markdown table over {!all}. *)
+
+val list_algos : unit -> string
+(** Aligned plain-text table over {!all} (the [--list-algos] output). *)

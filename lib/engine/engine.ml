@@ -1,4 +1,5 @@
-type objective =
+type objective = Problem.objective =
+  | Min_servers
   | Min_cost of Cost.basic
   | Min_power of {
       modes : Modes.t;
@@ -14,12 +15,13 @@ type config = {
   objective : objective;
   policy : Update_policy.policy;
   solver : solver;
+  algo : string option;
   report_power : (Modes.t * Power.t) option;
 }
 
-let config ?(policy = Update_policy.Lazy) ?(solver = Incremental) ?report_power
-    ~w objective =
-  { w; objective; policy; solver; report_power }
+let config ?(policy = Update_policy.Lazy) ?(solver = Incremental) ?algo
+    ?report_power ~w objective =
+  { w; objective; policy; solver; algo; report_power }
 
 module Span = Replica_obs.Span
 module Histogram = Replica_obs.Histogram
@@ -34,9 +36,10 @@ let h_memo_ratio = Histogram.create "engine.memo_hit_ratio_pct"
 
 type t = {
   cfg : config;
+  entry_solver : Solver.t;  (* registry entry reconfigurations go through *)
   lat_h : Histogram.t;
-  wp_memo : Dp_withpre.memo option;
-  pw_memo : Dp_power.memo option;
+  memo : Solver.memo option;
+      (* solver-private incremental state, threaded back each epoch *)
   mutable placement : Solution.t;
   mutable placement_modes : (Tree.node * int) list;
       (* pre-existing set (with initial modes) the next solve starts from *)
@@ -46,22 +49,56 @@ type t = {
   mutable prev : Tree.t option;  (* previous epoch's demand tree *)
 }
 
+(* Capability validation at engine creation, without a demand tree in
+   hand yet: the objective/bound checks of {!Solver.mismatch} on the
+   configured entry. Failing here beats silently holding position every
+   epoch because the solver rejects the problem. *)
+let resolve_solver cfg =
+  let entry =
+    match cfg.algo with
+    | None -> Registry.default_for cfg.objective
+    | Some name -> (
+        match Registry.find name with
+        | Some s -> s
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Engine: unknown solver %S (see --list-algos)"
+                 name))
+  in
+  let c = entry.Solver.capability in
+  (match cfg.objective with
+  | Min_power { bound; _ } ->
+      if not c.Solver.handles_power then
+        invalid_arg
+          (Printf.sprintf "Engine: %s solves cost problems only"
+             entry.Solver.name);
+      if bound < infinity && not c.Solver.handles_bound then
+        invalid_arg
+          (Printf.sprintf "Engine: %s does not support a finite cost bound"
+             entry.Solver.name)
+  | Min_servers | Min_cost _ ->
+      if not c.Solver.handles_cost then
+        invalid_arg
+          (Printf.sprintf "Engine: %s solves power problems only"
+             entry.Solver.name));
+  entry
+
 let create cfg =
   if cfg.w <= 0 then invalid_arg "Engine: w must be positive";
   (match cfg.objective with
   | Min_power { modes; _ } when Modes.max_capacity modes <> cfg.w ->
       invalid_arg "Engine: w must equal the mode ladder's maximal capacity"
   | _ -> ());
+  let entry_solver = resolve_solver cfg in
   {
     cfg;
+    entry_solver;
     lat_h = Histogram.make "engine.epoch_solve_ns";
-    wp_memo =
-      (match (cfg.solver, cfg.objective) with
-      | Incremental, Min_cost _ -> Some (Dp_withpre.memo ())
-      | _ -> None);
-    pw_memo =
-      (match (cfg.solver, cfg.objective) with
-      | Incremental, Min_power _ -> Some (Dp_power.memo ())
+    memo =
+      (match (cfg.solver, entry_solver.Solver.make_memo) with
+      | Incremental, Some mk
+        when entry_solver.Solver.capability.Solver.supports_incremental ->
+          Some (mk ())
       | _ -> None);
     placement = Solution.empty;
     placement_modes = [];
@@ -73,10 +110,12 @@ let create cfg =
 
 let placement t = t.placement
 let epochs_served t = t.epoch
+let solver_name t = t.entry_solver.Solver.name
 
 let memo_tables t =
-  (match t.wp_memo with Some m -> Dp_withpre.memo_size m | None -> 0)
-  + match t.pw_memo with Some m -> Dp_power.memo_size m | None -> 0
+  match (t.memo, t.entry_solver.Solver.memo_size) with
+  | Some m, Some size -> size m
+  | _ -> 0
 
 (* Memo hit percentage over this epoch's solve, from the counter
    deltas; None when the solver consulted no memo at all. *)
@@ -97,7 +136,8 @@ let memo_hit_pct counters =
 let modes_in_force cfg tree solution =
   let ev = Solution.evaluate tree solution in
   match cfg.objective with
-  | Min_cost _ -> List.map (fun (j, _) -> (j, 1)) ev.Solution.loads
+  | Min_servers | Min_cost _ ->
+      List.map (fun (j, _) -> (j, 1)) ev.Solution.loads
   | Min_power { modes; _ } ->
       List.map
         (fun (j, load) -> (j, Modes.mode_of_load modes load))
@@ -111,17 +151,15 @@ let shortfall tree ~w servers =
 
 let solve_once t tree =
   let with_pre = Tree.with_pre_existing tree t.placement_modes in
-  match t.cfg.objective with
-  | Min_cost cost -> (
-      match Dp_withpre.solve ?memo:t.wp_memo with_pre ~w:t.cfg.w ~cost with
-      | Some r -> Some (r.Dp_withpre.solution, r.Dp_withpre.cost)
-      | None -> None)
-  | Min_power { modes; power; cost; bound } -> (
-      match
-        Dp_power.solve with_pre ~modes ~power ~cost ~bound ?memo:t.pw_memo ()
-      with
-      | Some r -> Some (r.Dp_power.solution, r.Dp_power.cost)
-      | None -> None)
+  let problem = Problem.make with_pre ~w:t.cfg.w t.cfg.objective in
+  let request = Solver.request ?memo:t.memo () in
+  (* [step] brackets this call with its own counter snapshots (the
+     timeline wants deltas even for failed solves), so invoke the
+     entry's solve directly rather than through {!Solver.run}. *)
+  match t.entry_solver.Solver.solve problem request with
+  | Some o ->
+      Some (o.Solver.solution, Option.value o.Solver.cost ~default:0.)
+  | None -> None
 
 let step t demand_tree =
   let tracing = Span.enabled () in
@@ -222,7 +260,7 @@ let step t demand_tree =
       match t.cfg.objective with
       | Min_power { modes; power; _ } ->
           Some (Solution.power demand_tree modes power t.placement)
-      | Min_cost _ -> (
+      | Min_servers | Min_cost _ -> (
           match t.cfg.report_power with
           | Some (modes, power) ->
               Some (Solution.power demand_tree modes power t.placement)

@@ -1,3 +1,5 @@
+module Json = Replica_obs.Json
+
 type latency = { p50 : float; p90 : float; p99 : float }
 
 type entry = {

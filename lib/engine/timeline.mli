@@ -12,7 +12,7 @@
 
     The same timeline backs three surfaces: the human-oriented
     {!print} used by [replica_cli trace] and [replica_cli engine], the
-    {!to_json} artifact (standard {!Json.envelope}, so
+    {!to_json} artifact (standard {!Replica_obs.Json.envelope}, so
     [BENCH_engine.json] shares the envelope of every other bench
     artifact), and the test suite's differential assertions. *)
 
@@ -72,9 +72,9 @@ val print : ?times:bool -> out_channel -> t -> unit
     deterministic for a fixed run — what the cram tests and examples
     pin. *)
 
-val to_json : ?config:(string * Json.t) list -> t -> Json.t
-(** The timeline as a {!Json.envelope} of kind ["engine_timeline"];
+val to_json : ?config:(string * Replica_obs.Json.t) list -> t -> Replica_obs.Json.t
+(** The timeline as a {!Replica_obs.Json.envelope} of kind ["engine_timeline"];
     [config] records the run configuration. *)
 
-val to_json_string : ?config:(string * Json.t) list -> t -> string
+val to_json_string : ?config:(string * Replica_obs.Json.t) list -> t -> string
 (** Pretty-printed {!to_json}. *)

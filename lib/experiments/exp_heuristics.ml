@@ -5,10 +5,19 @@ type config = {
   pre : int;
   seed : int;
   bound_fraction : float;
+  rounds : int;
 }
 
 let default_config ?(shape = Workload.Fat) () =
-  { shape; trees = 20; nodes = 40; pre = 4; seed = 1; bound_fraction = 0.35 }
+  {
+    shape;
+    trees = 20;
+    nodes = 40;
+    pre = 4;
+    seed = 1;
+    bound_fraction = 0.35;
+    rounds = 500;
+  }
 
 type row = {
   algorithm : string;
@@ -23,29 +32,23 @@ let time f =
   let result = f () in
   (Sys.time () -. start, result)
 
+(* Every registered power solver, in registration order: the exact DP
+   first (the reference the overheads are relative to), then the
+   heuristics. A newly registered power algorithm joins the ablation
+   with no change here. *)
+let solvers () =
+  List.filter
+    (fun (s : Solver.t) ->
+      let c = s.Solver.capability in
+      c.Solver.handles_power && (not c.Solver.handles_cost)
+      && c.Solver.max_nodes = None)
+    (Registry.all ())
+
 let run ?domains config =
   let modes = Modes.make [ 5; 10 ] in
   let power = Power.paper_exp3 ~modes in
   let cost = Cost.paper_cheap ~modes:2 in
   let master = Rng.create config.seed in
-  let solvers =
-    [
-      ( "dp (optimal)",
-        fun tree ~bound _rng -> Dp_power.solve tree ~modes ~power ~cost ~bound () );
-      ( "hill-climb",
-        fun tree ~bound _rng -> Heuristics.solve tree ~modes ~power ~cost ~bound () );
-      ( "multi-start",
-        fun tree ~bound rng ->
-          Heuristics.solve_restarts tree ~modes ~power ~cost ~bound rng );
-      ( "anneal",
-        fun tree ~bound rng ->
-          Heuristics.anneal tree ~modes ~power ~cost ~bound ~iterations:500 rng
-      );
-      ( "gr-sweep",
-        fun tree ~bound _rng -> Greedy_power.solve tree ~modes ~power ~cost ~bound ()
-      );
-    ]
-  in
   (* Instance setup (frontier sweep + reference optimum — the untimed
      DP work) fans out over domains; RNGs are split sequentially first
      so results are identical at any domain count. The timed solver
@@ -78,28 +81,32 @@ let run ?domains config =
   let instances = List.map fst prepared in
   let optima = List.map snd prepared in
   List.map
-    (fun (name, solve) ->
+    (fun (s : Solver.t) ->
       let overheads = ref [] and seconds = ref [] and solved = ref 0 in
       List.iter2
         (fun (tree, bound, rng) optimum ->
-          let elapsed, result = time (fun () -> solve tree ~bound (Rng.copy rng)) in
+          let problem = Problem.min_power tree ~modes ~power ~cost ~bound () in
+          let request =
+            Solver.request ~rng:(Rng.copy rng) ~rounds:config.rounds ()
+          in
+          let elapsed, result = time (fun () -> s.Solver.solve problem request) in
           seconds := elapsed :: !seconds;
           match (result, optimum) with
-          | Some r, Some opt ->
+          | Some (o : Solver.outcome), Some opt ->
               incr solved;
-              overheads :=
-                (100. *. ((r.Dp_power.power /. opt) -. 1.)) :: !overheads
+              let pw = Option.value o.Solver.power ~default:nan in
+              overheads := (100. *. ((pw /. opt) -. 1.)) :: !overheads
           | None, _ -> ()
           | Some _, None -> assert false)
         instances optima;
       {
-        algorithm = name;
+        algorithm = s.Solver.name;
         solved = !solved;
         avg_power_overhead_percent = Stats.mean !overheads;
         worst_power_overhead_percent = Stats.maximum !overheads;
         avg_seconds = Stats.mean !seconds;
       })
-    solvers
+    (solvers ())
 
 let to_table ?(no_time = false) rows =
   let table =

@@ -30,6 +30,20 @@ let time f =
   let result = f () in
   (Sys.time () -. start, result)
 
+(* Every registered closest-policy cost solver: the exact DPs, the
+   local search and the pre-oblivious greedy. Other access policies
+   (multiple, upwards) optimize a different feasible set and must not
+   be differentially compared; size-guarded exhaustive oracles are
+   excluded because the ablation runs well past tiny trees. *)
+let solvers () =
+  List.filter
+    (fun (s : Solver.t) ->
+      let c = s.Solver.capability in
+      c.Solver.handles_cost
+      && c.Solver.access = Solver.Closest
+      && c.Solver.max_nodes = None)
+    (Registry.all ())
+
 let run config =
   let w = Workload.capacity in
   let cost = config.cost in
@@ -43,24 +57,6 @@ let run config =
         in
         Generator.add_pre_existing rng t config.pre)
   in
-  let solvers =
-    [
-      ( "dp (optimal)",
-        fun tree ->
-          Option.map
-            (fun r -> r.Dp_withpre.cost)
-            (Dp_withpre.solve tree ~w ~cost) );
-      ( "local search",
-        fun tree ->
-          Option.map
-            (fun r -> r.Heuristics_cost.cost)
-            (Heuristics_cost.solve tree ~w ~cost ()) );
-      ( "greedy (oblivious)",
-        fun tree ->
-          Option.map (fun s -> Solution.basic_cost tree cost s) (Greedy.solve tree ~w)
-      );
-    ]
-  in
   let optima =
     List.map
       (fun tree ->
@@ -68,29 +64,34 @@ let run config =
       instances
   in
   List.map
-    (fun (name, solve) ->
+    (fun (s : Solver.t) ->
       let overheads = ref [] and seconds = ref [] and solved = ref 0 in
       List.iter2
         (fun tree optimum ->
-          let elapsed, result = time (fun () -> solve tree) in
+          let problem = Problem.min_cost tree ~w ~cost in
+          let elapsed, result =
+            time (fun () -> s.Solver.solve problem Solver.default_request)
+          in
           seconds := elapsed :: !seconds;
           match (result, optimum) with
-          | Some c, Some opt ->
+          | Some (o : Solver.outcome), Some opt ->
               incr solved;
+              let c = Option.value o.Solver.cost ~default:nan in
               overheads := (100. *. ((c /. opt) -. 1.)) :: !overheads
           | None, None -> ()
           | None, Some _ | Some _, None ->
-              (* All three solvers share one feasibility notion. *)
+              (* All closest-policy cost solvers share one feasibility
+                 notion. *)
               assert false)
         instances optima;
       {
-        algorithm = name;
+        algorithm = s.Solver.name;
         solved = !solved;
         avg_cost_overhead_percent = Stats.mean !overheads;
         worst_cost_overhead_percent = Stats.maximum !overheads;
         avg_seconds = Stats.mean !seconds;
       })
-    solvers
+    (solvers ())
 
 let to_table ?(no_time = false) rows =
   let table =

@@ -3,10 +3,12 @@
     Quantifies the §6 proposal of "faster (but sub-optimal) update
     heuristics" against the exact O(N^5) DP: for random trees with
     pre-existing servers, measure each solver's Eq. 2 cost overhead over
-    the DP optimum and its CPU time. Solvers: the DP (reference), the
-    {!Replica_core.Heuristics_cost} local search, and the raw greedy
-    (which ignores pre-existing servers entirely). Not a paper figure;
-    an ablation this library adds. *)
+    the DP optimum and its CPU time. The solver set is every
+    closest-policy cost solver in {!Replica_core.Registry} (greedy,
+    dp-nopre, dp-withpre, heuristic-cost — size-guarded oracles and
+    other access policies excluded), so a new cost algorithm joins the
+    ablation by registering. Not a paper figure; an ablation this
+    library adds. *)
 
 type config = {
   shape : Workload.shape;
@@ -30,6 +32,7 @@ type row = {
 }
 
 val run : config -> row list
+(** One row per registry cost solver, in registration order. *)
 
 val to_table : ?no_time:bool -> row list -> Table.t
 (** [no_time] prints ["-"] in the timing column — nondeterministic

@@ -11,6 +11,36 @@ let time f =
   let result = f () in
   (Sys.time () -. start, result)
 
+(* Registry solvers of the requested family that run at any scale:
+   closest-policy only (other access policies answer a different
+   question) and unguarded (the exhaustive oracle would not survive
+   these sizes). *)
+let registry_solvers ~power_family =
+  List.filter
+    (fun (s : Solver.t) ->
+      let c = s.Solver.capability in
+      c.Solver.access = Solver.Closest
+      && c.Solver.max_nodes = None
+      &&
+      if power_family then c.Solver.handles_power && not c.Solver.handles_cost
+      else c.Solver.handles_cost)
+    (Registry.all ())
+
+let measure (s : Solver.t) problem ~nodes ~pre_existing =
+  let seconds, outcome =
+    time (fun () -> s.Solver.solve problem Solver.default_request)
+  in
+  {
+    algorithm = s.Solver.name;
+    nodes;
+    pre_existing;
+    seconds;
+    servers =
+      (match outcome with
+      | Some (o : Solver.outcome) -> o.Solver.servers
+      | None -> -1);
+  }
+
 let measure_cost_algorithms ?(sizes = [ 20; 40; 80; 160 ]) ?(seed = 7) ~shape
     () =
   let w = Workload.capacity in
@@ -23,33 +53,10 @@ let measure_cost_algorithms ?(sizes = [ 20; 40; 80; 160 ]) ?(seed = 7) ~shape
       in
       let pre = nodes / 4 in
       let tree = Generator.add_pre_existing rng bare pre in
-      let gr_time, gr = time (fun () -> Greedy.solve tree ~w) in
-      let dpn_time, dpn = time (fun () -> Dp_nopre.solve tree ~w) in
-      let dpp_time, dpp = time (fun () -> Dp_withpre.solve tree ~w ~cost) in
-      let card = function Some s -> Solution.cardinal s | None -> -1 in
-      [
-        {
-          algorithm = "GR";
-          nodes;
-          pre_existing = pre;
-          seconds = gr_time;
-          servers = card gr;
-        };
-        {
-          algorithm = "DP-NoPre";
-          nodes;
-          pre_existing = pre;
-          seconds = dpn_time;
-          servers = card (Option.map (fun r -> r.Dp_nopre.solution) dpn);
-        };
-        {
-          algorithm = "DP-WithPre";
-          nodes;
-          pre_existing = pre;
-          seconds = dpp_time;
-          servers = card (Option.map (fun r -> r.Dp_withpre.solution) dpp);
-        };
-      ])
+      let problem = Problem.min_cost tree ~w ~cost in
+      List.map
+        (fun s -> measure s problem ~nodes ~pre_existing:pre)
+        (registry_solvers ~power_family:false))
     sizes
 
 let measure_power_dp ?(sizes = [ 10; 20; 30 ]) ?(pre = 3) ?(seed = 7) ~shape
@@ -57,26 +64,17 @@ let measure_power_dp ?(sizes = [ 10; 20; 30 ]) ?(pre = 3) ?(seed = 7) ~shape
   let modes = Modes.make [ 5; 10 ] in
   let power = Power.paper_exp3 ~modes in
   let cost = Cost.paper_cheap ~modes:2 in
-  List.map
+  List.concat_map
     (fun nodes ->
       let rng = Rng.create (seed + nodes) in
       let bare =
         Generator.random rng (Workload.profile shape ~nodes ~max_requests:5)
       in
       let tree = Generator.add_pre_existing rng ~mode:2 bare (min pre nodes) in
-      let seconds, solved =
-        time (fun () -> Dp_power.solve tree ~modes ~power ~cost ())
-      in
-      {
-        algorithm = "DP-Power";
-        nodes;
-        pre_existing = min pre nodes;
-        seconds;
-        servers =
-          (match solved with
-          | Some r -> Solution.cardinal r.Dp_power.solution
-          | None -> -1);
-      })
+      let problem = Problem.min_power tree ~modes ~power ~cost () in
+      List.map
+        (fun s -> measure s problem ~nodes ~pre_existing:(min pre nodes))
+        (registry_solvers ~power_family:true))
     sizes
 
 let to_table measurements =

@@ -18,13 +18,15 @@ type measurement = {
 
 val measure_cost_algorithms :
   ?sizes:int list -> ?seed:int -> shape:Workload.shape -> unit -> measurement list
-(** Time GR, DP-NoPre and DP-WithPre (with E = N/4 pre-existing) on one
-    random tree per size. Default sizes: [20; 40; 80; 160]. *)
+(** Time every closest-policy registry cost solver (greedy, dp-nopre,
+    dp-withpre, heuristic-cost; E = N/4 pre-existing) on one random
+    tree per size. Default sizes: [20; 40; 80; 160]. *)
 
 val measure_power_dp :
   ?sizes:int list -> ?pre:int -> ?seed:int -> shape:Workload.shape -> unit ->
   measurement list
-(** Time the bi-criteria power DP (modes {5, 10}) on one random tree per
-    size. Default sizes: [10; 20; 30]; [pre] defaults to 3. *)
+(** Time every registry power solver, exact DP first (modes {5, 10}),
+    on one random tree per size. Default sizes: [10; 20; 30]; [pre]
+    defaults to 3. *)
 
 val to_table : measurement list -> Table.t

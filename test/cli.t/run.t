@@ -35,6 +35,47 @@ The greedy baseline on the same instance:
   reused 0 of 2 pre-existing servers
   cost (Eq. 2): 0.020
 
+The registry is self-describing: --list-algos prints one row per
+registered solver with its capability flags (the same data as the
+DESIGN.md matrix):
+
+  $ replica_cli solve --list-algos
+  name            solves      kind       access    pre  bound  prune  domains  memo  max N
+  greedy          cost        exact      closest   -    -      -      -        -     -
+  dp-nopre        cost        exact      closest   -    -      -      -        -     -
+  dp-withpre      cost        exact      closest   yes  -      -      -        yes   -
+  heuristic-cost  cost        heuristic  closest   yes  -      -      -        -     -
+  dp-power        power       exact      closest   yes  yes    yes    yes      yes   -
+  gr-power        power       heuristic  closest   -    yes    -      -        -     -
+  heuristic       power       heuristic  closest   yes  yes    -      -        -     -
+  multi-start     power       heuristic  closest   yes  yes    -      -        -     -
+  anneal          power       heuristic  closest   yes  yes    -      -        -     -
+  multiple        cost        exact      multiple  -    -      -      -        -     -
+  upwards         cost        heuristic  upwards   -    -      -      -        -     -
+  brute           cost+power  exact      closest   yes  yes    -      -        -     20
+
+Capability mismatches share one error path and exit 2: an unknown
+name, or a finite cost bound on a solver that cannot honour it (the
+result would silently be a different problem's optimum):
+
+  $ replica_cli solve --algo nope --nodes 6 --seed 5 -w 8
+  replica_cli: unknown algorithm "nope" (try --list-algos for the registry)
+  [2]
+
+  $ replica_cli solve --algo greedy --nodes 6 --pre 2 --seed 5 -w 8 --bound 3
+  replica_cli: greedy does not support a finite cost bound
+  [2]
+
+Tuning flags a solver ignores warn (on stderr) instead of silently
+dropping; the solve still runs:
+
+  $ replica_cli solve --algo greedy --nodes 6 --pre 2 --seed 5 -w 8 --prune true
+  replica_cli: warning: greedy has no dominance pruning; --prune ignored
+  placement: 0 servers for 0 requests (W = 8)
+  deleted pre-existing servers: 1 5
+  reused 0 of 2 pre-existing servers
+  cost (Eq. 2): 0.020
+
 Experiment 1 at toy scale, as CSV:
 
   $ replica_cli exp1 -q --trees 2 --nodes 8 --seed 1 --csv
@@ -132,15 +173,16 @@ Update-policy ablation at toy scale:
   drift(0.20),5.25,1.00,0.00
 
 Power-heuristics ablation at toy scale (--no-time blanks the wall-clock
-column so the output is deterministic):
+column so the output is deterministic). Rows are registry entries under
+their registry names, in registration order:
 
   $ replica_cli heuristics --trees 2 --nodes 10 --pre 2 --seed 2 --csv --no-time
   algorithm,solved,avg overhead %,worst overhead %,avg seconds
-  dp (optimal),2,0.00,0.00,-
-  hill-climb,2,0.00,0.00,-
+  dp-power,2,0.00,0.00,-
+  gr-power,2,0.00,0.00,-
+  heuristic,2,0.00,0.00,-
   multi-start,2,0.00,0.00,-
   anneal,2,0.00,0.00,-
-  gr-sweep,2,0.00,0.00,-
 
 Experiment 3 at toy scale, as CSV:
 

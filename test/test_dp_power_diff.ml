@@ -51,14 +51,22 @@ let brute_power_cost t ~modes ~power ~cost ~bound =
       in
       Some (minp, minc)
 
+(* The solver under test is resolved through the registry (exercising
+   the adapter seam the engine/CLI/bench use), not called directly. *)
+let dp_power_entry =
+  match Registry.find "dp-power" with
+  | Some s -> s
+  | None -> failwith "dp-power not registered"
+
 let check_against_brute ~tag t ~modes ~power ~cost ~bound =
-  let dp = Dp_power.solve t ~modes ~power ~cost ~bound () in
+  let problem = Problem.min_power t ~modes ~power ~cost ~bound () in
+  let dp = dp_power_entry.Solver.solve problem Solver.default_request in
   let oracle = brute_power_cost t ~modes ~power ~cost ~bound in
   match (dp, oracle) with
   | None, None -> ()
   | Some d, Some (bp, bc) ->
-      check cf (tag ^ ": power") bp d.Dp_power.power;
-      check cf (tag ^ ": cost") bc d.Dp_power.cost
+      check cf (tag ^ ": power") bp (Option.value d.Solver.power ~default:nan);
+      check cf (tag ^ ": cost") bc (Option.value d.Solver.cost ~default:nan)
   | Some _, None -> Alcotest.fail (tag ^ ": dp found a phantom solution")
   | None, Some _ -> Alcotest.fail (tag ^ ": dp missed a solution")
 

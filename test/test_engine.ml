@@ -10,6 +10,7 @@ open Replica_tree
 open Replica_core
 open Replica_trace
 open Replica_engine
+module Json = Replica_obs.Json
 open Helpers
 
 let policies =

@@ -58,28 +58,46 @@ let trees_with_demands_up_to limit =
 
 let trees_with_demands () = trees_with_demands_up_to max_nodes
 
-let test_greedy_exhaustive () =
+(* Every exact closest-policy cost solver the registry offers at this
+   scale (greedy, dp-nopre, dp-withpre — the size-guarded oracle IS the
+   reference here) against Brute.min_servers on the full light-sweep
+   population. Registry-driven: a new exact cost solver joins this
+   sweep by registering. *)
+let scalable_exact_cost_solvers () =
+  List.filter
+    (fun (s : Solver.t) ->
+      let c = s.Solver.capability in
+      c.Solver.handles_cost
+      && c.Solver.exactness = Solver.Exact
+      && c.Solver.access = Solver.Closest
+      && c.Solver.max_nodes = None)
+    (Registry.all ())
+
+let test_registry_cost_exhaustive () =
+  let solvers = scalable_exact_cost_solvers () in
+  check cb "registry offers the exact cost solvers" true
+    (List.length solvers >= 3);
   let cases = ref 0 in
   List.iter
     (fun t ->
       incr cases;
-      let greedy = Greedy.solve_count t ~w in
       let brute = Option.map fst (Brute.min_servers t ~w) in
-      if greedy <> brute then
-        Alcotest.failf "greedy mismatch on %s: %s vs %s" (Tree.to_string t)
-          (match greedy with Some k -> string_of_int k | None -> "none")
-          (match brute with Some k -> string_of_int k | None -> "none"))
+      let problem = Problem.min_servers t ~w in
+      List.iter
+        (fun (s : Solver.t) ->
+          let got =
+            Option.map
+              (fun (o : Solver.outcome) -> o.Solver.servers)
+              (s.Solver.solve problem Solver.default_request)
+          in
+          if got <> brute then
+            Alcotest.failf "%s mismatch on %s: %s vs %s" s.Solver.name
+              (Tree.to_string t)
+              (match got with Some k -> string_of_int k | None -> "none")
+              (match brute with Some k -> string_of_int k | None -> "none"))
+        solvers)
     (trees_with_demands_up_to max_nodes_light);
   check cb "covered a real population" true (!cases > 20_000)
-
-let test_dp_nopre_exhaustive () =
-  List.iter
-    (fun t ->
-      let dp = Option.map (fun r -> r.Dp_nopre.servers) (Dp_nopre.solve t ~w) in
-      let brute = Option.map fst (Brute.min_servers t ~w) in
-      if dp <> brute then
-        Alcotest.failf "dp_nopre mismatch on %s" (Tree.to_string t))
-    (trees_with_demands_up_to max_nodes_light)
 
 let test_multiple_vs_closest_exhaustive () =
   List.iter
@@ -181,8 +199,8 @@ let () =
       ( "small scope",
         [
           Alcotest.test_case "shape census" `Quick test_shape_census;
-          Alcotest.test_case "greedy" `Slow test_greedy_exhaustive;
-          Alcotest.test_case "dp_nopre" `Slow test_dp_nopre_exhaustive;
+          Alcotest.test_case "registry cost solvers" `Slow
+            test_registry_cost_exhaustive;
           Alcotest.test_case "multiple vs closest" `Slow test_multiple_vs_closest_exhaustive;
           Alcotest.test_case "dp_withpre" `Slow test_dp_withpre_exhaustive;
           Alcotest.test_case "dp_power" `Slow test_dp_power_exhaustive;

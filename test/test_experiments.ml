@@ -259,14 +259,14 @@ let test_scaling_smoke () =
   let ms =
     Scaling.measure_cost_algorithms ~sizes:[ 12; 18 ] ~shape:Workload.Fat ()
   in
-  check ci "three algorithms x two sizes" 6 (List.length ms);
+  check ci "four registry cost solvers x two sizes" 8 (List.length ms);
   List.iter
     (fun m ->
       check cb "time non-negative" true (m.Scaling.seconds >= 0.);
       check cb "solved" true (m.Scaling.servers >= 0))
     ms;
   let power = Scaling.measure_power_dp ~sizes:[ 10 ] ~shape:Workload.Fat () in
-  check ci "one power point" 1 (List.length power)
+  check ci "five registry power solvers x one size" 5 (List.length power)
 
 let test_exp_policy_smoke () =
   let config =
@@ -327,7 +327,7 @@ let test_exp_heuristics_smoke () =
   let rows = Exp_heuristics.run config in
   check ci "five solvers" 5 (List.length rows);
   let dp = List.hd rows in
-  check Alcotest.string "dp first" "dp (optimal)" dp.Exp_heuristics.algorithm;
+  check Alcotest.string "dp first" "dp-power" dp.Exp_heuristics.algorithm;
   check cf "dp overhead zero" 0. dp.Exp_heuristics.avg_power_overhead_percent;
   List.iter
     (fun r ->
@@ -349,8 +349,10 @@ let test_exp_update_smoke () =
     }
   in
   let rows = Exp_update.run config in
-  check ci "three solvers" 3 (List.length rows);
-  let dp = List.hd rows in
+  check ci "four registry cost solvers" 4 (List.length rows);
+  let dp =
+    List.find (fun r -> r.Exp_update.algorithm = "dp-withpre") rows
+  in
   check cf "dp overhead zero" 0. dp.Exp_update.avg_cost_overhead_percent;
   List.iter
     (fun r ->
