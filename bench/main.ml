@@ -5,13 +5,16 @@
 
    Usage: bench/main.exe [section...]
    Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dp-stats engine
-   obs timing (default: all). The dp-stats section additionally writes a
-   machine-readable BENCH_dp_power.json with the solver's counter and
-   timer registry for the pruned and unpruned merge; the engine section
-   writes BENCH_engine.json comparing full vs incremental re-solving;
-   the obs section writes BENCH_obs.json quantifying the span-tracing
-   overhead (on, via interleaved paired runs with a noise floor; and
-   estimated when off) against its 2% budget.
+   qos obs timing (default: all). The dp-stats section additionally
+   writes a machine-readable BENCH_dp_power.json with the solver's
+   counter and timer registry for the pruned and unpruned merge; the
+   engine section writes BENCH_engine.json comparing full vs incremental
+   re-solving; the qos section writes BENCH_qos.json with feasible
+   fractions, server inflation and solve times for the constrained DP
+   under the tight/loose presets; the obs section writes BENCH_obs.json
+   quantifying the span-tracing overhead (on, via interleaved paired
+   runs with a noise floor; and estimated when off) against its 2%
+   budget.
    All artifacts share the versioned Replica_obs.Json.envelope, and
    every artifact is also appended to the local BENCH_history.jsonl
    (gitignored) through Replica_obs.Bench_history so any two past runs
@@ -388,6 +391,117 @@ let run_engine () =
     Printf.printf "wrote BENCH_engine.json\n"
   end
 
+(* --- Constrained placement: QoS/bandwidth regimes (BENCH_qos.json) --- *)
+
+let run_qos () =
+  if section_enabled "qos" then begin
+    banner "qos"
+      "constrained placement: feasible fraction, server inflation and solve \
+       time under the tight and loose QoS/bandwidth presets";
+    let open Replica_tree in
+    let open Replica_core in
+    let module J = Replica_obs.Json in
+    (* max_requests > w makes capacity the occasional true blocker, so
+       the feasible fraction is a real (deterministic) metric rather
+       than a constant 1. Constraints themselves never flip feasibility
+       under the closest policy — a server at every loaded node always
+       satisfies them — they only inflate the server count, which the
+       per-regime [servers_total] captures. *)
+    let nodes = 12 and instances = 50 and seed = 23 and w = 7 in
+    let cost = Cost.basic ~create:0.5 ~delete:0.25 () in
+    let trees =
+      List.init instances (fun i ->
+          let rng = Rng.create (seed + i) in
+          let t =
+            Generator.random rng
+              (Workload.profile Workload.Fat ~nodes ~max_requests:8)
+          in
+          Generator.add_pre_existing rng t 3)
+    in
+    (* Degeneracy gate: on these (unconstrained) trees dp-qos must be
+       bit-identical to dp-withpre — placement and cost. *)
+    let unconstrained_identical =
+      List.for_all
+        (fun t ->
+          match (Dp_qos.solve t ~w ~cost, Dp_withpre.solve t ~w ~cost) with
+          | Some q, Some p ->
+              Solution.equal q.Dp_qos.solution p.Dp_withpre.solution
+              && q.Dp_qos.cost = p.Dp_withpre.cost
+          | None, None -> true
+          | _ -> false)
+        trees
+    in
+    if not unconstrained_identical then
+      failwith "qos: dp-qos diverged from dp-withpre on unconstrained trees";
+    let greedy_agrees = ref true in
+    let regime name constrain =
+      Stats_counters.reset ();
+      let feasible = ref 0 and servers = ref 0 in
+      List.iteri
+        (fun i t ->
+          let rng = Rng.create ((1000 * seed) + i) in
+          let ct = constrain rng t in
+          let dp = Dp_qos.solve ct ~w ~cost in
+          (match dp with
+          | Some r ->
+              incr feasible;
+              servers := !servers + r.Dp_qos.servers
+          | None -> ());
+          if Greedy_qos.solve ct ~w <> None <> (dp <> None) then
+            greedy_agrees := false)
+        trees;
+      let ours prefix (k, _) = String.starts_with ~prefix k in
+      let counters =
+        List.filter (ours "dp_qos.") (Stats_counters.counters ())
+      in
+      let timers = List.filter (ours "dp_qos.") (Stats_counters.timers ()) in
+      let fraction = float_of_int !feasible /. float_of_int instances in
+      Printf.printf
+        "%s: %d/%d feasible (%.2f), %d servers total, %d merge products\n"
+        name !feasible instances fraction !servers
+        (try List.assoc "dp_qos.merge_products" counters with Not_found -> 0);
+      ( name,
+        J.Obj
+          ([
+             ("instances", J.Int instances);
+             ("feasible", J.Int !feasible);
+             ("feasible_fraction", J.Float fraction);
+             ("servers_total", J.Int !servers);
+           ]
+          @ List.map (fun (k, v) -> (k, J.Int v)) counters
+          @ List.map (fun (k, s) -> (k ^ ".seconds", J.Float s)) timers) )
+    in
+    let tight = regime "tight" Generator.tight_constraints in
+    let loose = regime "loose" Generator.loose_constraints in
+    if not !greedy_agrees then
+      failwith "qos: greedy-qos disagreed with dp-qos on feasibility";
+    Printf.printf
+      "greedy feasibility agreement and dp-withpre degeneracy: verified\n";
+    let json =
+      J.envelope ~kind:"qos"
+        ~config:
+          [
+            ("nodes", J.Int nodes);
+            ("instances", J.Int instances);
+            ("seed", J.Int seed);
+            ("w", J.Int w);
+            ("pre", J.Int 3);
+          ]
+        [
+          tight;
+          loose;
+          ("greedy_feasibility_agrees", J.Bool !greedy_agrees);
+          ("unconstrained_identical_to_dp_withpre", J.Bool unconstrained_identical);
+        ]
+    in
+    let oc = open_out "BENCH_qos.json" in
+    output_string oc (J.to_string ~pretty:true json);
+    output_char oc '\n';
+    close_out oc;
+    Replica_obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
+    Printf.printf "wrote BENCH_qos.json\n"
+  end
+
 (* --- Observability overhead (BENCH_obs.json) --- *)
 
 let run_obs () =
@@ -690,5 +804,6 @@ let () =
   run_ablation_modes ();
   run_dp_stats ();
   run_engine ();
+  run_qos ();
   run_obs ();
   run_timing ()

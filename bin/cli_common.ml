@@ -91,6 +91,39 @@ let make_tree ~shape ~nodes ~pre ~seed ~max_requests ~pre_mode =
   in
   Generator.add_pre_existing rng ~mode:pre_mode t pre
 
+(* --- QoS / bandwidth constraint flags (shared by generate, solve and
+   the engine's tightening variants) --- *)
+
+let qos_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "qos" ] ~docv:"Q"
+        ~doc:
+          "Bound every client's distance to its server at $(docv) hops \
+           ($(b,0) = a server at the attachment node).")
+
+let bw_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "bw" ] ~docv:"S"
+        ~doc:
+          "Cap every link at $(docv) times its subtree demand (slack \
+           factor; values below 1 make links bind).")
+
+let constrain_tree ~qos ~bw ~seed t =
+  let t =
+    match qos with
+    | None -> t
+    | Some q ->
+        if q < 0 then die "--qos must be non-negative";
+        Tree.with_qos t (fun _ _ -> q)
+  in
+  match bw with
+  | None -> t
+  | Some s ->
+      if s <= 0.0 then die "--bw must be positive";
+      Generator.add_bandwidth (Rng.create seed) t ~slack:s
+
 (* --- observability --- *)
 
 let trace_file_arg =

@@ -155,8 +155,45 @@ let engine_cmd =
              the output fully deterministic for a fixed seed (used by the \
              cram test). The JSON artifact always records solve times.")
   in
+  (* --qos Q[@E] / --bw S[@E]: constrain the epoch demand trees from
+     epoch E on (default 1 = the whole run), so a run can tighten QoS or
+     shrink bandwidth mid-trace. *)
+  let at_arg name docv doc =
+    let parse s =
+      let value, epoch =
+        match String.index_opt s '@' with
+        | None -> (s, "1")
+        | Some i ->
+            (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      in
+      match (float_of_string_opt value, int_of_string_opt epoch) with
+      | Some v, Some e when e >= 1 -> Ok (v, e)
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf "invalid --%s %S: expected VALUE or VALUE@EPOCH"
+                  name s))
+    in
+    let print ppf (v, e) = Format.fprintf ppf "%g@%d" v e in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ name ] ~docv ~doc)
+  in
+  let qos_at_arg =
+    at_arg "qos" "Q[@E]"
+      "Bound every client's distance to its server at Q hops, from epoch E \
+       on (default: the whole run). Cost objective only; selects \
+       $(b,dp-qos) unless $(b,--algo) says otherwise."
+  in
+  let bw_at_arg =
+    at_arg "bw" "S[@E]"
+      "Cap every link at S times its subtree demand, from epoch E on \
+       (default: the whole run). Cost objective only; selects $(b,dp-qos) \
+       unless $(b,--algo) says otherwise."
+  in
   let run shape nodes seed horizon window workload policy solver algo w power
-      bound json no_time trace_file metrics =
+      bound qos bw json no_time trace_file metrics =
     let open Replica_trace in
     let rng = Rng.create seed in
     let tree =
@@ -190,6 +227,24 @@ let engine_cmd =
           }
       else Engine.Min_cost (Cost.basic ~create:0.5 ~delete:0.25 ())
     in
+    let qos =
+      Option.map
+        (fun (q, e) ->
+          if Float.is_integer q && q >= 0. then (int_of_float q, e)
+          else die "--qos must be a non-negative integer")
+        qos
+    in
+    (match bw with
+    | Some (s, _) when s <= 0. -> die "--bw must be positive"
+    | _ -> ());
+    (* A constrained run needs a constraint-capable solver; default to
+       the constrained exact DP instead of dp-withpre. *)
+    let algo =
+      match (algo, qos, bw) with
+      | None, None, None -> None
+      | None, _, _ when not power -> Some "dp-qos"
+      | _ -> algo
+    in
     let cfg = Engine.config ~policy ~solver ?algo ~w objective in
     (* Capability problems (unknown --algo, wrong objective family, a
        finite bound the solver cannot honour) surface as
@@ -200,9 +255,22 @@ let engine_cmd =
     in
     Printf.printf "trace: %d requests over %.1f time units\n"
       (Trace.length trace) (Trace.duration trace);
+    let constrain i t =
+      let t =
+        match qos with
+        | Some (q, e) when i >= e -> Tree.with_qos t (fun _ _ -> q)
+        | _ -> t
+      in
+      match bw with
+      | Some (s, e) when i >= e ->
+          Generator.add_bandwidth (Rng.create seed) t ~slack:s
+      | _ -> t
+    in
     let timeline =
-      with_tracing trace_file (fun () ->
+      try
+        with_tracing trace_file (fun () ->
           let epochs = Epochs.epochs trace tree ~window in
+          let epochs = List.mapi (fun i t -> constrain (i + 1) t) epochs in
           let tl =
             Timeline.of_entries (List.map (Engine.step engine) epochs)
           in
@@ -212,6 +280,11 @@ let engine_cmd =
              always report obs.spans_dropped 0. *)
           Option.iter write_metrics metrics;
           tl)
+      with Invalid_argument msg ->
+        (* An epoch's constraints outran the solver's capability
+           (Engine.step's per-epoch guard): same exit-2 path as the
+           creation-time checks. *)
+        die "%s" msg
     in
     Timeline.print ~times:(not no_time) stdout timeline;
     Option.iter
@@ -256,5 +329,5 @@ let engine_cmd =
     Term.(
       const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
       $ window_arg $ workload_arg $ policy_arg $ solver_arg $ algo_arg
-      $ w_arg $ power_flag $ bound_arg $ json_arg $ no_time_flag
-      $ trace_file_arg $ metrics_file_arg)
+      $ w_arg $ power_flag $ bound_arg $ qos_at_arg $ bw_at_arg $ json_arg
+      $ no_time_flag $ trace_file_arg $ metrics_file_arg)

@@ -12,9 +12,10 @@ let cmd =
   let algo_arg =
     (* Plain string, resolved through the registry at run time: an
        unknown name exits 2 through the shared error path rather than
-       cmdliner's usage error. *)
+       cmdliner's usage error. Defaults to dp-withpre, or dp-qos when
+       the instance carries --qos/--bw constraints. *)
     Arg.(
-      value & opt string "dp-withpre"
+      value & opt (some string) None
       & info [ "algo" ] ~docv:"ALGO" ~doc:(algo_doc ()))
   in
   let list_algos_flag =
@@ -54,11 +55,16 @@ let cmd =
              (default: automatic — on exactly where it is provably \
              exact).")
   in
-  let run shape nodes pre seed algo bound w verbose stats prune domains trace
-      list_algos =
+  let run shape nodes pre seed qos bw algo bound w verbose stats prune domains
+      trace list_algos =
     if list_algos then print_string (Registry.list_algos ())
     else begin
       setup_logs verbose;
+      let algo =
+        match algo with
+        | Some a -> a
+        | None -> if qos <> None || bw <> None then "dp-qos" else "dp-withpre"
+      in
       let solver = resolve_algo algo in
       let cap = solver.Solver.capability in
       (* Shared capability-mismatch UX: a finite bound on a solver that
@@ -71,6 +77,7 @@ let cmd =
         (fun msg -> warn "%s" msg)
         (Solver.option_warnings solver (Solver.request ?prune ?domains ()));
       let t = make_tree ~shape ~nodes ~pre ~seed ~max_requests:5 ~pre_mode:2 in
+      let t = constrain_tree ~qos ~bw ~seed t in
       let modes =
         if w >= 2 then Modes.make [ w / 2; w ] else Modes.make [ w ]
       in
@@ -111,6 +118,6 @@ let cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve one random instance with a chosen algorithm.")
     Term.(
-      const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ algo_arg
-      $ bound_arg $ w_arg $ verbose_flag $ stats_flag $ prune_arg
-      $ domains_arg $ trace_file_arg $ list_algos_flag)
+      const run $ shape_arg $ nodes_arg 20 $ pre_arg 3 $ seed_arg $ qos_arg
+      $ bw_arg $ algo_arg $ bound_arg $ w_arg $ verbose_flag $ stats_flag
+      $ prune_arg $ domains_arg $ trace_file_arg $ list_algos_flag)

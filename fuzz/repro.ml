@@ -2,7 +2,12 @@ open Replica_tree
 open Replica_core
 
 let () =
-  for seed = 1 to 20000 do
+  (* `repro.exe [instances]` — the budget is an argv so CI can time-box
+     the sweep (default keeps the historical 20000). *)
+  let total =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 20000
+  in
+  for seed = 1 to total do
     let rng = Rng.create seed in
     let nodes = 2 + Rng.int rng 10 in
     let profile =

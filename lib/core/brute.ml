@@ -2,6 +2,8 @@ let max_nodes = 20
 
 let c_masks = Stats_counters.counter "brute.masks_scanned"
 let c_valid = Stats_counters.counter "brute.valid_placements"
+let c_qos_rejected = Stats_counters.counter "brute.qos_rejected"
+let c_bw_rejected = Stats_counters.counter "brute.bw_rejected"
 let t_scan = Stats_counters.timer "brute.scan"
 
 let fold_valid tree ~w ~init ~f =
@@ -10,7 +12,7 @@ let fold_valid tree ~w ~init ~f =
     invalid_arg "Brute.fold_valid: tree too large for exhaustive search";
   Stats_counters.time t_scan (fun () ->
       let acc = ref init in
-      let valid = ref 0 in
+      let valid = ref 0 and qos_rej = ref 0 and bw_rej = ref 0 in
       for mask = 0 to (1 lsl n) - 1 do
         let nodes = ref [] in
         for j = n - 1 downto 0 do
@@ -21,10 +23,19 @@ let fold_valid tree ~w ~init ~f =
         | Ok ev ->
             incr valid;
             acc := f !acc sol ev
-        | Error _ -> ()
+        | Error vs ->
+            if List.exists (function Solution.Qos_violated _ -> true | _ -> false) vs
+            then incr qos_rej;
+            if
+              List.exists
+                (function Solution.Link_overloaded _ -> true | _ -> false)
+                vs
+            then incr bw_rej
       done;
       Stats_counters.add c_masks (1 lsl n);
       Stats_counters.add c_valid !valid;
+      Stats_counters.add c_qos_rejected !qos_rej;
+      Stats_counters.add c_bw_rejected !bw_rej;
       !acc)
 
 let argmin tree ~w ~value =

@@ -1,0 +1,207 @@
+(* QoS- and bandwidth-constrained MinCost DP for the closest policy,
+   after Rehn-Sonigo (arXiv 0706.3350), structured like {!Dp_withpre}:
+   one bottom-up table per node, indexed by (pre-existing reused, new
+   servers) strictly below the node.
+
+   Under the closest policy every client whose requests are still
+   flowing at node [j] will be served by one common server somewhere on
+   the path from [j] to the root. Two quantities therefore summarize a
+   partial placement below [j] exactly: the [flow] leaving [j] upward,
+   and the [slack] — the number of additional hops above [j] the
+   eventual server may sit, i.e. the minimum over unserved clients of
+   (QoS bound - hops already travelled). [Tree.unbounded] slack means no
+   flowing client is QoS-constrained (in particular whenever flow = 0).
+
+   Neither coordinate dominates the other (absorbing a child early costs
+   a server but resets flow AND slack), so each (e, n) cell holds a
+   Pareto frontier of (flow, slack) pairs: minimal flow, maximal slack.
+   The frontier is at most min (w+1) (height+2) entries — in the
+   unconstrained regime every slack is [Tree.unbounded], the frontier
+   has one entry, and the program degenerates to exactly {!Dp_withpre}'s
+   recurrence.
+
+   Transitions, for a child [c] folded into its parent:
+   - pass up: flow crosses the link [c -> parent], so it must fit
+     [Tree.bandwidth c], and slack must be >= 1 (it decrements: the
+     server moved one hop further from every flowing client);
+   - place at [c]: always legal — flow <= w holds for every cell by
+     construction and slack >= 0 is an invariant — and yields
+     (flow 0, unbounded slack) one server up.
+   At the root a positive-flow cell forces a root server, exactly as in
+   {!Dp_withpre}. *)
+
+let c_cells = Stats_counters.counter "dp_qos.cells_created"
+let c_products = Stats_counters.counter "dp_qos.merge_products"
+let c_capacity = Stats_counters.counter "dp_qos.capacity_rejected"
+let c_qos = Stats_counters.counter "dp_qos.qos_rejected"
+let c_bw = Stats_counters.counter "dp_qos.bw_rejected"
+let c_peak = Stats_counters.counter "dp_qos.peak_frontier"
+let t_tables = Stats_counters.timer "dp_qos.tables"
+
+module Span = Replica_obs.Span
+
+type entry = { flow : int; slack : int; placed : (int * int) Clist.t }
+
+type table = {
+  pre_cap : int;
+  new_cap : int;
+  (* cells.(e).(n): Pareto frontier, flow strictly increasing and slack
+     strictly increasing (no entry dominates another). *)
+  cells : entry list array array;
+}
+
+type result = {
+  solution : Solution.t;
+  cost : float;
+  servers : int;
+  reused : int;
+}
+
+let make_table pre_cap new_cap =
+  { pre_cap; new_cap; cells = Array.make_matrix (pre_cap + 1) (new_cap + 1) [] }
+
+let dec_slack s = if s = Tree.unbounded then s else s - 1
+
+(* Insert keeping the frontier Pareto-minimal (min flow, max slack). *)
+let insert t e n candidate =
+  let rec go = function
+    | [] -> Some [ candidate ]
+    | x :: _ when x.flow <= candidate.flow && x.slack >= candidate.slack ->
+        None (* dominated *)
+    | x :: rest when candidate.flow <= x.flow && candidate.slack >= x.slack ->
+        go rest (* x is dominated; drop it *)
+    | x :: rest when x.flow < candidate.flow -> (
+        match go rest with None -> None | Some r -> Some (x :: r))
+    | frontier -> Some (candidate :: frontier)
+  in
+  match go t.cells.(e).(n) with
+  | None -> ()
+  | Some frontier ->
+      t.cells.(e).(n) <- frontier;
+      Stats_counters.incr c_cells
+
+let iter_entries t f =
+  for e = 0 to t.pre_cap do
+    for n = 0 to t.new_cap do
+      List.iter (fun x -> f e n x) t.cells.(e).(n)
+    done
+  done
+
+let rec table_of tree ~w j =
+  let start = make_table 0 0 in
+  let client = Tree.client_load tree j in
+  if client <= w then begin
+    let slack = if client = 0 then Tree.unbounded else Tree.qos_radius tree j in
+    start.cells.(0).(0) <- [ { flow = client; slack; placed = Clist.empty } ];
+    Stats_counters.incr c_cells
+  end;
+  List.fold_left (merge tree ~w) start (Tree.children tree j)
+
+and merge tree ~w left c =
+  let sub = table_of tree ~w c in
+  let c_pre = Tree.is_pre_existing tree c in
+  let bw = Tree.bandwidth tree c in
+  let extended =
+    make_table
+      (sub.pre_cap + if c_pre then 1 else 0)
+      (sub.new_cap + if c_pre then 0 else 1)
+  in
+  iter_entries sub (fun e n x ->
+      (* Pass the flow up through the link c -> parent. *)
+      if x.flow = 0 then insert extended e n x
+      else if x.flow > bw then Stats_counters.incr c_bw
+      else if x.slack < 1 then Stats_counters.incr c_qos
+      else insert extended e n { x with slack = dec_slack x.slack };
+      (* Place a server at c: flow <= w and slack >= 0 by invariant. *)
+      let absorbed =
+        {
+          flow = 0;
+          slack = Tree.unbounded;
+          placed = Clist.snoc x.placed (c, x.flow);
+        }
+      in
+      if c_pre then insert extended (e + 1) n absorbed
+      else insert extended e (n + 1) absorbed);
+  let merged =
+    make_table (left.pre_cap + extended.pre_cap)
+      (left.new_cap + extended.new_cap)
+  in
+  let products = ref 0 and rejected = ref 0 and live = ref 0 in
+  iter_entries left (fun e1 n1 l ->
+      iter_entries extended (fun e2 n2 r ->
+          incr products;
+          let flow = l.flow + r.flow in
+          if flow <= w then
+            insert merged (e1 + e2) (n1 + n2)
+              {
+                flow;
+                slack = min l.slack r.slack;
+                placed = Clist.append l.placed r.placed;
+              }
+          else incr rejected));
+  Stats_counters.add c_products !products;
+  Stats_counters.add c_capacity !rejected;
+  iter_entries merged (fun _ _ _ -> incr live);
+  Stats_counters.record_max c_peak !live;
+  merged
+
+let solve tree ~w ~cost =
+  if w <= 0 then invalid_arg "Dp_qos: w must be positive";
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_qos.solve";
+  let root = Tree.root tree in
+  let table = Stats_counters.time t_tables (fun () -> table_of tree ~w root) in
+  let pre_total = Tree.num_pre_existing tree in
+  let root_pre = Tree.is_pre_existing tree root in
+  let best = ref None in
+  let consider value servers reused placed root_used =
+    match !best with
+    | Some (v, _, _, _, _) when v <= value -> ()
+    | _ -> best := Some (value, servers, reused, placed, root_used)
+  in
+  iter_entries table (fun e n x ->
+      if x.flow = 0 then begin
+        consider
+          (Cost.basic_cost cost ~servers:(e + n) ~reused:e
+             ~pre_existing:pre_total)
+          (e + n) e x.placed false;
+        if root_pre then
+          consider
+            (Cost.basic_cost cost ~servers:(e + n + 1) ~reused:(e + 1)
+               ~pre_existing:pre_total)
+            (e + n + 1) (e + 1) x.placed true
+      end
+      else begin
+        (* flow <= w and slack >= 0 by invariant: a root server serves
+           every remaining client within its QoS budget. *)
+        let reused = e + if root_pre then 1 else 0 in
+        consider
+          (Cost.basic_cost cost ~servers:(e + n + 1) ~reused
+             ~pre_existing:pre_total)
+          (e + n + 1) reused x.placed true
+      end);
+  let result =
+    match !best with
+    | None -> None
+    | Some (value, servers, reused, placed, root_used) ->
+        let nodes = List.map fst (Clist.to_list placed) in
+        let nodes = if root_used then root :: nodes else nodes in
+        Some
+          { solution = Solution.of_nodes nodes; cost = value; servers; reused }
+  in
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int (Tree.size tree));
+          ("w", Span.Int w);
+          ("constrained", Span.Bool (Tree.is_constrained tree));
+          ("solved", Span.Bool (result <> None));
+        ]
+      ();
+  result
+
+let min_servers tree ~w =
+  Option.map
+    (fun r -> (r.servers, r.solution))
+    (solve tree ~w ~cost:(Cost.basic ()))

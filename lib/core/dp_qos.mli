@@ -1,0 +1,32 @@
+(** Exact MinCost/MinServers DP under per-client QoS and per-link
+    bandwidth constraints, closest policy (Rehn-Sonigo, arXiv
+    0706.3350).
+
+    Same bottom-up shape as {!Dp_withpre} — one table per node indexed
+    by (reused pre-existing, new servers) strictly below it — but each
+    cell holds a Pareto frontier of (upward flow, QoS slack) pairs:
+    the slack is the number of extra hops the eventual server of the
+    still-flowing clients may sit above the current node. Passing flow
+    up a link consumes one hop of slack and must fit the link's
+    bandwidth; placing a server resets both. On unconstrained trees
+    every slack is {!Tree.unbounded}, frontiers have one entry, and the
+    recurrence degenerates to {!Dp_withpre}'s — identical placements,
+    identical table shape.
+
+    Complexity: O(N * E * (N-E) * F^2) merge products where F <=
+    min (w+1) (height+2) is the frontier bound. No incremental memo. *)
+
+type result = {
+  solution : Solution.t;
+  cost : float;  (** Eq. 2 value of [solution] *)
+  servers : int;
+  reused : int;
+}
+
+val solve : Tree.t -> w:int -> cost:Cost.basic -> result option
+(** Cost-optimal constrained placement, or [None] when no placement
+    satisfies capacity, QoS and bandwidth simultaneously.
+    @raise Invalid_argument if [w <= 0]. *)
+
+val min_servers : Tree.t -> w:int -> (int * Solution.t) option
+(** {!solve} under the unit cost model: minimal replica count. *)

@@ -130,6 +130,48 @@ let heuristic_cost =
     memo_size = None;
   }
 
+(* --- constrained cost solvers (QoS + bandwidth, closest policy) --- *)
+
+let dp_qos =
+  {
+    Solver.name = "dp-qos";
+    summary = "QoS/bandwidth-constrained exact DP (Rehn-Sonigo, closest)";
+    capability =
+      cap ~handles_cost:true ~handles_pre:true ~handles_qos:true
+        ~handles_bw:true ~exactness:Solver.Exact ();
+    solve =
+      (fun p _ ->
+        let cost =
+          match p.Problem.objective with
+          | Problem.Min_cost c -> c
+          | _ -> Cost.basic ()
+        in
+        Option.map
+          (fun (res : Dp_qos.result) ->
+            Solver.outcome ~cost:res.Dp_qos.cost ~reused:res.Dp_qos.reused
+              ~objective_value:
+                (match p.Problem.objective with
+                | Problem.Min_cost _ -> res.Dp_qos.cost
+                | _ -> float_of_int res.Dp_qos.servers)
+              res.Dp_qos.solution)
+          (Dp_qos.solve p.Problem.tree ~w:p.Problem.w ~cost));
+    make_memo = None;
+    memo_size = None;
+  }
+
+let greedy_qos =
+  {
+    Solver.name = "greedy-qos";
+    summary = "constraint-aware greedy; feasibility-complete, not optimal";
+    capability = cap ~handles_cost:true ~handles_qos:true ~handles_bw:true ();
+    solve =
+      (fun p _ ->
+        Option.map (cost_outcome p)
+          (Greedy_qos.solve p.Problem.tree ~w:p.Problem.w));
+    make_memo = None;
+    memo_size = None;
+  }
+
 (* --- power solvers --- *)
 
 let dp_power =
@@ -255,8 +297,8 @@ let brute =
     summary = "exhaustive subset enumeration (test oracle, tiny trees)";
     capability =
       cap ~handles_cost:true ~handles_power:true ~handles_pre:true
-        ~handles_bound:true ~exactness:Solver.Exact ~max_nodes:Brute.max_nodes
-        ();
+        ~handles_bound:true ~handles_qos:true ~handles_bw:true
+        ~exactness:Solver.Exact ~max_nodes:Brute.max_nodes ();
     solve =
       (fun p _ ->
         match p.Problem.objective with
@@ -286,6 +328,8 @@ let () =
       dp_nopre;
       dp_withpre;
       heuristic_cost;
+      dp_qos;
+      greedy_qos;
       dp_power;
       gr_power;
       hill_climb;

@@ -16,6 +16,14 @@ let violations_section buf tree ~w solution =
           | Solution.Overloaded (j, load) ->
               add buf
                 (Printf.sprintf "  node %d overloaded: %d > %d\n" j load w)
+          | Solution.Qos_violated (j, dist) ->
+              add buf
+                (Printf.sprintf "  node %d clients served %d hops away (QoS %d)\n"
+                   j dist (Tree.qos_radius tree j))
+          | Solution.Link_overloaded (j, f) ->
+              add buf
+                (Printf.sprintf "  link %d->parent overloaded: %d > %d\n" j f
+                   (Tree.bandwidth tree j))
           | Solution.Unserved r ->
               add buf (Printf.sprintf "  %d requests unserved\n" r))
         violations

@@ -48,7 +48,57 @@ let server_of tree t j =
   in
   up j
 
-type violation = Overloaded of Tree.node * int | Unserved of int
+type violation =
+  | Overloaded of Tree.node * int
+  | Qos_violated of Tree.node * int
+  | Link_overloaded of Tree.node * int
+  | Unserved of int
+
+(* QoS and bandwidth checks (gated on the tree actually carrying
+   constraints, so unconstrained validation costs nothing extra): one
+   postorder pass recovers the per-link flows, one preorder pass the
+   depth of the nearest server at-or-above each node. A node's clients
+   violate QoS when their server sits more than [qos_radius] hops above
+   the attachment node; clients with no server at all are reported as
+   [Unserved], not as a QoS violation. *)
+let constrained_violations tree t =
+  if not (Tree.is_constrained tree) then []
+  else begin
+    let n = Tree.size tree in
+    let flow = Array.make n 0 in
+    Array.iter
+      (fun j ->
+        let arriving =
+          List.fold_left
+            (fun acc c -> acc + flow.(c))
+            (Tree.client_load tree j)
+            (Tree.children tree j)
+        in
+        flow.(j) <- (if IntSet.mem j t then 0 else arriving))
+      (Tree.postorder tree);
+    (* near.(j) = depth of the closest server at-or-above j, or -1. *)
+    let near = Array.make n (-1) in
+    Array.iter
+      (fun j ->
+        if IntSet.mem j t then near.(j) <- Tree.depth tree j
+        else
+          match Tree.parent tree j with
+          | None -> ()
+          | Some p -> near.(j) <- near.(p))
+      (Tree.preorder tree);
+    let qos = ref [] and links = ref [] in
+    for j = n - 1 downto 0 do
+      let radius = Tree.qos_radius tree j in
+      if radius <> Tree.unbounded && Tree.client_load tree j > 0
+         && near.(j) >= 0 then begin
+        let dist = Tree.depth tree j - near.(j) in
+        if dist > radius then qos := Qos_violated (j, dist) :: !qos
+      end;
+      if j > 0 && flow.(j) > Tree.bandwidth tree j then
+        links := Link_overloaded (j, flow.(j)) :: !links
+    done;
+    !qos @ !links
+  end
 
 let validate tree ~w t =
   let ev = evaluate tree t in
@@ -57,6 +107,7 @@ let validate tree ~w t =
       (fun (j, load) -> if load > w then Some (Overloaded (j, load)) else None)
       ev.loads
   in
+  let violations = violations @ constrained_violations tree t in
   let violations =
     if ev.unserved > 0 then violations @ [ Unserved ev.unserved ]
     else violations

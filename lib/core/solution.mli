@@ -41,11 +41,20 @@ val server_of : Tree.t -> t -> Tree.node -> Tree.node option
 
 type violation =
   | Overloaded of Tree.node * int  (** replica load exceeds the capacity *)
+  | Qos_violated of Tree.node * int
+      (** a node's clients are served this many hops away, beyond their
+          {!Tree.qos_radius} *)
+  | Link_overloaded of Tree.node * int
+      (** flow on the link [node -> parent] exceeds {!Tree.bandwidth} *)
   | Unserved of int  (** this many requests reach past the root *)
 
 val validate : Tree.t -> w:int -> t -> (evaluation, violation list) result
-(** Check the capacity constraint (Eq. 1) for maximal capacity [w] and
-    that every client is served. *)
+(** Check the capacity constraint (Eq. 1) for maximal capacity [w], the
+    QoS and link-bandwidth constraints where the tree carries them
+    (Rehn-Sonigo, arXiv 0706.3350), and that every client is served.
+    Nodes whose clients have no server at all contribute to [Unserved]
+    only, never to [Qos_violated]. Constraint checks are skipped
+    entirely on unconstrained trees. *)
 
 val is_valid : Tree.t -> w:int -> t -> bool
 

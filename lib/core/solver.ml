@@ -6,6 +6,8 @@ type capability = {
   handles_power : bool;
   handles_pre : bool;
   handles_bound : bool;
+  handles_qos : bool;
+  handles_bw : bool;
   exactness : exactness;
   access : access;
   supports_domains : bool;
@@ -15,8 +17,9 @@ type capability = {
 }
 
 let capability ?(handles_cost = false) ?(handles_power = false)
-    ?(handles_pre = false) ?(handles_bound = false) ?(exactness = Heuristic)
-    ?(access = Closest) ?(supports_domains = false) ?(supports_prune = false)
+    ?(handles_pre = false) ?(handles_bound = false) ?(handles_qos = false)
+    ?(handles_bw = false) ?(exactness = Heuristic) ?(access = Closest)
+    ?(supports_domains = false) ?(supports_prune = false)
     ?(supports_incremental = false) ?max_nodes () =
   if not (handles_cost || handles_power) then
     invalid_arg "Solver.capability: must handle at least one objective";
@@ -25,6 +28,8 @@ let capability ?(handles_cost = false) ?(handles_power = false)
     handles_power;
     handles_pre;
     handles_bound;
+    handles_qos;
+    handles_bw;
     exactness;
     access;
     supports_domains;
@@ -101,25 +106,32 @@ let all () = List.rev_map (fun n -> Hashtbl.find table n) !order
 let mismatch s (p : Problem.t) =
   let c = s.capability in
   let fail fmt = Printf.ksprintf Option.some fmt in
+  (* Shared guards: size cap and constraint capability. A solver that
+     cannot enforce a constraint the tree carries would silently return
+     invalid placements — reject instead. *)
+  let tree_guards () =
+    let tree = p.Problem.tree in
+    if Tree.has_qos tree && not c.handles_qos then
+      fail "%s cannot enforce the tree's QoS bounds" s.name
+    else if Tree.has_bandwidth tree && not c.handles_bw then
+      fail "%s cannot enforce the tree's link bandwidth caps" s.name
+    else
+      match c.max_nodes with
+      | Some n when Tree.size tree > n ->
+          fail "%s only accepts trees of at most %d nodes" s.name n
+      | _ -> None
+  in
   match p.Problem.objective with
   | Problem.Min_power { bound; _ } ->
       if not c.handles_power then
         fail "%s solves cost problems only (no power objective)" s.name
       else if bound < infinity && not c.handles_bound then
         fail "%s does not support a finite cost bound" s.name
-      else (
-        match c.max_nodes with
-        | Some n when Tree.size p.Problem.tree > n ->
-            fail "%s only accepts trees of at most %d nodes" s.name n
-        | _ -> None)
+      else tree_guards ()
   | Problem.Min_servers | Problem.Min_cost _ ->
       if not c.handles_cost then
         fail "%s solves power problems only (no cost objective)" s.name
-      else (
-        match c.max_nodes with
-        | Some n when Tree.size p.Problem.tree > n ->
-            fail "%s only accepts trees of at most %d nodes" s.name n
-        | _ -> None)
+      else tree_guards ()
 
 let compatible s p =
   match mismatch s p with None -> Ok () | Some e -> Error e
@@ -168,8 +180,8 @@ let access_string = function
 
 let matrix_header =
   [
-    "name"; "solves"; "kind"; "access"; "pre"; "bound"; "prune"; "domains";
-    "memo"; "max N";
+    "name"; "solves"; "kind"; "access"; "pre"; "bound"; "qos"; "bw"; "prune";
+    "domains"; "memo"; "max N";
   ]
 
 let capability_row s =
@@ -181,6 +193,8 @@ let capability_row s =
     access_string c.access;
     yn c.handles_pre;
     yn c.handles_bound;
+    yn c.handles_qos;
+    yn c.handles_bw;
     yn c.supports_prune;
     yn c.supports_domains;
     yn c.supports_incremental;

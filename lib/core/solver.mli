@@ -30,6 +30,12 @@ type capability = {
       (** optimizes reuse of pre-existing servers (a [false] solver
           still runs on marked trees; it just places obliviously) *)
   handles_bound : bool;  (** accepts a finite Eq. 4 cost bound *)
+  handles_qos : bool;
+      (** enforces per-client QoS distance bounds ({!Tree.client_qos});
+          trees carrying them are rejected by {!mismatch} otherwise *)
+  handles_bw : bool;
+      (** enforces per-link bandwidth caps ({!Tree.bandwidth}); same
+          rejection rule *)
   exactness : exactness;
       (** [Exact] = provably optimal on every problem it handles (for
           [handles_pre = false] cost solvers: exact on the no-pre
@@ -47,6 +53,8 @@ val capability :
   ?handles_power:bool ->
   ?handles_pre:bool ->
   ?handles_bound:bool ->
+  ?handles_qos:bool ->
+  ?handles_bw:bool ->
   ?exactness:exactness ->
   ?access:access ->
   ?supports_domains:bool ->
@@ -130,7 +138,9 @@ val names : unit -> string list
 
 val mismatch : t -> Problem.t -> string option
 (** [Some reason] when the solver cannot solve this problem (wrong
-    objective, finite bound unsupported, tree above [max_nodes]). *)
+    objective, finite bound unsupported, the tree carries QoS /
+    bandwidth constraints the solver does not enforce, or the tree is
+    above [max_nodes]). *)
 
 val compatible : t -> Problem.t -> (unit, string) result
 

@@ -161,7 +161,28 @@ let solve_once t tree =
       Some (o.Solver.solution, Option.value o.Solver.cost ~default:0.)
   | None -> None
 
+(* Epoch trees may acquire QoS/bandwidth constraints mid-run (the CLI's
+   [--qos Q@E] / [--bw S@E] tightening); an entry solver that cannot
+   enforce them would keep emitting placements that violate the epoch's
+   constraints, so fail fast instead. Checked per epoch because
+   creation never sees a demand tree. *)
+let check_constraint_capability t demand_tree =
+  let c = t.entry_solver.Solver.capability in
+  if Tree.has_qos demand_tree && not c.Solver.handles_qos then
+    invalid_arg
+      (Printf.sprintf
+         "Engine: %s cannot enforce the epoch's QoS bounds (use a \
+          qos-capable solver, e.g. dp-qos)"
+         t.entry_solver.Solver.name);
+  if Tree.has_bandwidth demand_tree && not c.Solver.handles_bw then
+    invalid_arg
+      (Printf.sprintf
+         "Engine: %s cannot enforce the epoch's bandwidth caps (use a \
+          bw-capable solver, e.g. dp-qos)"
+         t.entry_solver.Solver.name)
+
 let step t demand_tree =
+  check_constraint_capability t demand_tree;
   let tracing = Span.enabled () in
   if tracing then Span.begin_span "engine.epoch";
   t.epoch <- t.epoch + 1;

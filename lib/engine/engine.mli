@@ -93,7 +93,12 @@ val step : t -> Tree.t -> Timeline.entry
     the update policy, re-solve if triggered (the current placement
     becoming the pre-existing set), and record the outcome. An epoch
     whose demand is unserveable even by a fresh optimal placement keeps
-    the current placement and is recorded invalid with its shortfall. *)
+    the current placement and is recorded invalid with its shortfall.
+    Epoch validity includes QoS and bandwidth when the demand tree
+    carries them.
+    @raise Invalid_argument if the demand tree carries QoS/bandwidth
+    constraints the engine's solver cannot enforce — constraints can
+    appear mid-run (CLI tightening), so this is checked per epoch. *)
 
 val placement : t -> Solution.t
 (** Placement currently in force. *)

@@ -61,6 +61,23 @@ let specs_for = function
           [ "incremental"; "total_solve_seconds" ]
           Lower_better ~rel_tol:0.25 ~abs_floor:0.01;
       ]
+  | "qos" ->
+      [
+        hard [ "greedy_feasibility_agrees" ] Exact;
+        hard [ "unconstrained_identical_to_dp_withpre" ] Exact;
+        hard [ "tight"; "feasible" ] Exact;
+        hard [ "tight"; "servers_total" ] Exact;
+        hard [ "tight"; "dp_qos.merge_products" ] Lower_better;
+        hard [ "tight"; "dp_qos.cells_created" ] Lower_better;
+        hard [ "tight"; "dp_qos.peak_frontier" ] Lower_better;
+        hard [ "loose"; "feasible" ] Exact;
+        hard [ "loose"; "servers_total" ] Exact;
+        hard [ "loose"; "dp_qos.merge_products" ] Lower_better;
+        soft [ "tight"; "dp_qos.tables.seconds" ] Lower_better ~rel_tol:0.25
+          ~abs_floor:0.002;
+        soft [ "loose"; "dp_qos.tables.seconds" ] Lower_better ~rel_tol:0.25
+          ~abs_floor:0.002;
+      ]
   | "obs" ->
       [
         hard [ "spans_per_solve" ] Exact;

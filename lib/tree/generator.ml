@@ -61,6 +61,29 @@ let add_pre_existing rng ?(mode = 1) t e =
   let chosen = Rng.sample_without_replacement rng e n in
   Tree.with_pre_existing t (List.map (fun j -> (j, mode)) chosen)
 
+let add_qos rng t ~min_qos ~max_qos =
+  if min_qos < 0 || max_qos < min_qos then invalid_arg "Generator.add_qos";
+  Tree.with_qos t (fun _ _ -> Rng.int_in_range rng ~min:min_qos ~max:max_qos)
+
+let add_bandwidth _rng t ~slack =
+  if slack <= 0.0 then invalid_arg "Generator.add_bandwidth";
+  Tree.with_bandwidth t (fun j ->
+      let demand = Tree.subtree_demand t j in
+      if demand = 0 then Tree.unbounded
+      else max 1 (int_of_float (slack *. float_of_int demand)))
+
+(* Constraint presets from the QoS/bandwidth follow-on paper's two
+   regimes: [tight] binds most placements (QoS within a couple of hops,
+   links sized below subtree demand), [loose] is feasible for almost
+   every tree yet still exercises the constrained code paths. *)
+let tight_constraints rng t =
+  add_bandwidth rng (add_qos rng t ~min_qos:0 ~max_qos:2) ~slack:0.75
+
+let loose_constraints rng t =
+  add_bandwidth rng
+    (add_qos rng t ~min_qos:3 ~max_qos:(Tree.height t + 3))
+    ~slack:2.0
+
 let redraw_requests rng p t =
   check_profile p;
   Tree.with_clients t (fun _ -> draw_clients rng p)

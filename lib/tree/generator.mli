@@ -40,6 +40,29 @@ val add_pre_existing : Rng.t -> ?mode:int -> Tree.t -> int -> Tree.t
     [1]). Existing marks are discarded.
     @raise Invalid_argument if [e] exceeds the tree size. *)
 
+(** {1 Constraint annotation (QoS / bandwidth regimes)} *)
+
+val add_qos : Rng.t -> Tree.t -> min_qos:int -> max_qos:int -> Tree.t
+(** Draw every client's QoS distance bound uniformly in
+    [\[min_qos, max_qos\]], keeping everything else.
+    @raise Invalid_argument on inconsistent bounds. *)
+
+val add_bandwidth : Rng.t -> Tree.t -> slack:float -> Tree.t
+(** Cap each link [j -> parent] at [max 1 (slack * subtree_demand j)]
+    (links above demand-free subtrees stay {!Tree.unbounded}). [slack <
+    1] guarantees some links bind; [slack >= 1] caps are satisfied by
+    the serve-everything-at-the-root placement but still constrain
+    server-free subtrees.
+    @raise Invalid_argument if [slack <= 0]. *)
+
+val tight_constraints : Rng.t -> Tree.t -> Tree.t
+(** QoS in [0, 2] plus bandwidth slack 0.75 — a regime where constraints
+    bind for most trees and infeasible instances are common. *)
+
+val loose_constraints : Rng.t -> Tree.t -> Tree.t
+(** QoS in [3, height + 3] plus bandwidth slack 2.0 — almost always
+    feasible, but the constrained code paths are exercised. *)
+
 val redraw_requests : Rng.t -> profile -> Tree.t -> Tree.t
 (** Redraw every node's client attachment (presence, then request count)
     from [profile], keeping the tree structure and pre-existing servers.

@@ -1,9 +1,17 @@
 type node = int
 
+(* Per-client QoS bounds and per-link bandwidth caps (Rehn-Sonigo,
+   arXiv 0706.3350) use [max_int] as "unconstrained": comparisons work
+   unchanged and unconstrained trees serialize byte-identically to the
+   pre-constraint format. *)
+let unbounded = max_int
+
 type t = {
   parents : int array;
   children : node array array;
   clients : int array array;
+  qos : int array array;  (* per client, aligned with [clients] *)
+  bw : int array;  (* bw.(j) caps the edge j -> parent; bw.(0) unused *)
   pre : int option array;
   post : node array; (* postorder *)
   pre_order : node array;
@@ -14,12 +22,20 @@ type t = {
 
 type spec = {
   spec_clients : int list;
+  spec_qos : int list;
+  spec_bw : int;
   spec_pre : int option;
   spec_children : spec list;
 }
 
-let node ?(clients = []) ?pre spec_children =
-  { spec_clients = clients; spec_pre = pre; spec_children }
+let node ?(clients = []) ?qos ?(bw = unbounded) ?pre spec_children =
+  let spec_qos =
+    match qos with
+    | Some q -> q
+    | None -> List.map (fun _ -> unbounded) clients
+  in
+  { spec_clients = clients; spec_qos; spec_bw = bw; spec_pre = pre;
+    spec_children }
 
 let compute_orders parents children =
   let n = Array.length parents in
@@ -51,7 +67,7 @@ let compute_orders parents children =
     invalid_arg "Tree: disconnected or cyclic parent structure";
   (pre_order, post, depths)
 
-let make parents clients pre =
+let make ?qos ?bw parents clients pre =
   let n = Array.length parents in
   if n = 0 then invalid_arg "Tree: empty tree";
   if parents.(0) <> -1 then invalid_arg "Tree: node 0 must be the root";
@@ -66,6 +82,35 @@ let make parents clients pre =
   Array.iter
     (function Some m when m <= 0 -> invalid_arg "Tree: mode must be positive" | _ -> ())
     pre;
+  let qos =
+    match qos with
+    | None -> Array.map (fun cl -> Array.make (Array.length cl) unbounded) clients
+    | Some q ->
+        if Array.length q <> n then
+          invalid_arg "Tree: qos array length mismatch";
+        Array.iteri
+          (fun j ql ->
+            if Array.length ql <> Array.length clients.(j) then
+              invalid_arg "Tree: qos must align with clients";
+            Array.iter
+              (fun v -> if v < 0 then invalid_arg "Tree: negative QoS bound")
+              ql)
+          q;
+        q
+  in
+  let bw =
+    match bw with
+    | None -> Array.make n unbounded
+    | Some b ->
+        if Array.length b <> n then
+          invalid_arg "Tree: bandwidth array length mismatch";
+        Array.iter
+          (fun v -> if v < 0 then invalid_arg "Tree: negative bandwidth")
+          b;
+        (* The root has no upward link; normalize its slot. *)
+        b.(0) <- unbounded;
+        b
+  in
   let deg = Array.make n 0 in
   for i = 1 to n - 1 do
     deg.(parents.(i)) <- deg.(parents.(i)) + 1
@@ -88,24 +133,31 @@ let make parents clients pre =
             sub_pre.(j) + sub_pre.(c) + (if pre.(c) <> None then 1 else 0))
         children.(j))
     post;
-  { parents; children; clients; pre; post; pre_order; sub_size; sub_pre; depths }
+  { parents; children; clients; qos; bw; pre; post; pre_order; sub_size;
+    sub_pre; depths }
 
 let of_parents ~parents ~clients ~pre =
   let n = Array.length parents in
   if Array.length clients <> n || Array.length pre <> n then
     invalid_arg "Tree.of_parents: array length mismatch";
-  make (Array.copy parents)
+  make
+    (Array.copy parents)
     (Array.map (fun l -> Array.of_list l) clients)
     (Array.copy pre)
 
 let build spec =
   let parents = ref [] and clients = ref [] and pre = ref [] in
+  let qos = ref [] and bw = ref [] in
   let count = ref 0 in
   let rec go parent s =
     let id = !count in
     incr count;
+    if List.length s.spec_qos <> List.length s.spec_clients then
+      invalid_arg "Tree.build: qos must align with clients";
     parents := (id, parent) :: !parents;
     clients := (id, Array.of_list s.spec_clients) :: !clients;
+    qos := (id, Array.of_list s.spec_qos) :: !qos;
+    bw := (id, s.spec_bw) :: !bw;
     pre := (id, s.spec_pre) :: !pre;
     List.iter (go id) s.spec_children
   in
@@ -116,7 +168,10 @@ let build spec =
     List.iter (fun (i, v) -> a.(i) <- v) l;
     a
   in
-  make (arr_of 0 !parents) (arr_of [||] !clients) (arr_of None !pre)
+  make
+    ~qos:(arr_of [||] !qos)
+    ~bw:(arr_of unbounded !bw)
+    (arr_of 0 !parents) (arr_of [||] !clients) (arr_of None !pre)
 
 let size t = Array.length t.parents
 let root _ = 0
@@ -126,6 +181,35 @@ let clients t j = Array.to_list t.clients.(j)
 let client_load t j = Array.fold_left ( + ) 0 t.clients.(j)
 let initial_mode t j = t.pre.(j)
 let is_pre_existing t j = t.pre.(j) <> None
+
+(* --- constraint accessors --- *)
+
+let client_qos t j = Array.to_list t.qos.(j)
+let bandwidth t j = t.bw.(j)
+
+(* Under the closest policy every client attached at [j] is served by
+   the same (nearest ancestor-or-self) replica, so the binding QoS at a
+   node is the minimum over its clients. Zero-request clients generate
+   no flow and are vacuously served; they do not constrain. *)
+let qos_radius t j =
+  let r = ref unbounded in
+  Array.iteri
+    (fun i req -> if req > 0 && t.qos.(j).(i) < !r then r := t.qos.(j).(i))
+    t.clients.(j);
+  !r
+
+let has_qos t =
+  let found = ref false in
+  Array.iteri
+    (fun j ql ->
+      Array.iteri
+        (fun i q -> if q <> unbounded && t.clients.(j).(i) > 0 then found := true)
+        ql)
+    t.qos;
+  !found
+
+let has_bandwidth t = Array.exists (fun b -> b <> unbounded) t.bw
+let is_constrained t = has_qos t || has_bandwidth t
 
 let pre_existing t =
   let acc = ref [] in
@@ -153,11 +237,21 @@ let subtree_pre_count t j = t.sub_pre.(j)
 let depth t j = t.depths.(j)
 let height t = Array.fold_left max 0 t.depths
 
+let subtree_demand t j =
+  let total = ref 0 in
+  let rec go j =
+    total := !total + client_load t j;
+    Array.iter go t.children.(j)
+  in
+  go j;
+  !total
+
 (* Subtree fingerprints: 64-bit order-sensitive hashes over (clients,
-   pre-existing marker, children fingerprints), computed bottom-up in one
-   postorder pass. The mixer is splitmix64's finalizer, whose avalanche
-   makes accidental collisions across epoch-derived trees a ~2^-64
-   event — the soundness assumption of the DP memo tables. *)
+   QoS bounds, link bandwidth, pre-existing marker, children
+   fingerprints), computed bottom-up in one postorder pass. The mixer is
+   splitmix64's finalizer, whose avalanche makes accidental collisions
+   across epoch-derived trees a ~2^-64 event — the soundness assumption
+   of the DP memo tables. *)
 let fp_mix z =
   let open Int64 in
   let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
@@ -171,12 +265,15 @@ let subtree_fingerprints t =
   Array.iter
     (fun j ->
       let h = ref (fp_mix (Int64.of_int (Array.length t.clients.(j) + 1))) in
-      Array.iter
-        (fun r -> h := combine_fingerprints !h (Int64.of_int r))
+      Array.iteri
+        (fun i r ->
+          h := combine_fingerprints !h (Int64.of_int r);
+          h := combine_fingerprints !h (Int64.of_int t.qos.(j).(i)))
         t.clients.(j);
       (match t.pre.(j) with
       | None -> h := combine_fingerprints !h 0L
       | Some m -> h := combine_fingerprints !h (Int64.of_int (m + 1)));
+      h := combine_fingerprints !h (Int64.of_int t.bw.(j));
       Array.iter (fun c -> h := combine_fingerprints !h fps.(c)) t.children.(j);
       fps.(j) <- !h)
     t.post;
@@ -207,14 +304,57 @@ let with_pre_existing t l =
       if m <= 0 then invalid_arg "Tree.with_pre_existing: bad mode";
       pre.(j) <- Some m)
     l;
-  make (Array.copy t.parents) (Array.map Array.copy t.clients) pre
+  make
+    ~qos:(Array.map Array.copy t.qos)
+    ~bw:(Array.copy t.bw)
+    (Array.copy t.parents) (Array.map Array.copy t.clients) pre
 
+(* Demand redraws keep the node's binding constraint: when the new client
+   multiset has the same arity the per-client bounds are kept verbatim;
+   otherwise every new client inherits the node's tightest old bound, so
+   epoch views of a constrained network stay constrained. *)
 let with_clients t f =
   let clients = Array.init (size t) (fun j -> Array.of_list (f j)) in
-  make (Array.copy t.parents) clients (Array.copy t.pre)
+  let qos =
+    Array.init (size t) (fun j ->
+        let n = Array.length clients.(j) in
+        if n = Array.length t.qos.(j) then Array.copy t.qos.(j)
+        else begin
+          let tightest = Array.fold_left min unbounded t.qos.(j) in
+          Array.make n tightest
+        end)
+  in
+  make ~qos ~bw:(Array.copy t.bw) (Array.copy t.parents) clients
+    (Array.copy t.pre)
+
+let with_qos t f =
+  let qos =
+    Array.init (size t) (fun j ->
+        Array.init (Array.length t.clients.(j)) (fun i ->
+            let q = f j i in
+            if q < 0 then invalid_arg "Tree.with_qos: negative QoS bound";
+            q))
+  in
+  make ~qos ~bw:(Array.copy t.bw) (Array.copy t.parents)
+    (Array.map Array.copy t.clients) (Array.copy t.pre)
+
+let with_bandwidth t f =
+  let bw =
+    Array.init (size t) (fun j ->
+        if j = 0 then unbounded
+        else
+          let b = f j in
+          if b < 0 then invalid_arg "Tree.with_bandwidth: negative bandwidth";
+          b)
+  in
+  make ~qos:(Array.map Array.copy t.qos) ~bw (Array.copy t.parents)
+    (Array.map Array.copy t.clients) (Array.copy t.pre)
 
 (* Serialization: one line per node in id order:
-   "<parent> p<mode-or-.> c<r1,r2,...>" separated by ';'. *)
+   "<parent> p<mode-or-.> c<r1[@q1],r2[@q2],...>[ b<bw>]" separated by
+   ';'. QoS suffixes and the bandwidth token are emitted only when
+   finite, so unconstrained trees round-trip byte-identically to the
+   historical format. *)
 let to_string t =
   let buf = Buffer.create 256 in
   for j = 0 to size t - 1 do
@@ -228,8 +368,16 @@ let to_string t =
     Array.iteri
       (fun i r ->
         if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf (string_of_int r))
-      t.clients.(j)
+        Buffer.add_string buf (string_of_int r);
+        if t.qos.(j).(i) <> unbounded then begin
+          Buffer.add_char buf '@';
+          Buffer.add_string buf (string_of_int t.qos.(j).(i))
+        end)
+      t.clients.(j);
+    if t.bw.(j) <> unbounded then begin
+      Buffer.add_string buf " b";
+      Buffer.add_string buf (string_of_int t.bw.(j))
+    end
   done;
   Buffer.contents buf
 
@@ -237,41 +385,64 @@ let of_string s =
   let fail () = invalid_arg "Tree.of_string: malformed input" in
   let fields = String.split_on_char ';' s in
   let parse_node field =
-    match String.split_on_char ' ' (String.trim field) with
-    | [ p; pre; cl ] ->
-        let parent = try int_of_string p with _ -> fail () in
-        if String.length pre < 2 || pre.[0] <> 'p' then fail ();
-        let mode =
-          let body = String.sub pre 1 (String.length pre - 1) in
-          if body = "." then None
-          else Some (try int_of_string body with _ -> fail ())
+    let p, pre, cl, bw_tok =
+      match String.split_on_char ' ' (String.trim field) with
+      | [ p; pre; cl ] -> (p, pre, cl, None)
+      | [ p; pre; cl; b ] -> (p, pre, cl, Some b)
+      | _ -> fail ()
+    in
+    let parent = try int_of_string p with _ -> fail () in
+    if String.length pre < 2 || pre.[0] <> 'p' then fail ();
+    let mode =
+      let body = String.sub pre 1 (String.length pre - 1) in
+      if body = "." then None
+      else Some (try int_of_string body with _ -> fail ())
+    in
+    if String.length cl < 1 || cl.[0] <> 'c' then fail ();
+    let body = String.sub cl 1 (String.length cl - 1) in
+    let reqs, qs =
+      if body = "" then ([||], [||])
+      else
+        let parts =
+          List.map
+            (fun tok ->
+              match String.split_on_char '@' tok with
+              | [ r ] -> ((try int_of_string r with _ -> fail ()), unbounded)
+              | [ r; q ] ->
+                  ( (try int_of_string r with _ -> fail ()),
+                    (try int_of_string q with _ -> fail ()) )
+              | _ -> fail ())
+            (String.split_on_char ',' body)
         in
-        if String.length cl < 1 || cl.[0] <> 'c' then fail ();
-        let body = String.sub cl 1 (String.length cl - 1) in
-        let reqs =
-          if body = "" then [||]
-          else
-            Array.of_list
-              (List.map
-                 (fun x -> try int_of_string x with _ -> fail ())
-                 (String.split_on_char ',' body))
-        in
-        (parent, mode, reqs)
-    | _ -> fail ()
+        (Array.of_list (List.map fst parts), Array.of_list (List.map snd parts))
+    in
+    let bw =
+      match bw_tok with
+      | None -> unbounded
+      | Some b ->
+          if String.length b < 2 || b.[0] <> 'b' then fail ();
+          (try int_of_string (String.sub b 1 (String.length b - 1))
+           with _ -> fail ())
+    in
+    (parent, mode, reqs, qs, bw)
   in
   let nodes = List.map parse_node fields in
   let n = List.length nodes in
   if n = 0 then fail ();
   let parents = Array.make n 0
   and pre = Array.make n None
-  and clients = Array.make n [||] in
+  and clients = Array.make n [||]
+  and qos = Array.make n [||]
+  and bw = Array.make n unbounded in
   List.iteri
-    (fun i (p, m, cl) ->
+    (fun i (p, m, cl, q, b) ->
       parents.(i) <- p;
       pre.(i) <- m;
-      clients.(i) <- cl)
+      clients.(i) <- cl;
+      qos.(i) <- q;
+      bw.(i) <- b)
     nodes;
-  make parents clients pre
+  make ~qos ~bw parents clients pre
 
 let pp fmt t =
   let rec go indent j =
@@ -279,10 +450,16 @@ let pp fmt t =
     (match t.pre.(j) with
     | Some m -> Format.fprintf fmt " [pre-existing, mode %d]" m
     | None -> ());
+    if t.bw.(j) <> unbounded then Format.fprintf fmt " [bw %d]" t.bw.(j);
     let cl = t.clients.(j) in
     if Array.length cl > 0 then begin
       Format.fprintf fmt " clients:";
-      Array.iter (fun r -> Format.fprintf fmt " %d" r) cl
+      Array.iteri
+        (fun i r ->
+          if t.qos.(j).(i) <> unbounded then
+            Format.fprintf fmt " %d@%d" r t.qos.(j).(i)
+          else Format.fprintf fmt " %d" r)
+        cl
     end;
     Format.pp_print_newline fmt ();
     Array.iter (go (indent ^ "  ")) t.children.(j)
@@ -291,3 +468,4 @@ let pp fmt t =
 
 let equal a b =
   a.parents = b.parents && a.clients = b.clients && a.pre = b.pre
+  && a.qos = b.qos && a.bw = b.bw

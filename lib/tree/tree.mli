@@ -25,22 +25,36 @@ type t
 
 (** {1 Construction} *)
 
+val unbounded : int
+(** Sentinel ([max_int]) meaning "no constraint" for per-client QoS
+    bounds and per-link bandwidth caps. Plain integer comparisons work
+    unchanged against it, and fully unconstrained trees serialize and
+    print exactly as they did before constraints existed. *)
+
 type spec = {
   spec_clients : int list;  (** request counts of client leaves here *)
+  spec_qos : int list;
+      (** per-client QoS distance bounds, aligned with [spec_clients] *)
+  spec_bw : int;  (** bandwidth cap of the link to the parent *)
   spec_pre : int option;  (** [Some m]: pre-existing server at initial mode [m] *)
   spec_children : spec list;  (** internal children *)
 }
 (** Recursive building block for literal trees (tests, examples). *)
 
-val node : ?clients:int list -> ?pre:int -> spec list -> spec
-(** [node ~clients ~pre children] is a convenience {!spec} constructor;
-    [pre] is the initial mode of a pre-existing server. *)
+val node :
+  ?clients:int list -> ?qos:int list -> ?bw:int -> ?pre:int -> spec list -> spec
+(** [node ~clients ~qos ~bw ~pre children] is a convenience {!spec}
+    constructor; [pre] is the initial mode of a pre-existing server,
+    [qos] gives each client's maximum hop distance to its server
+    (defaults to {!unbounded} for every client) and [bw] caps the link
+    to the parent (default {!unbounded}). *)
 
 val build : spec -> t
 (** Materialize a spec. Node identifiers are assigned in preorder, so the
     spec root becomes node [0].
-    @raise Invalid_argument if a client request count is negative or a
-    pre-existing mode is not positive. *)
+    @raise Invalid_argument if a client request count or constraint is
+    negative, a pre-existing mode is not positive, or a spec's QoS list
+    does not align with its client list. *)
 
 val of_parents :
   parents:int array -> clients:int list array -> pre:int option array -> t
@@ -74,6 +88,39 @@ val initial_mode : t -> node -> int option
 
 val is_pre_existing : t -> node -> bool
 
+(** {1 Constraints}
+
+    QoS bounds and link bandwidths follow Rehn-Sonigo (arXiv 0706.3350):
+    a client with QoS bound [q] must find its (closest-policy) server at
+    most [q] hops above its attachment node — [q = 0] demands a server at
+    the attachment node itself — and the flow crossing the link from [j]
+    up to its parent may not exceed [bandwidth t j]. *)
+
+val client_qos : t -> node -> int list
+(** Per-client QoS distance bounds, aligned with {!clients}.
+    {!unbounded} entries are unconstrained. *)
+
+val qos_radius : t -> node -> int
+(** The binding QoS bound at a node: minimum bound over its clients with
+    positive request counts ({!unbounded} if there are none). Under the
+    closest policy all clients of a node share one server, so this is
+    the only quantity solvers need; zero-request clients generate no
+    flow and never constrain. *)
+
+val bandwidth : t -> node -> int
+(** Capacity of the link from [node] to its parent; {!unbounded} if
+    uncapped. The root has no upward link and always reports
+    {!unbounded}. *)
+
+val has_qos : t -> bool
+(** True iff some positive-request client carries a finite QoS bound. *)
+
+val has_bandwidth : t -> bool
+(** True iff some link carries a finite bandwidth cap. *)
+
+val is_constrained : t -> bool
+(** [has_qos t || has_bandwidth t]. *)
+
 val pre_existing : t -> node list
 (** The set [E], in increasing node order. *)
 
@@ -103,6 +150,11 @@ val subtree_size : t -> node -> int
 val subtree_pre_count : t -> node -> int
 (** Pre-existing servers strictly below [node]. *)
 
+val subtree_demand : t -> node -> int
+(** Total client requests attached at [node] or below — the flow that
+    would cross the link [node -> parent] if no server were placed in
+    the subtree. O(subtree size). *)
+
 val depth : t -> node -> int
 (** Root has depth 0. *)
 
@@ -111,9 +163,10 @@ val height : t -> int
 
 val subtree_fingerprints : t -> int64 array
 (** Per-node 64-bit fingerprints of the subtree rooted at each node:
-    the fingerprint covers the node's client multiset (in order), its
-    pre-existing marker (with initial mode), and its children's
-    fingerprints (in child order) — everything a bottom-up solver's
+    the fingerprint covers the node's client multiset (in order), each
+    client's QoS bound, the node's link bandwidth, its pre-existing
+    marker (with initial mode), and its children's fingerprints (in
+    child order) — everything a bottom-up solver's
     per-node table can depend on besides the global parameters. Two
     epoch views of the same network ({!with_clients} /
     {!with_pre_existing} derivatives) agree on a node's fingerprint iff
@@ -142,12 +195,31 @@ val with_pre_existing : t -> (node * int) list -> t
 
 val with_clients : t -> (node -> int list) -> t
 (** [with_clients t f] replaces each node's client multiset by [f node];
-    structure and pre-existing markers are kept. *)
+    structure, pre-existing markers and link bandwidths are kept. QoS
+    bounds are kept verbatim when [f node] has the same arity as the old
+    client list; otherwise every new client at the node inherits the
+    node's tightest old bound, so epoch-derived views of a constrained
+    network stay constrained. *)
+
+val with_qos : t -> (node -> int -> int) -> t
+(** [with_qos t f] replaces the QoS bound of the [i]-th client at node
+    [j] by [f j i]; everything else is kept. Use {!unbounded} to lift a
+    bound.
+    @raise Invalid_argument on a negative bound. *)
+
+val with_bandwidth : t -> (node -> int) -> t
+(** [with_bandwidth t f] replaces the bandwidth of each link [j ->
+    parent] by [f j] (the root's slot is forced to {!unbounded});
+    everything else is kept.
+    @raise Invalid_argument on a negative cap. *)
 
 (** {1 Serialization and printing} *)
 
 val to_string : t -> string
-(** Compact, parseable representation. *)
+(** Compact, parseable representation. QoS bounds ([r@q] client tokens)
+    and bandwidth caps (a trailing [b<cap>] token) appear only when
+    finite, so unconstrained trees round-trip byte-identically to the
+    historical format. *)
 
 val of_string : string -> t
 (** Inverse of {!to_string}.

@@ -40,19 +40,21 @@ registered solver with its capability flags (the same data as the
 DESIGN.md matrix):
 
   $ replica_cli solve --list-algos
-  name            solves      kind       access    pre  bound  prune  domains  memo  max N
-  greedy          cost        exact      closest   -    -      -      -        -     -
-  dp-nopre        cost        exact      closest   -    -      -      -        -     -
-  dp-withpre      cost        exact      closest   yes  -      -      -        yes   -
-  heuristic-cost  cost        heuristic  closest   yes  -      -      -        -     -
-  dp-power        power       exact      closest   yes  yes    yes    yes      yes   -
-  gr-power        power       heuristic  closest   -    yes    -      -        -     -
-  heuristic       power       heuristic  closest   yes  yes    -      -        -     -
-  multi-start     power       heuristic  closest   yes  yes    -      -        -     -
-  anneal          power       heuristic  closest   yes  yes    -      -        -     -
-  multiple        cost        exact      multiple  -    -      -      -        -     -
-  upwards         cost        heuristic  upwards   -    -      -      -        -     -
-  brute           cost+power  exact      closest   yes  yes    -      -        -     20
+  name            solves      kind       access    pre  bound  qos  bw   prune  domains  memo  max N
+  greedy          cost        exact      closest   -    -      -    -    -      -        -     -
+  dp-nopre        cost        exact      closest   -    -      -    -    -      -        -     -
+  dp-withpre      cost        exact      closest   yes  -      -    -    -      -        yes   -
+  heuristic-cost  cost        heuristic  closest   yes  -      -    -    -      -        -     -
+  dp-qos          cost        exact      closest   yes  -      yes  yes  -      -        -     -
+  greedy-qos      cost        heuristic  closest   -    -      yes  yes  -      -        -     -
+  dp-power        power       exact      closest   yes  yes    -    -    yes    yes      yes   -
+  gr-power        power       heuristic  closest   -    yes    -    -    -      -        -     -
+  heuristic       power       heuristic  closest   yes  yes    -    -    -      -        -     -
+  multi-start     power       heuristic  closest   yes  yes    -    -    -      -        -     -
+  anneal          power       heuristic  closest   yes  yes    -    -    -      -        -     -
+  multiple        cost        exact      multiple  -    -      -    -    -      -        -     -
+  upwards         cost        heuristic  upwards   -    -      -    -    -      -        -     -
+  brute           cost+power  exact      closest   yes  yes    yes  yes  -      -        -     20
 
 Capability mismatches share one error path and exit 2: an unknown
 name, or a finite cost bound on a solver that cannot honour it (the
@@ -75,6 +77,57 @@ dropping; the solve still runs:
   deleted pre-existing servers: 1 5
   reused 0 of 2 pre-existing servers
   cost (Eq. 2): 0.020
+
+Constrained instances: --qos bounds every client's hop distance to its
+server (serialized as r@q) and --bw caps each link at S times its
+subtree demand (a trailing b<cap> token). Unconstrained trees
+serialize exactly as before; annotated ones round-trip through the
+same format:
+
+  $ replica_cli generate --shape high --nodes 8 --pre 2 --seed 4 --qos 1 --bw 1.0
+  - node 0 clients: 3@1
+    - node 1 [bw 14] clients: 3@1
+      - node 4 [bw 6] clients: 6@1
+      - node 5 [bw 3] clients: 3@1
+      - node 6 [pre-existing, mode 1] [bw 2] clients: 2@1
+    - node 2 [pre-existing, mode 1] [bw 3]
+      - node 7 [bw 3] clients: 3@1
+    - node 3
+  serialized: -1 p. c3@1;0 p. c3@1 b14;0 p1 c b3;0 p. c;1 p. c6@1 b6;1 p. c3@1 b3;1 p1 c2@1 b2;2 p. c3@1 b3
+
+With constraints present the default solver becomes the constrained
+exact DP (dp-qos); --algo greedy-qos picks the feasibility-complete
+heuristic instead:
+
+  $ replica_cli solve --shape high --nodes 8 --pre 2 --seed 4 -w 8 --qos 1
+  placement: 4 servers for 16 requests (W = 8)
+    node 0    load   1/8  new
+    node 1    load   8/8  new
+    node 2    load   5/8  reused (was mode 2)
+    node 6    load   2/8  reused (was mode 2)
+  reused 2 of 2 pre-existing servers
+  cost (Eq. 2): 4.200
+
+  $ replica_cli solve --shape high --nodes 8 --pre 2 --seed 4 -w 8 --qos 1 --algo greedy-qos
+  placement: 4 servers for 16 requests (W = 8)
+    node 0    load   1/8  new
+    node 1    load   8/8  new
+    node 2    load   5/8  reused (was mode 2)
+    node 4    load   2/8  new
+  deleted pre-existing servers: 6
+  reused 1 of 2 pre-existing servers
+  cost (Eq. 2): 4.310
+
+A solver whose capability row lacks qos/bw rejects constrained
+instances through the same exit-2 path as the other mismatches:
+
+  $ replica_cli solve --shape high --nodes 8 --pre 2 --seed 4 -w 8 --qos 1 --algo dp-withpre
+  replica_cli: dp-withpre cannot enforce the tree's QoS bounds
+  [2]
+
+  $ replica_cli solve --shape high --nodes 8 --pre 2 --seed 4 -w 8 --bw 0.5 --algo greedy
+  replica_cli: greedy cannot enforce the tree's link bandwidth caps
+  [2]
 
 Experiment 1 at toy scale, as CSV:
 
@@ -242,6 +295,28 @@ Power objective: each epoch also reports the Eq. 3 power in force:
   epoch  2: demand    8  changed   3  dirty   4   2 servers  reconfigured cost 2.10  power 275.0
   epoch  3: demand   10  changed   2  dirty   3   2 servers  reconfigured cost 2.00  power 275.0
   total: 3 reconfigurations, bill 5.20, 0 invalid epochs
+
+Mid-trace constraint tightening: --qos Q@E applies the bound from
+epoch E on (the whole run when @E is omitted), re-solving under dp-qos
+by default:
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy systematic --qos 2@2 --no-time
+  trace: 57 requests over 5.9 time units
+  epoch  1: demand   12  changed  12  dirty  12   2 servers  reconfigured cost 3.00
+  epoch  2: demand   12  changed   2  dirty   4   2 servers  reconfigured cost 2.00
+  epoch  3: demand    7  changed   3  dirty   4   1 servers  reconfigured cost 1.25
+  total: 3 reconfigurations, bill 6.25, 0 invalid epochs
+
+An explicitly chosen solver that cannot enforce the epoch's
+constraints fails fast at the epoch that turns them on, not at the end
+of the run:
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy systematic --qos 2@2 --algo dp-withpre --no-time
+  replica_cli: Engine: dp-withpre cannot enforce the epoch's QoS bounds (use a qos-capable solver, e.g. dp-qos)
+  trace: 57 requests over 5.9 time units
+  [2]
 
 Span tracing: --trace records the run as Chrome trace-event JSON and
 obs-validate checks it structurally without external tooling. Event

@@ -26,6 +26,48 @@ let small_tree_with_pre rng ~nodes ~max_requests ~pre =
   let t = small_tree rng ~nodes ~max_requests in
   Generator.add_pre_existing rng t pre
 
+(* Shared instance generators — one definition each for the random
+   shapes the differential suites draw, so every suite fuzzes the same
+   population and a new suite doesn't grow its own private copy. *)
+
+(* 2-8 nodes with up to [max_pre] pre-existing servers (the power and
+   cost differential suites' staple). *)
+let instance rng ~max_pre =
+  let nodes = 2 + Rng.int rng 7 in
+  let pre = Rng.int rng (min max_pre nodes + 1) in
+  small_tree_with_pre rng ~nodes ~max_requests:4 ~pre
+
+(* 2-9 nodes, no pre-existing servers: the one regime every exact
+   closest-policy cost solver provably shares. *)
+let no_pre_instance rng =
+  let nodes = 2 + Rng.int rng 8 in
+  small_tree rng ~nodes ~max_requests:4
+
+(* [instance] plus a random QoS/bandwidth regime: the two generator
+   presets, a qos-only and a bw-only draw — mixing clearly feasible,
+   clearly infeasible and boundary instances. *)
+let constrained_instance rng =
+  let t = instance rng ~max_pre:2 in
+  match Rng.int rng 4 with
+  | 0 -> Generator.tight_constraints rng t
+  | 1 -> Generator.loose_constraints rng t
+  | 2 -> Generator.add_qos rng t ~min_qos:0 ~max_qos:3
+  | _ -> Generator.add_bandwidth rng t ~slack:(0.5 +. Rng.float rng 1.5)
+
+(* Seeded synthetic request trace over [tree]: kind 0 = homogeneous
+   Poisson, 1 = diurnal, anything else = Poisson plus a flash crowd on a
+   random subtree. *)
+let workload_trace rng tree ~kind ~horizon =
+  let open Replica_trace in
+  match kind with
+  | 0 -> Arrivals.poisson rng tree ~horizon
+  | 1 -> Arrivals.diurnal rng tree ~horizon ~period:(horizon /. 2.) ~floor:0.3
+  | _ ->
+      let base = Arrivals.poisson rng tree ~horizon in
+      let node = Rng.int rng (Tree.size tree) in
+      Arrivals.flash_crowd rng tree ~base ~at:(horizon /. 4.)
+        ~duration:(horizon /. 3.) ~node ~multiplier:3.
+
 (* The paper's Figure 1 situation (§3.1), W = 10. Node ids in comments.
    Keeping only B leaves 7 requests traversing A (C's clients); removing
    B and placing a server at C leaves 4 (B's clients); keeping B and

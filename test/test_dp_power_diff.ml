@@ -24,10 +24,7 @@ let cost_mono3 = Cost.modal_uniform ~modes:3 ~create:0.3 ~delete:0.2 ~changed:0.
 let c_products = Stats_counters.counter "dp_power.merge_products"
 let c_dominance = Stats_counters.counter "dp_power.dominance_pruned"
 
-let instance rng ~max_pre =
-  let nodes = 2 + Rng.int rng 7 in
-  let pre = Rng.int rng (min max_pre nodes + 1) in
-  small_tree_with_pre rng ~nodes ~max_requests:4 ~pre
+(* Random instances come from the shared [Helpers.instance] generator. *)
 
 (* The exhaustive (power, cost) optimum: minimal power among
    bound-feasible placements, then minimal cost among the placements

@@ -8,7 +8,6 @@
 
 open Replica_tree
 open Replica_core
-open Replica_trace
 open Replica_engine
 module Json = Replica_obs.Json
 open Helpers
@@ -21,15 +20,7 @@ let policies =
     Update_policy.Drift 0.15;
   |]
 
-let workload_trace rng tree ~kind ~horizon =
-  match kind with
-  | 0 -> Arrivals.poisson rng tree ~horizon
-  | 1 -> Arrivals.diurnal rng tree ~horizon ~period:(horizon /. 2.) ~floor:0.3
-  | _ ->
-      let base = Arrivals.poisson rng tree ~horizon in
-      let node = Rng.int rng (Tree.size tree) in
-      Arrivals.flash_crowd rng tree ~base ~at:(horizon /. 4.)
-        ~duration:(horizon /. 3.) ~node ~multiplier:3.
+(* Traces come from the shared [Helpers.workload_trace] generator. *)
 
 (* One seeded run under both solvers; every epoch's placement (and the
    decision/billing around it) must agree. *)

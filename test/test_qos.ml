@@ -1,0 +1,410 @@
+(* QoS/bandwidth-constrained placement, proven against the exhaustive
+   oracle.
+
+   The load-bearing suite is differential: 250 random constrained
+   instances where [Brute] (whose validity check now includes the
+   constraint violations) is affordable, checking that
+   - the exact constrained DP [Dp_qos] matches [Brute] on feasibility
+     and optimal cost, through the registry adapter;
+   - the constrained greedy agrees on feasibility exactly and is
+     sandwiched (valid, never below the optimum);
+   - relaxing QoS or bandwidth never increases the optimal cost and
+     never loses feasibility (constraint monotonicity);
+   - on fully unconstrained trees [Dp_qos] is bit-identical to
+     [Dp_withpre] (placement, cost, servers, reused). *)
+
+open Replica_tree
+open Replica_core
+open Replica_engine
+open Helpers
+
+let w = 5
+let cost = Cost.basic ~create:0.4 ~delete:0.3 ()
+
+let get_entry name =
+  match Registry.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "registry entry %S missing" name
+
+let dp_qos_entry = get_entry "dp-qos"
+let greedy_qos_entry = get_entry "greedy-qos"
+
+(* Run a registry solver, mapping infeasibility to [None]. *)
+let run_entry entry t =
+  let problem = Problem.min_cost t ~w ~cost in
+  match Solver.run entry problem Solver.default_request with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s rejected a compatible problem: %s"
+                 entry.Solver.name e
+
+(* --- differential: Dp_qos and Greedy_qos vs the extended oracle --- *)
+
+let test_dp_vs_brute () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed * 9001) in
+      for rep = 1 to 25 do
+        let t = constrained_instance rng in
+        let tag = Printf.sprintf "seed=%d rep=%d" seed rep in
+        let oracle = Brute.min_basic_cost t ~w ~cost in
+        let dp = run_entry dp_qos_entry t in
+        let greedy = run_entry greedy_qos_entry t in
+        (match (dp, oracle) with
+        | None, None -> ()
+        | Some d, Some (bc, _) ->
+            check cf (tag ^ ": optimal cost") bc
+              (Option.value d.Solver.cost ~default:nan);
+            check cb
+              (tag ^ ": dp placement satisfies the constraints")
+              true
+              (Solution.is_valid t ~w d.Solver.solution)
+        | Some _, None -> Alcotest.fail (tag ^ ": dp found a phantom solution")
+        | None, Some _ -> Alcotest.fail (tag ^ ": dp missed a solution"));
+        match (greedy, oracle) with
+        | None, None -> ()
+        | Some g, Some (bc, _) ->
+            (* Feasibility-complete and sandwiched, not optimal. *)
+            check cb
+              (tag ^ ": greedy placement satisfies the constraints")
+              true
+              (Solution.is_valid t ~w g.Solver.solution);
+            let gc = Option.value g.Solver.cost ~default:nan in
+            check cb
+              (Printf.sprintf "%s: greedy never beats the optimum (%f >= %f)"
+                 tag gc bc)
+              true
+              (gc >= bc -. 1e-9)
+        | Some _, None ->
+            Alcotest.fail (tag ^ ": greedy found a phantom solution")
+        | None, Some _ ->
+            Alcotest.fail (tag ^ ": greedy missed a feasible instance")
+      done)
+    seeds
+
+(* --- constraint relaxation is monotone --- *)
+
+let loosen_qos t =
+  Tree.with_qos t (fun j i ->
+      let q = List.nth (Tree.client_qos t j) i in
+      if q = Tree.unbounded then q else q + 1)
+
+let lift_bandwidth t = Tree.with_bandwidth t (fun _ -> Tree.unbounded)
+
+let unconstrain t = lift_bandwidth (Tree.with_qos t (fun _ _ -> Tree.unbounded))
+
+let test_relaxation_monotone () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed * 9103) in
+      for rep = 1 to 10 do
+        let t = constrained_instance rng in
+        let tag = Printf.sprintf "seed=%d rep=%d" seed rep in
+        match Dp_qos.solve t ~w ~cost with
+        | None ->
+            (* Infeasible under constraints means infeasible without
+               them too (capacity is the only true blocker under the
+               closest policy), so nothing to compare — but the fully
+               relaxed instance must agree with Dp_withpre. *)
+            check cb
+              (tag ^ ": relaxed feasibility matches dp-withpre")
+              (Dp_withpre.solve (unconstrain t) ~w ~cost <> None)
+              (Dp_qos.solve (unconstrain t) ~w ~cost <> None)
+        | Some tight ->
+            List.iter
+              (fun (label, loosened) ->
+                match Dp_qos.solve loosened ~w ~cost with
+                | None ->
+                    Alcotest.failf "%s: %s lost feasibility" tag label
+                | Some r ->
+                    check cb
+                      (Printf.sprintf
+                         "%s: %s never increases the optimum (%f <= %f)" tag
+                         label r.Dp_qos.cost tight.Dp_qos.cost)
+                      true
+                      (r.Dp_qos.cost <= tight.Dp_qos.cost +. 1e-9))
+              [
+                ("looser qos", loosen_qos t);
+                ("lifted bandwidth", lift_bandwidth t);
+                ("fully relaxed", unconstrain t);
+              ]
+      done)
+    seeds
+
+(* --- unconstrained instances degenerate exactly to Dp_withpre --- *)
+
+let test_unconstrained_equivalence () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed * 9209) in
+      for rep = 1 to 10 do
+        let t = instance rng ~max_pre:3 in
+        let tag = Printf.sprintf "seed=%d rep=%d" seed rep in
+        check cb (tag ^ ": instance is unconstrained") false
+          (Tree.is_constrained t);
+        match (Dp_qos.solve t ~w ~cost, Dp_withpre.solve t ~w ~cost) with
+        | None, None -> ()
+        | Some q, Some p ->
+            check cb (tag ^ ": identical placement") true
+              (Solution.equal q.Dp_qos.solution p.Dp_withpre.solution);
+            check cf (tag ^ ": identical cost") p.Dp_withpre.cost
+              q.Dp_qos.cost;
+            check ci (tag ^ ": identical servers") p.Dp_withpre.servers
+              q.Dp_qos.servers;
+            check ci (tag ^ ": identical reused") p.Dp_withpre.reused
+              q.Dp_qos.reused
+        | _ -> Alcotest.fail (tag ^ ": feasibility disagreement")
+      done)
+    seeds
+
+(* --- capability guards --- *)
+
+let test_capability_rejection () =
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 2 ]
+         [ Tree.node ~clients:[ 3 ] ~qos:[ 1 ] [] ])
+  in
+  let problem = Problem.min_cost t ~w ~cost in
+  List.iter
+    (fun name ->
+      match Solver.run (get_entry name) problem Solver.default_request with
+      | Error _ -> ()
+      | Ok _ ->
+          Alcotest.failf "%s accepted a qos-constrained tree" name)
+    [ "dp-withpre"; "dp-nopre"; "greedy"; "heuristic-cost" ];
+  (* The bandwidth axis is guarded independently of the qos axis. *)
+  let bw_only =
+    Tree.build
+      (Tree.node ~clients:[ 2 ] [ Tree.node ~clients:[ 3 ] ~bw:4 [] ])
+  in
+  (match
+     Solver.run (get_entry "dp-withpre")
+       (Problem.min_cost bw_only ~w ~cost)
+       Solver.default_request
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dp-withpre accepted a bandwidth-capped tree");
+  (* Constraint-capable solvers accept both regimes, and brute stays an
+     oracle for them. *)
+  List.iter
+    (fun name ->
+      match Solver.run (get_entry name) problem Solver.default_request with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s rejected a constrained tree: %s" name e)
+    [ "dp-qos"; "greedy-qos"; "brute" ]
+
+(* --- edge cases --- *)
+
+(* QoS 0 forces a server at the attachment node; feasible whenever the
+   node's own load fits. *)
+let test_qos_zero_feasible () =
+  let t =
+    Tree.build
+      (Tree.node [ Tree.node ~clients:[ 2 ] ~qos:[ 0 ] [] ])
+  in
+  match Dp_qos.min_servers t ~w with
+  | None -> Alcotest.fail "qos 0 with fitting load must be feasible"
+  | Some (n, sol) ->
+      check ci "one server suffices" 1 n;
+      check cb "the server sits at the attachment node" true
+        (Solution.mem sol 1)
+
+(* A node whose own load exceeds [w] is infeasible under the closest
+   policy no matter what; with qos 0 every solver must agree on
+   [No_solution] (the ISSUE's uniform-infeasibility case). *)
+let test_qos_zero_infeasible_uniform () =
+  let t =
+    Tree.build (Tree.node [ Tree.node ~clients:[ w + 1 ] ~qos:[ 0 ] [] ])
+  in
+  check cb "brute: no solution" true (Brute.min_basic_cost t ~w ~cost = None);
+  check cb "dp-qos: no solution" true (Dp_qos.solve t ~w ~cost = None);
+  check cb "greedy-qos: no solution" true (Greedy_qos.solve t ~w = None);
+  check cb "registry dp-qos: no solution" true (run_entry dp_qos_entry t = None);
+  check cb "registry greedy-qos: no solution" true
+    (run_entry greedy_qos_entry t = None)
+
+(* Bandwidth exactly equal to the flow a link must carry is feasible
+   (the cap is inclusive); one unit less forces a server below it. *)
+let test_bandwidth_boundary () =
+  let build bw =
+    Tree.build (Tree.node ~clients:[ 1 ] [ Tree.node ~clients:[ 3 ] ~bw [] ])
+  in
+  (match Dp_qos.min_servers (build 3) ~w:10 with
+  | Some (1, sol) ->
+      check cb "single root server passes the saturated link" true
+        (Solution.mem sol 0)
+  | Some (n, _) -> Alcotest.failf "bw = demand: expected 1 server, got %d" n
+  | None -> Alcotest.fail "bw = demand must be feasible");
+  match Dp_qos.min_servers (build 2) ~w:10 with
+  | Some (2, sol) ->
+      check cb "undersized link forces a server at the child" true
+        (Solution.mem sol 1)
+  | Some (n, _) -> Alcotest.failf "bw < demand: expected 2 servers, got %d" n
+  | None -> Alcotest.fail "bw < demand stays feasible via a child server"
+
+let test_single_node () =
+  let feasible = Tree.build (Tree.node ~clients:[ 2 ] ~qos:[ 0 ] []) in
+  (match Dp_qos.min_servers feasible ~w with
+  | Some (1, sol) -> check cb "server at the root" true (Solution.mem sol 0)
+  | Some (n, _) -> Alcotest.failf "single node: expected 1 server, got %d" n
+  | None -> Alcotest.fail "single node with fitting load must be feasible");
+  let infeasible = Tree.build (Tree.node ~clients:[ w + 2 ] []) in
+  check cb "brute: single node over capacity" true
+    (Brute.min_basic_cost infeasible ~w ~cost = None);
+  check cb "dp-qos: single node over capacity" true
+    (Dp_qos.solve infeasible ~w ~cost = None);
+  check cb "greedy-qos: single node over capacity" true
+    (Greedy_qos.solve infeasible ~w = None)
+
+(* --- serialization and epoch-view plumbing --- *)
+
+let test_serialization_roundtrip () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (seed * 9311) in
+      for rep = 1 to 5 do
+        let t = constrained_instance rng in
+        let tag = Printf.sprintf "seed=%d rep=%d" seed rep in
+        check cb (tag ^ ": constrained round-trip") true
+          (Tree.equal t (Tree.of_string (Tree.to_string t)));
+        let u = instance rng ~max_pre:2 in
+        let s = Tree.to_string u in
+        check cb (tag ^ ": unconstrained round-trip") true
+          (Tree.equal u (Tree.of_string s));
+        check cb (tag ^ ": unconstrained strings carry no qos tokens") false
+          (String.contains s '@')
+      done)
+    seeds
+
+let test_with_clients_keeps_qos () =
+  let t =
+    Tree.build
+      (Tree.node ~clients:[ 2; 1 ] ~qos:[ 3; 1 ]
+         [ Tree.node ~clients:[ 4 ] ~qos:[ 2 ] [] ])
+  in
+  (* Same arity: bounds carried verbatim (the Epochs redraw path). *)
+  let same = Tree.with_clients t (fun j -> List.map succ (Tree.clients t j)) in
+  check (Alcotest.list ci) "same arity keeps qos verbatim" [ 3; 1 ]
+    (Tree.client_qos same 0);
+  check (Alcotest.list ci) "child bounds kept too" [ 2 ]
+    (Tree.client_qos same 1);
+  (* Changed arity: every new client inherits the node's tightest old
+     bound, so a redraw can only preserve or tighten the constraint. *)
+  let shrunk =
+    Tree.with_clients t (fun j -> if j = 0 then [ 9 ] else Tree.clients t j)
+  in
+  check (Alcotest.list ci) "changed arity replicates the tightest bound"
+    [ 1 ]
+    (Tree.client_qos shrunk 0)
+
+(* --- engine: constraints tightened mid-trace --- *)
+
+let tighten_from ~epoch demands =
+  List.mapi
+    (fun i d ->
+      if i + 1 >= epoch then
+        Tree.with_bandwidth
+          (Tree.with_qos d (fun _ _ -> 2))
+          (fun j ->
+            let demand = Tree.subtree_demand d j in
+            if demand = 0 then Tree.unbounded else 2 * demand)
+      else d)
+    demands
+
+let drifting_demands tree seed epochs =
+  let rng = Rng.create seed in
+  List.init epochs (fun _ ->
+      Tree.with_clients tree (fun j ->
+          List.filter_map
+            (fun r ->
+              if Rng.bernoulli rng 0.2 then None
+              else
+                Some
+                  (min 4 (max 1 (r + Rng.int_in_range rng ~min:(-1) ~max:1))))
+            (Tree.clients tree j)))
+
+let test_engine_mid_trace_tightening () =
+  let tree = small_tree (Rng.create 47) ~nodes:9 ~max_requests:3 in
+  let demands = tighten_from ~epoch:4 (drifting_demands tree 11 7) in
+  let cfg =
+    Engine.config ~policy:Update_policy.Systematic ~algo:"dp-qos" ~w:10
+      (Engine.Min_cost cost)
+  in
+  let engine = Engine.create cfg in
+  List.iteri
+    (fun i demand ->
+      let entry = Engine.step engine demand in
+      check cb
+        (Printf.sprintf "epoch %d placement stays valid" (i + 1))
+        true entry.Timeline.valid;
+      (* The recorded placement satisfies the epoch's own constraints —
+         including from the tightening epoch on. *)
+      check cb
+        (Printf.sprintf "epoch %d placement honours the epoch constraints"
+           (i + 1))
+        true
+        (Solution.is_valid demand ~w:10 entry.Timeline.servers))
+    demands
+
+let test_engine_rejects_incapable_solver () =
+  let tree = small_tree (Rng.create 48) ~nodes:6 ~max_requests:3 in
+  let cfg =
+    Engine.config ~policy:Update_policy.Systematic ~algo:"dp-withpre" ~w:10
+      (Engine.Min_cost cost)
+  in
+  let engine = Engine.create cfg in
+  (* Unconstrained epochs sail through... *)
+  let entry = Engine.step engine tree in
+  check cb "unconstrained epoch accepted" true entry.Timeline.valid;
+  (* ...but the epoch that turns constraints on fails fast instead of
+     silently emitting constraint-violating placements. *)
+  Alcotest.check_raises "constrained epoch rejected"
+    (Invalid_argument
+       "Engine: dp-withpre cannot enforce the epoch's QoS bounds (use a \
+        qos-capable solver, e.g. dp-qos)") (fun () ->
+      ignore (Engine.step engine (Tree.with_qos tree (fun _ _ -> 1))));
+  Alcotest.check_raises "bandwidth-capped epoch rejected"
+    (Invalid_argument
+       "Engine: dp-withpre cannot enforce the epoch's bandwidth caps (use a \
+        bw-capable solver, e.g. dp-qos)") (fun () ->
+      ignore
+        (Engine.step engine (Tree.with_bandwidth tree (fun j -> 100 + j))))
+
+let () =
+  Alcotest.run "qos"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "250 instances vs brute" `Slow test_dp_vs_brute;
+          Alcotest.test_case "relaxation monotone" `Slow
+            test_relaxation_monotone;
+          Alcotest.test_case "unconstrained = dp-withpre" `Slow
+            test_unconstrained_equivalence;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "incapable solvers reject" `Quick
+            test_capability_rejection;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "qos 0, fitting load" `Quick
+            test_qos_zero_feasible;
+          Alcotest.test_case "qos 0, uniform infeasibility" `Quick
+            test_qos_zero_infeasible_uniform;
+          Alcotest.test_case "bandwidth boundary" `Quick
+            test_bandwidth_boundary;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "serialization round-trip" `Quick
+            test_serialization_roundtrip;
+          Alcotest.test_case "with_clients keeps qos" `Quick
+            test_with_clients_keeps_qos;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "mid-trace tightening" `Quick
+            test_engine_mid_trace_tightening;
+          Alcotest.test_case "incapable solver raises" `Quick
+            test_engine_rejects_incapable_solver;
+        ] );
+    ]

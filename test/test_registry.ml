@@ -92,8 +92,7 @@ let test_exact_cost_pairwise () =
   for rep = 1 to 50 do
     (* No pre-existing servers: the one regime every exact closest-policy
        cost solver provably shares (greedy is pre-oblivious). *)
-    let nodes = 2 + Rng.int rng 8 in
-    let t = small_tree rng ~nodes ~max_requests:4 in
+    let t = no_pre_instance rng in
     let problem = Problem.min_cost t ~w ~cost in
     let results =
       List.map
