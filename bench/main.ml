@@ -5,11 +5,13 @@
 
    Usage: bench/main.exe [section...]
    Sections: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 dp-stats engine
-   qos obs timing (default: all). The dp-stats section additionally
+   forest qos obs timing (default: all). The dp-stats section additionally
    writes a machine-readable BENCH_dp_power.json with the solver's
    counter and timer registry for the pruned and unpruned merge; the
    engine section writes BENCH_engine.json comparing full vs incremental
-   re-solving; the qos section writes BENCH_qos.json with feasible
+   re-solving; the forest section writes BENCH_forest.json with the
+   forest engine's merged-stream conservation, shard-parallel
+   bit-identity and speedup, and coupling-repair products; the qos section writes BENCH_qos.json with feasible
    fractions, server inflation and solve times for the constrained DP
    under the tight/loose presets; the obs section writes BENCH_obs.json
    quantifying the span-tracing overhead (on, via interleaved paired
@@ -389,6 +391,201 @@ let run_engine () =
     close_out oc;
     Replica_obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
     Printf.printf "wrote BENCH_engine.json\n"
+  end
+
+(* --- Forest engine: 1000 shards x 100 nodes, shard-parallel solves and
+   cross-object coupling repair (BENCH_forest.json) --- *)
+
+let run_forest () =
+  if section_enabled "forest" then begin
+    banner "forest"
+      "forest engine at 1000 trees x 100 nodes: merged epoch stream, \
+       shard-parallel solves, coupling repair on a small sub-forest";
+    let open Replica_core in
+    let module Engine = Replica_engine.Engine in
+    let module F = Replica_forest.Forest in
+    let module FT = Replica_forest.Forest_trace in
+    let module FE = Replica_forest.Forest_engine in
+    let module FTl = Replica_forest.Forest_timeline in
+    let module J = Replica_obs.Json in
+    let trees = 1000 and objects = 1000 and nodes = 100 and seed = 11 in
+    let servers = 2 * nodes and horizon = 6. and window = 1. in
+    let w = Workload.capacity in
+    let profile = Workload.profile Workload.Fat ~nodes ~max_requests:5 in
+    let forest = F.generate { F.trees; objects; servers; profile; seed } in
+    let ft = FT.generate forest ~horizon ~seed:(seed + 1) FT.Poisson in
+    if not (FT.conservation ft) then
+      failwith "forest: merged trace dropped events";
+    let grid = FT.epochs ft forest ~window in
+    let epochs = List.length grid in
+    let ecfg =
+      Engine.config ~policy:Update_policy.Systematic ~w
+        (Engine.Min_cost (Cost.basic ~create:0.5 ~delete:0.25 ()))
+    in
+    (* Decoupled runs at different domain counts must be bit-identical;
+       the wall-clock difference is the shard-parallel speedup. *)
+    let run_grid domains =
+      Stats_counters.reset ();
+      let engine =
+        FE.create forest { FE.engine = ecfg; coupling = false; domains }
+      in
+      let tl = FTl.of_entries (List.map (FE.step engine) grid) in
+      (tl, FE.placements engine)
+    in
+    let seq_tl, seq_placements = run_grid 1 in
+    let par_domains = 4 in
+    let par_tl, par_placements = run_grid par_domains in
+    let identical =
+      Array.for_all2 Solution.equal seq_placements par_placements
+      && List.for_all2
+           (fun (a : FTl.entry) (b : FTl.entry) ->
+             a.FTl.servers = b.FTl.servers
+             && a.FTl.reconfigured_shards = b.FTl.reconfigured_shards
+             && a.FTl.step_cost = b.FTl.step_cost)
+           seq_tl.FTl.entries par_tl.FTl.entries
+    in
+    if not identical then
+      failwith "forest: domain count changed the placements";
+    let merge_products (tl : FTl.t) =
+      List.fold_left
+        (fun acc (e : FTl.entry) ->
+          acc
+          + (try List.assoc "dp_withpre.merge_products" e.FTl.counters
+             with Not_found -> 0))
+        0 tl.FTl.entries
+    in
+    let products = merge_products seq_tl in
+    if merge_products par_tl <> products then
+      failwith "forest: domain count changed the solve work";
+    let eps (tl : FTl.t) = float_of_int epochs /. tl.FTl.epoch_seconds in
+    let seq_eps = eps seq_tl and par_eps = eps par_tl in
+    let speedup = seq_tl.FTl.epoch_seconds /. par_tl.FTl.epoch_seconds in
+    Printf.printf
+      "%d shards x %d nodes, %d epochs, %d merged events\n\
+       sequential: %.2f epochs/s; %d domains: %.2f epochs/s (%.2fx)\n"
+      objects nodes epochs (FT.total_events ft) seq_eps par_domains par_eps
+      speedup;
+    (* A 1-core container cannot show real parallel speedup; enforce the
+       >1x bar only where the hardware can deliver it. *)
+    if Domain.recommended_domain_count () >= par_domains && speedup < 1. then
+      failwith "forest: shard-parallel run slower than sequential";
+    (* Coupling repair on a sub-forest sized so the brute-force-adjacent
+       differential suite's regime (shared pool, slack demand) holds;
+       everything here is deterministic for the seed. *)
+    let small =
+      F.generate
+        {
+          F.trees = 4;
+          objects = 12;
+          servers = 60;
+          profile = Workload.profile Workload.Fat ~nodes:30 ~max_requests:5;
+          seed = seed + 2;
+        }
+    in
+    let sft = FT.generate small ~horizon ~seed:(seed + 3) FT.Poisson in
+    let sgrid = FT.epochs sft small ~window in
+    Stats_counters.reset ();
+    let coupled =
+      FE.run small { FE.engine = ecfg; coupling = true; domains = 1 } sgrid
+    in
+    let unrepaired =
+      List.fold_left (fun a (e : FTl.entry) -> a + e.FTl.unrepaired) 0
+        coupled.FTl.entries
+    in
+    let coupled_overloads =
+      List.fold_left
+        (fun a (e : FTl.entry) -> a + e.FTl.coupling_overloads)
+        0 coupled.FTl.entries
+    in
+    (* Decoupled forest stepping is bit-identical to solving every shard
+       alone: the forest adds no cross-talk unless coupling is on. *)
+    Stats_counters.reset ();
+    let dec_engine =
+      FE.create small { FE.engine = ecfg; coupling = false; domains = 1 }
+    in
+    List.iter (fun v -> ignore (FE.step dec_engine v)) sgrid;
+    let solo =
+      Array.map (fun _ -> Engine.create ecfg) (F.shards small)
+    in
+    List.iter
+      (fun views ->
+        List.iteri (fun o v -> ignore (Engine.step solo.(o) v)) views)
+      sgrid;
+    let decoupled_identical =
+      Array.for_all2
+        (fun sol e -> Solution.equal sol (Engine.placement e))
+        (FE.placements dec_engine) solo
+    in
+    if not decoupled_identical then
+      failwith "forest: decoupled run diverged from independent solves";
+    Printf.printf
+      "coupling: %d overloads repaired (+%d replicas), %d unrepaired\n\
+       decoupled placements identical to independent solves: %b\n"
+      coupled_overloads coupled.FTl.repair_added unrepaired
+      decoupled_identical;
+    let final_servers =
+      Array.fold_left
+        (fun a s -> a + Solution.cardinal s)
+        0 seq_placements
+    in
+    let json =
+      J.envelope ~kind:"forest"
+        ~config:
+          [
+            ("trees", J.Int trees);
+            ("objects", J.Int objects);
+            ("nodes", J.Int nodes);
+            ("servers", J.Int servers);
+            ("seed", J.Int seed);
+            ("horizon", J.Float horizon);
+            ("window", J.Float window);
+            ("w", J.Int w);
+            ("policy", J.String "systematic");
+            ("algo", J.String "dp-withpre");
+            ("par_domains", J.Int par_domains);
+            ( "recommended_domains",
+              J.Int (Domain.recommended_domain_count ()) );
+          ]
+        [
+          ("epochs", J.Int epochs);
+          ("merged_events", J.Int (FT.total_events ft));
+          ("merge_conserved", J.Bool (FT.conservation ft));
+          ("placements_identical", J.Bool identical);
+          ("decoupled_identical", J.Bool decoupled_identical);
+          ("reconfigurations", J.Int seq_tl.FTl.reconfigurations);
+          ("total_cost", J.Float seq_tl.FTl.total_cost);
+          ("final_servers", J.Int final_servers);
+          ("merge_products", J.Int products);
+          ( "seq",
+            J.Obj
+              [
+                ("epochs_per_second", J.Float seq_eps);
+                ("epoch_seconds", J.Float seq_tl.FTl.epoch_seconds);
+              ] );
+          ( "par",
+            J.Obj
+              [
+                ("epochs_per_second", J.Float par_eps);
+                ("epoch_seconds", J.Float par_tl.FTl.epoch_seconds);
+              ] );
+          ("parallel_speedup", J.Float speedup);
+          ( "coupled",
+            J.Obj
+              [
+                ("epochs", J.Int (List.length coupled.FTl.entries));
+                ("overloads", J.Int coupled_overloads);
+                ("repair_added", J.Int coupled.FTl.repair_added);
+                ("unrepaired", J.Int unrepaired);
+                ("invalid_epochs", J.Int coupled.FTl.invalid_epochs);
+              ] );
+        ]
+    in
+    let oc = open_out "BENCH_forest.json" in
+    output_string oc (J.to_string ~pretty:true json);
+    output_char oc '\n';
+    close_out oc;
+    Replica_obs.Bench_history.append ~path:"BENCH_history.jsonl" json;
+    Printf.printf "wrote BENCH_forest.json\n"
   end
 
 (* --- Constrained placement: QoS/bandwidth regimes (BENCH_qos.json) --- *)
@@ -804,6 +1001,7 @@ let () =
   run_ablation_modes ();
   run_dp_stats ();
   run_engine ();
+  run_forest ();
   run_qos ();
   run_obs ();
   run_timing ()

@@ -1,0 +1,219 @@
+(* replica_cli forest: lock-step online runs over a forest of sharded
+   trees sharing one physical server pool, with optional cross-object
+   capacity coupling. *)
+
+open Replica_core
+open Replica_experiments
+open Replica_engine
+open Replica_forest
+module Json = Replica_obs.Json
+open Cmdliner
+open Cli_common
+
+let trees_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "trees" ] ~docv:"K"
+        ~doc:"Number of distinct tree topologies in the forest.")
+
+let objects_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "objects" ] ~docv:"O"
+        ~doc:
+          "Number of replicated objects (shards), assigned round-robin to \
+           the topologies.")
+
+let servers_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "servers" ] ~docv:"S"
+        ~doc:
+          "Physical server pool size the tree nodes map onto (default: \
+           twice the tree size; must be at least the tree size).")
+
+let horizon_arg =
+  Arg.(
+    value & opt float 8.
+    & info [ "horizon" ] ~docv:"T" ~doc:"Trace length in time units.")
+
+let window_arg =
+  Arg.(
+    value & opt float 1.
+    & info [ "window" ] ~docv:"T" ~doc:"Epoch aggregation window.")
+
+let workload_arg =
+  let workload_conv =
+    Arg.enum [ ("poisson", `Poisson); ("diurnal", `Diurnal); ("flash", `Flash) ]
+  in
+  Arg.(
+    value & opt workload_conv `Diurnal
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:
+          "Arrival process per shard: $(b,poisson), $(b,diurnal) or \
+           $(b,flash) (Poisson plus a flash crowd on each shard's first \
+           root subtree).")
+
+let solver_arg =
+  let solver_conv =
+    Arg.enum [ ("full", Engine.Full); ("incremental", Engine.Incremental) ]
+  in
+  Arg.(
+    value & opt solver_conv Engine.Incremental
+    & info [ "solver" ] ~docv:"SOLVER"
+        ~doc:
+          "Per-shard re-solving strategy: $(b,full) or $(b,incremental) \
+           (each shard keeps its own memo). Placements are identical; only \
+           the work differs.")
+
+let algo_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Registry solver every shard reconfigures with (default: \
+           $(b,dp-withpre)). With $(b,--coupling), only solvers whose \
+           capability row shows $(b,coupling) are accepted. See $(b,solve \
+           --list-algos).")
+
+let coupling_flag =
+  Arg.(
+    value & flag
+    & info [ "coupling" ]
+        ~doc:
+          "Enforce cross-object capacity coupling on the shared physical \
+           servers: after each epoch's solves, overloaded machines are \
+           repaired by greedy push-down and the repaired placements carry \
+           into the next epoch.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for the parallel per-shard solves. Placements are \
+           identical at any value.")
+
+let w_arg =
+  Arg.(
+    value & opt int Workload.capacity
+    & info [ "w" ] ~docv:"W" ~doc:"Server capacity.")
+
+let json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the full machine-readable forest timeline to $(docv).")
+
+let no_time_flag =
+  Arg.(
+    value & flag
+    & info [ "no-time" ]
+        ~doc:
+          "Omit wall-clock figures from the printed timeline, making the \
+           output fully deterministic for a fixed seed (used by the cram \
+           test). The JSON artifact always records times.")
+
+let cmd =
+  let run shape nodes seed trees objects servers horizon window workload
+      policy solver algo coupling domains w json no_time trace_file metrics =
+    if nodes <= 0 then die "--nodes must be positive";
+    let servers = match servers with Some s -> s | None -> 2 * nodes in
+    let profile = Workload.profile shape ~nodes ~max_requests:6 in
+    let forest =
+      try Forest.generate { Forest.trees; objects; servers; profile; seed }
+      with Invalid_argument msg -> die "%s" msg
+    in
+    let ft =
+      let wk =
+        match workload with
+        | `Poisson -> Forest_trace.Poisson
+        | `Diurnal -> Forest_trace.Diurnal { period = 24.; floor = 0.25 }
+        | `Flash -> Forest_trace.Flash { multiplier = 3. }
+      in
+      Forest_trace.generate forest ~horizon ~seed:(seed + 1) wk
+    in
+    let ecfg =
+      Engine.config ~policy ~solver ?algo ~w
+        (Engine.Min_cost (Cost.basic ~create:0.5 ~delete:0.25 ()))
+    in
+    let cfg = { Forest_engine.engine = ecfg; coupling; domains } in
+    (* Capability problems — unknown --algo, a coupled run on a solver
+       without the coupling capability — surface as Invalid_argument
+       from Forest_engine.create; shared exit-2 path. *)
+    let engine =
+      try Forest_engine.create forest cfg
+      with Invalid_argument msg -> die "%s" msg
+    in
+    Printf.printf
+      "forest: %d trees, %d shards, %d servers, %d requests over %.1f time \
+       units\n"
+      (Forest.num_trees forest) (Forest.num_shards forest)
+      (Forest.num_servers forest)
+      (Forest_trace.total_events ft)
+      (Replica_trace.Trace.duration ft.Forest_trace.merged);
+    let timeline =
+      try
+        with_tracing trace_file (fun () ->
+            let grid = Forest_trace.epochs ft forest ~window in
+            let tl =
+              Forest_timeline.of_entries
+                (List.map (Forest_engine.step engine) grid)
+            in
+            (* Inside the traced region: with_tracing's cleanup resets
+               the span buffers the metrics exposition includes. *)
+            Option.iter write_metrics metrics;
+            tl)
+      with Invalid_argument msg -> die "%s" msg
+    in
+    Forest_timeline.print ~times:(not no_time) stdout timeline;
+    Option.iter
+      (fun path ->
+        let config =
+          [
+            ("trees", Json.Int trees);
+            ("objects", Json.Int objects);
+            ("servers", Json.Int servers);
+            ("nodes", Json.Int nodes);
+            ("shape", Json.String (Workload.shape_to_string shape));
+            ("seed", Json.Int seed);
+            ("horizon", Json.Float horizon);
+            ("window", Json.Float window);
+            ( "workload",
+              Json.String
+                (match workload with
+                | `Poisson -> "poisson"
+                | `Diurnal -> "diurnal"
+                | `Flash -> "flash") );
+            ("policy", Json.String (Update_policy.policy_to_string policy));
+            ( "solver",
+              Json.String
+                (match solver with
+                | Engine.Full -> "full"
+                | Engine.Incremental -> "incremental") );
+            ("algo", Json.String (Forest_engine.solver_name engine));
+            ("coupling", Json.Bool coupling);
+            ("domains", Json.Int domains);
+            ("w", Json.Int w);
+          ]
+        in
+        let oc = open_out path in
+        output_string oc (Forest_timeline.to_json_string ~config timeline);
+        output_char oc '\n';
+        close_out oc)
+      json
+  in
+  Cmd.v
+    (Cmd.info "forest"
+       ~doc:
+         "Run the lock-step online engine over a forest of sharded trees \
+          sharing one physical server pool: per-shard traces merged onto \
+          one epoch grid, parallel per-shard re-solves, and (with \
+          $(b,--coupling)) cross-object capacity repair on the shared \
+          machines.")
+    Term.(
+      const run $ shape_arg $ nodes_arg 20 $ seed_arg $ trees_arg
+      $ objects_arg $ servers_arg $ horizon_arg $ window_arg $ workload_arg
+      $ Cli_engine.policy_arg $ solver_arg $ algo_arg $ coupling_flag
+      $ domains_arg $ w_arg $ json_arg $ no_time_flag $ trace_file_arg
+      $ metrics_file_arg)

@@ -23,6 +23,7 @@ let () =
             Cli_experiments.heuristics_cmd;
             Cli_engine.trace_cmd;
             Cli_engine.engine_cmd;
+            Cli_forest.cmd;
             Cli_obs.profile_cmd;
             Cli_obs.bench_diff_cmd;
             Cli_obs.obs_validate_cmd;

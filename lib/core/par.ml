@@ -1,19 +1,42 @@
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
-let map ?domains f l =
+let map ?domains ?weights f l =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
   in
   let arr = Array.of_list l in
   let n = Array.length arr in
+  (match weights with
+  | Some w when List.length w <> n ->
+      invalid_arg "Par.map: weights length mismatch"
+  | _ -> ());
   if domains <= 1 || n <= 1 then List.map f l
   else begin
+    (* Size-hinted scheduling: with ?weights, positions are handed to
+       workers heaviest-first, so one late huge item cannot strand the
+       other domains idle behind a tail of small ones. Results are
+       still stored at their original position, so the output (and
+       any per-item effect ordering a caller could observe through
+       the results) is bit-identical to the unweighted path. *)
+    let order =
+      match weights with
+      | None -> Array.init n Fun.id
+      | Some ws ->
+          let w = Array.of_list ws in
+          let idx = Array.init n Fun.id in
+          Array.sort
+            (fun a b ->
+              match compare w.(b) w.(a) with 0 -> compare a b | c -> c)
+            idx;
+          idx
+    in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
+        let s = Atomic.fetch_and_add next 1 in
+        if s < n then begin
+          let i = order.(s) in
           results.(i) <- Some (f arr.(i));
           loop ()
         end

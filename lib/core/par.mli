@@ -19,12 +19,22 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?domains:int -> ?weights:int list -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map. [domains] defaults to
     {!default_domains}; values [<= 1] (or lists of length [<= 1]) run
     sequentially in the calling domain. Work is distributed by atomic
     work-stealing over the input positions. An exception raised by [f]
-    propagates to the caller. *)
+    propagates to the caller.
+
+    [weights] is a size hint, one entry per input item: workers claim
+    positions heaviest-first (ties broken by position), so a mix of
+    large and small items — e.g. heterogeneous shard sizes in a forest
+    solve — cannot strand domains idle behind one late big item that
+    was scheduled last. Results are collected positionally, so the
+    output is bit-identical with or without the hint, at any domain
+    count.
+    @raise Invalid_argument if [weights] disagrees with the input
+    length. *)
 
 val map2 : ?domains:int -> ('a -> 'b -> 'c) -> 'a list -> 'b list -> 'c list
 (** Pairwise variant.

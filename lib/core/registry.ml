@@ -49,7 +49,8 @@ let greedy =
   {
     Solver.name = "greedy";
     summary = "O(N log N) greedy of [19]; optimal without pre-existing servers";
-    capability = cap ~handles_cost:true ~exactness:Solver.Exact ();
+    capability =
+      cap ~handles_cost:true ~handles_coupling:true ~exactness:Solver.Exact ();
     solve =
       (fun p _ ->
         Option.map (cost_outcome p) (Greedy.solve p.Problem.tree ~w:p.Problem.w));
@@ -61,7 +62,8 @@ let dp_nopre =
   {
     Solver.name = "dp-nopre";
     summary = "O(N^2) tree-knapsack DP of [6] (MinCost-NoPre cross-check)";
-    capability = cap ~handles_cost:true ~exactness:Solver.Exact ();
+    capability =
+      cap ~handles_cost:true ~handles_coupling:true ~exactness:Solver.Exact ();
     solve =
       (fun p _ ->
         Option.map
@@ -76,8 +78,8 @@ let dp_withpre =
     Solver.name = "dp-withpre";
     summary = "the paper's update-strategy DP (Theorem 1, Eq. 2 optimal)";
     capability =
-      cap ~handles_cost:true ~handles_pre:true ~exactness:Solver.Exact
-        ~supports_incremental:true ();
+      cap ~handles_cost:true ~handles_pre:true ~handles_coupling:true
+        ~exactness:Solver.Exact ~supports_incremental:true ();
     solve =
       (fun p r ->
         let cost =
@@ -107,7 +109,7 @@ let heuristic_cost =
   {
     Solver.name = "heuristic-cost";
     summary = "§6 cost-update local search (retarget/drop/hoist/lower/add)";
-    capability = cap ~handles_cost:true ~handles_pre:true ();
+    capability = cap ~handles_cost:true ~handles_pre:true ~handles_coupling:true ();
     solve =
       (fun p r ->
         let cost =
@@ -138,7 +140,7 @@ let dp_qos =
     summary = "QoS/bandwidth-constrained exact DP (Rehn-Sonigo, closest)";
     capability =
       cap ~handles_cost:true ~handles_pre:true ~handles_qos:true
-        ~handles_bw:true ~exactness:Solver.Exact ();
+        ~handles_bw:true ~handles_coupling:true ~exactness:Solver.Exact ();
     solve =
       (fun p _ ->
         let cost =
@@ -163,7 +165,9 @@ let greedy_qos =
   {
     Solver.name = "greedy-qos";
     summary = "constraint-aware greedy; feasibility-complete, not optimal";
-    capability = cap ~handles_cost:true ~handles_qos:true ~handles_bw:true ();
+    capability =
+      cap ~handles_cost:true ~handles_qos:true ~handles_bw:true
+        ~handles_coupling:true ();
     solve =
       (fun p _ ->
         Option.map (cost_outcome p)
@@ -298,7 +302,8 @@ let brute =
     capability =
       cap ~handles_cost:true ~handles_power:true ~handles_pre:true
         ~handles_bound:true ~handles_qos:true ~handles_bw:true
-        ~exactness:Solver.Exact ~max_nodes:Brute.max_nodes ();
+        ~handles_coupling:true ~exactness:Solver.Exact
+        ~max_nodes:Brute.max_nodes ();
     solve =
       (fun p _ ->
         match p.Problem.objective with

@@ -117,6 +117,45 @@ let validate tree ~w t =
 let is_valid tree ~w t =
   match validate tree ~w t with Ok _ -> true | Error _ -> false
 
+type forest_evaluation = {
+  shard_evals : evaluation array;
+  server_loads : int array;
+}
+
+type forest_violation =
+  | Shard_violation of int * violation
+  | Shared_server_overloaded of int * int
+
+let validate_forest ~trees ~server_of:server ~num_servers ~w solutions =
+  if Array.length trees <> Array.length solutions then
+    invalid_arg "Solution.validate_forest: shard count mismatch";
+  if num_servers < 0 then
+    invalid_arg "Solution.validate_forest: negative server count";
+  let server_loads = Array.make num_servers 0 in
+  let shard_evals = Array.make (Array.length solutions) { loads = []; unserved = 0 } in
+  let violations = ref [] in
+  Array.iteri
+    (fun k sol ->
+      (match validate trees.(k) ~w sol with
+      | Ok ev -> shard_evals.(k) <- ev
+      | Error vs ->
+          shard_evals.(k) <- evaluate trees.(k) sol;
+          List.iter (fun v -> violations := Shard_violation (k, v) :: !violations) vs);
+      List.iter
+        (fun (j, load) ->
+          let s = server k j in
+          if s < 0 || s >= num_servers then
+            invalid_arg "Solution.validate_forest: server id out of range";
+          server_loads.(s) <- server_loads.(s) + load)
+        shard_evals.(k).loads)
+    solutions;
+  for s = num_servers - 1 downto 0 do
+    if server_loads.(s) > w then
+      violations := Shared_server_overloaded (s, server_loads.(s)) :: !violations
+  done;
+  if !violations = [] then Ok { shard_evals; server_loads }
+  else Error !violations
+
 let reused tree t =
   IntSet.fold
     (fun j acc -> if Tree.is_pre_existing tree j then acc + 1 else acc)

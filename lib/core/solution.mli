@@ -58,6 +58,43 @@ val validate : Tree.t -> w:int -> t -> (evaluation, violation list) result
 
 val is_valid : Tree.t -> w:int -> t -> bool
 
+(** {1 Forest validation}
+
+    A forest overlays several logical trees (one per replicated object)
+    on one pool of physical servers. Each shard's placement must be
+    feasible for its own tree, {e and} the aggregate load landing on
+    each physical server — summed across every object replicated
+    there — must respect the server's capacity. *)
+
+type forest_evaluation = {
+  shard_evals : evaluation array;  (** per-shard closest-policy loads *)
+  server_loads : int array;
+      (** aggregate load per physical server, across all shards *)
+}
+
+type forest_violation =
+  | Shard_violation of int * violation
+      (** shard index paired with its per-tree violation *)
+  | Shared_server_overloaded of int * int
+      (** physical server id whose aggregate cross-object load exceeds
+          the capacity, with that load *)
+
+val validate_forest :
+  trees:Tree.t array ->
+  server_of:(int -> Tree.node -> int) ->
+  num_servers:int ->
+  w:int ->
+  t array ->
+  (forest_evaluation, forest_violation list) result
+(** [validate_forest ~trees ~server_of ~num_servers ~w sols] checks each
+    shard with {!validate} and then the cross-object coupling
+    constraint: for every physical server [s],
+    [sum over shards k and replicas j with server_of k j = s of
+    load(k, j) <= w]. [server_of k j] maps shard [k]'s tree node [j] to
+    its physical server id in [\[0, num_servers)].
+    @raise Invalid_argument if the array lengths disagree or a mapped
+    server id falls outside the table. *)
+
 (** {1 Metrics} *)
 
 val reused : Tree.t -> t -> int

@@ -8,6 +8,7 @@ type capability = {
   handles_bound : bool;
   handles_qos : bool;
   handles_bw : bool;
+  handles_coupling : bool;
   exactness : exactness;
   access : access;
   supports_domains : bool;
@@ -18,7 +19,8 @@ type capability = {
 
 let capability ?(handles_cost = false) ?(handles_power = false)
     ?(handles_pre = false) ?(handles_bound = false) ?(handles_qos = false)
-    ?(handles_bw = false) ?(exactness = Heuristic) ?(access = Closest)
+    ?(handles_bw = false) ?(handles_coupling = false)
+    ?(exactness = Heuristic) ?(access = Closest)
     ?(supports_domains = false) ?(supports_prune = false)
     ?(supports_incremental = false) ?max_nodes () =
   if not (handles_cost || handles_power) then
@@ -30,6 +32,7 @@ let capability ?(handles_cost = false) ?(handles_power = false)
     handles_bound;
     handles_qos;
     handles_bw;
+    handles_coupling;
     exactness;
     access;
     supports_domains;
@@ -180,8 +183,8 @@ let access_string = function
 
 let matrix_header =
   [
-    "name"; "solves"; "kind"; "access"; "pre"; "bound"; "qos"; "bw"; "prune";
-    "domains"; "memo"; "max N";
+    "name"; "solves"; "kind"; "access"; "pre"; "bound"; "qos"; "bw";
+    "coupling"; "prune"; "domains"; "memo"; "max N";
   ]
 
 let capability_row s =
@@ -195,6 +198,7 @@ let capability_row s =
     yn c.handles_bound;
     yn c.handles_qos;
     yn c.handles_bw;
+    yn c.handles_coupling;
     yn c.supports_prune;
     yn c.supports_domains;
     yn c.supports_incremental;

@@ -36,6 +36,13 @@ type capability = {
   handles_bw : bool;
       (** enforces per-link bandwidth caps ({!Tree.bandwidth}); same
           rejection rule *)
+  handles_coupling : bool;
+      (** placements may participate in cross-object capacity coupling
+          on shared physical servers: the forest engine's greedy
+          push-down repair pass post-processes this solver's closest
+          policy placements (adding replicas below an overloaded shared
+          server), which is only sound for closest-policy cost solvers
+          — a coupled forest run rejects solvers without this flag *)
   exactness : exactness;
       (** [Exact] = provably optimal on every problem it handles (for
           [handles_pre = false] cost solvers: exact on the no-pre
@@ -55,6 +62,7 @@ val capability :
   ?handles_bound:bool ->
   ?handles_qos:bool ->
   ?handles_bw:bool ->
+  ?handles_coupling:bool ->
   ?exactness:exactness ->
   ?access:access ->
   ?supports_domains:bool ->

@@ -143,6 +143,14 @@ let modes_in_force cfg tree solution =
         (fun (j, load) -> (j, Modes.mode_of_load modes load))
         ev.Solution.loads
 
+(* A coordinator (the forest's coupling repair) may adjust this epoch's
+   placement after [step] returns; recording it here makes the adjusted
+   set — with its operating modes — the pre-existing state the next
+   epoch's solve starts from, exactly as if [step] had chosen it. *)
+let override_placement t tree solution =
+  t.placement <- solution;
+  t.placement_modes <- modes_in_force t.cfg tree solution
+
 let shortfall tree ~w servers =
   let ev = Solution.evaluate tree servers in
   List.fold_left

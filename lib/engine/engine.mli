@@ -103,6 +103,14 @@ val step : t -> Tree.t -> Timeline.entry
 val placement : t -> Solution.t
 (** Placement currently in force. *)
 
+val override_placement : t -> Tree.t -> Solution.t -> unit
+(** [override_placement t tree sol] replaces the placement in force with
+    [sol], evaluated against [tree] (this epoch's demand view) to fix
+    the operating modes that become the next epoch's initial modes.
+    Used by coordinators that post-process an epoch's placement — the
+    forest engine's cross-object coupling repair — so the adjusted set
+    is what the next epoch treats as pre-existing. *)
+
 val epochs_served : t -> int
 
 val solver_name : t -> string

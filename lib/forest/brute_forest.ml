@@ -1,0 +1,81 @@
+let max_total_nodes = 24
+
+let total_servers placements =
+  Array.fold_left (fun acc s -> acc + Solution.cardinal s) 0 placements
+
+(* Every per-shard-feasible placement of [tree] with its replica loads,
+   sorted by cardinality (enumeration order on ties) so the DFS meets
+   cheap assignments first and the suffix bound is the head's size. *)
+let feasible_sets tree ~w =
+  let n = Tree.size tree in
+  let sets = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let nodes =
+      List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init n Fun.id)
+    in
+    let sol = Solution.of_nodes nodes in
+    match Solution.validate tree ~w sol with
+    | Ok ev -> sets := (sol, ev.Solution.loads, List.length nodes) :: !sets
+    | Error _ -> ()
+  done;
+  List.stable_sort
+    (fun (_, _, a) (_, _, b) -> compare a b)
+    (List.rev !sets)
+
+let solve forest ~trees ~w =
+  let total = Array.fold_left (fun acc t -> acc + Tree.size t) 0 trees in
+  if total > max_total_nodes then
+    invalid_arg
+      (Printf.sprintf "Brute_forest: %d nodes exceed the %d-node guard" total
+         max_total_nodes);
+  let shard_count = Array.length trees in
+  let per_shard = Array.map (feasible_sets ~w) trees in
+  if Array.exists (fun sets -> sets = []) per_shard then None
+  else begin
+    let min_card =
+      Array.map
+        (fun sets -> match sets with (_, _, c) :: _ -> c | [] -> 0)
+        per_shard
+    in
+    (* suffix.(o) = least possible total cardinality of shards o.. *)
+    let suffix = Array.make (shard_count + 1) 0 in
+    for o = shard_count - 1 downto 0 do
+      suffix.(o) <- suffix.(o + 1) + min_card.(o)
+    done;
+    let phys = Array.make (Forest.num_servers forest) 0 in
+    let choice = Array.make shard_count Solution.empty in
+    let best = ref None and best_total = ref max_int in
+    let rec dfs o count =
+      if count + suffix.(o) < !best_total then
+        if o = shard_count then begin
+          best := Some (Array.copy choice);
+          best_total := count
+        end
+        else
+          List.iter
+            (fun (sol, loads, card) ->
+              let ok =
+                List.for_all
+                  (fun (j, l) ->
+                    phys.(Forest.server_of forest o j) + l <= w)
+                  loads
+              in
+              if ok then begin
+                List.iter
+                  (fun (j, l) ->
+                    let s = Forest.server_of forest o j in
+                    phys.(s) <- phys.(s) + l)
+                  loads;
+                choice.(o) <- sol;
+                dfs (o + 1) (count + card);
+                List.iter
+                  (fun (j, l) ->
+                    let s = Forest.server_of forest o j in
+                    phys.(s) <- phys.(s) - l)
+                  loads
+              end)
+            per_shard.(o)
+    in
+    dfs 0 0;
+    !best
+  end

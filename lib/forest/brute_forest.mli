@@ -1,0 +1,32 @@
+(** Exhaustive coupled-placement oracle for tiny forests.
+
+    Enumerates, per shard, every per-shard-feasible replica set
+    ({!Solution.validate} at capacity [w]), then searches the cross
+    product for the assignment minimizing the {e total} replica count
+    subject to the cross-object coupling constraint — aggregate load at
+    most [w] on every physical server. Branch-and-bound over shards:
+    per-shard sets are visited in increasing cardinality, partial
+    aggregate loads prune (load only grows as shards are added), and a
+    suffix lower bound (sum of each remaining shard's smallest feasible
+    cardinality) cuts hopeless prefixes.
+
+    This is the differential oracle for {!Repair}: repair must find a
+    violation-free placement whenever one exists (on push-down-reachable
+    instances) and can never beat the optimum's server count. Guarded to
+    {!max_total_nodes} summed nodes — beyond that the per-shard power
+    sets explode. *)
+
+val max_total_nodes : int
+(** 24: at most [2^24] raw combinations before pruning. *)
+
+val solve :
+  Forest.t -> trees:Tree.t array -> w:int -> Solution.t array option
+(** [solve forest ~trees ~w] is a coupled-feasible assignment of
+    minimal total replica count, or [None] when none exists (some shard
+    has no feasible set, or every combination overloads a shared
+    server). Deterministic: ties break toward the lexicographically
+    earliest per-shard choice in the enumeration order.
+    @raise Invalid_argument if the forest exceeds {!max_total_nodes}. *)
+
+val total_servers : Solution.t array -> int
+(** Sum of per-shard cardinalities — the oracle's objective. *)

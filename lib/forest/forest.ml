@@ -1,0 +1,94 @@
+type shard = { index : int; topology : int; tree : Tree.t }
+
+type t = {
+  pool : int;
+  topologies : Tree.t array;
+  server : int array array;
+  shard_table : shard array;
+}
+
+type spec = {
+  trees : int;
+  objects : int;
+  servers : int;
+  profile : Generator.profile;
+  seed : int;
+}
+
+(* Disjoint substream roots: component [c] of the forest draws from
+   [derive (derive root c) i], so topologies, server maps and shard
+   demands never share randomness and adding shards (or trees) never
+   shifts the streams of existing ones. *)
+let topo_stream = 0
+let map_stream = 1
+let demand_stream = 2
+
+let generate spec =
+  if spec.trees <= 0 then invalid_arg "Forest: trees must be positive";
+  if spec.objects <= 0 then invalid_arg "Forest: objects must be positive";
+  if spec.servers < spec.profile.Generator.nodes then
+    invalid_arg "Forest: server pool smaller than a tree";
+  let root = Rng.create spec.seed in
+  let topo_root = Rng.derive root topo_stream
+  and map_root = Rng.derive root map_stream
+  and demand_root = Rng.derive root demand_stream in
+  let topologies =
+    Array.init spec.trees (fun k ->
+        Generator.random (Rng.derive topo_root k) spec.profile)
+  in
+  let server =
+    Array.init spec.trees (fun k ->
+        let rng = Rng.derive map_root k in
+        let n = Tree.size topologies.(k) in
+        let ids =
+          Array.of_list (Rng.sample_without_replacement rng n spec.servers)
+        in
+        Rng.shuffle rng ids;
+        ids)
+  in
+  let shard_table =
+    Array.init spec.objects (fun o ->
+        let k = o mod spec.trees in
+        {
+          index = o;
+          topology = k;
+          tree =
+            Generator.redraw_requests (Rng.derive demand_root o) spec.profile
+              topologies.(k);
+        })
+  in
+  { pool = spec.servers; topologies; server; shard_table }
+
+let num_shards t = Array.length t.shard_table
+let num_trees t = Array.length t.topologies
+let num_servers t = t.pool
+let shards t = t.shard_table
+let shard_tree t o = t.shard_table.(o).tree
+let topology t k = t.topologies.(k)
+let server_of t o j = t.server.(t.shard_table.(o).topology).(j)
+
+let total_nodes t =
+  Array.fold_left (fun acc s -> acc + Tree.size s.tree) 0 t.shard_table
+
+let shard_sizes t =
+  List.map (fun s -> Tree.size s.tree) (Array.to_list t.shard_table)
+
+let server_loads t ~trees placements =
+  if Array.length trees <> Array.length placements then
+    invalid_arg "Forest.server_loads: shard count mismatch";
+  let loads = Array.make t.pool 0 in
+  Array.iteri
+    (fun o sol ->
+      let ev = Solution.evaluate trees.(o) sol in
+      List.iter
+        (fun (j, l) ->
+          let s = server_of t o j in
+          loads.(s) <- loads.(s) + l)
+        ev.Solution.loads)
+    placements;
+  loads
+
+let validate t ~trees ~w placements =
+  Solution.validate_forest ~trees
+    ~server_of:(fun o j -> server_of t o j)
+    ~num_servers:t.pool ~w placements

@@ -1,0 +1,89 @@
+(** A forest of distribution trees over one shared physical-server pool.
+
+    The paper places replicas of a single object in a single tree. Real
+    content-distribution deployments replicate {e many} objects, each
+    with its own distribution tree, over {e one} fleet of machines — the
+    multitrees setting of Benoit, Rehn-Sonigo, Robert and Vivien's
+    follow-up work (arXiv 1709.05709). This module models that overlay:
+
+    - [K] {e topologies}: independently generated tree networks whose
+      internal nodes are physical machines drawn from a pool of [S]
+      servers (each topology is an injective map [node -> server id];
+      distinct topologies may — and at [K·N > S] must — share
+      machines);
+    - [O] {e shards}: replicated objects, assigned round-robin to the
+      topologies. Shards on one topology share its structure and server
+      map but carry their own client demand, redrawn per shard from one
+      root seed through {!Rng.derive} (adding shards never shifts the
+      randomness of existing ones).
+
+    Each shard's placement problem is exactly the paper's single-tree
+    problem; the forest adds one cross-object constraint, {e capacity
+    coupling}: the aggregate load a physical server absorbs across
+    every object replicated on it must respect the machine's capacity
+    [w] ({!Replica_core.Solution.validate_forest}). *)
+
+type shard = {
+  index : int;  (** shard (object) identifier, dense from 0 *)
+  topology : int;  (** index of the topology this shard distributes over *)
+  tree : Tree.t;  (** the shard's demand tree (structure = the topology) *)
+}
+
+type t
+(** An immutable forest. *)
+
+type spec = {
+  trees : int;  (** number of topologies, [K >= 1] *)
+  objects : int;  (** number of shards, [O >= 1] *)
+  servers : int;  (** physical pool size, [S >= profile.nodes] *)
+  profile : Generator.profile;  (** shape and demand of every tree *)
+  seed : int;  (** root seed; everything derives from it *)
+}
+
+val generate : spec -> t
+(** Deterministic construction: topology [k] is
+    [Generator.random (derive k)], its server map a uniform injection
+    into [\[0, servers)], and shard [o]'s demand a
+    {!Generator.redraw_requests} on topology [o mod trees] — all from
+    disjoint {!Rng.derive} substreams of [seed], so any one component
+    is reproducible in isolation.
+    @raise Invalid_argument on a non-positive count or a pool smaller
+    than a tree. *)
+
+(** {1 Accessors} *)
+
+val num_shards : t -> int
+val num_trees : t -> int
+
+val num_servers : t -> int
+(** Physical pool size [S]. *)
+
+val shards : t -> shard array
+val shard_tree : t -> int -> Tree.t
+val topology : t -> int -> Tree.t
+
+val server_of : t -> int -> Tree.node -> int
+(** [server_of t o j] is the physical server hosting node [j] of shard
+    [o]'s tree. Injective per topology; shards of one topology agree. *)
+
+val total_nodes : t -> int
+(** Sum of shard tree sizes (the work-size hint for parallel solves). *)
+
+val shard_sizes : t -> int list
+(** Per-shard tree sizes, in shard order. *)
+
+(** {1 Coupled evaluation} *)
+
+val server_loads : t -> trees:Tree.t array -> Solution.t array -> int array
+(** Aggregate closest-policy load per physical server, summed across
+    shards. [trees] are the per-shard demand views (an epoch of
+    {!Forest_trace}); [trees.(o)] evaluates [placements.(o)]. *)
+
+val validate :
+  t ->
+  trees:Tree.t array ->
+  w:int ->
+  Solution.t array ->
+  (Solution.forest_evaluation, Solution.forest_violation list) result
+(** {!Solution.validate_forest} specialized to this forest's server
+    table. *)

@@ -1,0 +1,164 @@
+module Engine = Replica_engine.Engine
+module Timeline = Replica_engine.Timeline
+module Histogram = Replica_obs.Histogram
+module Clock = Replica_obs.Clock
+
+type config = { engine : Engine.config; coupling : bool; domains : int }
+
+(* Registered (process-global) histogram feeding the Prometheus export;
+   each forest instance also owns an unregistered copy so concurrent
+   forests don't mix their timelines' percentiles. *)
+let h_shard_solve_ns = Histogram.create "forest.shard_solve_ns"
+
+type t = {
+  forest : Forest.t;
+  cfg : config;
+  engines : Engine.t array;
+  lat_h : Histogram.t;
+  mutable epoch : int;
+}
+
+let create forest cfg =
+  if cfg.domains < 1 then invalid_arg "Forest_engine: domains must be >= 1";
+  let engines =
+    Array.map (fun _ -> Engine.create cfg.engine) (Forest.shards forest)
+  in
+  if cfg.coupling then begin
+    let name = Engine.solver_name engines.(0) in
+    match Registry.find name with
+    | Some s when s.Solver.capability.Solver.handles_coupling -> ()
+    | Some _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Forest_engine: %s cannot participate in cross-object capacity \
+              coupling (its placements are not closest-policy cost \
+              placements the push-down repair is sound for; see \
+              --list-algos)"
+             name)
+    | None -> assert false
+  end;
+  {
+    forest;
+    cfg;
+    engines;
+    lat_h = Histogram.make "forest.shard_solve_ns";
+    epoch = 0;
+  }
+
+let placements t = Array.map Engine.placement t.engines
+let epochs_served t = t.epoch
+let solver_name t = Engine.solver_name t.engines.(0)
+
+let count_overloads = function
+  | Ok _ -> 0
+  | Error vs ->
+      List.length
+        (List.filter
+           (function
+             | Solution.Shared_server_overloaded _ -> true
+             | Solution.Shard_violation _ -> false)
+           vs)
+
+let step t views =
+  let shard_count = Forest.num_shards t.forest in
+  if List.length views <> shard_count then
+    invalid_arg "Forest_engine: one demand view per shard expected";
+  let demands = Array.of_list views in
+  t.epoch <- t.epoch + 1;
+  (* One global snapshot around the whole epoch: per-shard diffs taken
+     inside concurrent Engine.step calls overlap (counters are
+     process-global atomics), so the per-entry counters are discarded
+     and the epoch reports a single commutative total. *)
+  let counters_before = Stats_counters.snapshot () in
+  let t0 = Clock.now_ns () in
+  let entries =
+    Par.map ~domains:t.cfg.domains ~weights:(Forest.shard_sizes t.forest)
+      (fun o -> Engine.step t.engines.(o) demands.(o))
+      (List.init shard_count Fun.id)
+  in
+  let entries = Array.of_list entries in
+  Array.iter
+    (fun (e : Timeline.entry) ->
+      if e.Timeline.reconfigured || e.Timeline.solve_seconds > 0. then begin
+        let ns = int_of_float (e.Timeline.solve_seconds *. 1e9) in
+        Histogram.observe t.lat_h ns;
+        Histogram.observe h_shard_solve_ns ns
+      end)
+    entries;
+  let w = t.cfg.engine.Engine.w in
+  let pre = placements t in
+  let coupling_overloads, repair_stats, final =
+    if t.cfg.coupling then begin
+      let overloads =
+        count_overloads (Forest.validate t.forest ~trees:demands ~w pre)
+      in
+      if overloads = 0 then (0, { Repair.pushdowns = 0; added = 0 }, pre)
+      else begin
+        let r = Repair.repair t.forest ~trees:demands ~w pre in
+        (* Repaired placements (supersets, still per-shard valid) become
+           the state the next epoch's solves start from, even when some
+           overload survives — holding a strictly worse placement helps
+           nothing. *)
+        Array.iteri
+          (fun o sol ->
+            if not (Solution.equal sol pre.(o)) then
+              Engine.override_placement t.engines.(o) demands.(o) sol)
+          r.Repair.placements;
+        (overloads, r.Repair.stats, r.Repair.placements)
+      end
+    end
+    else (0, { Repair.pushdowns = 0; added = 0 }, pre)
+  in
+  let unrepaired =
+    if t.cfg.coupling && coupling_overloads > 0 then
+      count_overloads (Forest.validate t.forest ~trees:demands ~w final)
+    else 0
+  in
+  let server_loads = Forest.server_loads t.forest ~trees:demands final in
+  let epoch_seconds = float_of_int (Clock.now_ns () - t0) *. 1e-9 in
+  let counters =
+    Stats_counters.diff counters_before (Stats_counters.snapshot ())
+  in
+  let solve_latency =
+    if Histogram.count t.lat_h = 0 then None
+    else
+      let s = Histogram.summary t.lat_h in
+      Some
+        {
+          Timeline.p50 = float_of_int s.Histogram.p50 *. 1e-9;
+          p90 = float_of_int s.Histogram.p90 *. 1e-9;
+          p99 = float_of_int s.Histogram.p99 *. 1e-9;
+        }
+  in
+  {
+    Forest_timeline.epoch = t.epoch;
+    demand =
+      Array.fold_left (fun a (e : Timeline.entry) -> a + e.Timeline.demand) 0
+        entries;
+    reconfigured_shards =
+      Array.fold_left
+        (fun a (e : Timeline.entry) ->
+          if e.Timeline.reconfigured then a + 1 else a)
+        0 entries;
+    servers = Array.fold_left (fun a s -> a + Solution.cardinal s) 0 final;
+    step_cost =
+      Array.fold_left
+        (fun a (e : Timeline.entry) -> a +. e.Timeline.step_cost)
+        0. entries;
+    invalid_shards =
+      Array.fold_left
+        (fun a (e : Timeline.entry) -> if e.Timeline.valid then a else a + 1)
+        0 entries;
+    coupling_overloads;
+    repair_pushdowns = repair_stats.Repair.pushdowns;
+    repair_added = repair_stats.Repair.added;
+    unrepaired;
+    max_server_load = Array.fold_left max 0 server_loads;
+    epoch_seconds;
+    solve_latency;
+    counters;
+  }
+
+let run forest cfg grid =
+  let t = create forest cfg in
+  Forest_timeline.of_entries (List.map (step t) grid)

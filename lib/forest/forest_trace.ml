@@ -1,0 +1,50 @@
+module Trace = Replica_trace.Trace
+module Epochs = Replica_trace.Epochs
+module Arrivals = Replica_trace.Arrivals
+
+type workload =
+  | Poisson
+  | Diurnal of { period : float; floor : float }
+  | Flash of { multiplier : float }
+
+type t = { per_shard : Trace.t array; merged : Trace.t }
+
+let shard_trace rng tree ~horizon = function
+  | Poisson -> Arrivals.poisson rng tree ~horizon
+  | Diurnal { period; floor } ->
+      Arrivals.diurnal rng tree ~horizon ~period ~floor
+  | Flash { multiplier } ->
+      let base = Arrivals.poisson rng tree ~horizon in
+      let node =
+        match Tree.children tree (Tree.root tree) with
+        | c :: _ -> c
+        | [] -> Tree.root tree
+      in
+      Arrivals.flash_crowd rng tree ~base ~at:(horizon /. 3.)
+        ~duration:(horizon /. 4.) ~node ~multiplier
+
+let generate forest ~horizon ~seed workload =
+  let root = Rng.create seed in
+  let per_shard =
+    Array.map
+      (fun (s : Forest.shard) ->
+        shard_trace (Rng.derive root s.Forest.index) s.Forest.tree ~horizon
+          workload)
+      (Forest.shards forest)
+  in
+  { per_shard; merged = Trace.merge_all (Array.to_list per_shard) }
+
+let epochs t forest ~window =
+  let streams =
+    List.map2
+      (fun trace (s : Forest.shard) -> (trace, s.Forest.tree))
+      (Array.to_list t.per_shard)
+      (Array.to_list (Forest.shards forest))
+  in
+  Epochs.epochs_multi streams ~window
+
+let total_events t = Trace.length t.merged
+
+let conservation t =
+  Trace.length t.merged
+  = Array.fold_left (fun acc tr -> acc + Trace.length tr) 0 t.per_shard

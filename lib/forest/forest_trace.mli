@@ -1,0 +1,48 @@
+(** Merged request streams for a forest of shards.
+
+    Each shard's clients generate an independent {!Replica_trace.Trace}
+    (Poisson, diurnal, or flash-crowd arrivals — the same generators the
+    single-tree engine consumes), all derived from one root seed through
+    indexed {!Rng.derive} substreams. The per-shard traces are also
+    interleaved into one {e merged} stream
+    ({!Replica_trace.Trace.merge_all}): a deterministic, order-
+    independent picture of the aggregate request arrival process the
+    whole fleet serves, whose event count is exactly the sum of the
+    shard streams (nothing dropped — {!conservation}).
+
+    Epoch slicing is {e aligned}: {!epochs} puts every shard on one
+    shared window grid ({!Replica_trace.Epochs.epochs_multi}), so epoch
+    [k] of every shard covers the same wall-clock interval and a
+    {!Forest_engine} can step all shards in lock-step. *)
+
+type workload =
+  | Poisson  (** homogeneous, rate = each client's request count *)
+  | Diurnal of { period : float; floor : float }
+      (** day/night modulation ({!Replica_trace.Arrivals.diurnal}) *)
+  | Flash of { multiplier : float }
+      (** Poisson plus a flash crowd on each shard's first root subtree
+          during the middle third of the horizon *)
+
+type t = {
+  per_shard : Replica_trace.Trace.t array;  (** one stream per shard *)
+  merged : Replica_trace.Trace.t;
+      (** all shards interleaved by time — deterministic in shard order *)
+}
+
+val generate : Forest.t -> horizon:float -> seed:int -> workload -> t
+(** Shard [o] draws from [Rng.derive (create seed) o]; streams are
+    independent of each other and of the forest's structural seed, and
+    adding shards never perturbs existing streams.
+    @raise Invalid_argument if [horizon <= 0]. *)
+
+val epochs : t -> Forest.t -> window:float -> Tree.t list list
+(** Element [k] holds epoch [k]'s demand view of every shard, in shard
+    order, on the shared window grid — the input sequence for
+    {!Forest_engine.run}. *)
+
+val total_events : t -> int
+(** Length of the merged stream. *)
+
+val conservation : t -> bool
+(** The merge lost nothing: merged length equals the sum of per-shard
+    lengths. *)

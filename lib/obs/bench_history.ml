@@ -78,6 +78,24 @@ let specs_for = function
         soft [ "loose"; "dp_qos.tables.seconds" ] Lower_better ~rel_tol:0.25
           ~abs_floor:0.002;
       ]
+  | "forest" ->
+      [
+        hard [ "merged_events" ] Exact;
+        hard [ "merge_conserved" ] Exact;
+        hard [ "placements_identical" ] Exact;
+        hard [ "decoupled_identical" ] Exact;
+        hard [ "reconfigurations" ] Exact;
+        hard [ "total_cost" ] Exact;
+        hard [ "final_servers" ] Exact;
+        hard [ "merge_products" ] Lower_better;
+        hard [ "coupled"; "unrepaired" ] Exact;
+        hard [ "coupled"; "repair_added" ] Exact;
+        soft [ "seq"; "epochs_per_second" ] Higher_better ~rel_tol:0.25
+          ~abs_floor:0.5;
+        soft [ "par"; "epochs_per_second" ] Higher_better ~rel_tol:0.25
+          ~abs_floor:0.5;
+        soft [ "parallel_speedup" ] Higher_better ~rel_tol:0.25 ~abs_floor:1.;
+      ]
   | "obs" ->
       [
         hard [ "spans_per_solve" ] Exact;

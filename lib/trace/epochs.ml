@@ -37,6 +37,23 @@ let epochs trace tree ~window =
   List.init (epoch_count trace ~window) (fun index ->
       rates trace tree ~window ~index)
 
+let epochs_multi streams ~window =
+  if window <= 0. then invalid_arg "Epochs: window must be positive";
+  (* One shared window grid across every stream: the count covers the
+     longest stream, and every stream is aggregated on that grid, so
+     epoch k of stream A and epoch k of stream B describe the same
+     wall-clock interval. A stream that ends early simply goes idle in
+     the later windows. *)
+  let count =
+    List.fold_left
+      (fun acc (trace, _) -> max acc (epoch_count trace ~window))
+      1 streams
+  in
+  List.init count (fun index ->
+      List.map
+        (fun (trace, tree) -> rates trace tree ~window ~index)
+        streams)
+
 let changed_nodes prev next =
   if Tree.size prev <> Tree.size next then
     invalid_arg "Epochs: changed_nodes expects views of one network";

@@ -21,6 +21,19 @@ val epochs : Trace.t -> Tree.t -> window:float -> Tree.t list
 
 val epoch_count : Trace.t -> window:float -> int
 
+val epochs_multi :
+  (Trace.t * Tree.t) list -> window:float -> Tree.t list list
+(** Aligned multi-stream epoch grids: one shared window count covering
+    the longest stream, every stream aggregated on that grid. Element
+    [k] of the result holds epoch [k]'s demand view of every stream, in
+    stream order — so a forest of shards can be stepped epoch-by-epoch
+    with all shards observing the same wall-clock interval (streams
+    that end early go idle in later windows rather than falling off the
+    grid). The per-stream views are exactly {!rates} at the shared
+    index; aggregation loses nothing ({!conservation_check} holds per
+    stream).
+    @raise Invalid_argument if [window <= 0]. *)
+
 val changed_nodes : Tree.t -> Tree.t -> Tree.node list
 (** [changed_nodes prev next] lists, in increasing node order, the
     nodes whose client multiset differs between two epoch views of the

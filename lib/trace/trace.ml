@@ -19,6 +19,8 @@ let duration t = if Array.length t = 0 then 0. else t.(Array.length t - 1).time
 
 let merge a b = of_events (Array.to_list a @ Array.to_list b)
 
+let merge_all ts = of_events (List.concat_map Array.to_list ts)
+
 let filter p t = Array.of_list (List.filter p (Array.to_list t))
 
 let count_by_client t =

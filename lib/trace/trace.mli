@@ -35,6 +35,13 @@ val duration : t -> float
 val merge : t -> t -> t
 (** Interleave two traces by time. *)
 
+val merge_all : t list -> t
+(** Deterministic n-way interleave: all events of all streams, sorted
+    by (time, node, client) exactly as {!of_events} sorts them, so the
+    result is independent of the list order of equal streams and
+    [merge_all [a; b] = merge a b]. The merged length is the sum of
+    the stream lengths (nothing is dropped or deduplicated). *)
+
 val filter : (event -> bool) -> t -> t
 
 val count_by_client : t -> ((Tree.node * int) * int) list

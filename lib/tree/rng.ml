@@ -20,6 +20,15 @@ let split t =
   let seed = bits64 t in
   { state = mix seed }
 
+let derive t i =
+  if i < 0 then invalid_arg "Rng.derive: negative index";
+  (* Jump the Weyl sequence ahead by (i+1) increments, then re-seed
+     through the finalizer: stream i is a deterministic function of
+     (t's current state, i) alone — no draws from [t], so deriving
+     stream 7 yields the same generator whether or not streams 0..6
+     were ever materialized. *)
+  { state = mix (Int64.add t.state (Int64.mul gamma (Int64.of_int (i + 1)))) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top bits to avoid modulo bias. *)

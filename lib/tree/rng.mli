@@ -24,6 +24,18 @@ val split : t -> t
     experiment its own stream so that changing one parameter does not shift
     the randomness of unrelated trees. *)
 
+val derive : t -> int -> t
+(** [derive t i] is the [i]-th indexed substream of [t]: the root state
+    jumped ahead by [i + 1] splitmix64 increments and pushed through the
+    output mixer. Unlike repeated {!split}, it consumes nothing from [t]
+    and does not depend on how many other streams were derived before —
+    shard [i] of a forest sees the same randomness whether the forest has
+    10 shards or 10,000, and adding a shard never shifts the randomness
+    of existing ones (no cross-shard seed drift). The per-index states
+    are exact positions of the root's own Weyl sequence — the canonical
+    splitmix64 substream construction.
+    @raise Invalid_argument if [i < 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -40,21 +40,21 @@ registered solver with its capability flags (the same data as the
 DESIGN.md matrix):
 
   $ replica_cli solve --list-algos
-  name            solves      kind       access    pre  bound  qos  bw   prune  domains  memo  max N
-  greedy          cost        exact      closest   -    -      -    -    -      -        -     -
-  dp-nopre        cost        exact      closest   -    -      -    -    -      -        -     -
-  dp-withpre      cost        exact      closest   yes  -      -    -    -      -        yes   -
-  heuristic-cost  cost        heuristic  closest   yes  -      -    -    -      -        -     -
-  dp-qos          cost        exact      closest   yes  -      yes  yes  -      -        -     -
-  greedy-qos      cost        heuristic  closest   -    -      yes  yes  -      -        -     -
-  dp-power        power       exact      closest   yes  yes    -    -    yes    yes      yes   -
-  gr-power        power       heuristic  closest   -    yes    -    -    -      -        -     -
-  heuristic       power       heuristic  closest   yes  yes    -    -    -      -        -     -
-  multi-start     power       heuristic  closest   yes  yes    -    -    -      -        -     -
-  anneal          power       heuristic  closest   yes  yes    -    -    -      -        -     -
-  multiple        cost        exact      multiple  -    -      -    -    -      -        -     -
-  upwards         cost        heuristic  upwards   -    -      -    -    -      -        -     -
-  brute           cost+power  exact      closest   yes  yes    yes  yes  -      -        -     20
+  name            solves      kind       access    pre  bound  qos  bw   coupling  prune  domains  memo  max N
+  greedy          cost        exact      closest   -    -      -    -    yes       -      -        -     -
+  dp-nopre        cost        exact      closest   -    -      -    -    yes       -      -        -     -
+  dp-withpre      cost        exact      closest   yes  -      -    -    yes       -      -        yes   -
+  heuristic-cost  cost        heuristic  closest   yes  -      -    -    yes       -      -        -     -
+  dp-qos          cost        exact      closest   yes  -      yes  yes  yes       -      -        -     -
+  greedy-qos      cost        heuristic  closest   -    -      yes  yes  yes       -      -        -     -
+  dp-power        power       exact      closest   yes  yes    -    -    -         yes    yes      yes   -
+  gr-power        power       heuristic  closest   -    yes    -    -    -         -      -        -     -
+  heuristic       power       heuristic  closest   yes  yes    -    -    -         -      -        -     -
+  multi-start     power       heuristic  closest   yes  yes    -    -    -         -      -        -     -
+  anneal          power       heuristic  closest   yes  yes    -    -    -         -      -        -     -
+  multiple        cost        exact      multiple  -    -      -    -    -         -      -        -     -
+  upwards         cost        heuristic  upwards   -    -      -    -    -         -      -        -     -
+  brute           cost+power  exact      closest   yes  yes    yes  yes  yes       -      -        -     20
 
 Capability mismatches share one error path and exit 2: an unknown
 name, or a finite cost bound on a solver that cannot honour it (the
@@ -317,6 +317,66 @@ of the run:
   replica_cli: Engine: dp-withpre cannot enforce the epoch's QoS bounds (use a qos-capable solver, e.g. dp-qos)
   trace: 57 requests over 5.9 time units
   [2]
+
+A forest run: several sharded trees over one physical pool, stepped in
+lock-step on a merged epoch grid. Placements are identical at any
+--domains value:
+
+  $ replica_cli forest --trees 2 --objects 4 --nodes 8 --seed 5 \
+  >   --horizon 4 --window 1 --workload poisson --no-time
+  forest: 2 trees, 4 shards, 16 servers, 226 requests over 4.0 time units
+  epoch  1: demand    54  reconf   4  servers    9  peak  29
+  epoch  2: demand    58  reconf   1  servers    9  peak  35
+  epoch  3: demand    58  reconf   0  servers    9  peak  32
+  epoch  4: demand    56  reconf   1  servers   10  peak  23
+  total: 6 shard reconfigurations, bill 21.75, repair added 0, 0 invalid epochs
+
+  $ replica_cli forest --trees 2 --objects 4 --nodes 8 --seed 5 \
+  >   --horizon 4 --window 1 --workload poisson --no-time -j 3
+  forest: 2 trees, 4 shards, 16 servers, 226 requests over 4.0 time units
+  epoch  1: demand    54  reconf   4  servers    9  peak  29
+  epoch  2: demand    58  reconf   1  servers    9  peak  35
+  epoch  3: demand    58  reconf   0  servers    9  peak  32
+  epoch  4: demand    56  reconf   1  servers   10  peak  23
+  total: 6 shard reconfigurations, bill 21.75, repair added 0, 0 invalid epochs
+
+With --coupling, epochs whose shared machines overload are repaired by
+push-down (the extra replicas show up in the summary; the repaired
+placement carries into the following epochs):
+
+  $ replica_cli forest --trees 2 --objects 6 --nodes 8 --servers 9 \
+  >   --seed 5 --horizon 4 --window 1 --workload poisson --coupling \
+  >   --no-time -w 18
+  forest: 2 trees, 6 shards, 9 servers, 319 requests over 4.0 time units
+  epoch  1: demand    77  reconf   6  servers   25  peak  15  overloads 1 repaired +18/5
+  epoch  2: demand    87  reconf   0  servers   25  peak  17
+  epoch  3: demand    75  reconf   0  servers   25  peak  16
+  epoch  4: demand    80  reconf   0  servers   25  peak  16
+  total: 6 shard reconfigurations, bill 10.50, repair added 18, 0 invalid epochs
+
+A coupled run demands a solver the push-down argument is sound for;
+others are rejected up front:
+
+  $ replica_cli forest --trees 2 --objects 4 --nodes 8 --seed 5 \
+  >   --coupling --algo upwards --no-time
+  replica_cli: Forest_engine: upwards cannot participate in cross-object capacity coupling (its placements are not closest-policy cost placements the push-down repair is sound for; see --list-algos)
+  [2]
+
+The forest timeline exports the same machine-readable envelope as the
+other artifacts:
+
+  $ replica_cli forest --trees 2 --objects 4 --nodes 8 --seed 5 \
+  >   --horizon 4 --window 1 --workload poisson --no-time \
+  >   --json forest_run.json > /dev/null
+  $ python3 - <<'PYEOF'
+  > import json
+  > d = json.load(open("forest_run.json"))
+  > print(d["bench"], d["config"]["trees"], d["config"]["coupling"])
+  > print("epochs:", d["summary"]["epochs"],
+  >       "reconfigurations:", d["summary"]["reconfigurations"])
+  > PYEOF
+  forest_timeline 2 False
+  epochs: 4 reconfigurations: 6
 
 Span tracing: --trace records the run as Chrome trace-event JSON and
 obs-validate checks it structurally without external tooling. Event

@@ -69,6 +69,43 @@ let test_default_domains () =
   let d = Par.default_domains () in
   check cb "within 1..8" true (d >= 1 && d <= 8)
 
+(* Size-hinted scheduling reorders only the dispatch, never the output:
+   for any weights (negative, zero, duplicated, huge) the result must
+   stay bit-identical to List.map at every domain count. *)
+let prop_weights_output_invariant =
+  qcheck_case "weighted schedule is output-invariant"
+    QCheck2.Gen.(
+      pair (list_size (int_bound 60) (int_range (-5) 1_000)) (int_bound 7))
+    (fun (weights, domains) ->
+      let domains = 1 + domains in
+      let input = List.mapi (fun i _ -> i) weights in
+      let f x = (x * 37) mod 101 in
+      Par.map ~domains ~weights f input = List.map f input)
+
+let prop_weights_exceptions_propagate =
+  qcheck_case "weighted schedule still propagates exceptions"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 40) (int_bound 100))
+        (int_bound 7) (int_bound 100))
+    (fun (weights, domains, k) ->
+      let domains = 1 + domains in
+      let n = List.length weights in
+      let bad = k mod n in
+      let input = List.init n Fun.id in
+      match
+        Par.map ~domains ~weights
+          (fun x -> if x = bad then raise Boom else x)
+          input
+      with
+      | _ -> false
+      | exception Boom -> true)
+
+let test_weights_length_mismatch () =
+  Alcotest.check_raises "weights length mismatch"
+    (Invalid_argument "Par.map: weights length mismatch") (fun () ->
+      ignore (Par.map ~domains:2 ~weights:[ 1; 2 ] Fun.id [ 1; 2; 3 ]))
+
 let () =
   Alcotest.run "par"
     [
@@ -80,5 +117,12 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "map2" `Quick test_map2;
           Alcotest.test_case "default domains" `Quick test_default_domains;
+        ] );
+      ( "weights",
+        [
+          prop_weights_output_invariant;
+          prop_weights_exceptions_propagate;
+          Alcotest.test_case "length mismatch" `Quick
+            test_weights_length_mismatch;
         ] );
     ]
