@@ -797,6 +797,8 @@ let run_obs () =
        else "");
     if on_overhead_pct < 0. then
       failwith "obs: refusing to publish a negative tracing-on overhead";
+    if on_overhead_pct > 6. then
+      failwith "obs: tracing-on overhead above the 6% budget";
     Printf.printf "spans per traced solve: %d\n" spans_per_solve;
     Printf.printf
       "disabled-path guard: %.2f ns/check -> estimated %.4f%% overhead when \
@@ -804,6 +806,41 @@ let run_obs () =
       guard_ns disabled_overhead_pct;
     if disabled_overhead_pct > 2. then
       failwith "obs: tracing-disabled overhead above the 2% budget";
+    (* Per-epoch time-series sampling: one whole-registry read per
+       recorded epoch. Stress with 100 extra labeled series so the
+       published cost reflects a busy registry, then compare against a
+       solve epoch's wall time (budget: 1%). *)
+    let series_n = 100 in
+    for i = 0 to series_n - 1 do
+      Obs.Metrics.set
+        (Obs.Metrics.gauge
+           ~labels:[ ("series", string_of_int i) ]
+           "obs_bench.series")
+        (float_of_int i)
+    done;
+    let ts = Obs.Timeseries.create ~capacity:256 () in
+    let sample_iters = 200 in
+    let sample_times =
+      List.init sample_iters (fun i ->
+          let t0 = Obs.Clock.now_ns () in
+          Obs.Timeseries.sample ts ~epoch:(i + 1);
+          Obs.Clock.now_ns () - t0)
+    in
+    let sample_ns = median sample_times in
+    let sample_pct = 100. *. float_of_int sample_ns /. float_of_int off_ns in
+    let series_count =
+      match List.rev (Obs.Timeseries.points ts) with
+      | pt :: _ -> List.length pt.Obs.Timeseries.pt_rows
+      | [] -> 0
+    in
+    Printf.printf
+      "timeseries sample: %d series, %.1f us/sample -> %.3f%% of a solve \
+       epoch (budget 1%%)\n"
+      series_count
+      (float_of_int sample_ns /. 1e3)
+      sample_pct;
+    if sample_pct > 1. then
+      failwith "obs: timeseries sampling above the 1% budget";
     let module J = Replica_obs.Json in
     let histograms =
       J.Obj
@@ -842,12 +879,17 @@ let run_obs () =
           ("paired_delta_median_ns", J.Int delta_ns);
           ("paired_delta_mad_ns", J.Int mad_ns);
           ("tracing_on_overhead_percent", J.Float on_overhead_pct);
+          ("tracing_on_overhead_budget_percent", J.Float 6.);
           ("tracing_on_overhead_below_noise_floor", J.Bool below_noise);
           ("spans_per_solve", J.Int spans_per_solve);
           ("guard_ns_per_check", J.Float guard_ns);
           ( "disabled_overhead_percent_estimate",
             J.Float disabled_overhead_pct );
           ("disabled_overhead_budget_percent", J.Float 2.);
+          ("timeseries_series_count", J.Int series_count);
+          ("timeseries_sample_ns", J.Int sample_ns);
+          ("timeseries_sample_overhead_percent", J.Float sample_pct);
+          ("timeseries_sample_budget_percent", J.Float 1.);
           ("histograms", histograms);
         ]
     in

@@ -158,21 +158,136 @@ let metrics_file_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:
           "After the run, write a Prometheus text-exposition snapshot of \
-           the counter, timer and histogram registries to $(docv).")
+           the whole metrics registry (labeled instruments, counters, \
+           timers and histograms) to $(docv).")
 
-let write_metrics path =
+let write_string_file path s =
   let oc = open_out path in
-  output_string oc
-    (Replica_obs.Prometheus.render
-       ~counters:
-         (Stats_counters.counters ()
-         (* Dropped spans are surfaced as a counter so a scrape can tell
-            a truncated trace from a quiet one. *)
-         @ [ ("obs.spans_dropped", Replica_obs.Span.dropped ()) ])
-       ~timers_seconds:(Stats_counters.timers ())
-       ~histograms:(Replica_obs.Histogram.snapshots ())
-       ());
+  output_string oc s;
   close_out oc
+
+(* The Metrics registry sees everything: labeled engine/forest
+   instruments, the Stats_counters collector, the legacy histogram
+   registry and the span drop counter. *)
+let write_metrics path = write_string_file path (Replica_obs.Prometheus.expose ())
+
+(* --- live telemetry (timeseries + flight recorder) --- *)
+
+let timeseries_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Sample the metrics registry once per epoch and write the \
+           per-epoch series (counter deltas, gauges, histogram \
+           count/sum/p50/p99) as JSON to $(docv). The same series also \
+           lands in the $(b,--json) envelope's $(b,timeseries) field.")
+
+let timeseries_stride_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "timeseries-stride" ] ~docv:"K"
+        ~doc:"Record every K-th epoch in the time series (default 1).")
+
+let openmetrics_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "openmetrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-epoch series as OpenMetrics gauge families \
+           (epoch index in the timestamp column, # EOF terminator) to \
+           $(docv).")
+
+let flight_record_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "flight-record" ] ~docv:"FILE"
+        ~doc:
+          "Keep tracing on with a bounded flight-recorder ring and dump a \
+           Chrome trace of the lead-up to $(docv) whenever an epoch's \
+           solve latency exceeds $(b,--anomaly-k) times the trailing \
+           median. Conflicts with $(b,--trace).")
+
+let anomaly_k_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "anomaly-k" ] ~docv:"K"
+        ~doc:
+          "Anomaly threshold multiplier for $(b,--flight-record): dump \
+           when epoch latency > K x trailing median (default 3.0; 0 dumps \
+           every epoch, useful for smoke tests).")
+
+type telemetry = {
+  tele_ts : Replica_obs.Timeseries.t option;
+  tele_fr : Replica_obs.Flight_recorder.t option;
+}
+
+(* The time series is recorded whenever any consumer wants it: the
+   --timeseries / --openmetrics artifacts or the --json envelope. *)
+let make_telemetry ~json ~timeseries ~stride ~openmetrics ~flight_record
+    ~anomaly_k ~trace_file () =
+  if stride < 1 then die "--timeseries-stride must be >= 1";
+  if anomaly_k < 0. then die "--anomaly-k must be non-negative";
+  let tele_ts =
+    if json <> None || timeseries <> None || openmetrics <> None then
+      Some (Replica_obs.Timeseries.create ~stride ())
+    else None
+  in
+  let tele_fr =
+    Option.map
+      (fun path ->
+        if trace_file <> None then
+          die
+            "--flight-record conflicts with --trace (the recorder owns the \
+             span buffers)";
+        Replica_obs.Span.set_enabled true;
+        Replica_obs.Flight_recorder.create ~k:anomaly_k ~path ())
+      flight_record
+  in
+  { tele_ts; tele_fr }
+
+(* Call once per epoch, after the epoch's work. Sampling reads the
+   registry only — placements are identical with telemetry on or off. *)
+let telemetry_epoch tele ~epoch ~latency_ns =
+  Option.iter (fun ts -> Replica_obs.Timeseries.sample ts ~epoch) tele.tele_ts;
+  Option.iter
+    (fun fr ->
+      ignore (Replica_obs.Flight_recorder.record fr ~epoch ~latency_ns))
+    tele.tele_fr
+
+let telemetry_finish tele ~timeseries ~openmetrics =
+  Option.iter
+    (fun fr ->
+      Replica_obs.Span.set_enabled false;
+      Replica_obs.Span.reset ();
+      let module F = Replica_obs.Flight_recorder in
+      match F.last_dump_epoch fr with
+      | Some e ->
+          Printf.eprintf
+            "flight-recorder: %d dump(s), last at epoch %d -> %s\n%!"
+            (F.dumps fr) e (F.path fr)
+      | None -> Printf.eprintf "flight-recorder: no anomaly, no dump\n%!")
+    tele.tele_fr;
+  Option.iter
+    (fun ts ->
+      Option.iter
+        (fun path ->
+          let module Json = Replica_obs.Json in
+          write_string_file path
+            (Json.to_string ~pretty:true
+               (Json.envelope ~kind:"timeseries" ~config:[]
+                  [
+                    ( "stride",
+                      Json.Int (Replica_obs.Timeseries.stride ts) );
+                    ("points", Replica_obs.Timeseries.to_json ts);
+                  ])
+            ^ "\n"))
+        timeseries;
+      Option.iter
+        (fun path ->
+          write_string_file path (Replica_obs.Timeseries.to_openmetrics ts))
+        openmetrics)
+    tele.tele_ts
 
 let read_file path =
   let ic = open_in_bin path in

@@ -193,7 +193,8 @@ let engine_cmd =
        unless $(b,--algo) says otherwise."
   in
   let run shape nodes seed horizon window workload policy solver algo w power
-      bound qos bw json no_time trace_file metrics =
+      bound qos bw json no_time trace_file metrics timeseries ts_stride
+      openmetrics flight_record anomaly_k =
     let open Replica_trace in
     let rng = Rng.create seed in
     let tree =
@@ -266,13 +267,25 @@ let engine_cmd =
           Generator.add_bandwidth (Rng.create seed) t ~slack:s
       | _ -> t
     in
+    let tele =
+      make_telemetry ~json ~timeseries ~stride:ts_stride ~openmetrics
+        ~flight_record ~anomaly_k ~trace_file ()
+    in
     let timeline =
       try
         with_tracing trace_file (fun () ->
           let epochs = Epochs.epochs trace tree ~window in
           let epochs = List.mapi (fun i t -> constrain (i + 1) t) epochs in
           let tl =
-            Timeline.of_entries (List.map (Engine.step engine) epochs)
+            Timeline.of_entries
+              (List.map
+                 (fun t ->
+                   let e = Engine.step engine t in
+                   telemetry_epoch tele ~epoch:e.Timeline.epoch
+                     ~latency_ns:
+                       (int_of_float (e.Timeline.solve_seconds *. 1e9));
+                   e)
+                 epochs)
           in
           (* Metrics are written inside the traced region: with_tracing's
              cleanup resets the span buffers (and the dropped-span count
@@ -286,6 +299,7 @@ let engine_cmd =
            creation-time checks. *)
         die "%s" msg
     in
+    telemetry_finish tele ~timeseries ~openmetrics;
     Timeline.print ~times:(not no_time) stdout timeline;
     Option.iter
       (fun path ->
@@ -314,7 +328,8 @@ let engine_cmd =
           ]
         in
         let oc = open_out path in
-        output_string oc (Timeline.to_json_string ~config timeline);
+        output_string oc
+          (Timeline.to_json_string ~config ?timeseries:tele.tele_ts timeline);
         output_char oc '\n';
         close_out oc)
       json
@@ -330,4 +345,6 @@ let engine_cmd =
       const run $ shape_arg $ nodes_arg 40 $ seed_arg $ horizon_arg
       $ window_arg $ workload_arg $ policy_arg $ solver_arg $ algo_arg
       $ w_arg $ power_flag $ bound_arg $ qos_at_arg $ bw_at_arg $ json_arg
-      $ no_time_flag $ trace_file_arg $ metrics_file_arg)
+      $ no_time_flag $ trace_file_arg $ metrics_file_arg
+      $ timeseries_file_arg $ timeseries_stride_arg $ openmetrics_file_arg
+      $ flight_record_arg $ anomaly_k_arg)

@@ -116,7 +116,8 @@ let no_time_flag =
 
 let cmd =
   let run shape nodes seed trees objects servers horizon window workload
-      policy solver algo coupling domains w json no_time trace_file metrics =
+      policy solver algo coupling domains w json no_time trace_file metrics
+      timeseries ts_stride openmetrics flight_record anomaly_k =
     if nodes <= 0 then die "--nodes must be positive";
     let servers = match servers with Some s -> s | None -> 2 * nodes in
     let profile = Workload.profile shape ~nodes ~max_requests:6 in
@@ -152,13 +153,25 @@ let cmd =
       (Forest.num_servers forest)
       (Forest_trace.total_events ft)
       (Replica_trace.Trace.duration ft.Forest_trace.merged);
+    let tele =
+      make_telemetry ~json ~timeseries ~stride:ts_stride ~openmetrics
+        ~flight_record ~anomaly_k ~trace_file ()
+    in
     let timeline =
       try
         with_tracing trace_file (fun () ->
             let grid = Forest_trace.epochs ft forest ~window in
             let tl =
               Forest_timeline.of_entries
-                (List.map (Forest_engine.step engine) grid)
+                (List.map
+                   (fun views ->
+                     let e = Forest_engine.step engine views in
+                     telemetry_epoch tele ~epoch:e.Forest_timeline.epoch
+                       ~latency_ns:
+                         (int_of_float
+                            (e.Forest_timeline.epoch_seconds *. 1e9));
+                     e)
+                   grid)
             in
             (* Inside the traced region: with_tracing's cleanup resets
                the span buffers the metrics exposition includes. *)
@@ -166,6 +179,7 @@ let cmd =
             tl)
       with Invalid_argument msg -> die "%s" msg
     in
+    telemetry_finish tele ~timeseries ~openmetrics;
     Forest_timeline.print ~times:(not no_time) stdout timeline;
     Option.iter
       (fun path ->
@@ -198,7 +212,9 @@ let cmd =
           ]
         in
         let oc = open_out path in
-        output_string oc (Forest_timeline.to_json_string ~config timeline);
+        output_string oc
+          (Forest_timeline.to_json_string ~config ?timeseries:tele.tele_ts
+             timeline);
         output_char oc '\n';
         close_out oc)
       json
@@ -216,4 +232,5 @@ let cmd =
       $ objects_arg $ servers_arg $ horizon_arg $ window_arg $ workload_arg
       $ Cli_engine.policy_arg $ solver_arg $ algo_arg $ coupling_flag
       $ domains_arg $ w_arg $ json_arg $ no_time_flag $ trace_file_arg
-      $ metrics_file_arg)
+      $ metrics_file_arg $ timeseries_file_arg $ timeseries_stride_arg
+      $ openmetrics_file_arg $ flight_record_arg $ anomaly_k_arg)

@@ -129,6 +129,68 @@ let bench_diff_cmd =
           absolute noise floor.")
     Term.(const run $ baseline_arg $ current_arg $ threshold_arg $ json_flag)
 
+let bench_history_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("trend", `Trend) ])) None
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,trend): per-metric direction and slope over recent runs.")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt string "BENCH_history.jsonl"
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "JSON-lines history file the bench harness appends every \
+             artifact to (default BENCH_history.jsonl).")
+  in
+  let kind_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Bench kind to trend: $(b,dp_power), $(b,engine), $(b,qos), \
+             $(b,forest) or $(b,obs).")
+  in
+  let last_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"K"
+          ~doc:"Window: the last K matching runs (default 10).")
+  in
+  let run action file kind last =
+    let module Obs = Replica_obs in
+    match action with
+    | `Trend ->
+        if not (Sys.file_exists file) then
+          die "history file %s does not exist (run `make bench' first)" file;
+        let lines =
+          String.split_on_char '\n' (read_file file)
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let history =
+          List.filter_map
+            (fun l ->
+              match Obs.Json.parse l with Ok j -> Some j | Error _ -> None)
+            lines
+        in
+        (match Obs.Bench_history.trend ~kind ~last history with
+        | Ok report -> print_string (Obs.Bench_history.render_trend report)
+        | Error e -> die "bench-history: %s" e)
+  in
+  Cmd.v
+    (Cmd.info "bench-history"
+       ~doc:
+         "Query the local bench history (BENCH_history.jsonl, appended by \
+          the bench harness on every run): $(b,trend) fits a per-metric \
+          slope over the last K runs of one bench kind and classifies each \
+          metric as improving, worsening or flat against its regression \
+          direction.")
+    Term.(const run $ action_arg $ file_arg $ kind_arg $ last_arg)
+
 let obs_validate_cmd =
   let trace_arg =
     Arg.(

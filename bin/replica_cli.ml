@@ -24,8 +24,10 @@ let () =
             Cli_engine.trace_cmd;
             Cli_engine.engine_cmd;
             Cli_forest.cmd;
+            Cli_top.cmd;
             Cli_obs.profile_cmd;
             Cli_obs.bench_diff_cmd;
+            Cli_obs.bench_history_cmd;
             Cli_obs.obs_validate_cmd;
             Cli_experiments.scaling_cmd;
           ]))

@@ -106,6 +106,43 @@ let report () =
     entries;
   Buffer.contents buf
 
+(* Bridge this registry into the labeled metrics registry so
+   [Prometheus.expose] and [Timeseries] see solver counters without a
+   dependency from obs up to core. Counters surface as counter samples
+   under their dotted names; timers as [name_seconds] gauges (the shape
+   the exposition always used). Registered once at module load;
+   re-registration is idempotent. *)
+let () =
+  Replica_obs.Metrics.register_collector ~name:"stats_counters" (fun () ->
+      let counter_samples =
+        List.filter_map
+          (fun (name, v) ->
+            if v = 0 then None
+            else
+              Some
+                {
+                  Replica_obs.Metrics.s_name = name;
+                  s_labels = [];
+                  s_value =
+                    Replica_obs.Metrics.Sample_counter (float_of_int v);
+                })
+          (counters ())
+      in
+      let timer_samples =
+        List.filter_map
+          (fun (name, s) ->
+            if s = 0. then None
+            else
+              Some
+                {
+                  Replica_obs.Metrics.s_name = name ^ "_seconds";
+                  s_labels = [];
+                  s_value = Replica_obs.Metrics.Sample_gauge s;
+                })
+          (timers ())
+      in
+      counter_samples @ timer_samples)
+
 let to_json () =
   let buf = Buffer.create 512 in
   let obj fields render =

@@ -25,19 +25,20 @@ let config ?(policy = Update_policy.Lazy) ?(solver = Incremental) ?algo
 
 module Span = Replica_obs.Span
 module Histogram = Replica_obs.Histogram
+module Metrics = Replica_obs.Metrics
 module Clock = Replica_obs.Clock
-
-(* Registered (process-global) histograms feed the Prometheus export;
-   each engine instance additionally owns an unregistered latency
-   histogram so concurrent engines in an experiment sweep don't mix
-   their timelines' percentiles. *)
-let h_solve_ns = Histogram.create "engine.epoch_solve_ns"
-let h_memo_ratio = Histogram.create "engine.memo_hit_ratio_pct"
 
 type t = {
   cfg : config;
   entry_solver : Solver.t;  (* registry entry reconfigurations go through *)
   lat_h : Histogram.t;
+      (* per-instance (unregistered) so concurrent engines in an
+         experiment sweep don't mix their timelines' percentiles *)
+  m_epochs : Metrics.t;
+  m_reconfigs : Metrics.t;
+  m_staleness : Metrics.t;
+  m_solve : Metrics.t;
+  m_memo : Metrics.t;
   memo : Solver.memo option;
       (* solver-private incremental state, threaded back each epoch *)
   mutable placement : Solution.t;
@@ -90,10 +91,26 @@ let create cfg =
       invalid_arg "Engine: w must equal the mode ladder's maximal capacity"
   | _ -> ());
   let entry_solver = resolve_solver cfg in
+  (* Labeled registry instruments, interned by (name, labels): two
+     engines with the same solver and policy share series, and the
+     exposition distinguishes e.g. solver="dp-qos" from
+     solver="greedy". Updates are side-effect-only — placements are
+     bit-identical with telemetry consumers attached or not. *)
+  let labels =
+    [
+      ("solver", entry_solver.Solver.name);
+      ("policy", Update_policy.policy_to_string cfg.policy);
+    ]
+  in
   {
     cfg;
     entry_solver;
     lat_h = Histogram.make "engine.epoch_solve_ns";
+    m_epochs = Metrics.counter ~labels "engine.epochs";
+    m_reconfigs = Metrics.counter ~labels "engine.reconfigurations";
+    m_staleness = Metrics.gauge ~labels "engine.staleness";
+    m_solve = Metrics.histogram ~labels "engine.epoch_solve_ns";
+    m_memo = Metrics.histogram ~labels "engine.memo_hit_ratio_pct";
     memo =
       (match (cfg.solver, entry_solver.Solver.make_memo) with
       | Incremental, Some mk
@@ -251,11 +268,13 @@ let step t demand_tree =
   in
   if reconfigure then begin
     Histogram.observe t.lat_h solve_ns;
-    Histogram.observe h_solve_ns solve_ns;
+    Metrics.observe t.m_solve solve_ns;
+    Metrics.incr t.m_reconfigs;
     match memo_hit_pct counters with
-    | Some pct -> Histogram.observe h_memo_ratio pct
+    | Some pct -> Metrics.observe t.m_memo pct
     | None -> ()
   end;
+  Metrics.incr t.m_epochs;
   let solve_seconds = float_of_int solve_ns *. 1e-9 in
   if tracing then Span.begin_span "engine.apply";
   let reconfigured, step_cost =
@@ -272,6 +291,7 @@ let step t demand_tree =
         t.staleness <- t.staleness + 1;
         (false, 0.)
   in
+  Metrics.set t.m_staleness (float_of_int t.staleness);
   let valid, unserved, overloaded =
     match Solution.validate demand_tree ~w:t.cfg.w t.placement with
     | Ok _ -> (true, 0, 0)

@@ -112,20 +112,25 @@ let entry_to_json e =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters) );
     ]
 
-let to_json ?(config = []) t =
+let to_json ?(config = []) ?timeseries t =
   Json.envelope ~kind:"engine_timeline" ~config
-    [
-      ( "summary",
-        Json.Obj
-          [
-            ("epochs", Json.Int (List.length t.entries));
-            ("total_cost", Json.Float t.total_cost);
-            ("reconfigurations", Json.Int t.reconfigurations);
-            ("invalid_epochs", Json.Int t.invalid_epochs);
-            ("solve_seconds", Json.Float t.solve_seconds);
-            ("solve_latency", latency_to_json t.solve_latency);
-          ] );
-      ("epochs", Json.List (List.map entry_to_json t.entries));
-    ]
+    ([
+       ( "summary",
+         Json.Obj
+           [
+             ("epochs", Json.Int (List.length t.entries));
+             ("total_cost", Json.Float t.total_cost);
+             ("reconfigurations", Json.Int t.reconfigurations);
+             ("invalid_epochs", Json.Int t.invalid_epochs);
+             ("solve_seconds", Json.Float t.solve_seconds);
+             ("solve_latency", latency_to_json t.solve_latency);
+           ] );
+       ("epochs", Json.List (List.map entry_to_json t.entries));
+     ]
+    @
+    match timeseries with
+    | None -> []
+    | Some ts -> [ ("timeseries", Replica_obs.Timeseries.to_json ts) ])
 
-let to_json_string ?config t = Json.to_string ~pretty:true (to_json ?config t)
+let to_json_string ?config ?timeseries t =
+  Json.to_string ~pretty:true (to_json ?config ?timeseries t)

@@ -18,8 +18,8 @@
 
 type latency = { p50 : float; p90 : float; p99 : float }
 (** Solve-latency quantiles in seconds, estimated from the engine's
-    log2 histogram (upper bin bounds, so overestimates by at most 2x;
-    always [p50 <= p90 <= p99]). *)
+    log2 histogram (geometric bin midpoints, within 2x of the true
+    value either way; always [p50 <= p90 <= p99]). *)
 
 type entry = {
   epoch : int;  (** 1-based *)
@@ -72,9 +72,19 @@ val print : ?times:bool -> out_channel -> t -> unit
     deterministic for a fixed run — what the cram tests and examples
     pin. *)
 
-val to_json : ?config:(string * Replica_obs.Json.t) list -> t -> Replica_obs.Json.t
+val to_json :
+  ?config:(string * Replica_obs.Json.t) list ->
+  ?timeseries:Replica_obs.Timeseries.t ->
+  t ->
+  Replica_obs.Json.t
 (** The timeline as a {!Replica_obs.Json.envelope} of kind ["engine_timeline"];
-    [config] records the run configuration. *)
+    [config] records the run configuration. [timeseries] (a recorder
+    the driver sampled once per epoch) adds a ["timeseries"] field of
+    per-epoch metric points. *)
 
-val to_json_string : ?config:(string * Replica_obs.Json.t) list -> t -> string
+val to_json_string :
+  ?config:(string * Replica_obs.Json.t) list ->
+  ?timeseries:Replica_obs.Timeseries.t ->
+  t ->
+  string
 (** Pretty-printed {!to_json}. *)

@@ -1,20 +1,25 @@
 module Engine = Replica_engine.Engine
 module Timeline = Replica_engine.Timeline
 module Histogram = Replica_obs.Histogram
+module Metrics = Replica_obs.Metrics
 module Clock = Replica_obs.Clock
 
 type config = { engine : Engine.config; coupling : bool; domains : int }
-
-(* Registered (process-global) histogram feeding the Prometheus export;
-   each forest instance also owns an unregistered copy so concurrent
-   forests don't mix their timelines' percentiles. *)
-let h_shard_solve_ns = Histogram.create "forest.shard_solve_ns"
 
 type t = {
   forest : Forest.t;
   cfg : config;
   engines : Engine.t array;
   lat_h : Histogram.t;
+      (* per-instance (unregistered) so concurrent forests don't mix
+         their timelines' percentiles *)
+  m_shard_solve : Metrics.t array;  (* histogram per shard="o" *)
+  m_shard_demand : Metrics.t array;  (* gauge per shard="o" *)
+  m_shard_servers : Metrics.t array;  (* gauge per shard="o" *)
+  m_pushdowns : Metrics.t;
+  m_repair_added : Metrics.t;
+  m_overloads : Metrics.t;
+  m_max_load : Metrics.t;
   mutable epoch : int;
 }
 
@@ -37,11 +42,30 @@ let create forest cfg =
              name)
     | None -> assert false
   end;
+  (* Per-shard labeled series (shard="0", "1", ...) interned once at
+     creation; all updates happen on the coordinating domain after the
+     parallel step, so no labeled instrument is touched from inside
+     [Par]-fanned workers. *)
+  let per_shard name =
+    Array.init (Array.length engines) (fun o ->
+        Metrics.gauge ~labels:[ ("shard", string_of_int o) ] name)
+  in
   {
     forest;
     cfg;
     engines;
     lat_h = Histogram.make "forest.shard_solve_ns";
+    m_shard_solve =
+      Array.init (Array.length engines) (fun o ->
+          Metrics.histogram
+            ~labels:[ ("shard", string_of_int o) ]
+            "forest.shard_solve_ns");
+    m_shard_demand = per_shard "forest.shard_demand";
+    m_shard_servers = per_shard "forest.shard_servers";
+    m_pushdowns = Metrics.counter "forest.repair_pushdowns";
+    m_repair_added = Metrics.counter "forest.repair_added";
+    m_overloads = Metrics.counter "forest.coupling_overloads";
+    m_max_load = Metrics.gauge "forest.max_server_load";
     epoch = 0;
   }
 
@@ -77,13 +101,14 @@ let step t views =
       (List.init shard_count Fun.id)
   in
   let entries = Array.of_list entries in
-  Array.iter
-    (fun (e : Timeline.entry) ->
+  Array.iteri
+    (fun o (e : Timeline.entry) ->
       if e.Timeline.reconfigured || e.Timeline.solve_seconds > 0. then begin
         let ns = int_of_float (e.Timeline.solve_seconds *. 1e9) in
         Histogram.observe t.lat_h ns;
-        Histogram.observe h_shard_solve_ns ns
-      end)
+        Metrics.observe t.m_shard_solve.(o) ns
+      end;
+      Metrics.set t.m_shard_demand.(o) (float_of_int e.Timeline.demand))
     entries;
   let w = t.cfg.engine.Engine.w in
   let pre = placements t in
@@ -114,7 +139,15 @@ let step t views =
       count_overloads (Forest.validate t.forest ~trees:demands ~w final)
     else 0
   in
+  Array.iteri
+    (fun o sol ->
+      Metrics.set t.m_shard_servers.(o) (float_of_int (Solution.cardinal sol)))
+    final;
+  Metrics.add t.m_pushdowns repair_stats.Repair.pushdowns;
+  Metrics.add t.m_repair_added repair_stats.Repair.added;
+  Metrics.add t.m_overloads coupling_overloads;
   let server_loads = Forest.server_loads t.forest ~trees:demands final in
+  Metrics.set t.m_max_load (float_of_int (Array.fold_left max 0 server_loads));
   let epoch_seconds = float_of_int (Clock.now_ns () - t0) *. 1e-9 in
   let counters =
     Stats_counters.diff counters_before (Stats_counters.snapshot ())

@@ -60,8 +60,15 @@ val print : ?times:bool -> out_channel -> t -> unit
     every wall-clock figure so output is deterministic for a seed. *)
 
 val to_json :
-  ?config:(string * Replica_obs.Json.t) list -> t -> Replica_obs.Json.t
-(** Envelope kind ["forest_timeline"]. *)
+  ?config:(string * Replica_obs.Json.t) list ->
+  ?timeseries:Replica_obs.Timeseries.t ->
+  t ->
+  Replica_obs.Json.t
+(** Envelope kind ["forest_timeline"]. [timeseries] adds the per-epoch
+    metric points recorded by the driver. *)
 
 val to_json_string :
-  ?config:(string * Replica_obs.Json.t) list -> t -> string
+  ?config:(string * Replica_obs.Json.t) list ->
+  ?timeseries:Replica_obs.Timeseries.t ->
+  t ->
+  string

@@ -110,6 +110,10 @@ let specs_for = function
         soft [ "guard_ns_per_check" ] Lower_better ~rel_tol:0.5 ~abs_floor:2.;
         soft [ "tracing_off_median_ns" ] Lower_better ~rel_tol:0.25
           ~abs_floor:500_000.;
+        soft [ "timeseries_sample_overhead_percent" ] Lower_better
+          ~rel_tol:0.5 ~abs_floor:0.25;
+        soft [ "timeseries_sample_ns" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:20_000.;
       ]
   | _ -> []
 
@@ -301,6 +305,142 @@ let to_json r =
       ("hard_regressions", Json.Int r.hard_regressions);
       ("soft_regressions", Json.Int r.soft_regressions);
     ]
+
+(* --- trend over the local history file --- *)
+
+type trend_metric = {
+  tm_metric : string;
+  tm_values : float list;  (* oldest first *)
+  tm_slope : float;
+  tm_direction : direction;
+  tm_verdict : string;
+}
+
+type trend_report = {
+  t_kind : string;
+  t_runs : int;
+  t_metrics : trend_metric list;
+}
+
+(* Least-squares slope of v against run index 0..n-1. *)
+let slope_of values =
+  let n = List.length values in
+  if n < 2 then 0.
+  else begin
+    let nf = float_of_int n in
+    let xs = List.mapi (fun i _ -> float_of_int i) values in
+    let mean l = List.fold_left ( +. ) 0. l /. nf in
+    let mx = mean xs and my = mean values in
+    let num, den =
+      List.fold_left2
+        (fun (num, den) x y ->
+          (num +. ((x -. mx) *. (y -. my)), den +. ((x -. mx) *. (x -. mx))))
+        (0., 0.) xs values
+    in
+    if den = 0. then 0. else num /. den
+  end
+
+let verdict_of direction values slope =
+  let n = List.length values in
+  match direction with
+  | Exact ->
+      let all_equal =
+        match values with
+        | [] -> true
+        | v :: rest -> List.for_all (fun x -> x = v) rest
+      in
+      if all_equal then "stable" else "CHANGING"
+  | Lower_better | Higher_better ->
+      let mean =
+        List.fold_left ( +. ) 0. values /. float_of_int (max 1 n)
+      in
+      let total_move = slope *. float_of_int (max 1 (n - 1)) in
+      let flat =
+        slope = 0.
+        || (mean <> 0. && Float.abs (total_move /. mean) < 0.02)
+      in
+      if flat then "flat"
+      else begin
+        let better =
+          match direction with
+          | Lower_better -> slope < 0.
+          | _ -> slope > 0.
+        in
+        if better then "improving" else "worsening"
+      end
+
+let trend ~kind ?(last = 10) history =
+  if last < 2 then Error "trend needs at least the last 2 runs"
+  else begin
+    let matching =
+      List.filter
+        (fun j ->
+          match envelope_meta j with
+          | Ok (v, k) -> v = Json.schema_version && k = kind
+          | Error _ -> false)
+        history
+    in
+    let runs =
+      let n = List.length matching in
+      if n <= last then matching
+      else List.filteri (fun i _ -> i >= n - last) matching
+    in
+    if List.length runs < 2 then
+      Error
+        (Printf.sprintf
+           "not enough %S runs in the history (%d found, need >= 2)" kind
+           (List.length runs))
+    else begin
+      match specs_for kind with
+      | [] -> Error (Printf.sprintf "no metric specs for bench kind %S" kind)
+      | specs ->
+          let metrics =
+            List.filter_map
+              (fun spec ->
+                let values = List.filter_map (lookup spec.path) runs in
+                (* Skip metrics absent from part of the window rather
+                   than misaligning the series. *)
+                if List.length values <> List.length runs then None
+                else begin
+                  let slope = slope_of values in
+                  Some
+                    {
+                      tm_metric = String.concat "." spec.path;
+                      tm_values = values;
+                      tm_slope = slope;
+                      tm_direction = spec.direction;
+                      tm_verdict = verdict_of spec.direction values slope;
+                    }
+                end)
+              specs
+          in
+          Ok { t_kind = kind; t_runs = List.length runs; t_metrics = metrics }
+    end
+  end
+
+let render_trend r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench %s: trend over last %d run(s)\n" r.t_kind r.t_runs);
+  let metric_w =
+    List.fold_left
+      (fun w m -> max w (String.length m.tm_metric))
+      6 r.t_metrics
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s  %12s  %12s  %12s  %s\n" metric_w "metric" "first"
+       "last" "slope/run" "trend");
+  List.iter
+    (fun m ->
+      let first = List.hd m.tm_values
+      and last = List.hd (List.rev m.tm_values) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s  %12s  %12s  %12s  %s\n" metric_w m.tm_metric
+           (value_str first) (value_str last)
+           (Printf.sprintf "%+.4g" m.tm_slope)
+           m.tm_verdict))
+    r.t_metrics;
+  Buffer.contents buf
 
 let append ~path json =
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in

@@ -88,3 +88,38 @@ val to_json : report -> Json.t
 val append : path:string -> Json.t -> unit
 (** Append one artifact as a single compact JSON line to [path],
     creating the file if needed. *)
+
+(** {2 Trend over the local history}
+
+    [replica_cli bench-history trend] reads the JSON-lines history and
+    fits a least-squares slope per known metric over the last [K]
+    matching runs, classifying each as [improving] / [worsening] /
+    [flat] against the spec's direction ([Exact] metrics report
+    [stable] or [CHANGING]). A total move under 2% of the metric's mean
+    counts as flat — run-to-run noise, not a trend. *)
+
+type trend_metric = {
+  tm_metric : string;
+  tm_values : float list;  (** oldest first *)
+  tm_slope : float;  (** least-squares slope per run *)
+  tm_direction : direction;
+  tm_verdict : string;
+      (** ["improving"], ["worsening"], ["flat"], ["stable"] or
+          ["CHANGING"] *)
+}
+
+type trend_report = {
+  t_kind : string;
+  t_runs : int;  (** runs actually in the window *)
+  t_metrics : trend_metric list;
+}
+
+val trend :
+  kind:string -> ?last:int -> Json.t list -> (trend_report, string) result
+(** [trend ~kind ~last history] over the parsed history lines (oldest
+    first, as read from the file). Skips metrics absent from part of
+    the window; errors when fewer than 2 matching runs exist or the
+    kind has no specs. [last] defaults to 10. *)
+
+val render_trend : trend_report -> string
+(** Aligned table: first, last, slope per run, verdict. *)

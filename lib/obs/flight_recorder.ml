@@ -1,0 +1,109 @@
+type chunk = { c_epoch : int; c_spans : Span.span list; c_len : int }
+
+type t = {
+  path : string;
+  k : float;
+  sample_every : int;
+  window : int;
+  ring_capacity : int;
+  chunks : chunk Queue.t;  (* oldest first *)
+  mutable ring_len : int;
+  latencies : int Queue.t;  (* trailing window, oldest first *)
+  mutable dumps : int;
+  mutable last_dump_epoch : int;
+}
+
+let min_history = 5
+
+let create ?(ring_capacity = 100_000) ?(sample_every = 4) ?(window = 32) ~k
+    ~path () =
+  if ring_capacity < 1 then
+    invalid_arg "Flight_recorder.create: ring_capacity < 1";
+  if sample_every < 1 then
+    invalid_arg "Flight_recorder.create: sample_every < 1";
+  if window < 1 then invalid_arg "Flight_recorder.create: window < 1";
+  if k < 0.0 then invalid_arg "Flight_recorder.create: k < 0";
+  {
+    path;
+    k;
+    sample_every;
+    window;
+    ring_capacity;
+    chunks = Queue.create ();
+    ring_len = 0;
+    latencies = Queue.create ();
+    dumps = 0;
+    last_dump_epoch = -1;
+  }
+
+(* Deterministic head-sampling decision: a hash of the epoch index, so
+   which epochs are retained is reproducible run-to-run and across
+   domains — no RNG state, no wall clock. *)
+let keep_epoch t epoch =
+  t.sample_every = 1
+  || Hashtbl.hash (epoch * 2654435761) mod t.sample_every = 0
+
+let trailing_median t =
+  let n = Queue.length t.latencies in
+  if n = 0 then None
+  else begin
+    let a = Array.make n 0 in
+    let i = ref 0 in
+    Queue.iter
+      (fun v ->
+        a.(!i) <- v;
+        incr i)
+      t.latencies;
+    Array.sort compare a;
+    Some a.(n / 2)
+  end
+
+let anomalous t latency_ns =
+  if t.k = 0.0 then true
+  else
+    match trailing_median t with
+    | Some m when Queue.length t.latencies >= min_history ->
+        float_of_int latency_ns > t.k *. float_of_int m
+    | _ -> false
+
+let retained_spans t =
+  Queue.fold (fun acc c -> acc @ c.c_spans) [] t.chunks
+
+let dump t ~epoch extra =
+  let spans = retained_spans t @ extra in
+  Chrome_trace.write_file ~dropped:(Span.dropped ()) t.path spans;
+  t.dumps <- t.dumps + 1;
+  t.last_dump_epoch <- epoch
+
+let record t ~epoch ~latency_ns =
+  (* Drain this epoch's spans out of the per-domain buffers whether or
+     not we keep them: the recorder owns span lifetime while active, so
+     buffers never grow across epochs. *)
+  let spans = Span.export () in
+  Span.reset ();
+  let is_anomaly = anomalous t latency_ns in
+  if is_anomaly then dump t ~epoch spans;
+  (* Append after the dump: an anomaly dump shows the lead-up plus the
+     anomalous epoch itself, and the ring then retains that epoch as
+     lead-up for the next one. *)
+  if keep_epoch t epoch then begin
+    let n = List.length spans in
+    Queue.push { c_epoch = epoch; c_spans = spans; c_len = n } t.chunks;
+    t.ring_len <- t.ring_len + n;
+    while
+      t.ring_len > t.ring_capacity && Queue.length t.chunks > 1
+    do
+      let old = Queue.pop t.chunks in
+      t.ring_len <- t.ring_len - old.c_len
+    done
+  end;
+  Queue.push latency_ns t.latencies;
+  while Queue.length t.latencies > t.window do
+    ignore (Queue.pop t.latencies)
+  done;
+  is_anomaly
+
+let dumps t = t.dumps
+let last_dump_epoch t = if t.last_dump_epoch < 0 then None else Some t.last_dump_epoch
+let path t = t.path
+let retained t = t.ring_len

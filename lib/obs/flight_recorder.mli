@@ -1,0 +1,53 @@
+(** Always-on flight recorder: a bounded ring of recent spans, dumped
+    as a Chrome trace when an epoch's latency is anomalous.
+
+    Full tracing ([--trace]) records everything and writes one file at
+    exit — fine for a bounded run, unusable for a long-running service.
+    The flight recorder inverts the deal: tracing stays enabled, each
+    epoch's spans are drained out of the per-domain buffers by
+    {!record} (so buffers never grow across epochs), a {e head-sampled}
+    subset of epochs is retained in a span ring bounded by
+    [ring_capacity], and only when an epoch's latency exceeds
+    [k x trailing median] does the recorder write the ring — the
+    lead-up — plus the anomalous epoch itself to [path] as a standard
+    Chrome trace, readable by [replica_cli profile] and
+    {!Trace_reader}.
+
+    Head sampling keeps every [~ 1/sample_every] epochs, chosen by a
+    deterministic hash of the epoch index: reproducible run-to-run,
+    no RNG, no wall clock. The latency baseline is the median of the
+    last [window] epoch latencies; no anomaly fires before
+    [5] latencies are banked ({e except} [k = 0], which dumps on every
+    epoch — the deterministic mode the cram suite and CI smoke use).
+    Dumps overwrite [path]: the file always holds the most recent
+    anomaly. *)
+
+type t
+
+val create :
+  ?ring_capacity:int ->
+  ?sample_every:int ->
+  ?window:int ->
+  k:float ->
+  path:string ->
+  unit ->
+  t
+(** Defaults: [ring_capacity] [100_000] spans, [sample_every] [4],
+    [window] [32]. [k] is the anomaly threshold multiplier ([0.0] =
+    dump every epoch); [path] the dump target. [Invalid_argument] on
+    non-positive sizes or negative [k]. *)
+
+val record : t -> epoch:int -> latency_ns:int -> bool
+(** Call once per epoch, after the epoch's work: drains and resets the
+    span buffers, dumps first if [latency_ns] is anomalous against the
+    trailing median, then retains the epoch's spans when head-sampled
+    and banks the latency. Returns whether a dump was written. *)
+
+val dumps : t -> int
+(** Dumps written so far. *)
+
+val last_dump_epoch : t -> int option
+val path : t -> string
+
+val retained : t -> int
+(** Spans currently in the ring. *)

@@ -20,6 +20,17 @@ let index v =
 
 let upper_bound i = if i = 0 then 0 else (1 lsl i) - 1
 
+(* Geometric midpoint of bin i's [2^(i-1), 2^i - 1] range: the
+   unbiased point estimate for a log-scale bucket. Reporting the upper
+   bound instead (as quantiles once did) pins the estimate to a bucket
+   boundary and overstates tail quantiles by up to 2x. *)
+let midpoint i =
+  if i = 0 then 0
+  else
+    let lo = float_of_int (1 lsl (i - 1))
+    and hi = float_of_int ((1 lsl i) - 1) in
+    int_of_float (Float.round (sqrt (lo *. hi)))
+
 let fresh name =
   {
     h_name = name;
@@ -61,7 +72,7 @@ let quantile h q =
        for i = 0 to bins - 1 do
          acc := !acc + Atomic.get h.counts.(i);
          if !acc >= rank then begin
-           result := upper_bound i;
+           result := midpoint i;
            raise Exit
          end
        done
@@ -71,13 +82,37 @@ let quantile h q =
 
 type summary = { s_count : int; s_sum : int; p50 : int; p90 : int; p99 : int }
 
+(* One pass over the atomic bins; quantiles are then computed from the
+   frozen snapshot. `quantile` alone would rescan (and re-count) the
+   live cells per call — 4x the atomic traffic, and each scan could see
+   a different in-flight total. *)
 let summary h =
+  let snap = Array.map Atomic.get h.counts in
+  let total = Array.fold_left ( + ) 0 snap in
+  let q_of q =
+    if total = 0 then 0
+    else begin
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+      let rank = min rank total in
+      let acc = ref 0 and result = ref 0 in
+      (try
+         for i = 0 to bins - 1 do
+           acc := !acc + snap.(i);
+           if !acc >= rank then begin
+             result := midpoint i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  in
   {
-    s_count = count h;
+    s_count = total;
     s_sum = sum h;
-    p50 = quantile h 0.50;
-    p90 = quantile h 0.90;
-    p99 = quantile h 0.99;
+    p50 = q_of 0.50;
+    p90 = q_of 0.90;
+    p99 = q_of 0.99;
   }
 
 let buckets h =

@@ -14,10 +14,13 @@
     not metrics). Totals are deterministic for a fixed workload at any
     domain count because addition commutes.
 
-    {b Quantiles.} [quantile h q] returns the {e inclusive upper
-    bound} of the bin containing the rank-[ceil(q * count)]
-    observation — an overestimate by at most 2x, and monotone in [q]
-    by construction ([p50 <= p90 <= p99] always holds).
+    {b Quantiles.} [quantile h q] returns the {e geometric midpoint}
+    ([round (sqrt (lo * hi))]) of the bin containing the
+    rank-[ceil(q * count)] observation — within 2x of the true value
+    in either direction (the upper bound, reported historically, was a
+    bucket boundary that overstated tail quantiles by up to 2x), and
+    monotone in [q] by construction ([p50 <= p90 <= p99] always
+    holds).
 
     Like counters, histograms are process-global and interned by name;
     harnesses attributing numbers to one run call {!reset_all} first.

@@ -1,0 +1,252 @@
+type labels = (string * string) list
+
+type t =
+  | C of int Atomic.t
+  | G of float Atomic.t
+  | H of Histogram.t
+
+type kind = Counter | Gauge | Histo
+
+type hist_snapshot = {
+  hs_buckets : (int * int) list;
+  hs_count : int;
+  hs_sum : int;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+}
+
+type value =
+  | Sample_counter of float
+  | Sample_gauge of float
+  | Sample_histogram of hist_snapshot
+
+type sample = { s_name : string; s_labels : labels; s_value : value }
+
+(* Families are keyed by metric name; each holds one instrument per
+   distinct label set. Registration (rare: engine/forest creation,
+   module initializers) is mutex-protected; the hot path only ever
+   touches the Atomic cells inside the instrument, never the
+   registry. *)
+type family = {
+  fam_kind : kind;
+  mutable instruments : (labels * t) list;
+}
+
+let lock = Mutex.create ()
+let families : (string, family) Hashtbl.t = Hashtbl.create 32
+let collectors : (string * (unit -> sample list)) list ref = ref []
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let canonical labels =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+
+(* Allocation-free comparison (no tuple boxing, no polymorphic
+   dispatch): sampling runs once per epoch, so its constant factor is
+   the telemetry overhead budget. *)
+let rec compare_labels la lb =
+  match (la, lb) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (ka, va) :: ra, (kb, vb) :: rb -> (
+      match String.compare ka kb with
+      | 0 -> ( match String.compare va vb with 0 -> compare_labels ra rb | c -> c)
+      | c -> c)
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histo -> "histogram"
+
+let fresh kind name =
+  match kind with
+  | Counter -> C (Atomic.make 0)
+  | Gauge -> G (Atomic.make 0.)
+  | Histo -> H (Histogram.make name)
+
+let intern kind ?(labels = []) name =
+  let labels = canonical labels in
+  with_lock (fun () ->
+      let fam =
+        match Hashtbl.find_opt families name with
+        | Some f ->
+            if f.fam_kind <> kind then
+              invalid_arg
+                (Printf.sprintf "Metrics: %s already registered as a %s" name
+                   (kind_name f.fam_kind));
+            f
+        | None ->
+            let f = { fam_kind = kind; instruments = [] } in
+            Hashtbl.replace families name f;
+            f
+      in
+      match List.assoc_opt labels fam.instruments with
+      | Some i -> i
+      | None ->
+          let i = fresh kind name in
+          (* Sorted insertion keeps the scrape path sort-free: a
+             family's instruments always enumerate in label order. *)
+          let rec insert = function
+            | [] -> [ (labels, i) ]
+            | ((l, _) as hd) :: tl when compare_labels l labels < 0 ->
+                hd :: insert tl
+            | rest -> (labels, i) :: rest
+          in
+          fam.instruments <- insert fam.instruments;
+          i)
+
+let counter ?labels name = intern Counter ?labels name
+let gauge ?labels name = intern Gauge ?labels name
+let histogram ?labels name = intern Histo ?labels name
+
+let add m n =
+  match m with
+  | C c -> ignore (Atomic.fetch_and_add c n)
+  | G _ | H _ -> invalid_arg "Metrics.add: not a counter"
+
+let incr m = add m 1
+
+let set m v =
+  match m with
+  | G g -> Atomic.set g v
+  | C _ | H _ -> invalid_arg "Metrics.set: not a gauge"
+
+let observe m v =
+  match m with
+  | H h -> Histogram.observe h v
+  | C _ | G _ -> invalid_arg "Metrics.observe: not a histogram"
+
+let value = function
+  | C c -> float_of_int (Atomic.get c)
+  | G g -> Atomic.get g
+  | H _ -> invalid_arg "Metrics.value: histogram (use samples)"
+
+let hist_snapshot h =
+  let s = Histogram.summary h in
+  {
+    hs_buckets = Histogram.buckets h;
+    hs_count = s.Histogram.s_count;
+    hs_sum = s.Histogram.s_sum;
+    hs_p50 = s.Histogram.p50;
+    hs_p90 = s.Histogram.p90;
+    hs_p99 = s.Histogram.p99;
+  }
+
+let register_collector ~name f =
+  with_lock (fun () ->
+      collectors := List.filter (fun (n, _) -> n <> name) !collectors;
+      collectors := !collectors @ [ (name, f) ])
+
+(* Built-in bridges: the legacy name-interned histogram registry
+   (dp_withpre.merge_products_per_node and friends observe through it
+   directly) and the span buffers' drop counter, so a scrape can tell a
+   truncated trace from a quiet one. *)
+let builtin_samples () =
+  List.map
+    (fun (name, h) ->
+      { s_name = name; s_labels = []; s_value = Sample_histogram (hist_snapshot h) })
+    (Histogram.snapshots ())
+  @ [
+      {
+        s_name = "obs.spans_dropped";
+        s_labels = [];
+        s_value = Sample_counter (float_of_int (Span.dropped ()));
+      };
+    ]
+
+(* Emitted fully sorted: family names are few (sorting them is cheap)
+   and each family's instruments were inserted in label order, so the
+   scrape path never sorts the full sample list. *)
+let direct_samples () =
+  with_lock (fun () ->
+      let names = Hashtbl.fold (fun name _ acc -> name :: acc) families [] in
+      let names = List.sort String.compare names in
+      List.concat_map
+        (fun name ->
+          let fam = Hashtbl.find families name in
+          List.map
+            (fun (labels, inst) ->
+              let v =
+                match inst with
+                | C c -> Sample_counter (float_of_int (Atomic.get c))
+                | G g -> Sample_gauge (Atomic.get g)
+                | H h -> Sample_histogram (hist_snapshot h)
+              in
+              { s_name = name; s_labels = labels; s_value = v })
+            fam.instruments)
+        names)
+
+let collector_samples () =
+  let fs = with_lock (fun () -> !collectors) in
+  List.concat_map
+    (fun (_, f) ->
+      List.map (fun s -> { s with s_labels = canonical s.s_labels }) (f ()))
+    fs
+
+let compare_sample a b =
+  match String.compare a.s_name b.s_name with
+  | 0 -> compare_labels a.s_labels b.s_labels
+  | c -> c
+
+let samples () =
+  (* Histograms that never saw an observation are suppressed (their
+     exposition would be bucketless); zero counters and gauges are
+     real states and stay. *)
+  let live s =
+    match s.s_value with
+    | Sample_histogram h -> h.hs_count > 0
+    | Sample_counter _ | Sample_gauge _ -> true
+  in
+  let direct = List.filter live (direct_samples ()) in
+  let extra =
+    List.sort compare_sample
+      (List.filter live (collector_samples () @ builtin_samples ()))
+  in
+  (* Direct samples arrive sorted; only the handful of collector and
+     builtin rows need sorting, then a linear merge. *)
+  List.merge compare_sample direct extra
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ fam ->
+          List.iter
+            (fun (_, inst) ->
+              match inst with
+              | C c -> Atomic.set c 0
+              | G g -> Atomic.set g 0.
+              | H h -> Histogram.reset h)
+            fam.instruments)
+        families)
+
+let labels_to_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let buf = Buffer.create 32 in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          Buffer.add_char buf '"';
+          String.iter
+            (fun c ->
+              match c with
+              | '"' | '\\' ->
+                  Buffer.add_char buf '\\';
+                  Buffer.add_char buf c
+              | '\n' -> Buffer.add_string buf "\\n"
+              | c -> Buffer.add_char buf c)
+            v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+let sample_key s = s.s_name ^ labels_to_string s.s_labels

@@ -1,0 +1,95 @@
+(** Labeled metric registry: counters, gauges and histograms with
+    [(key, value)] label sets, one process-global namespace.
+
+    This is the registration layer the Prometheus exposition
+    ({!Prometheus.expose}) and the per-epoch time series
+    ({!Timeseries}) both read. Three instrument kinds:
+
+    - {e counters} — monotone int cells ([incr]/[add]);
+    - {e gauges} — last-write-wins floats ([set]);
+    - {e histograms} — log2-binned {!Histogram} instances ([observe]).
+
+    Instruments are interned by [(name, canonical label set)]: two
+    [counter "x" ~labels:[("a","1")]] calls return the same cell, so
+    registration can happen wherever is convenient (engine creation,
+    module initializers) without coordination. Label order is
+    irrelevant; duplicate keys collapse. Re-registering a name under a
+    different kind raises [Invalid_argument].
+
+    {b Domain safety.} The registry mutex guards registration and
+    {!samples} only; every update path ([incr], [add], [set],
+    [observe]) is a single atomic operation on the instrument's cell —
+    no lock, no allocation — so instruments are safe to update from
+    [Par]-fanned domains and totals are deterministic for a fixed
+    workload at any domain count.
+
+    {b Collectors.} Subsystems with their own registries bridge in by
+    registering a collector — a closure returning a sample list pulled
+    on every {!samples} call. [Replica_core.Stats_counters] registers
+    one at module initialization (its counters as counter samples, its
+    timers as [name_seconds] gauges); the legacy name-interned
+    {!Histogram} registry and the span drop counter
+    ([obs.spans_dropped]) are built in. *)
+
+type labels = (string * string) list
+
+type t
+(** An instrument handle: one cell (or histogram) for one
+    [(name, label set)] pair. *)
+
+val counter : ?labels:labels -> string -> t
+val gauge : ?labels:labels -> string -> t
+val histogram : ?labels:labels -> string -> t
+
+val incr : t -> unit
+val add : t -> int -> unit
+(** Counters only; [Invalid_argument] otherwise. *)
+
+val set : t -> float -> unit
+(** Gauges only. *)
+
+val observe : t -> int -> unit
+(** Histograms only. *)
+
+val value : t -> float
+(** Current value of a counter or gauge. *)
+
+(** {2 Sampling} *)
+
+type hist_snapshot = {
+  hs_buckets : (int * int) list;
+      (** cumulative [(upper bound, count)], the exposition shape *)
+  hs_count : int;
+  hs_sum : int;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+}
+
+type value =
+  | Sample_counter of float
+  | Sample_gauge of float
+  | Sample_histogram of hist_snapshot
+
+type sample = { s_name : string; s_labels : labels; s_value : value }
+
+val samples : unit -> sample list
+(** One consistent-enough snapshot of every instrument and collector,
+    sorted by [(name, labels)] so a family's samples are consecutive.
+    Histograms with zero observations are suppressed. *)
+
+val register_collector : name:string -> (unit -> sample list) -> unit
+(** Bridge an external registry in. Re-registering a name replaces the
+    previous collector (idempotent module initialization). *)
+
+val reset : unit -> unit
+(** Zero every directly registered instrument. Collector-backed
+    sources reset through their own registries. *)
+
+val labels_to_string : labels -> string
+(** [{k="v",...}], empty string for no labels — the exposition and
+    time-series key syntax. *)
+
+val sample_key : sample -> string
+(** [name{k="v",...}] — the flattened identity used by
+    {!Timeseries}. *)

@@ -39,6 +39,106 @@ let render ?(counters = []) ?(timers_seconds = []) ?(histograms = []) () =
     (sort histograms);
   Buffer.contents buf
 
+(* --- registry-driven exposition --- *)
+
+(* Label keys get the same character sanitation as metric names but no
+   namespace prefix. *)
+let label_name raw =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    raw
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_set buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "%s=\"%s\"" (label_name k) (escape_label_value v)))
+        labels;
+      Buffer.add_char buf '}'
+
+let add_value buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (string_of_int (int_of_float v))
+  else Buffer.add_string buf (Printf.sprintf "%.9g" v)
+
+let scalar buf name labels v =
+  Buffer.add_string buf name;
+  label_set buf labels;
+  Buffer.add_char buf ' ';
+  add_value buf v;
+  Buffer.add_char buf '\n'
+
+let scalar_line ?timestamp name labels v =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (metric_name name);
+  label_set buf labels;
+  Buffer.add_char buf ' ';
+  add_value buf v;
+  (match timestamp with
+  | None -> ()
+  | Some ts ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int ts));
+  Buffer.contents buf
+
+(* Renders the full {!Metrics} registry — direct instruments,
+   collectors (Stats_counters), the legacy histogram registry — as one
+   text exposition. Samples arrive sorted by (name, labels), so each
+   family is consecutive and gets exactly one TYPE line. *)
+let expose () =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let n = metric_name s.Metrics.s_name in
+      let kind =
+        match s.Metrics.s_value with
+        | Metrics.Sample_counter _ -> "counter"
+        | Metrics.Sample_gauge _ -> "gauge"
+        | Metrics.Sample_histogram _ -> "histogram"
+      in
+      if n <> !last_family then begin
+        last_family := n;
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n kind)
+      end;
+      match s.Metrics.s_value with
+      | Metrics.Sample_counter v | Metrics.Sample_gauge v ->
+          scalar buf n s.Metrics.s_labels v
+      | Metrics.Sample_histogram h ->
+          List.iter
+            (fun (le, cum) ->
+              scalar buf (n ^ "_bucket")
+                (s.Metrics.s_labels @ [ ("le", string_of_int le) ])
+                (float_of_int cum))
+            h.Metrics.hs_buckets;
+          scalar buf (n ^ "_bucket")
+            (s.Metrics.s_labels @ [ ("le", "+Inf") ])
+            (float_of_int h.Metrics.hs_count);
+          scalar buf (n ^ "_sum") s.Metrics.s_labels
+            (float_of_int h.Metrics.hs_sum);
+          scalar buf (n ^ "_count") s.Metrics.s_labels
+            (float_of_int h.Metrics.hs_count))
+    (Metrics.samples ());
+  Buffer.contents buf
+
 (* --- validation --- *)
 
 let is_name_start c =
@@ -112,12 +212,31 @@ let parse_value s =
 (* Histogram families get semantic checks on top of the line grammar:
    only _bucket/_sum/_count samples, le labels parseable, cumulative
    counts and le bounds non-decreasing, a final le="+Inf" bucket whose
-   value equals _count, and _sum present. *)
-type hist_acc = {
+   value equals _count, and _sum present. A family may carry several
+   label sets (e.g. one series per shard); every check applies within
+   one label set (le excluded), never across them. *)
+type hist_group = {
   mutable buckets_rev : (float * float) list;
   mutable sum_seen : bool;
   mutable count_value : float option;
 }
+
+type hist_acc = (string, hist_group) Hashtbl.t
+
+let group_key labels =
+  List.filter (fun (k, _) -> k <> "le") labels
+  |> List.sort compare
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> String.concat ","
+
+let hist_group (acc : hist_acc) labels =
+  let key = group_key labels in
+  match Hashtbl.find_opt acc key with
+  | Some g -> g
+  | None ->
+      let g = { buckets_rev = []; sum_seen = false; count_value = None } in
+      Hashtbl.replace acc key g;
+      g
 
 let validate contents =
   let lines = String.split_on_char '\n' contents in
@@ -137,60 +256,70 @@ let validate contents =
     else
       match !hist with
       | None -> Ok ()
-      | Some h -> (
+      | Some acc ->
           hist := None;
-          let buckets = List.rev h.buckets_rev in
-          let rec monotone = function
-            | (le1, c1) :: ((le2, c2) :: _ as rest) ->
-                if le2 < le1 then
-                  err lineno
-                    (Printf.sprintf "histogram %s: le bounds not increasing"
-                       fname)
-                    line
-                else if c2 < c1 then
-                  err lineno
-                    (Printf.sprintf
-                       "histogram %s: cumulative bucket counts decrease" fname)
-                    line
-                else monotone rest
-            | _ -> Ok ()
-          in
-          match List.rev buckets with
-          | [] ->
-              err lineno
-                (Printf.sprintf "histogram %s has no _bucket samples" fname)
-                line
-          | (last_le, last_cum) :: _ -> (
-              let ( let* ) = Result.bind in
-              let* () = monotone buckets in
-              if last_le <> infinity then
-                err lineno
-                  (Printf.sprintf "histogram %s: missing le=\"+Inf\" bucket"
-                     fname)
-                  line
-              else if not h.sum_seen then
-                err lineno
-                  (Printf.sprintf "histogram %s: missing _sum sample" fname)
-                  line
-              else
-                match h.count_value with
-                | None ->
+          let check_group (h : hist_group) =
+            let buckets = List.rev h.buckets_rev in
+            let rec monotone = function
+              | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+                  if le2 < le1 then
                     err lineno
-                      (Printf.sprintf "histogram %s: missing _count sample"
+                      (Printf.sprintf "histogram %s: le bounds not increasing"
                          fname)
                       line
-                | Some c when c <> last_cum ->
+                  else if c2 < c1 then
                     err lineno
                       (Printf.sprintf
-                         "histogram %s: _count %g disagrees with le=\"+Inf\" \
-                          bucket %g"
-                         fname c last_cum)
+                         "histogram %s: cumulative bucket counts decrease" fname)
                       line
-                | Some _ -> Ok ()))
+                  else monotone rest
+              | _ -> Ok ()
+            in
+            match List.rev buckets with
+            | [] ->
+                err lineno
+                  (Printf.sprintf "histogram %s has no _bucket samples" fname)
+                  line
+            | (last_le, last_cum) :: _ -> (
+                let ( let* ) = Result.bind in
+                let* () = monotone buckets in
+                if last_le <> infinity then
+                  err lineno
+                    (Printf.sprintf "histogram %s: missing le=\"+Inf\" bucket"
+                       fname)
+                    line
+                else if not h.sum_seen then
+                  err lineno
+                    (Printf.sprintf "histogram %s: missing _sum sample" fname)
+                    line
+                else
+                  match h.count_value with
+                  | None ->
+                      err lineno
+                        (Printf.sprintf "histogram %s: missing _count sample"
+                           fname)
+                        line
+                  | Some c when c <> last_cum ->
+                      err lineno
+                        (Printf.sprintf
+                           "histogram %s: _count %g disagrees with le=\"+Inf\" \
+                            bucket %g"
+                           fname c last_cum)
+                        line
+                  | Some _ -> Ok ())
+          in
+          if Hashtbl.length acc = 0 then
+            err lineno
+              (Printf.sprintf "histogram %s has no _bucket samples" fname)
+              line
+          else
+            Hashtbl.fold
+              (fun _ g r -> match r with Ok () -> check_group g | e -> e)
+              acc (Ok ())
   in
   let record_sample lineno line name labels value =
     match (!family, !hist) with
-    | Some f, Some h when String.starts_with ~prefix:f name -> (
+    | Some f, Some acc when String.starts_with ~prefix:f name -> (
         family_seen := true;
         let suffix = String.sub name (String.length f)
             (String.length name - String.length f)
@@ -210,13 +339,14 @@ let validate contents =
                          le_str)
                       line
                 | Some le ->
+                    let h = hist_group acc labels in
                     h.buckets_rev <- (le, value) :: h.buckets_rev;
                     Ok ()))
         | "_sum" ->
-            h.sum_seen <- true;
+            (hist_group acc labels).sum_seen <- true;
             Ok ()
         | "_count" ->
-            h.count_value <- Some value;
+            (hist_group acc labels).count_value <- Some value;
             Ok ()
         | _ ->
             err lineno
@@ -256,17 +386,16 @@ let validate contents =
                           family_seen := false;
                           hist :=
                             (if rest_str = "histogram" then
-                               Some
-                                 {
-                                   buckets_rev = [];
-                                   sum_seen = false;
-                                   count_value = None;
-                                 }
+                               Some (Hashtbl.create 4 : hist_acc)
                              else None);
                           Ok ())
                   | _ -> err lineno "unknown metric type" line)
             end
             else if String.starts_with ~prefix:"# HELP " line then Ok ()
+            else if String.trim line = "# EOF" then
+              (* OpenMetrics terminator (the Timeseries export ends with
+                 one); nothing may follow but trailing blank lines. *)
+              Ok ()
             else err lineno "malformed comment (expected # HELP or # TYPE)" line
           end
           else begin

@@ -27,7 +27,27 @@ val render :
   unit ->
   string
 (** A complete exposition snapshot, families sorted by metric name
-    within each section (counters, then timers, then histograms). *)
+    within each section (counters, then timers, then histograms).
+    Label-less legacy shape; callers owning their data. The registry
+    path is {!expose}. *)
+
+val expose : unit -> string
+(** Render the whole {!Metrics} registry — labeled instruments,
+    collectors (so [Replica_core.Stats_counters] counters and timers
+    appear), the legacy histogram registry and the span drop counter —
+    as one exposition. Label sets ([solver="dp-qos"], [shard="3"])
+    render inline; histogram families may carry several label sets,
+    each with its own bucket/sum/count series. *)
+
+val label_name : string -> string
+(** Character sanitation for label keys: outside [[a-zA-Z0-9_]] maps
+    to [_]; no namespace prefix. *)
+
+val scalar_line : ?timestamp:int -> string -> (string * string) list -> float -> string
+(** One exposition sample line (no newline): mangled metric name,
+    rendered label set, value, optional integer timestamp. Used by
+    {!Timeseries.to_openmetrics}, where the timestamp column carries
+    the epoch index. *)
 
 val validate : string -> (int, string) result
 (** [validate contents] checks every line against the exposition
@@ -36,4 +56,7 @@ val validate : string -> (int, string) result
     checks: only [_bucket]/[_sum]/[_count] samples, a parseable [le]
     label on every bucket, non-decreasing [le] bounds and cumulative
     counts, a final [le="+Inf"] bucket whose value equals [_count],
-    and a [_sum] sample. Returns the number of samples. *)
+    and a [_sum] sample — each applied {e per label set} (excluding
+    [le]), so multi-series families (one per shard) validate. An
+    OpenMetrics [# EOF] terminator line is accepted. Returns the
+    number of samples. *)

@@ -9,21 +9,26 @@ type span = {
   args : (string * arg) list;
 }
 
-type frame = {
-  f_name : string;
-  f_start : int;
-  f_depth : int;
-  mutable f_args : (string * arg) list;
-}
-
-(* One recording buffer per domain. Only its owning domain ever writes
-   [stack], [spans] or [len]; the registry mutex protects the list of
-   states, and export/reset read the buffers (documented as quiescent
-   operations). *)
+(* One recording buffer per domain, columnar: the open-frame stack and
+   the completed-span log are parallel arrays preallocated once and
+   grown geometrically, so the steady-state record path allocates
+   nothing — begin_span writes three cells, end_span writes five. Only
+   its owning domain ever writes a state; the registry mutex protects
+   the list of states, and export/reset read the buffers (documented
+   as quiescent operations). *)
 type dstate = {
   tid : int;
-  mutable stack : frame list;
-  mutable spans : span array;
+  (* open frames, indexed by nesting depth *)
+  mutable f_names : string array;
+  mutable f_starts : int array;
+  mutable f_args : (string * arg) list array;
+  mutable depth : int;
+  (* completed spans *)
+  mutable s_names : string array;
+  mutable s_starts : int array;
+  mutable s_durs : int array;
+  mutable s_depths : int array;
+  mutable s_args : (string * arg) list array;
   mutable len : int;
   mutable drop : int;
 }
@@ -38,16 +43,23 @@ let set_capacity c = Atomic.set capacity (max 1 c)
 let registry_lock = Mutex.create ()
 let registry : dstate list ref = ref []
 
-let dummy_span =
-  { name = ""; start_ns = 0; dur_ns = 0; tid = 0; depth = 0; args = [] }
+let initial_spans = 256
+let initial_frames = 64
 
 let key =
   Domain.DLS.new_key (fun () ->
       let st =
         {
           tid = (Domain.self () :> int);
-          stack = [];
-          spans = Array.make 256 dummy_span;
+          f_names = Array.make initial_frames "";
+          f_starts = Array.make initial_frames 0;
+          f_args = Array.make initial_frames [];
+          depth = 0;
+          s_names = Array.make initial_spans "";
+          s_starts = Array.make initial_spans 0;
+          s_durs = Array.make initial_spans 0;
+          s_depths = Array.make initial_spans 0;
+          s_args = Array.make initial_spans [];
           len = 0;
           drop = 0;
         }
@@ -57,60 +69,86 @@ let key =
       Mutex.unlock registry_lock;
       st)
 
-let push st sp =
-  let cap = Atomic.get capacity in
-  if st.len >= cap then st.drop <- st.drop + 1
-  else begin
-    if st.len = Array.length st.spans then begin
-      let bigger =
-        Array.make (min cap (2 * Array.length st.spans)) dummy_span
-      in
-      Array.blit st.spans 0 bigger 0 st.len;
-      st.spans <- bigger
-    end;
-    st.spans.(st.len) <- sp;
-    st.len <- st.len + 1
-  end
+let grow_frames st =
+  let n = Array.length st.f_names in
+  let bigger_n = 2 * n in
+  let grow a fill =
+    let b = Array.make bigger_n fill in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  st.f_names <- grow st.f_names "";
+  st.f_starts <- grow st.f_starts 0;
+  st.f_args <- grow st.f_args []
+
+let grow_spans st cap =
+  let n = Array.length st.s_names in
+  let bigger_n = min cap (2 * n) in
+  let grow a fill =
+    let b = Array.make bigger_n fill in
+    Array.blit a 0 b 0 st.len;
+    b
+  in
+  st.s_names <- grow st.s_names "";
+  st.s_starts <- grow st.s_starts 0;
+  st.s_durs <- grow st.s_durs 0;
+  st.s_depths <- grow st.s_depths 0;
+  st.s_args <- grow st.s_args []
 
 let begin_span name =
   if enabled () then begin
     let st = Domain.DLS.get key in
-    let depth = match st.stack with [] -> 0 | f :: _ -> f.f_depth + 1 in
-    st.stack <-
-      { f_name = name; f_start = Clock.now_ns (); f_depth = depth; f_args = [] }
-      :: st.stack
+    if st.depth = Array.length st.f_names then grow_frames st;
+    let d = st.depth in
+    st.f_names.(d) <- name;
+    st.f_starts.(d) <- Clock.now_ns ();
+    st.f_args.(d) <- [];
+    st.depth <- d + 1
   end
 
 let end_span ?(args = []) () =
   if enabled () then begin
     let st = Domain.DLS.get key in
-    match st.stack with
-    | [] -> ()
-    | f :: rest ->
-        st.stack <- rest;
-        push st
-          {
-            name = f.f_name;
-            start_ns = f.f_start;
-            dur_ns = Clock.now_ns () - f.f_start;
-            tid = st.tid;
-            depth = f.f_depth;
-            args = (match f.f_args with [] -> args | fa -> List.rev fa @ args);
-          }
+    if st.depth > 0 then begin
+      let d = st.depth - 1 in
+      st.depth <- d;
+      let cap = Atomic.get capacity in
+      if st.len >= cap then st.drop <- st.drop + 1
+      else begin
+        if st.len = Array.length st.s_names then grow_spans st cap;
+        let i = st.len in
+        st.s_names.(i) <- st.f_names.(d);
+        st.s_starts.(i) <- st.f_starts.(d);
+        st.s_durs.(i) <- Clock.now_ns () - st.f_starts.(d);
+        st.s_depths.(i) <- d;
+        (st.s_args.(i) <-
+           (match st.f_args.(d) with [] -> args | fa -> List.rev fa @ args));
+        st.len <- i + 1
+      end;
+      st.f_args.(d) <- []
+    end
   end
 
 let add_arg k v =
-  if enabled () then
+  if enabled () then begin
     let st = Domain.DLS.get key in
-    match st.stack with
-    | [] -> ()
-    | f :: _ -> f.f_args <- (k, v) :: f.f_args
+    if st.depth > 0 then begin
+      let d = st.depth - 1 in
+      st.f_args.(d) <- (k, v) :: st.f_args.(d)
+    end
+  end
 
 let with_span ?args name f =
   if not (enabled ()) then f ()
   else begin
     begin_span name;
-    Fun.protect ~finally:(fun () -> end_span ?args ()) f
+    match f () with
+    | v ->
+        end_span ?args ();
+        v
+    | exception e ->
+        end_span ?args ();
+        raise e
   end
 
 let with_states f =
@@ -118,11 +156,19 @@ let with_states f =
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) (fun () ->
       f !registry)
 
+let spans_of st =
+  List.init st.len (fun i ->
+      {
+        name = st.s_names.(i);
+        start_ns = st.s_starts.(i);
+        dur_ns = st.s_durs.(i);
+        tid = st.tid;
+        depth = st.s_depths.(i);
+        args = st.s_args.(i);
+      })
+
 let export () =
-  with_states (fun states ->
-      List.concat_map
-        (fun st -> Array.to_list (Array.sub st.spans 0 st.len))
-        states)
+  with_states (fun states -> List.concat_map spans_of states)
   |> List.sort (fun a b ->
          compare (a.start_ns, a.tid, a.depth) (b.start_ns, b.tid, b.depth))
 
@@ -138,7 +184,12 @@ let reset () =
   with_states (fun states ->
       List.iter
         (fun st ->
-          st.stack <- [];
+          (* Release retained strings/arg lists so a reset buffer holds
+             no references to the previous run's data. *)
+          Array.fill st.s_names 0 st.len "";
+          Array.fill st.s_args 0 st.len [];
+          Array.fill st.f_args 0 st.depth [];
+          st.depth <- 0;
           st.len <- 0;
           st.drop <- 0)
         states)

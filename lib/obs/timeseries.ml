@@ -1,0 +1,156 @@
+type row = { r_name : string; r_labels : Metrics.labels; r_value : float }
+type point = { pt_epoch : int; pt_rows : row list }
+
+type t = {
+  stride : int;
+  cap : int;
+  buf : point option array;
+  mutable start : int;
+  mutable len : int;
+  (* raw value at the previous recorded sample, per flattened series
+     key — counters and histogram count/sum report per-interval deltas,
+     so a point reads "work done since the last sample" rather than a
+     monotonically growing total. *)
+  prev : (string, float) Hashtbl.t;
+  mutable samples_taken : int;
+}
+
+let create ?(capacity = 1024) ?(stride = 1) () =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity < 1";
+  if stride < 1 then invalid_arg "Timeseries.create: stride < 1";
+  {
+    stride;
+    cap = capacity;
+    buf = Array.make capacity None;
+    start = 0;
+    len = 0;
+    prev = Hashtbl.create 64;
+    samples_taken = 0;
+  }
+
+let stride t = t.stride
+let length t = t.len
+
+let key name labels = name ^ Metrics.labels_to_string labels
+
+(* Flatten one registry sample into scalar rows. Counters: delta vs
+   the previous recorded sample. Gauges: raw. Histograms: count/sum
+   deltas plus the current p50/p99 point estimates (quantiles are over
+   the whole run — a per-interval quantile would need bucket deltas for
+   little extra insight). *)
+let rows_of_sample t (s : Metrics.sample) =
+  let delta k raw =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.prev k) in
+    Hashtbl.replace t.prev k raw;
+    raw -. prev
+  in
+  match s.Metrics.s_value with
+  | Metrics.Sample_counter v ->
+      [
+        {
+          r_name = s.s_name;
+          r_labels = s.s_labels;
+          r_value = delta (key s.s_name s.s_labels) v;
+        };
+      ]
+  | Metrics.Sample_gauge v ->
+      [ { r_name = s.s_name; r_labels = s.s_labels; r_value = v } ]
+  | Metrics.Sample_histogram hs ->
+      let sub suffix v =
+        {
+          r_name = s.s_name ^ suffix;
+          r_labels = s.s_labels;
+          r_value = v;
+        }
+      in
+      [
+        sub ".count"
+          (delta
+             (key (s.s_name ^ ".count") s.s_labels)
+             (float_of_int hs.Metrics.hs_count));
+        sub ".sum"
+          (delta
+             (key (s.s_name ^ ".sum") s.s_labels)
+             (float_of_int hs.Metrics.hs_sum));
+        sub ".p50" (float_of_int hs.Metrics.hs_p50);
+        sub ".p99" (float_of_int hs.Metrics.hs_p99);
+      ]
+
+let push t pt =
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- Some pt;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- Some pt;
+    t.start <- (t.start + 1) mod t.cap
+  end
+
+let sample t ~epoch =
+  let due = t.samples_taken mod t.stride = 0 in
+  t.samples_taken <- t.samples_taken + 1;
+  if due then begin
+    let rows =
+      List.concat_map (rows_of_sample t) (Metrics.samples ())
+    in
+    push t { pt_epoch = epoch; pt_rows = rows }
+  end
+
+let points t =
+  List.init t.len (fun i ->
+      Option.get t.buf.((t.start + i) mod t.cap))
+
+let series t k =
+  List.filter_map
+    (fun pt ->
+      List.find_map
+        (fun r ->
+          if key r.r_name r.r_labels = k then Some (pt.pt_epoch, r.r_value)
+          else None)
+        pt.pt_rows)
+    (points t)
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun pt ->
+         Json.Obj
+           [
+             ("epoch", Json.Int pt.pt_epoch);
+             ( "metrics",
+               Json.Obj
+                 (List.map
+                    (fun r ->
+                      (key r.r_name r.r_labels, Json.Float r.r_value))
+                    pt.pt_rows) );
+           ])
+       (points t))
+
+let to_openmetrics t =
+  let pts = points t in
+  (* Family samples must be consecutive for the exposition grammar, so
+     walk family-by-family across all points rather than point-by-point. *)
+  let names =
+    List.sort_uniq compare
+      (List.concat_map (fun pt -> List.map (fun r -> r.r_name) pt.pt_rows) pts)
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s gauge\n" (Prometheus.metric_name name));
+      List.iter
+        (fun pt ->
+          List.iter
+            (fun r ->
+              if r.r_name = name then begin
+                Buffer.add_string buf
+                  (Prometheus.scalar_line ~timestamp:pt.pt_epoch r.r_name
+                     r.r_labels r.r_value);
+                Buffer.add_char buf '\n'
+              end)
+            pt.pt_rows)
+        pts)
+    names;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** Bounded per-epoch time series over the {!Metrics} registry.
+
+    A harness driving an epoch loop calls {!sample} once per epoch;
+    every [stride]-th call snapshots the whole registry (instruments
+    and collectors alike) into one {e point} — a flat list of scalar
+    rows — and appends it to a ring of at most [capacity] points, so a
+    long-running service keeps a recent window rather than an
+    unbounded log.
+
+    {b Row semantics.} Counters and histogram [count]/[sum] report the
+    {e delta since the previous recorded sample} (work done in the
+    interval); gauges report their current value; histograms
+    additionally contribute their current [p50]/[p99] point estimates
+    as [name.p50] / [name.p99] rows. Labels pass through, so one
+    family yields one row per label set ([shard="3"], ...).
+
+    Sampling never perturbs the instruments — the engine's placements
+    are bit-identical with sampling on or off — and costs one registry
+    read per recorded epoch (the [obs] benchmark pins this under 1% of
+    epoch time at 100 series).
+
+    Two exports: {!to_json} (the [timeseries] field of the engine and
+    forest [--json] envelopes, and the [--timeseries] artifact) and
+    {!to_openmetrics} (gauge families with the epoch index in the
+    timestamp column, [# EOF]-terminated; {!Prometheus.validate}
+    accepts it). {!series} backs the [top] view's sparklines. *)
+
+type row = { r_name : string; r_labels : Metrics.labels; r_value : float }
+type point = { pt_epoch : int; pt_rows : row list }
+type t
+
+val create : ?capacity:int -> ?stride:int -> unit -> t
+(** [capacity] (default [1024]) bounds retained points — the oldest is
+    overwritten past it. [stride] (default [1]) records every
+    [stride]-th {!sample} call. [Invalid_argument] if either is
+    [< 1]. *)
+
+val sample : t -> epoch:int -> unit
+(** Call once per epoch with the epoch index; records a point on every
+    [stride]-th call (counting from the first). *)
+
+val stride : t -> int
+
+val length : t -> int
+(** Points currently retained. *)
+
+val points : t -> point list
+(** Oldest first. *)
+
+val key : string -> Metrics.labels -> string
+(** [name{k="v",...}] — the flattened series identity used by
+    {!series} and the JSON export's metric keys. *)
+
+val series : t -> string -> (int * float) list
+(** [(epoch, value)] pairs, oldest first, for one flattened key. *)
+
+val to_json : t -> Json.t
+(** A list of [{"epoch": e, "metrics": {key: value, ...}}] objects,
+    oldest first. *)
+
+val to_openmetrics : t -> string
+(** Every series as a gauge family, one sample per recorded point with
+    the epoch index as the timestamp, terminated by [# EOF]. *)

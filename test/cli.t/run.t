@@ -172,7 +172,7 @@ wall-clock and would not be reproducible here):
   dp_power.cells_created     123
   dp_power.merge_products    128
   dp_power.peak_table_size   38
-  dp_power.merge_products_per_node count 7  p50 15  p90 63  p99 63
+  dp_power.merge_products_per_node count 7  p50 11  p90 45  p99 45
 
 Forcing dominance pruning on the same instance gives the same answer with
 fewer merge products:
@@ -192,7 +192,7 @@ fewer merge products:
   dp_power.dominance_pruned  17
   dp_power.merge_products    94
   dp_power.peak_table_size   24
-  dp_power.merge_products_per_node count 7  p50 15  p90 31  p99 31
+  dp_power.merge_products_per_node count 7  p50 11  p90 22  p99 22
 
 The greedy power baseline and the local-search heuristic on the same instance:
 
@@ -529,4 +529,95 @@ Artifacts of different kinds cannot be compared:
 
   $ replica_cli bench-diff solve_trace.json bench_base.json
   bench-diff: not a bench envelope (missing schema_version or bench kind)
+  [2]
+
+Live telemetry: --timeseries samples the metrics registry once per
+epoch into a JSON artifact, --openmetrics exports the same window as
+timestamped gauge families, and --flight-record keeps a bounded span
+ring that is dumped as a Chrome trace when an epoch's latency is
+anomalous (--anomaly-k 0 dumps every epoch — the deterministic mode).
+The timeline itself is identical to the untelemetered run above:
+
+  $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
+  >   --workload flash --policy periodic:2 --no-time \
+  >   --timeseries ts.json --openmetrics ts.om \
+  >   --flight-record fr.json --anomaly-k 0 2>fr.err
+  trace: 57 requests over 5.9 time units
+  epoch  1: demand   12  changed  12  dirty  12   2 servers  reconfigured cost 3.00
+  epoch  2: demand   12  changed   2  dirty   4   2 servers  reconfigured cost 2.00
+  epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
+  total: 2 reconfigurations, bill 5.00, 0 invalid epochs
+  $ cat fr.err
+  flight-recorder: 3 dump(s), last at epoch 3 -> fr.json
+
+The timeseries artifact is one point per epoch; each point maps
+flattened series keys (labels included) to scalars — counters as
+per-epoch deltas, gauges raw, histograms as count/sum deltas plus
+p50/p99:
+
+  $ python3 - <<'PYEOF'
+  > import json
+  > d = json.load(open("ts.json"))
+  > print(d["bench"], d["stride"], len(d["points"]))
+  > print(sorted(d["points"][0].keys()))
+  > print(len([k for k in d["points"][0]["metrics"] if k.startswith("engine.")]))
+  > PYEOF
+  timeseries 1 3
+  ['epoch', 'metrics']
+  11
+
+Both exports and the flight-recorder dump are valid artifacts; the
+dump feeds straight into the profile analyser:
+
+  $ replica_cli obs-validate --metrics ts.om
+  metrics ts.om: valid prometheus exposition
+  $ replica_cli obs-validate --trace fr.json
+  trace fr.json: valid chrome trace, 61 events
+  $ replica_cli profile --trace fr.json | head -1
+  name                 calls     total(us)      self(us)   self%
+
+The forest exposes per-shard labeled series through the same
+registry; the scrape passes the same validator:
+
+  $ replica_cli forest --trees 2 --objects 4 --nodes 8 --seed 5 \
+  >   --horizon 4 --window 1 --workload poisson --no-time \
+  >   --metrics forest_metrics.prom > /dev/null
+  $ replica_cli obs-validate --metrics forest_metrics.prom
+  metrics forest_metrics.prom: valid prometheus exposition
+  $ grep 'forest_shard_demand{' forest_metrics.prom
+  replicaml_forest_shard_demand{shard="0"} 13
+  replicaml_forest_shard_demand{shard="1"} 15
+  replicaml_forest_shard_demand{shard="2"} 7
+  replicaml_forest_shard_demand{shard="3"} 21
+
+top --once runs a workload and renders one frame of the live view
+from the same timeseries (rates and latencies are wall-clock, so only
+the deterministic header lines are pinned here):
+
+  $ replica_cli top --once --nodes 12 --seed 6 --horizon 6 --window 2 | head -2
+  replica top - engine  solver=dp-withpre  policy=lazy
+  epochs served        3/3
+
+  $ replica_cli top --once --forest --trees 2 --objects 4 --nodes 8 \
+  >   --seed 5 --horizon 4 --window 1 | head -2
+  replica top - forest  solver=dp-withpre  policy=lazy
+  epochs served        4/4
+
+bench-history trend fits a per-metric slope over the recent runs of
+one bench kind in the JSON-lines history:
+
+  $ cat > hist.jsonl <<'EOF'
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 5.0, "tracing_on_overhead_percent": 3.0, "spans_per_solve": 200}
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 4.0, "tracing_on_overhead_percent": 3.2, "spans_per_solve": 200}
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 3.0, "tracing_on_overhead_percent": 2.9, "spans_per_solve": 200}
+  > EOF
+  $ replica_cli bench-history trend --file hist.jsonl --kind obs
+  bench obs: trend over last 3 run(s)
+    metric                              first          last     slope/run  trend
+    spans_per_solve                       200           200            +0  stable
+    tracing_on_overhead_percent             3           2.9         -0.05  improving
+    guard_ns_per_check                      5             3            -1  improving
+
+  $ replica_cli bench-history trend --file missing.jsonl --kind obs
+  replica_cli: history file missing.jsonl does not exist (run `make bench' first)
   [2]

@@ -35,13 +35,16 @@ let prop_quantiles_monotone =
       s.H.p50 <= s.H.p90 && s.H.p90 <= s.H.p99)
 
 let prop_quantile_brackets_value =
-  qcheck_case "histogram: bin upper bound covers the value within 2x"
+  qcheck_case "histogram: geometric-midpoint quantile within 2x of the value"
     QCheck2.Gen.(int_range 1 (1 lsl 40))
     (fun v ->
       let h = H.make "test" in
       H.observe h v;
+      (* The estimate is the bin's geometric midpoint; value and
+         estimate share a log2 bin, so they are within a factor 2 of
+         each other in either direction. *)
       let q = H.quantile h 0.99 in
-      v <= q && q < 2 * v)
+      q < 2 * v && v < 2 * q)
 
 let test_histogram_edges () =
   let h = H.make "edges" in
@@ -278,6 +281,193 @@ let test_prometheus_histogram_semantics () =
       ("no buckets at all", "replicaml_h_sum 1\nreplicaml_h_count 2\n");
     ]
 
+(* --- Metrics registry --- *)
+
+module M = Obs.Metrics
+
+let find_sample name labels =
+  List.find_opt
+    (fun s -> s.M.s_name = name && s.M.s_labels = labels)
+    (M.samples ())
+
+let test_metrics_interning () =
+  let a = M.counter ~labels:[ ("b", "2"); ("a", "1") ] "test_obs.m.reqs" in
+  let b = M.counter ~labels:[ ("a", "1"); ("b", "2") ] "test_obs.m.reqs" in
+  M.incr a;
+  M.add b 2;
+  (* Label order is irrelevant: both handles hit the same cell, and the
+     exported label set is canonical (sorted). *)
+  match find_sample "test_obs.m.reqs" [ ("a", "1"); ("b", "2") ] with
+  | Some { M.s_value = M.Sample_counter v; _ } ->
+      check (Alcotest.float 0.) "one cell behind both label orders" 3. v
+  | _ -> Alcotest.fail "labeled counter missing from samples"
+
+let test_metrics_kind_conflict () =
+  ignore (M.gauge "test_obs.m.depth");
+  match M.counter "test_obs.m.depth" with
+  | _ -> Alcotest.fail "re-registering under another kind must fail"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_samples_sorted () =
+  ignore (M.gauge ~labels:[ ("shard", "1") ] "test_obs.m.zz");
+  ignore (M.gauge ~labels:[ ("shard", "0") ] "test_obs.m.zz");
+  ignore (M.gauge "test_obs.m.aa");
+  let keys =
+    List.map (fun s -> M.sample_key s) (M.samples ())
+  in
+  check (Alcotest.list Alcotest.string) "samples arrive sorted"
+    (List.sort compare keys) keys
+
+let test_metrics_collector_bridge () =
+  M.register_collector ~name:"test_obs.m.bridge" (fun () ->
+      [
+        {
+          M.s_name = "test_obs.m.external";
+          s_labels = [ ("src", "bridge") ];
+          s_value = M.Sample_gauge 7.;
+        };
+      ]);
+  (match find_sample "test_obs.m.external" [ ("src", "bridge") ] with
+  | Some { M.s_value = M.Sample_gauge v; _ } ->
+      check (Alcotest.float 0.) "collector row surfaces" 7. v
+  | _ -> Alcotest.fail "collector sample missing");
+  (* Re-registering under the same name replaces, not duplicates. *)
+  M.register_collector ~name:"test_obs.m.bridge" (fun () -> []);
+  check cb "replaced collector is gone" true
+    (find_sample "test_obs.m.external" [ ("src", "bridge") ] = None)
+
+let test_prometheus_expose_labeled () =
+  M.set (M.gauge ~labels:[ ("solver", "dp-test") ] "test_obs.m.load") 1.5;
+  let out = Obs.Prometheus.expose () in
+  (match Obs.Prometheus.validate out with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "expose output invalid: %s\n%s" e out);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check cb "label set rendered" true
+    (contains "solver=\"dp-test\"" out)
+
+(* --- Timeseries --- *)
+
+module Ts = Obs.Timeseries
+
+let test_timeseries_validation () =
+  (match Ts.create ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Ts.create ~stride:0 () with
+  | _ -> Alcotest.fail "stride 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_timeseries_counter_deltas () =
+  let c = M.counter "test_obs.ts.work" in
+  let ts = Ts.create () in
+  Ts.sample ts ~epoch:1;
+  M.add c 5;
+  Ts.sample ts ~epoch:2;
+  M.add c 2;
+  Ts.sample ts ~epoch:3;
+  let deltas =
+    List.filter_map
+      (fun (e, v) -> if e >= 2 then Some (e, v) else None)
+      (Ts.series ts "test_obs.ts.work")
+  in
+  check
+    (Alcotest.list (Alcotest.pair ci (Alcotest.float 0.)))
+    "counters report per-interval deltas"
+    [ (2, 5.); (3, 2.) ]
+    deltas
+
+let test_timeseries_ring_and_stride () =
+  let ts = Ts.create ~capacity:2 ~stride:2 () in
+  List.iter (fun e -> Ts.sample ts ~epoch:e) [ 1; 2; 3; 4; 5 ];
+  (* Stride 2 records epochs 1, 3, 5; capacity 2 drops the oldest. *)
+  check (Alcotest.list ci) "ring keeps the newest strided epochs" [ 3; 5 ]
+    (List.map (fun p -> p.Ts.pt_epoch) (Ts.points ts))
+
+let test_timeseries_openmetrics_validates () =
+  let ts = Ts.create () in
+  Ts.sample ts ~epoch:1;
+  Ts.sample ts ~epoch:2;
+  match Obs.Prometheus.validate (Ts.to_openmetrics ts) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "openmetrics export invalid: %s" e
+
+(* --- Flight recorder --- *)
+
+module Fr = Obs.Flight_recorder
+
+let test_flight_recorder_validation () =
+  match Fr.create ~k:(-1.) ~path:"/dev/null" () with
+  | _ -> Alcotest.fail "negative k must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_flight_recorder_k0_dumps_every_epoch () =
+  let path = Filename.temp_file "test_obs_fr" ".json" in
+  let fr = Fr.create ~k:0.0 ~path () in
+  with_tracing (fun () ->
+      for e = 1 to 3 do
+        Span.with_span "epoch" (fun () -> ());
+        check cb "k=0 dumps each epoch" true
+          (Fr.record fr ~epoch:e ~latency_ns:(1_000 * e))
+      done);
+  check ci "three dumps" 3 (Fr.dumps fr);
+  check (Alcotest.option ci) "last dump epoch" (Some 3) (Fr.last_dump_epoch fr);
+  (match Obs.Trace_reader.of_file path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "dump is not a readable trace: %s" e);
+  Sys.remove path
+
+let test_flight_recorder_anomaly_threshold () =
+  let path = Filename.temp_file "test_obs_fr" ".json" in
+  let fr = Fr.create ~k:3.0 ~path () in
+  with_tracing (fun () ->
+      (* Steady baseline: never anomalous, and no dump before five
+         latencies are banked regardless. *)
+      for e = 1 to 8 do
+        Span.with_span "epoch" (fun () -> ());
+        check cb "steady epoch never dumps" false
+          (Fr.record fr ~epoch:e ~latency_ns:1_000)
+      done;
+      Span.with_span "spike" (fun () -> ());
+      check cb "4x the median dumps" true
+        (Fr.record fr ~epoch:9 ~latency_ns:4_000));
+  check ci "exactly one dump" 1 (Fr.dumps fr);
+  Sys.remove path
+
+(* --- Bench history: trend --- *)
+
+let obs_envelope guard =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json.schema_version);
+      ("bench", Json.String "obs");
+      ("guard_ns_per_check", Json.Float guard);
+    ]
+
+let test_trend_direction () =
+  let history = List.map obs_envelope [ 5.; 4.; 3. ] in
+  match Obs.Bench_history.trend ~kind:"obs" history with
+  | Error e -> Alcotest.failf "trend failed: %s" e
+  | Ok r ->
+      check ci "window holds all runs" 3 r.Obs.Bench_history.t_runs;
+      let tm =
+        List.find
+          (fun m -> m.Obs.Bench_history.tm_metric = "guard_ns_per_check")
+          r.Obs.Bench_history.t_metrics
+      in
+      check cb "falling lower-better metric improves" true
+        (tm.Obs.Bench_history.tm_verdict = "improving");
+      check cb "slope is negative" true (tm.Obs.Bench_history.tm_slope < 0.)
+
+let test_trend_needs_two_runs () =
+  match Obs.Bench_history.trend ~kind:"obs" [ obs_envelope 5. ] with
+  | Ok _ -> Alcotest.fail "one run cannot trend"
+  | Error _ -> ()
+
 (* --- Stats_counters: snapshot/diff and the monotonic clock --- *)
 
 let test_snapshot_diff () =
@@ -363,6 +553,43 @@ let () =
           Alcotest.test_case "rejects malformed" `Quick test_prometheus_rejects;
           Alcotest.test_case "histogram family semantics" `Quick
             test_prometheus_histogram_semantics;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "labeled interning" `Quick test_metrics_interning;
+          Alcotest.test_case "kind conflict rejected" `Quick
+            test_metrics_kind_conflict;
+          Alcotest.test_case "samples sorted" `Quick test_metrics_samples_sorted;
+          Alcotest.test_case "collector bridge" `Quick
+            test_metrics_collector_bridge;
+          Alcotest.test_case "expose renders labels" `Quick
+            test_prometheus_expose_labeled;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "rejects bad sizes" `Quick
+            test_timeseries_validation;
+          Alcotest.test_case "counter deltas" `Quick
+            test_timeseries_counter_deltas;
+          Alcotest.test_case "ring and stride" `Quick
+            test_timeseries_ring_and_stride;
+          Alcotest.test_case "openmetrics validates" `Quick
+            test_timeseries_openmetrics_validates;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "rejects bad config" `Quick
+            test_flight_recorder_validation;
+          Alcotest.test_case "k=0 dumps every epoch" `Quick
+            test_flight_recorder_k0_dumps_every_epoch;
+          Alcotest.test_case "anomaly threshold" `Quick
+            test_flight_recorder_anomaly_threshold;
+        ] );
+      ( "bench-history",
+        [
+          Alcotest.test_case "trend direction" `Quick test_trend_direction;
+          Alcotest.test_case "trend needs two runs" `Quick
+            test_trend_needs_two_runs;
         ] );
       ( "stats-counters",
         [
