@@ -184,17 +184,19 @@ let run_dp_stats () =
     let problem = Problem.min_power tree ~modes ~power ~cost () in
     let run ~prune =
       Stats_counters.reset ();
+      let bytes0 = Gc.allocated_bytes () in
       let result =
         match Solver.run entry problem (Solver.request ~prune ()) with
         | Ok r -> r
         | Error e -> failwith ("dp-stats: " ^ e)
       in
-      (result, Stats_counters.counters (), Stats_counters.timers ())
+      let alloc_bytes = Gc.allocated_bytes () -. bytes0 in
+      (result, Stats_counters.counters (), Stats_counters.timers (), alloc_bytes)
     in
     let find name l = try List.assoc name l with Not_found -> 0 in
     let findf name l = try List.assoc name l with Not_found -> 0. in
-    let unpruned, uc, ut = run ~prune:false in
-    let pruned, pc, pt = run ~prune:true in
+    let unpruned, uc, ut, ua = run ~prune:false in
+    let pruned, pc, pt, pa = run ~prune:true in
     (match (unpruned, pruned) with
     | Some (u : Solver.outcome), Some (p : Solver.outcome) ->
         if u.Solver.power <> p.Solver.power || u.Solver.cost <> p.Solver.cost
@@ -214,8 +216,10 @@ let run_dp_stats () =
     Printf.printf "table phase: %.4fs unpruned vs %.4fs pruned\n"
       (findf "dp_power.tables" ut) (findf "dp_power.tables" pt);
     Printf.printf "identical (power, cost) across both runs: verified\n";
+    Printf.printf "allocated per solve: %.1f MB unpruned vs %.1f MB pruned\n"
+      (ua /. 1e6) (pa /. 1e6);
     let module J = Replica_obs.Json in
-    let json_side ~prune (result, counters, timers) =
+    let json_side ~prune (result, counters, timers, alloc_bytes) =
       let o : Solver.outcome = Option.get result in
       let ours (k, _) = String.starts_with ~prefix:"dp_power." k in
       J.Obj
@@ -224,6 +228,7 @@ let run_dp_stats () =
            ("power", J.Float (Option.value o.Solver.power ~default:nan));
            ("cost", J.Float (Option.value o.Solver.cost ~default:nan));
            ("servers", J.Int o.Solver.servers);
+           ("allocated_bytes_per_solve", J.Float alloc_bytes);
          ]
         @ List.map (fun (k, v) -> (k, J.Int v)) (List.filter ours counters)
         @ List.map
@@ -241,10 +246,12 @@ let run_dp_stats () =
             ("domains", J.Int (Par.default_domains ()));
           ]
         [
-          ("unpruned", json_side ~prune:false (unpruned, uc, ut));
-          ("pruned", json_side ~prune:true (pruned, pc, pt));
+          ("unpruned", json_side ~prune:false (unpruned, uc, ut, ua));
+          ("pruned", json_side ~prune:true (pruned, pc, pt, pa));
           ( "merge_products_ratio",
             J.Float (float_of_int u_products /. float_of_int p_products) );
+          ( "peak_major_words",
+            J.Int (Replica_obs.Gc_stats.peak_major_words ()) );
         ]
     in
     let oc = open_out "BENCH_dp_power.json" in
@@ -309,10 +316,12 @@ let run_engine () =
         Engine.config ~policy:Update_policy.Systematic ~solver ~w
           (Engine.Min_cost cost)
       in
-      Engine.run cfg demands
+      let bytes0 = Gc.allocated_bytes () in
+      let tl = Engine.run cfg demands in
+      (tl, (Gc.allocated_bytes () -. bytes0) /. float_of_int epochs)
     in
-    let full = run Engine.Full in
-    let incremental = run Engine.Incremental in
+    let full, f_alloc = run Engine.Full in
+    let incremental, i_alloc = run Engine.Incremental in
     List.iter2
       (fun (a : Timeline.entry) (b : Timeline.entry) ->
         if not (Solution.equal a.Timeline.servers b.Timeline.servers) then
@@ -352,7 +361,10 @@ let run_engine () =
       epochs f_sec i_sec speedup f_prod i_prod products_ratio;
     if speedup < 2. then
       failwith "engine: expected >=2x warm epoch-solve speedup";
-    let side name (t : Timeline.t) sec prod =
+    Printf.printf
+      "allocated per epoch: %.2f MB full vs %.2f MB incremental\n"
+      (f_alloc /. 1e6) (i_alloc /. 1e6);
+    let side name (t : Timeline.t) sec prod alloc =
       ( name,
         J.Obj
           [
@@ -361,6 +373,7 @@ let run_engine () =
             ("total_solve_seconds", J.Float t.Timeline.solve_seconds);
             ("reconfigurations", J.Int t.Timeline.reconfigurations);
             ("total_cost", J.Float t.Timeline.total_cost);
+            ("allocated_bytes_per_epoch", J.Float alloc);
           ] )
     in
     let json =
@@ -377,12 +390,14 @@ let run_engine () =
             ("shifted_subtree_root", J.Int shifted_root);
           ]
         [
-          ("full", side "full" full f_sec f_prod |> snd);
+          ("full", side "full" full f_sec f_prod f_alloc |> snd);
           ( "incremental",
-            side "incremental" incremental i_sec i_prod |> snd );
+            side "incremental" incremental i_sec i_prod i_alloc |> snd );
           ("warm_epoch_speedup", J.Float speedup);
           ("warm_merge_products_ratio", J.Float products_ratio);
           ("placements_identical", J.Bool true);
+          ( "peak_major_words",
+            J.Int (Replica_obs.Gc_stats.peak_major_words ()) );
         ]
     in
     let oc = open_out "BENCH_engine.json" in
@@ -429,12 +444,16 @@ let run_forest () =
       let engine =
         FE.create forest { FE.engine = ecfg; coupling = false; domains }
       in
+      let bytes0 = Gc.allocated_bytes () in
       let tl = FTl.of_entries (List.map (FE.step engine) grid) in
-      (tl, FE.placements engine)
+      (* Gc.allocated_bytes meters the calling domain only, so the
+         per-epoch figure is recorded from the sequential run. *)
+      let alloc = (Gc.allocated_bytes () -. bytes0) /. float_of_int epochs in
+      (tl, FE.placements engine, alloc)
     in
-    let seq_tl, seq_placements = run_grid 1 in
+    let seq_tl, seq_placements, seq_alloc = run_grid 1 in
     let par_domains = 4 in
-    let par_tl, par_placements = run_grid par_domains in
+    let par_tl, par_placements, _ = run_grid par_domains in
     let identical =
       Array.for_all2 Solution.equal seq_placements par_placements
       && List.for_all2
@@ -569,6 +588,9 @@ let run_forest () =
                 ("epoch_seconds", J.Float par_tl.FTl.epoch_seconds);
               ] );
           ("parallel_speedup", J.Float speedup);
+          ("allocated_bytes_per_epoch", J.Float seq_alloc);
+          ( "peak_major_words",
+            J.Int (Replica_obs.Gc_stats.peak_major_words ()) );
           ( "coupled",
             J.Obj
               [
@@ -806,6 +828,67 @@ let run_obs () =
       guard_ns disabled_overhead_pct;
     if disabled_overhead_pct > 2. then
       failwith "obs: tracing-disabled overhead above the 2% budget";
+    (* Alloc capture adds two noalloc GC reads to begin and two to end;
+       price it with the same interleaved paired protocol, tracing on
+       for both sides so the delta isolates the memory axis alone. *)
+    let aoffs = Array.make pairs 0 and aons = Array.make pairs 0 in
+    for i = 0 to pairs - 1 do
+      Obs.Span.set_enabled true;
+      Obs.Span.set_alloc false;
+      aoffs.(i) <- time_solve ();
+      Obs.Span.reset ();
+      Obs.Span.set_alloc true;
+      aons.(i) <- time_solve ();
+      Obs.Span.set_alloc false;
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ()
+    done;
+    let a_off_ns = median (Array.to_list aoffs) in
+    let a_deltas = List.init pairs (fun i -> aons.(i) - aoffs.(i)) in
+    let a_delta_ns = median a_deltas in
+    let a_mad_ns = median (List.map (fun d -> abs (d - a_delta_ns)) a_deltas) in
+    let a_raw_pct = 100. *. float_of_int a_delta_ns /. float_of_int a_off_ns in
+    let a_below_noise = abs a_delta_ns <= a_mad_ns || a_raw_pct < 0. in
+    let alloc_on_pct = if a_below_noise then 0. else a_raw_pct in
+    Printf.printf "alloc-telemetry-on overhead: %.2f%%%s (budget 3%%)\n"
+      alloc_on_pct
+      (if a_below_noise then " (below noise floor; clamped to 0)" else "");
+    if alloc_on_pct > 3. then
+      failwith "obs: alloc-telemetry-on overhead above the 3% budget";
+    (* The disabled span path must allocate exactly nothing — otherwise
+       the probe perturbs the heap it exists to measure. Meter a
+       begin/end loop with the unboxed minor-words counter itself; the
+       no-op baseline cancels the measurement scaffolding's own boxing,
+       so any nonzero residue is real instrumentation leakage, and the
+       assert (plus the hard bench-diff gate on the published metric)
+       holds the invariant at zero words. *)
+    let alloc_of f =
+      let a0 = Gc.minor_words () in
+      f ();
+      let a1 = Gc.minor_words () in
+      int_of_float (a1 -. a0)
+    in
+    let disabled_loop () =
+      for _ = 1 to 100_000 do
+        Obs.Span.begin_span "obs.disabled";
+        Obs.Span.end_span ()
+      done
+    in
+    Obs.Span.set_enabled false;
+    let disabled_baseline = alloc_of (fun () -> ()) in
+    let disabled_minor_words = alloc_of disabled_loop - disabled_baseline in
+    Printf.printf
+      "disabled span path: %d minor words across 100k begin/end pairs \
+       (must be 0)\n"
+      disabled_minor_words;
+    if disabled_minor_words <> 0 then
+      failwith "obs: disabled span path allocated";
+    (* Allocation per untraced solve: the workload's own memory
+       appetite, gated directionally like the timing metrics. *)
+    let bytes0 = Gc.allocated_bytes () in
+    ignore (Sys.opaque_identity (Dp_withpre.solve tree ~w ~cost));
+    let solve_alloc_bytes = Gc.allocated_bytes () -. bytes0 in
+    Printf.printf "allocated per solve: %.2f MB\n" (solve_alloc_bytes /. 1e6);
     (* Per-epoch time-series sampling: one whole-registry read per
        recorded epoch. Stress with 100 extra labeled series so the
        published cost reflects a busy registry, then compare against a
@@ -886,6 +969,13 @@ let run_obs () =
           ( "disabled_overhead_percent_estimate",
             J.Float disabled_overhead_pct );
           ("disabled_overhead_budget_percent", J.Float 2.);
+          ("alloc_on_overhead_percent", J.Float alloc_on_pct);
+          ("alloc_on_overhead_budget_percent", J.Float 3.);
+          ("alloc_on_overhead_below_noise_floor", J.Bool a_below_noise);
+          ("alloc_disabled_minor_words", J.Int disabled_minor_words);
+          ("allocated_bytes_per_solve", J.Float solve_alloc_bytes);
+          ( "peak_major_words",
+            J.Int (Replica_obs.Gc_stats.peak_major_words ()) );
           ("timeseries_series_count", J.Int series_count);
           ("timeseries_sample_ns", J.Int sample_ns);
           ("timeseries_sample_overhead_percent", J.Float sample_pct);

@@ -135,17 +135,26 @@ let trace_file_arg =
            trace-event JSON to $(docv), loadable in Perfetto \
            (ui.perfetto.dev) or chrome://tracing.")
 
-let with_tracing trace f =
+(* --trace implies allocation capture: a written trace should carry the
+   memory axis without a second run. The capture is side-effect-only
+   (allocation-free GC reads into span columns), so placements are
+   bit-identical either way — the cram timeline goldens pin this. *)
+let with_tracing ?counters trace f =
   let module Span = Replica_obs.Span in
   match trace with
   | None -> f ()
   | Some path ->
       Span.set_enabled true;
+      Span.set_alloc true;
       Fun.protect
         ~finally:(fun () ->
+          Span.set_alloc false;
           Span.set_enabled false;
-          Replica_obs.Chrome_trace.write_file ~dropped:(Span.dropped ()) path
-            (Span.export ());
+          let counters =
+            match counters with None -> [] | Some get -> get ()
+          in
+          Replica_obs.Chrome_trace.write_file ~dropped:(Span.dropped ())
+            ~counters path (Span.export ());
           if Span.dropped () > 0 then
             Printf.eprintf "trace: %d spans dropped (buffer cap reached)\n%!"
               (Span.dropped ());
@@ -167,9 +176,12 @@ let write_string_file path s =
   close_out oc
 
 (* The Metrics registry sees everything: labeled engine/forest
-   instruments, the Stats_counters collector, the legacy histogram
-   registry and the span drop counter. *)
-let write_metrics path = write_string_file path (Replica_obs.Prometheus.expose ())
+   instruments, the Stats_counters collector, the Gc_stats heap
+   collector, the legacy histogram registry and the span drop
+   counter. *)
+let write_metrics path =
+  Replica_obs.Gc_stats.register ();
+  write_string_file path (Replica_obs.Prometheus.expose ())
 
 (* --- live telemetry (timeseries + flight recorder) --- *)
 
@@ -220,6 +232,7 @@ let anomaly_k_arg =
 type telemetry = {
   tele_ts : Replica_obs.Timeseries.t option;
   tele_fr : Replica_obs.Flight_recorder.t option;
+  tele_heap : Replica_obs.Chrome_trace.counter list ref option;
 }
 
 (* The time series is recorded whenever any consumer wants it: the
@@ -228,6 +241,10 @@ let make_telemetry ~json ~timeseries ~stride ~openmetrics ~flight_record
     ~anomaly_k ~trace_file () =
   if stride < 1 then die "--timeseries-stride must be >= 1";
   if anomaly_k < 0. then die "--anomaly-k must be non-negative";
+  (* Telemetry always carries the memory axis: the gc.* collector feeds
+     the registry (hence Prometheus/Timeseries/--json), and pure reads
+     cannot perturb placements. *)
+  Replica_obs.Gc_stats.register ();
   let tele_ts =
     if json <> None || timeseries <> None || openmetrics <> None then
       Some (Replica_obs.Timeseries.create ~stride ())
@@ -241,23 +258,37 @@ let make_telemetry ~json ~timeseries ~stride ~openmetrics ~flight_record
             "--flight-record conflicts with --trace (the recorder owns the \
              span buffers)";
         Replica_obs.Span.set_enabled true;
+        Replica_obs.Span.set_alloc true;
         Replica_obs.Flight_recorder.create ~k:anomaly_k ~path ())
       flight_record
   in
-  { tele_ts; tele_fr }
+  let tele_heap = Option.map (fun _ -> ref []) trace_file in
+  { tele_ts; tele_fr; tele_heap }
 
 (* Call once per epoch, after the epoch's work. Sampling reads the
    registry only — placements are identical with telemetry on or off. *)
 let telemetry_epoch tele ~epoch ~latency_ns =
   Option.iter (fun ts -> Replica_obs.Timeseries.sample ts ~epoch) tele.tele_ts;
   Option.iter
+    (fun heap ->
+      heap :=
+        Replica_obs.Gc_stats.heap_counter
+          ~ts_ns:(Replica_obs.Clock.now_ns ())
+        :: !heap)
+    tele.tele_heap;
+  Option.iter
     (fun fr ->
       ignore (Replica_obs.Flight_recorder.record fr ~epoch ~latency_ns))
     tele.tele_fr
 
+(* Per-epoch heap counter events, oldest first, for the trace writer. *)
+let telemetry_counters tele () =
+  match tele.tele_heap with None -> [] | Some heap -> List.rev !heap
+
 let telemetry_finish tele ~timeseries ~openmetrics =
   Option.iter
     (fun fr ->
+      Replica_obs.Span.set_alloc false;
       Replica_obs.Span.set_enabled false;
       Replica_obs.Span.reset ();
       let module F = Replica_obs.Flight_recorder in

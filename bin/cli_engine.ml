@@ -273,7 +273,7 @@ let engine_cmd =
     in
     let timeline =
       try
-        with_tracing trace_file (fun () ->
+        with_tracing ~counters:(telemetry_counters tele) trace_file (fun () ->
           let epochs = Epochs.epochs trace tree ~window in
           let epochs = List.mapi (fun i t -> constrain (i + 1) t) epochs in
           let tl =

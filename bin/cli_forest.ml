@@ -159,7 +159,7 @@ let cmd =
     in
     let timeline =
       try
-        with_tracing trace_file (fun () ->
+        with_tracing ~counters:(telemetry_counters tele) trace_file (fun () ->
             let grid = Forest_trace.epochs ft forest ~window in
             let tl =
               Forest_timeline.of_entries

@@ -39,8 +39,22 @@ let profile_cmd =
       & info [ "top" ] ~docv:"K"
           ~doc:"Rows in the hotspot table (default 10).")
   in
-  let run trace folded critical top =
+  let alloc_flag =
+    Arg.(
+      value & flag
+      & info [ "alloc" ]
+          ~doc:
+            "Weight the analysis by allocated minor words instead of \
+             nanoseconds: the hotspot table ranks by self-allocation, \
+             $(b,--folded) emits alloc-weighted stacks, and \
+             $(b,--critical-path) annotates each phase with its \
+             allocation contribution. Requires a trace recorded with \
+             alloc capture on ($(b,--trace) enables it); other traces \
+             aggregate to zero columns.")
+  in
+  let run trace folded critical top alloc =
     let module Obs = Replica_obs in
+    if top <= 0 then die "profile: --top must be positive (got %d)" top;
     match Obs.Trace_reader.of_file trace with
     | Error e ->
         Printf.eprintf "profile: %s: %s\n" trace e;
@@ -52,11 +66,17 @@ let profile_cmd =
              self times and counts undercount the truncated subtrees\n%!"
             t.Obs.Trace_reader.dropped (Filename.basename trace);
         let roots = t.Obs.Trace_reader.roots in
-        if folded then print_string (Obs.Profile.folded roots);
+        if folded then
+          print_string
+            (if alloc then Obs.Profile.folded_alloc roots
+             else Obs.Profile.folded roots);
         if critical then
-          print_string (Obs.Critical_path.render (Obs.Critical_path.longest roots));
+          print_string
+            (Obs.Critical_path.render ~alloc (Obs.Critical_path.longest roots));
         if not (folded || critical) then
-          print_string (Obs.Profile.top_table ~k:top roots)
+          print_string
+            (if alloc then Obs.Profile.alloc_table ~k:top roots
+             else Obs.Profile.top_table ~k:top roots)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -64,9 +84,12 @@ let profile_cmd =
          "Analyse a recorded span trace: aggregate per-span self/total \
           times into a hotspot table (default), emit folded stacks for \
           flamegraph tooling ($(b,--folded)), or extract the critical \
-          path ($(b,--critical-path)). Warns when the trace was \
-          truncated by the span-buffer cap.")
-    Term.(const run $ trace_arg $ folded_flag $ critical_flag $ top_arg)
+          path ($(b,--critical-path)); $(b,--alloc) switches any of the \
+          three from nanoseconds to allocated words. Warns when the \
+          trace was truncated by the span-buffer cap.")
+    Term.(
+      const run $ trace_arg $ folded_flag $ critical_flag $ top_arg
+      $ alloc_flag)
 
 let bench_diff_cmd =
   let baseline_arg =

@@ -80,6 +80,24 @@ let latency_line ts label name =
       line "%-20s %8.3f  %s" label (last /. 1e6)
         (sparkline (List.map snd s))
 
+(* Heap rows, fed by the Gc_stats collector through the same
+   Timeseries as everything else: live major heap as a gauge, and the
+   per-epoch minor-word delta as an allocation-rate sparkline (words
+   are 8 bytes on 64-bit). *)
+let heap_lines ts =
+  (* quick_stat's heap size only refreshes at collection boundaries;
+     before the first major collection the gauge reads 0 — suppress
+     the row rather than print a misleading empty heap. *)
+  (match last_value ts "gc.heap_words" with
+  | Some v when v > 0. -> line "%-20s %8.2f" "heap (MB major)" (v *. 8. /. 1e6)
+  | _ -> ());
+  match series ts "gc.minor_words" ~combine:( +. ) with
+  | [] -> ()
+  | s ->
+      let _, last = List.hd (List.rev s) in
+      line "%-20s %8.2f  %s" "alloc rate (MB/ep)" (last *. 8. /. 1e6)
+        (sparkline (List.map snd s))
+
 let render ~mode ~solver ~policy ~served ~total ~elapsed_s ts =
   line "replica top - %s  solver=%s  policy=%s" mode solver policy;
   line "%-20s %d/%d" "epochs served" served total;
@@ -121,6 +139,7 @@ let render ~mode ~solver ~policy ~served ~total ~elapsed_s ts =
                   Printf.sprintf "s%s %s %.0f" shard blocks.(i) v)
                 (List.sort compare shards)))
       end);
+  heap_lines ts;
   flush stdout
 
 let clear_screen () = print_string "\027[H\027[2J"
@@ -145,6 +164,7 @@ let cmd =
   let run shape nodes seed horizon window policy w once forest_mode trees
       objects coupling =
     let stride = 1 in
+    Replica_obs.Gc_stats.register ();
     let ts = Ts.create ~stride () in
     let t_start = Clock.now_ns () in
     let elapsed () = float_of_int (Clock.now_ns () - t_start) /. 1e9 in

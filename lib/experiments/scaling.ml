@@ -3,6 +3,8 @@ type measurement = {
   nodes : int;
   pre_existing : int;
   seconds : float;
+  allocated_mb : float;
+  peak_major_words : int;
   servers : int;
 }
 
@@ -27,14 +29,23 @@ let registry_solvers ~power_family =
     (Registry.all ())
 
 let measure (s : Solver.t) problem ~nodes ~pre_existing =
+  (* Memory axis of the sweep: bytes allocated by the solve and the
+     major-heap high-water mark after it — the per-N baseline the
+     planned arena DP core will be measured against. top_heap_words is
+     cumulative across the process, so sweeps read it in increasing-N
+     order (which measure_* guarantee). *)
+  let bytes0 = Gc.allocated_bytes () in
   let seconds, outcome =
     time (fun () -> s.Solver.solve problem Solver.default_request)
   in
+  let allocated_mb = (Gc.allocated_bytes () -. bytes0) /. 1e6 in
   {
     algorithm = s.Solver.name;
     nodes;
     pre_existing;
     seconds;
+    allocated_mb;
+    peak_major_words = (Gc.quick_stat ()).Gc.top_heap_words;
     servers =
       (match outcome with
       | Some (o : Solver.outcome) -> o.Solver.servers
@@ -79,7 +90,9 @@ let measure_power_dp ?(sizes = [ 10; 20; 30 ]) ?(pre = 3) ?(seed = 7) ~shape
 
 let to_table measurements =
   let table =
-    Table.make ~header:[ "algorithm"; "N"; "E"; "seconds"; "servers" ]
+    Table.make
+      ~header:
+        [ "algorithm"; "N"; "E"; "seconds"; "alloc_mb"; "peak_heap_w"; "servers" ]
   in
   List.iter
     (fun m ->
@@ -89,6 +102,8 @@ let to_table measurements =
           string_of_int m.nodes;
           string_of_int m.pre_existing;
           Table.fmt_float ~decimals:4 m.seconds;
+          Table.fmt_float ~decimals:2 m.allocated_mb;
+          string_of_int m.peak_major_words;
           string_of_int m.servers;
         ])
     measurements;

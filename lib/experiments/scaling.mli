@@ -13,6 +13,11 @@ type measurement = {
   nodes : int;
   pre_existing : int;
   seconds : float;  (** CPU seconds, single run *)
+  allocated_mb : float;  (** megabytes allocated by the solve *)
+  peak_major_words : int;
+      (** major-heap high-water mark after the solve (cumulative
+          across the sweep — sizes run in increasing order, so each
+          row bounds its own N) *)
   servers : int;  (** solution size, as a sanity output *)
 }
 

@@ -37,6 +37,17 @@ let specs_for = function
         soft
           [ "pruned"; "dp_power.tables.seconds" ]
           Lower_better ~rel_tol:0.25 ~abs_floor:0.002;
+        (* Memory axis: bytes are near-deterministic for a fixed seed
+           but shift with compiler/runtime versions, so they gate
+           directionally rather than exactly. *)
+        soft
+          [ "unpruned"; "allocated_bytes_per_solve" ]
+          Lower_better ~rel_tol:0.10 ~abs_floor:100_000.;
+        soft
+          [ "pruned"; "allocated_bytes_per_solve" ]
+          Lower_better ~rel_tol:0.10 ~abs_floor:100_000.;
+        soft [ "peak_major_words" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:500_000.;
       ]
   | "engine" ->
       [
@@ -60,6 +71,14 @@ let specs_for = function
         soft
           [ "incremental"; "total_solve_seconds" ]
           Lower_better ~rel_tol:0.25 ~abs_floor:0.01;
+        soft
+          [ "full"; "allocated_bytes_per_epoch" ]
+          Lower_better ~rel_tol:0.10 ~abs_floor:100_000.;
+        soft
+          [ "incremental"; "allocated_bytes_per_epoch" ]
+          Lower_better ~rel_tol:0.10 ~abs_floor:50_000.;
+        soft [ "peak_major_words" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:500_000.;
       ]
   | "qos" ->
       [
@@ -95,6 +114,10 @@ let specs_for = function
         soft [ "par"; "epochs_per_second" ] Higher_better ~rel_tol:0.25
           ~abs_floor:0.5;
         soft [ "parallel_speedup" ] Higher_better ~rel_tol:0.25 ~abs_floor:1.;
+        soft [ "allocated_bytes_per_epoch" ] Lower_better ~rel_tol:0.10
+          ~abs_floor:100_000.;
+        soft [ "peak_major_words" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:500_000.;
       ]
   | "obs" ->
       [
@@ -114,6 +137,14 @@ let specs_for = function
           ~rel_tol:0.5 ~abs_floor:0.25;
         soft [ "timeseries_sample_ns" ] Lower_better ~rel_tol:0.5
           ~abs_floor:20_000.;
+        (* The disabled span path must allocate exactly nothing: any
+           nonzero minor-word delta is an instrumentation leak, gated
+           hard (the bench itself also asserts it). *)
+        hard [ "alloc_disabled_minor_words" ] Exact;
+        soft [ "alloc_on_overhead_percent" ] Lower_better ~rel_tol:0.5
+          ~abs_floor:2.;
+        soft [ "allocated_bytes_per_solve" ] Lower_better ~rel_tol:0.10
+          ~abs_floor:100_000.;
       ]
   | _ -> []
 

@@ -5,6 +5,20 @@ let arg_to_json : Span.arg -> Json.t = function
   | Span.Bool b -> Json.Bool b
 
 let event ~origin_ns (s : Span.span) =
+  (* Alloc columns ride in [args] under reserved keys so the format
+     stays plain trace-event JSON (Perfetto shows them in the span
+     details pane); Trace_reader lifts them back into span fields.
+     Omitted when zero, which also keeps alloc-off traces byte-stable. *)
+  let alloc_args =
+    (if s.Span.minor_w > 0 then [ ("minor_w", Json.Int s.Span.minor_w) ]
+     else [])
+    @
+    if s.Span.major_w > 0 then [ ("major_w", Json.Int s.Span.major_w) ]
+    else []
+  in
+  let args =
+    alloc_args @ List.map (fun (k, v) -> (k, arg_to_json v)) s.Span.args
+  in
   Json.Obj
     ([
        ("name", Json.String s.Span.name);
@@ -15,11 +29,28 @@ let event ~origin_ns (s : Span.span) =
        ("pid", Json.Int 1);
        ("tid", Json.Int s.Span.tid);
      ]
-    @
-    match s.Span.args with
-    | [] -> []
-    | args ->
-        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ])
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+(* Counter ("ph": "C") events: each [c_values] key is one series in
+   Perfetto's counter track. Used for per-epoch heap/allocation-rate
+   tracks alongside the span timeline. *)
+type counter = {
+  c_name : string;
+  c_ts_ns : int;
+  c_values : (string * float) list;
+}
+
+let counter_event ~origin_ns c =
+  Json.Obj
+    [
+      ("name", Json.String c.c_name);
+      ("cat", Json.String "replicaml");
+      ("ph", Json.String "C");
+      ("ts", Json.Float (float_of_int (c.c_ts_ns - origin_ns) /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) c.c_values));
+    ]
 
 (* Metadata ("ph": "M") event carrying the number of spans lost to a
    saturated per-domain buffer, so a truncated trace is detectable by
@@ -37,28 +68,33 @@ let dropped_event count =
       ("args", Json.Obj [ ("count", Json.Int count) ]);
     ]
 
-let to_json ?(dropped = 0) spans =
+let to_json ?(dropped = 0) ?(counters = []) spans =
   let origin_ns =
     List.fold_left
-      (fun acc (s : Span.span) -> min acc s.Span.start_ns)
-      max_int spans
+      (fun acc c -> min acc c.c_ts_ns)
+      (List.fold_left
+         (fun acc (s : Span.span) -> min acc s.Span.start_ns)
+         max_int spans)
+      counters
   in
   let origin_ns = if origin_ns = max_int then 0 else origin_ns in
   Json.Obj
     [
       ( "traceEvents",
         Json.List
-          (List.map (event ~origin_ns) spans @ [ dropped_event dropped ]) );
+          (List.map (event ~origin_ns) spans
+          @ List.map (counter_event ~origin_ns) counters
+          @ [ dropped_event dropped ]) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string ?pretty ?dropped spans =
-  Json.to_string ?pretty (to_json ?dropped spans)
+let to_string ?pretty ?dropped ?counters spans =
+  Json.to_string ?pretty (to_json ?dropped ?counters spans)
 
-let write_file ?dropped path spans =
+let write_file ?dropped ?counters path spans =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_string ~pretty:true ?dropped spans);
+      output_string oc (to_string ~pretty:true ?dropped ?counters spans);
       output_char oc '\n')
 
 (* --- validation --- *)

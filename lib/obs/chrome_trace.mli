@@ -19,12 +19,28 @@
     [obs-validate] CLI command, the cram suite and the CI smoke step:
     exporter regressions fail fast without external tooling. *)
 
-val to_json : ?dropped:int -> Span.span list -> Json.t
-(** [dropped] defaults to [0]; pass {!Span.dropped} at export time. *)
+type counter = {
+  c_name : string;  (** counter track name, e.g. ["gc.heap_words"] *)
+  c_ts_ns : int;  (** same monotonic timebase as span [start_ns] *)
+  c_values : (string * float) list;  (** one series per key *)
+}
+(** A counter ("ph": "C") sample; Perfetto renders each [c_values] key
+    as a series on the named counter track. The telemetry loop emits
+    one heap sample per epoch so allocation rate is visible alongside
+    the span timeline. *)
 
-val to_string : ?pretty:bool -> ?dropped:int -> Span.span list -> string
+val to_json : ?dropped:int -> ?counters:counter list -> Span.span list -> Json.t
+(** [dropped] defaults to [0]; pass {!Span.dropped} at export time.
+    Spans carrying nonzero [minor_w]/[major_w] (alloc capture on) emit
+    them as reserved [args] keys, which {!Trace_reader} lifts back into
+    span fields. *)
 
-val write_file : ?dropped:int -> string -> Span.span list -> unit
+val to_string :
+  ?pretty:bool -> ?dropped:int -> ?counters:counter list -> Span.span list ->
+  string
+
+val write_file :
+  ?dropped:int -> ?counters:counter list -> string -> Span.span list -> unit
 (** Pretty-printed, trailing newline. *)
 
 val validate : string -> (int, string) result

@@ -1,4 +1,11 @@
-type step = { name : string; dur_ns : int; contribution_ns : int; depth : int }
+type step = {
+  name : string;
+  dur_ns : int;
+  contribution_ns : int;
+  minor_w : int;
+  contribution_minor_w : int;
+  depth : int;
+}
 
 let widest (children : Trace_reader.node list) =
   (* Children arrive sorted by start; [>] keeps the earliest of equal
@@ -16,6 +23,7 @@ let widest (children : Trace_reader.node list) =
 let of_node root =
   let rec descend depth (n : Trace_reader.node) =
     let dur = n.Trace_reader.span.Span.dur_ns in
+    let minor = n.Trace_reader.span.Span.minor_w in
     match widest n.Trace_reader.children with
     | None ->
         [
@@ -23,14 +31,24 @@ let of_node root =
             name = n.Trace_reader.span.Span.name;
             dur_ns = dur;
             contribution_ns = dur;
+            minor_w = minor;
+            contribution_minor_w = minor;
             depth;
           };
         ]
     | Some child ->
+        (* Alloc contributions telescope along the time-widest chain —
+           the path stays the one wall time passes through, and the
+           alloc column reports what each step allocated outside the
+           next step. The alloc sum therefore equals the root's words,
+           but individual alloc contributions can be 0 when the heavy
+           allocator is off-path. *)
         {
           name = n.Trace_reader.span.Span.name;
           dur_ns = dur;
           contribution_ns = dur - child.Trace_reader.span.Span.dur_ns;
+          minor_w = minor;
+          contribution_minor_w = minor - child.Trace_reader.span.Span.minor_w;
           depth;
         }
         :: descend (depth + 1) child
@@ -43,16 +61,25 @@ let longest roots =
 let total_ns steps =
   List.fold_left (fun acc s -> acc + s.contribution_ns) 0 steps
 
-let render steps =
+let total_minor_w steps =
+  List.fold_left (fun acc s -> acc + s.contribution_minor_w) 0 steps
+
+let render ?(alloc = false) steps =
   match steps with
   | [] -> "critical path: empty trace\n"
   | _ ->
       let total = total_ns steps in
+      let total_minor = total_minor_w steps in
       let buf = Buffer.create 256 in
       Buffer.add_string buf
-        (Printf.sprintf "critical path: %.3f us across %d spans\n"
-           (float_of_int total /. 1e3)
-           (List.length steps));
+        (if alloc then
+           Printf.sprintf "critical path: %.3f us, %d minor words across %d spans\n"
+             (float_of_int total /. 1e3)
+             total_minor (List.length steps)
+         else
+           Printf.sprintf "critical path: %.3f us across %d spans\n"
+             (float_of_int total /. 1e3)
+             (List.length steps));
       let name_w =
         List.fold_left
           (fun w s -> max w ((2 * s.depth) + String.length s.name))
@@ -65,11 +92,22 @@ let render steps =
             else 100. *. float_of_int s.contribution_ns /. float_of_int total
           in
           Buffer.add_string buf
-            (Printf.sprintf "  %-*s  %12.3f us  self %12.3f us  %5.1f%%\n"
-               name_w
+            (Printf.sprintf "  %-*s  %12.3f us  self %12.3f us  %5.1f%%" name_w
                (String.make (2 * s.depth) ' ' ^ s.name)
                (float_of_int s.dur_ns /. 1e3)
                (float_of_int s.contribution_ns /. 1e3)
-               pct))
+               pct);
+          if alloc then begin
+            let apct =
+              if total_minor = 0 then 0.
+              else
+                100. *. float_of_int s.contribution_minor_w
+                /. float_of_int total_minor
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %10dw  self %10dw  %5.1f%%" s.minor_w
+                 s.contribution_minor_w apct)
+          end;
+          Buffer.add_char buf '\n')
         steps;
       Buffer.contents buf

@@ -17,12 +17,23 @@
     0.7 ms inside the merge of node 17, ...". Two invariants hold for
     any well-formed tree and are property-tested: the path's total
     duration equals the root duration (hence is bounded by it), and it
-    is at least every single phase duration along the path. *)
+    is at least every single phase duration along the path.
+
+    The same telescoping applies to the allocation axis: each step
+    carries its span's minor words and the words not covered by the
+    next step, so alloc contributions also sum exactly to the root's
+    words. The path itself is always chosen by duration — the alloc
+    column is an attribution along the time path, not a separate
+    alloc-widest path — so a heavy allocator off the time path shows
+    up in its enclosing step's contribution. *)
 
 type step = {
   name : string;
   dur_ns : int;  (** the span's own duration *)
   contribution_ns : int;  (** duration not covered by the next step *)
+  minor_w : int;  (** the span's own minor words *)
+  contribution_minor_w : int;
+      (** minor words not covered by the next step *)
   depth : int;  (** 0 at the path's root *)
 }
 
@@ -36,6 +47,12 @@ val longest : Trace_reader.node list -> step list
 val total_ns : step list -> int
 (** Sum of contributions = duration of the path's root span. *)
 
-val render : step list -> string
+val total_minor_w : step list -> int
+(** Sum of alloc contributions = minor words of the path's root
+    span. *)
+
+val render : ?alloc:bool -> step list -> string
 (** Indented table: one line per step with duration, contribution and
-    percentage of the path total. *)
+    percentage of the path total. With [~alloc:true], each line gains
+    minor-word columns (span words, contribution, percentage of the
+    root's words). *)

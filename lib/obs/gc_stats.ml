@@ -1,0 +1,61 @@
+(* Heap telemetry: bridge the runtime's GC counters into the Metrics
+   registry as one collector, so every existing sink — Prometheus
+   exposition, OpenMetrics, per-epoch Timeseries deltas, the --json
+   envelope, the top view — gains a memory axis without learning
+   anything new. Counters are cumulative (Timeseries turns them into
+   per-epoch deltas by its usual counter semantics); heap sizes are
+   gauges. *)
+
+let collector_name = "gc"
+
+(* Same stub Span uses for its alloc columns. The live per-domain
+   counters matter here: in OCaml 5, [Gc.quick_stat]'s word counters
+   only refresh at collection boundaries, so an epoch that triggers no
+   minor collection would publish a zero delta. [Gc.minor_words] and
+   this stub include the words allocated since the last collection. *)
+external major_words :
+  unit -> (float[@unboxed])
+  = "obs_gc_major_words" "obs_gc_major_words_unboxed"
+[@@noalloc]
+
+let samples () =
+  let s = Gc.quick_stat () in
+  let counter name v =
+    {
+      Metrics.s_name = name;
+      s_labels = [];
+      s_value = Metrics.Sample_counter v;
+    }
+  in
+  let gauge name v =
+    { Metrics.s_name = name; s_labels = []; s_value = Metrics.Sample_gauge v }
+  in
+  [
+    counter "gc.minor_words" (Gc.minor_words ());
+    counter "gc.promoted_words" s.Gc.promoted_words;
+    counter "gc.major_words" (major_words ());
+    counter "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+    counter "gc.major_collections" (float_of_int s.Gc.major_collections);
+    counter "gc.compactions" (float_of_int s.Gc.compactions);
+    gauge "gc.heap_words" (float_of_int s.Gc.heap_words);
+    gauge "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
+  ]
+
+let register () = Metrics.register_collector ~name:collector_name samples
+
+let allocated_bytes () = Gc.allocated_bytes ()
+let peak_major_words () = (Gc.quick_stat ()).Gc.top_heap_words
+let live_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let heap_counter ~ts_ns =
+  let s = Gc.quick_stat () in
+  {
+    Chrome_trace.c_name = "gc.heap";
+    c_ts_ns = ts_ns;
+    c_values =
+      [
+        ("heap_words", float_of_int s.Gc.heap_words);
+        ("minor_words", Gc.minor_words ());
+        ("major_words", major_words ());
+      ];
+  }

@@ -1,0 +1,40 @@
+(** GC/heap telemetry published through the {!Metrics} registry.
+
+    One {!Metrics.register_collector} bridge turns [Gc.quick_stat]
+    into named samples, so the whole existing sink fan — Prometheus
+    and OpenMetrics exposition, {!Timeseries} (whose counter-delta
+    semantics yield per-epoch minor/major/promoted words and
+    collection/compaction counts for free), the [--json] envelopes
+    and the [top] view — carries a memory axis alongside the time
+    axis. Nothing here is on a hot path: sampling happens at scrape
+    or epoch granularity, where [quick_stat]'s allocation is
+    irrelevant (per-span capture uses the allocation-free reads in
+    {!Span} instead).
+
+    Published samples: cumulative counters [gc.minor_words],
+    [gc.promoted_words], [gc.major_words], [gc.minor_collections],
+    [gc.major_collections], [gc.compactions]; gauges [gc.heap_words]
+    (live major heap) and [gc.top_heap_words] (peak major heap). *)
+
+val register : unit -> unit
+(** Install (or refresh) the ["gc"] collector in {!Metrics}.
+    Idempotent. *)
+
+val samples : unit -> Metrics.sample list
+(** The collector body, exposed for tests and one-shot scrapes. *)
+
+val allocated_bytes : unit -> float
+(** Total bytes allocated by this domain since program start
+    ([Gc.allocated_bytes]); subtract two readings to meter a region
+    at bench granularity. *)
+
+val peak_major_words : unit -> int
+(** High-water mark of the major heap, in words. *)
+
+val live_words : unit -> int
+(** Current major-heap size, in words. *)
+
+val heap_counter : ts_ns:int -> Chrome_trace.counter
+(** One Chrome-trace counter sample ([gc.heap] track: live heap words
+    plus cumulative minor/major words) stamped with the given
+    monotonic time, for per-epoch emission into traces. *)

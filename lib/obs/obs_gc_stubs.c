@@ -1,0 +1,32 @@
+/* Allocation-free GC counter reads for per-span alloc attribution.
+
+   The stdlib exposes an unboxed, noalloc accessor for minor words
+   (Gc.minor_words) but major-heap words are only reachable through
+   Gc.quick_stat / Gc.counters, both of which allocate a record —
+   useless inside a probe that must measure other code's allocation.
+   caml/domain_state.h is a public header (no CAML_INTERNALS gate) and
+   exposes the same per-domain counters caml_gc_quick_stat reads, so we
+   mirror its major-words computation: words moved to the major heap by
+   completed cycles (stat_major_words) plus words allocated in the
+   major heap since the last slice (allocated_words). Promotions from
+   the minor heap are included, exactly as in Gc.quick_stat.
+
+   The unboxed variant returns a raw double ([@unboxed] + [@@noalloc]),
+   so a native-code read allocates nothing; the boxed variant exists
+   for bytecode only. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/domain_state.h>
+
+CAMLprim double obs_gc_major_words_unboxed(value unit)
+{
+  (void)unit;
+  return (double)Caml_state->stat_major_words
+       + (double)Caml_state->allocated_words;
+}
+
+CAMLprim value obs_gc_major_words(value unit)
+{
+  return caml_copy_double(obs_gc_major_words_unboxed(unit));
+}

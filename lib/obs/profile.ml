@@ -1,4 +1,13 @@
-type row = { name : string; calls : int; total_ns : int; self_ns : int }
+type row = {
+  name : string;
+  calls : int;
+  total_ns : int;
+  self_ns : int;
+  total_minor_w : int;
+  self_minor_w : int;
+  total_major_w : int;
+  self_major_w : int;
+}
 
 let children_ns (n : Trace_reader.node) =
   List.fold_left
@@ -8,20 +17,80 @@ let children_ns (n : Trace_reader.node) =
 let self_ns (n : Trace_reader.node) =
   n.Trace_reader.span.Span.dur_ns - children_ns n
 
+(* Self-allocation mirrors self-time exactly: a span's words minus its
+   direct children's words. Over a well-formed forest the self values
+   partition the total allocation just as self times partition wall
+   time. *)
+let children_minor_w (n : Trace_reader.node) =
+  List.fold_left
+    (fun acc (c : Trace_reader.node) -> acc + c.Trace_reader.span.Span.minor_w)
+    0 n.Trace_reader.children
+
+let self_minor_w (n : Trace_reader.node) =
+  n.Trace_reader.span.Span.minor_w - children_minor_w n
+
+let children_major_w (n : Trace_reader.node) =
+  List.fold_left
+    (fun acc (c : Trace_reader.node) -> acc + c.Trace_reader.span.Span.major_w)
+    0 n.Trace_reader.children
+
+let self_major_w (n : Trace_reader.node) =
+  n.Trace_reader.span.Span.major_w - children_major_w n
+
+type acc = {
+  mutable a_calls : int;
+  mutable a_total_ns : int;
+  mutable a_self_ns : int;
+  mutable a_total_minor : int;
+  mutable a_self_minor : int;
+  mutable a_total_major : int;
+  mutable a_self_major : int;
+}
+
 let rows roots =
-  let tbl : (string, int * int * int) Hashtbl.t = Hashtbl.create 32 in
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 32 in
   Trace_reader.fold
     (fun () (n : Trace_reader.node) ->
-      let name = n.Trace_reader.span.Span.name in
-      let calls, total, self =
-        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl name)
+      let s = n.Trace_reader.span in
+      let a =
+        match Hashtbl.find_opt tbl s.Span.name with
+        | Some a -> a
+        | None ->
+            let a =
+              {
+                a_calls = 0;
+                a_total_ns = 0;
+                a_self_ns = 0;
+                a_total_minor = 0;
+                a_self_minor = 0;
+                a_total_major = 0;
+                a_self_major = 0;
+              }
+            in
+            Hashtbl.add tbl s.Span.name a;
+            a
       in
-      Hashtbl.replace tbl name
-        (calls + 1, total + n.Trace_reader.span.Span.dur_ns, self + self_ns n))
+      a.a_calls <- a.a_calls + 1;
+      a.a_total_ns <- a.a_total_ns + s.Span.dur_ns;
+      a.a_self_ns <- a.a_self_ns + self_ns n;
+      a.a_total_minor <- a.a_total_minor + s.Span.minor_w;
+      a.a_self_minor <- a.a_self_minor + self_minor_w n;
+      a.a_total_major <- a.a_total_major + s.Span.major_w;
+      a.a_self_major <- a.a_self_major + self_major_w n)
     () roots;
   Hashtbl.fold
-    (fun name (calls, total_ns, self_ns) acc ->
-      { name; calls; total_ns; self_ns } :: acc)
+    (fun name a acc ->
+      {
+        name;
+        calls = a.a_calls;
+        total_ns = a.a_total_ns;
+        self_ns = a.a_self_ns;
+        total_minor_w = a.a_total_minor;
+        self_minor_w = a.a_self_minor;
+        total_major_w = a.a_total_major;
+        self_major_w = a.a_self_major;
+      }
+      :: acc)
     tbl []
   |> List.sort (fun a b -> compare (-a.self_ns, a.name) (-b.self_ns, b.name))
 
@@ -54,21 +123,58 @@ let top_table ?(k = 10) roots =
          (List.length all - k) k);
   Buffer.contents buf
 
-let folded roots =
+let alloc_table ?(k = 10) roots =
+  let all =
+    rows roots
+    |> List.sort (fun a b ->
+           compare (-a.self_minor_w, a.name) (-b.self_minor_w, b.name))
+  in
+  let total = Trace_reader.total_minor_w roots in
+  let shown = List.filteri (fun i _ -> i < k) all in
+  let buf = Buffer.create 256 in
+  let name_w =
+    List.fold_left (fun w r -> max w (String.length r.name)) 4 shown
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %6s  %12s  %12s  %6s  %12s\n" name_w "name" "calls"
+       "minor(w)" "self(w)" "self%" "major(w)");
+  List.iter
+    (fun r ->
+      let pct =
+        if total = 0 then 0.
+        else 100. *. float_of_int r.self_minor_w /. float_of_int total
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %6d  %12d  %12d  %5.1f%%  %12d\n" name_w r.name
+           r.calls r.total_minor_w r.self_minor_w pct r.total_major_w))
+    shown;
+  if List.length all > k then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d more span names below the top %d)\n"
+         (List.length all - k) k);
+  Buffer.contents buf
+
+(* Shared folded-stack walk, parameterized by the self weight: time in
+   nanoseconds or allocation in minor words. Both load into inferno —
+   integer weights replace sample counts. *)
+let folded_by weight roots =
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
   let rec walk prefix (n : Trace_reader.node) =
     let path =
       if prefix = "" then n.Trace_reader.span.Span.name
       else prefix ^ ";" ^ n.Trace_reader.span.Span.name
     in
-    let self = self_ns n in
+    let self = weight n in
     if self > 0 then
       Hashtbl.replace tbl path
         (self + Option.value ~default:0 (Hashtbl.find_opt tbl path));
     List.iter (walk path) n.Trace_reader.children
   in
   List.iter (walk "") roots;
-  Hashtbl.fold (fun path ns acc -> (path, ns) :: acc) tbl []
+  Hashtbl.fold (fun path w acc -> (path, w) :: acc) tbl []
   |> List.sort compare
-  |> List.map (fun (path, ns) -> Printf.sprintf "%s %d\n" path ns)
+  |> List.map (fun (path, w) -> Printf.sprintf "%s %d\n" path w)
   |> String.concat ""
+
+let folded roots = folded_by self_ns roots
+let folded_alloc roots = folded_by self_minor_w roots

@@ -18,16 +18,32 @@
     are emitted in lexicographic order so equal traces fold to
     byte-equal output (the golden cram test relies on this).
 
+    {b Allocation axis.} Every aggregate exists twice: in nanoseconds
+    and in allocated words (captured per span when {!Span.set_alloc}
+    is on). Self-allocation is defined identically to self-time — a
+    span's words minus its direct children's words — so self words
+    partition the forest's total allocation exactly as self times
+    partition wall time. {!alloc_table} and {!folded_alloc} are the
+    alloc-weighted twins of {!top_table} and {!folded}; a trace
+    recorded without alloc capture aggregates to all-zero columns.
+
     Recursive spans (a name nested under itself) are counted once per
     occurrence in [calls] and [self_ns], but their [total_ns]
     accumulates each occurrence's full duration, so a recursive
-    frame's total can exceed wall time — the usual profiler caveat. *)
+    frame's total can exceed wall time — the usual profiler caveat.
+    The same caveat applies verbatim to [total_minor_w]/[total_major_w]
+    under recursion: the self columns stay exact, the totals
+    double-count the nested occurrences. *)
 
 type row = {
   name : string;
   calls : int;
   total_ns : int;  (** summed durations of every span with this name *)
   self_ns : int;  (** summed durations minus direct children *)
+  total_minor_w : int;  (** summed minor words of every span *)
+  self_minor_w : int;  (** summed minor words minus direct children *)
+  total_major_w : int;  (** summed major words of every span *)
+  self_major_w : int;  (** summed major words minus direct children *)
 }
 
 val rows : Trace_reader.node list -> row list
@@ -38,7 +54,17 @@ val top_table : ?k:int -> Trace_reader.node list -> string
 (** Aligned hotspot table of the top [k] (default 10) rows by self
     time, with self percentages relative to the forest wall time. *)
 
+val alloc_table : ?k:int -> Trace_reader.node list -> string
+(** Alloc-weighted hotspot table: top [k] rows by self minor words,
+    with self percentages relative to the forest's total minor
+    allocation and a total major-words column. *)
+
 val folded : Trace_reader.node list -> string
 (** Collapsed-stack lines ["a;b;c <self_ns>"], lexicographically
     sorted, only stacks with positive self time. Empty string for an
     empty forest. *)
+
+val folded_alloc : Trace_reader.node list -> string
+(** Collapsed-stack lines weighted by self minor words instead of self
+    nanoseconds; same format and ordering as {!folded}, so the output
+    feeds the same flamegraph tooling. *)

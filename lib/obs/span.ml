@@ -6,21 +6,33 @@ type span = {
   dur_ns : int;
   tid : int;
   depth : int;
+  minor_w : int;
+  major_w : int;
   args : (string * arg) list;
 }
+
+(* Allocation-free major-heap counter (see obs_gc_stubs.c); minor words
+   come from the stdlib's own unboxed accessor. Both are raw doubles in
+   native code, so reading them inside a span probe does not perturb
+   the allocation it is measuring. *)
+external gc_major_words : unit -> (float[@unboxed])
+  = "obs_gc_major_words" "obs_gc_major_words_unboxed"
+[@@noalloc]
 
 (* One recording buffer per domain, columnar: the open-frame stack and
    the completed-span log are parallel arrays preallocated once and
    grown geometrically, so the steady-state record path allocates
-   nothing — begin_span writes three cells, end_span writes five. Only
-   its owning domain ever writes a state; the registry mutex protects
-   the list of states, and export/reset read the buffers (documented
-   as quiescent operations). *)
+   nothing — begin_span writes three cells (five with alloc capture),
+   end_span five (seven). Only its owning domain ever writes a state;
+   the registry mutex protects the list of states, and export/reset
+   read the buffers (documented as quiescent operations). *)
 type dstate = {
   tid : int;
   (* open frames, indexed by nesting depth *)
   mutable f_names : string array;
   mutable f_starts : int array;
+  mutable f_minor : float array;
+  mutable f_major : float array;
   mutable f_args : (string * arg) list array;
   mutable depth : int;
   (* completed spans *)
@@ -28,21 +40,30 @@ type dstate = {
   mutable s_starts : int array;
   mutable s_durs : int array;
   mutable s_depths : int array;
+  mutable s_minor : int array;
+  mutable s_major : int array;
   mutable s_args : (string * arg) list array;
   mutable len : int;
   mutable drop : int;
 }
 
 let enabled_flag = Atomic.make false
+let alloc_flag = Atomic.make false
 let capacity = Atomic.make 1_000_000
 
 let[@inline] enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
-let set_capacity c = Atomic.set capacity (max 1 c)
+let[@inline] alloc_enabled () = Atomic.get alloc_flag
+let set_alloc b = Atomic.set alloc_flag b
+
+let set_capacity c =
+  if c <= 0 then
+    invalid_arg
+      (Printf.sprintf "Span.set_capacity: capacity must be positive (got %d)" c);
+  Atomic.set capacity c
 
 let registry_lock = Mutex.create ()
 let registry : dstate list ref = ref []
-
 let initial_spans = 256
 let initial_frames = 64
 
@@ -53,12 +74,16 @@ let key =
           tid = (Domain.self () :> int);
           f_names = Array.make initial_frames "";
           f_starts = Array.make initial_frames 0;
+          f_minor = Array.make initial_frames 0.;
+          f_major = Array.make initial_frames 0.;
           f_args = Array.make initial_frames [];
           depth = 0;
           s_names = Array.make initial_spans "";
           s_starts = Array.make initial_spans 0;
           s_durs = Array.make initial_spans 0;
           s_depths = Array.make initial_spans 0;
+          s_minor = Array.make initial_spans 0;
+          s_major = Array.make initial_spans 0;
           s_args = Array.make initial_spans [];
           len = 0;
           drop = 0;
@@ -79,6 +104,8 @@ let grow_frames st =
   in
   st.f_names <- grow st.f_names "";
   st.f_starts <- grow st.f_starts 0;
+  st.f_minor <- grow st.f_minor 0.;
+  st.f_major <- grow st.f_major 0.;
   st.f_args <- grow st.f_args []
 
 let grow_spans st cap =
@@ -93,6 +120,8 @@ let grow_spans st cap =
   st.s_starts <- grow st.s_starts 0;
   st.s_durs <- grow st.s_durs 0;
   st.s_depths <- grow st.s_depths 0;
+  st.s_minor <- grow st.s_minor 0;
+  st.s_major <- grow st.s_major 0;
   st.s_args <- grow st.s_args []
 
 let begin_span name =
@@ -103,6 +132,13 @@ let begin_span name =
     st.f_names.(d) <- name;
     st.f_starts.(d) <- Clock.now_ns ();
     st.f_args.(d) <- [];
+    if alloc_enabled () then begin
+      (* Read the GC counters after the clock so the clock read's own
+         (zero) allocation cannot leak into the window; both reads are
+         noalloc/unboxed, and float-array stores do not box. *)
+      st.f_minor.(d) <- Gc.minor_words ();
+      st.f_major.(d) <- gc_major_words ()
+    end;
     st.depth <- d + 1
   end
 
@@ -121,6 +157,19 @@ let end_span ?(args = []) () =
         st.s_starts.(i) <- st.f_starts.(d);
         st.s_durs.(i) <- Clock.now_ns () - st.f_starts.(d);
         st.s_depths.(i) <- d;
+        (if alloc_enabled () then begin
+           (* Clamp at zero: if alloc capture was switched on after this
+              frame opened, its baseline is a stale (smaller or zero)
+              read and the delta is meaningless. *)
+           st.s_minor.(i) <-
+             max 0 (int_of_float (Gc.minor_words () -. st.f_minor.(d)));
+           st.s_major.(i) <-
+             max 0 (int_of_float (gc_major_words () -. st.f_major.(d)))
+         end
+         else begin
+           st.s_minor.(i) <- 0;
+           st.s_major.(i) <- 0
+         end);
         (st.s_args.(i) <-
            (match st.f_args.(d) with [] -> args | fa -> List.rev fa @ args));
         st.len <- i + 1
@@ -164,6 +213,8 @@ let spans_of st =
         dur_ns = st.s_durs.(i);
         tid = st.tid;
         depth = st.s_depths.(i);
+        minor_w = st.s_minor.(i);
+        major_w = st.s_major.(i);
         args = st.s_args.(i);
       })
 

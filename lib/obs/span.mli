@@ -26,7 +26,19 @@
     not emitted. Each domain's buffer is capped ({!set_capacity});
     spans beyond the cap are counted in {!dropped} rather than
     recorded, so a pathological run degrades gracefully instead of
-    exhausting memory. *)
+    exhausting memory.
+
+    {b Allocation attribution.} When {!set_alloc} is on (and tracing is
+    on), begin/end additionally read the domain's GC allocation
+    counters — minor words through the stdlib's unboxed
+    [Gc.minor_words], major words through an equally allocation-free C
+    stub over the public [caml/domain_state.h] counters — and each
+    completed span carries the delta as [minor_w]/[major_w]. The reads
+    are [@@noalloc] and land in unboxed float columns, so the probe
+    itself allocates nothing and cannot perturb the quantity it
+    measures. A span's words include its children's, exactly as
+    [dur_ns] includes child time; {!Profile} derives exclusive
+    (self-)allocation by subtracting direct children. *)
 
 type arg = Str of string | Int of int | Float of float | Bool of bool
 
@@ -36,6 +48,12 @@ type span = {
   dur_ns : int;  (** non-negative *)
   tid : int;  (** recording domain's id *)
   depth : int;  (** nesting depth within its domain, root = 0 *)
+  minor_w : int;  (** minor-heap words allocated during the span
+                      (including children); [0] unless alloc capture
+                      was on *)
+  major_w : int;  (** major-heap words allocated or promoted during
+                      the span (including children); [0] unless alloc
+                      capture was on *)
   args : (string * arg) list;
 }
 
@@ -49,7 +67,17 @@ val set_enabled : bool -> unit
 
 val set_capacity : int -> unit
 (** Per-domain buffer cap (default [1_000_000] spans). Observations
-    past the cap increment {!dropped}. *)
+    past the cap increment {!dropped}.
+    @raise Invalid_argument if the cap is not positive. *)
+
+val alloc_enabled : unit -> bool
+(** Whether per-span allocation capture is on. *)
+
+val set_alloc : bool -> unit
+(** Toggle per-span allocation capture. Only observed while tracing is
+    enabled; spans opened before the toggle record zero (stale
+    baselines are clamped rather than reported). Off by default so the
+    time-only tracing path performs no GC reads. *)
 
 val begin_span : string -> unit
 (** Open a span on the calling domain's stack. No-op when disabled. *)

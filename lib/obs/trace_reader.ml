@@ -96,6 +96,18 @@ let event_span json =
             List.map (fun (k, v) -> (k, arg_of_json v)) members
         | _ -> []
       in
+      (* Alloc columns travel as reserved arg keys (see Chrome_trace);
+         lift them back into span fields so analyses see them exactly
+         as a live Span.export would, and keep user args clean. *)
+      let words k =
+        match List.assoc_opt k args with
+        | Some (Span.Int w) when w >= 0 -> w
+        | _ -> 0
+      in
+      let minor_w = words "minor_w" and major_w = words "major_w" in
+      let args =
+        List.filter (fun (k, _) -> k <> "minor_w" && k <> "major_w") args
+      in
       Some
         {
           Span.name;
@@ -103,6 +115,8 @@ let event_span json =
           dur_ns = us_to_ns dur;
           tid;
           depth = 0;
+          minor_w;
+          major_w;
           args;
         }
   | _ -> None
@@ -161,3 +175,9 @@ let rec fold f acc nodes =
 
 let wall_ns roots =
   List.fold_left (fun acc n -> acc + n.span.Span.dur_ns) 0 roots
+
+let total_minor_w roots =
+  List.fold_left (fun acc n -> acc + n.span.Span.minor_w) 0 roots
+
+let total_major_w roots =
+  List.fold_left (fun acc n -> acc + n.span.Span.major_w) 0 roots

@@ -47,3 +47,11 @@ val fold : ('a -> node -> 'a) -> 'a -> node list -> 'a
 
 val wall_ns : node list -> int
 (** Sum of the root span durations — the forest's total wall time. *)
+
+val total_minor_w : node list -> int
+(** Sum of the root spans' minor words — the forest's total minor
+    allocation, the denominator for alloc percentages. Roots already
+    include their children, as with {!wall_ns}. *)
+
+val total_major_w : node list -> int
+(** Sum of the root spans' major words. *)

@@ -392,7 +392,9 @@ counts are workload-deterministic (one "X" event per completed span):
   trace solve_trace.json: valid chrome trace, 13 events
 
 The engine exports both a trace and a Prometheus metrics snapshot, and
-the traced timeline is identical to the untraced one above:
+the traced timeline is identical to the untraced one above. The trace
+carries one "C" heap-counter event per epoch (gc.heap) on top of the
+61 span/metadata events:
 
   $ replica_cli engine --nodes 12 --seed 6 --horizon 6 --window 2 \
   >   --workload flash --policy periodic:2 --no-time \
@@ -403,7 +405,7 @@ the traced timeline is identical to the untraced one above:
   epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
   total: 2 reconfigurations, bill 5.00, 0 invalid epochs
   $ replica_cli obs-validate --trace engine_trace.json --metrics engine_metrics.prom
-  trace engine_trace.json: valid chrome trace, 61 events
+  trace engine_trace.json: valid chrome trace, 64 events
   metrics engine_metrics.prom: valid prometheus exposition
 
 obs-validate rejects malformed artifacts and fails loudly when given
@@ -460,6 +462,57 @@ contributions telescope to the epoch's full duration:
         dp_withpre.solve         950.000 us  self      350.000 us   29.2%
           dp_withpre.merge       600.000 us  self      600.000 us   50.0%
 
+The fixture also carries per-span allocation columns (minor_w/major_w
+args, recorded when the run traced with alloc capture on). --alloc
+switches every view to the allocation axis: the hotspot table ranks by
+self minor words, which partition the total allocation exactly as self
+times partition wall time:
+
+  $ replica_cli profile --trace epoch_trace.json --alloc
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  name                 calls      minor(w)       self(w)   self%      major(w)
+  dp_withpre.merge         1         52000         52000   52.0%          1500
+  dp_withpre.node          1         20000         20000   20.0%           500
+  engine.demand_diff       1          8000          8000    8.0%             0
+  dp_withpre.solve         1         78000          6000    6.0%          2000
+  engine.apply             1          6000          6000    6.0%             0
+  engine.epoch             1        100000          5500    5.5%          2000
+  engine.solve             1         80000          2000    2.0%          2000
+  engine.policy            1           500           500    0.5%             0
+
+--alloc --folded emits the same collapsed-stack format weighted by
+self minor words instead of nanoseconds, so the output feeds the same
+flamegraph tooling:
+
+  $ replica_cli profile --trace epoch_trace.json --alloc --folded
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  engine.epoch 5500
+  engine.epoch;engine.apply 6000
+  engine.epoch;engine.demand_diff 8000
+  engine.epoch;engine.policy 500
+  engine.epoch;engine.solve 2000
+  engine.epoch;engine.solve;dp_withpre.solve 6000
+  engine.epoch;engine.solve;dp_withpre.solve;dp_withpre.merge 52000
+  engine.epoch;engine.solve;dp_withpre.solve;dp_withpre.node 20000
+
+--alloc --critical-path annotates the time-critical path with each
+phase's allocation; the self contributions telescope to the root's
+minor words:
+
+  $ replica_cli profile --trace epoch_trace.json --alloc --critical-path
+  profile: warning: 2 spans were dropped while recording epoch_trace.json — self times and counts undercount the truncated subtrees
+  critical path: 1200.000 us, 100000 minor words across 4 spans
+    engine.epoch                1200.000 us  self      220.000 us   18.3%      100000w  self      20000w   20.0%
+      engine.solve               980.000 us  self       30.000 us    2.5%       80000w  self       2000w    2.0%
+        dp_withpre.solve         950.000 us  self      350.000 us   29.2%       78000w  self      26000w   26.0%
+          dp_withpre.merge       600.000 us  self      600.000 us   50.0%       52000w  self      52000w   52.0%
+
+--top validates its argument:
+
+  $ replica_cli profile --trace epoch_trace.json --top 0
+  replica_cli: profile: --top must be positive (got 0)
+  [2]
+
   $ replica_cli profile --trace bogus.json
   profile: bogus.json: missing "traceEvents"
   [2]
@@ -472,31 +525,37 @@ hard-fail, wall-clock metrics only warn. An identical run passes:
   >   "schema_version": 1,
   >   "bench": "dp_power",
   >   "merge_products_ratio": 1.36,
+  >   "peak_major_words": 1500000,
   >   "unpruned": { "power": 550.0, "cost": 4.311,
   >                 "dp_power.merge_products": 128,
-  >                 "dp_power.tables.seconds": 0.010 },
+  >                 "dp_power.tables.seconds": 0.010,
+  >                 "allocated_bytes_per_solve": 8388608.0 },
   >   "pruned": { "power": 550.0, "cost": 4.311, "servers": 4,
   >               "dp_power.merge_products": 94,
   >               "dp_power.cells_created": 101,
   >               "dp_power.peak_table_size": 24,
-  >               "dp_power.tables.seconds": 0.008 }
+  >               "dp_power.tables.seconds": 0.008,
+  >               "allocated_bytes_per_solve": 5242880.0 }
   > }
   > EOF
   $ replica_cli bench-diff bench_base.json bench_base.json
-  bench dp_power: 12 metric(s) compared
-    metric                                baseline       current     delta  status
-    unpruned.power                             550           550     +0.0%  ok
-    unpruned.cost                            4.311         4.311     +0.0%  ok
-    pruned.power                               550           550     +0.0%  ok
-    pruned.cost                              4.311         4.311     +0.0%  ok
-    pruned.servers                               4             4     +0.0%  ok
-    unpruned.dp_power.merge_products           128           128     +0.0%  ok
-    pruned.dp_power.merge_products              94            94     +0.0%  ok
-    pruned.dp_power.cells_created              101           101     +0.0%  ok
-    pruned.dp_power.peak_table_size             24            24     +0.0%  ok
-    merge_products_ratio                      1.36          1.36     +0.0%  ok
-    unpruned.dp_power.tables.seconds          0.01          0.01     +0.0%  ok
-    pruned.dp_power.tables.seconds           0.008         0.008     +0.0%  ok
+  bench dp_power: 15 metric(s) compared
+    metric                                  baseline       current     delta  status
+    unpruned.power                               550           550     +0.0%  ok
+    unpruned.cost                              4.311         4.311     +0.0%  ok
+    pruned.power                                 550           550     +0.0%  ok
+    pruned.cost                                4.311         4.311     +0.0%  ok
+    pruned.servers                                 4             4     +0.0%  ok
+    unpruned.dp_power.merge_products             128           128     +0.0%  ok
+    pruned.dp_power.merge_products                94            94     +0.0%  ok
+    pruned.dp_power.cells_created                101           101     +0.0%  ok
+    pruned.dp_power.peak_table_size               24            24     +0.0%  ok
+    merge_products_ratio                        1.36          1.36     +0.0%  ok
+    unpruned.dp_power.tables.seconds            0.01          0.01     +0.0%  ok
+    pruned.dp_power.tables.seconds             0.008         0.008     +0.0%  ok
+    unpruned.allocated_bytes_per_solve       8388608       8388608     +0.0%  ok
+    pruned.allocated_bytes_per_solve         5242880       5242880     +0.0%  ok
+    peak_major_words                         1500000       1500000     +0.0%  ok
   verdict: 0 hard regression(s), 0 warning(s)
 
 A run with 20% more merge products (a deterministic counter) and a
@@ -507,20 +566,23 @@ warns about the latter:
   >     -e 's/"dp_power.tables.seconds": 0.008/"dp_power.tables.seconds": 0.020/' \
   >     bench_base.json > bench_regressed.json
   $ replica_cli bench-diff bench_base.json bench_regressed.json
-  bench dp_power: 12 metric(s) compared
-    metric                                baseline       current     delta  status
-    unpruned.power                             550           550     +0.0%  ok
-    unpruned.cost                            4.311         4.311     +0.0%  ok
-    pruned.power                               550           550     +0.0%  ok
-    pruned.cost                              4.311         4.311     +0.0%  ok
-    pruned.servers                               4             4     +0.0%  ok
-    unpruned.dp_power.merge_products           128           128     +0.0%  ok
-    pruned.dp_power.merge_products              94           113    +20.2%  REGRESSED
-    pruned.dp_power.cells_created              101           101     +0.0%  ok
-    pruned.dp_power.peak_table_size             24            24     +0.0%  ok
-    merge_products_ratio                      1.36          1.36     +0.0%  ok
-    unpruned.dp_power.tables.seconds          0.01          0.01     +0.0%  ok
-    pruned.dp_power.tables.seconds           0.008          0.02   +150.0%  regressed (warn)
+  bench dp_power: 15 metric(s) compared
+    metric                                  baseline       current     delta  status
+    unpruned.power                               550           550     +0.0%  ok
+    unpruned.cost                              4.311         4.311     +0.0%  ok
+    pruned.power                                 550           550     +0.0%  ok
+    pruned.cost                                4.311         4.311     +0.0%  ok
+    pruned.servers                                 4             4     +0.0%  ok
+    unpruned.dp_power.merge_products             128           128     +0.0%  ok
+    pruned.dp_power.merge_products                94           113    +20.2%  REGRESSED
+    pruned.dp_power.cells_created                101           101     +0.0%  ok
+    pruned.dp_power.peak_table_size               24            24     +0.0%  ok
+    merge_products_ratio                        1.36          1.36     +0.0%  ok
+    unpruned.dp_power.tables.seconds            0.01          0.01     +0.0%  ok
+    pruned.dp_power.tables.seconds             0.008          0.02   +150.0%  regressed (warn)
+    unpruned.allocated_bytes_per_solve       8388608       8388608     +0.0%  ok
+    pruned.allocated_bytes_per_solve         5242880       5242880     +0.0%  ok
+    peak_major_words                         1500000       1500000     +0.0%  ok
   warning: pruned.dp_power.tables.seconds regressed (0.008 -> 0.02); timing metric, not gating
   verdict: 1 hard regression(s), 1 warning(s)
   [1]
@@ -561,10 +623,13 @@ p50/p99:
   > print(d["bench"], d["stride"], len(d["points"]))
   > print(sorted(d["points"][0].keys()))
   > print(len([k for k in d["points"][0]["metrics"] if k.startswith("engine.")]))
+  > print(all(any(k.startswith(p) for k in d["points"][0]["metrics"])
+  >           for p in ("gc.minor_words", "gc.heap_words")))
   > PYEOF
   timeseries 1 3
   ['epoch', 'metrics']
   11
+  True
 
 Both exports and the flight-recorder dump are valid artifacts; the
 dump feeds straight into the profile analyser:
@@ -607,9 +672,9 @@ bench-history trend fits a per-metric slope over the recent runs of
 one bench kind in the JSON-lines history:
 
   $ cat > hist.jsonl <<'EOF'
-  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 5.0, "tracing_on_overhead_percent": 3.0, "spans_per_solve": 200}
-  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 4.0, "tracing_on_overhead_percent": 3.2, "spans_per_solve": 200}
-  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 3.0, "tracing_on_overhead_percent": 2.9, "spans_per_solve": 200}
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 5.0, "tracing_on_overhead_percent": 3.0, "spans_per_solve": 200, "allocated_bytes_per_solve": 6000000.0}
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 4.0, "tracing_on_overhead_percent": 3.2, "spans_per_solve": 200, "allocated_bytes_per_solve": 5500000.0}
+  > {"schema_version": 1, "bench": "obs", "guard_ns_per_check": 3.0, "tracing_on_overhead_percent": 2.9, "spans_per_solve": 200, "allocated_bytes_per_solve": 5000000.0}
   > EOF
   $ replica_cli bench-history trend --file hist.jsonl --kind obs
   bench obs: trend over last 3 run(s)
@@ -617,6 +682,7 @@ one bench kind in the JSON-lines history:
     spans_per_solve                       200           200            +0  stable
     tracing_on_overhead_percent             3           2.9         -0.05  improving
     guard_ns_per_check                      5             3            -1  improving
+    allocated_bytes_per_solve         6000000       5000000        -5e+05  improving
 
   $ replica_cli bench-history trend --file missing.jsonl --kind obs
   replica_cli: history file missing.jsonl does not exist (run `make bench' first)

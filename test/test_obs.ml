@@ -122,6 +122,53 @@ let test_span_exception_safety () =
   in
   check ci "span closed on exception" 1 (List.length spans)
 
+let test_span_set_capacity_validation () =
+  List.iter
+    (fun c ->
+      match Span.set_capacity c with
+      | () -> Alcotest.failf "set_capacity %d accepted" c
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; min_int ]
+
+let test_span_alloc_capture () =
+  (* With alloc capture on, every span carries its GC word deltas:
+     the child sees its own allocation and the parent's columns
+     include the child's (allocation counters are monotone). *)
+  let spans =
+    with_tracing (fun () ->
+        Span.set_alloc true;
+        Fun.protect
+          ~finally:(fun () -> Span.set_alloc false)
+          (fun () ->
+            Span.with_span "outer" (fun () ->
+                Span.with_span "inner" (fun () ->
+                    ignore (Sys.opaque_identity (Array.make 100 0.0))));
+            Span.export ()))
+  in
+  let find n = List.find (fun (s : Span.span) -> s.Span.name = n) spans in
+  let outer = find "outer" and inner = find "inner" in
+  check cb "inner span sees its own allocation" true
+    (inner.Span.minor_w >= 100);
+  check cb "parent minor words include the child's" true
+    (outer.Span.minor_w >= inner.Span.minor_w);
+  check cb "major words are non-negative" true
+    (outer.Span.major_w >= 0 && inner.Span.major_w >= 0)
+
+let test_span_alloc_off_records_zero () =
+  (* Alloc capture defaults to off; spans then carry all-zero alloc
+     columns (and the exporter omits the args entirely, keeping
+     alloc-off traces byte-stable). *)
+  check cb "alloc capture off by default" false (Span.alloc_enabled ());
+  let spans = with_tracing (fun () ->
+      record_nested ();
+      Span.export ())
+  in
+  List.iter
+    (fun (s : Span.span) ->
+      check ci (s.Span.name ^ ": minor words zero") 0 s.Span.minor_w;
+      check ci (s.Span.name ^ ": major words zero") 0 s.Span.major_w)
+    spans
+
 (* --- JSON parser --- *)
 
 let test_json_roundtrip () =
@@ -350,6 +397,48 @@ let test_prometheus_expose_labeled () =
   check cb "label set rendered" true
     (contains "solver=\"dp-test\"" out)
 
+(* --- Gc_stats --- *)
+
+module Gs = Obs.Gc_stats
+
+let test_gc_stats_samples () =
+  let names = List.map (fun (s : M.sample) -> s.M.s_name) (Gs.samples ()) in
+  List.iter
+    (fun n -> check cb (n ^ " present") true (List.mem n names))
+    [
+      "gc.minor_words";
+      "gc.promoted_words";
+      "gc.major_words";
+      "gc.minor_collections";
+      "gc.major_collections";
+      "gc.compactions";
+      "gc.heap_words";
+      "gc.top_heap_words";
+    ];
+  check cb "peak major heap is positive" true (Gs.peak_major_words () > 0);
+  check cb "live words are positive" true (Gs.live_words () > 0)
+
+let test_gc_stats_register_bridges () =
+  Gs.register ();
+  match
+    List.find_opt
+      (fun (s : M.sample) -> s.M.s_name = "gc.minor_words")
+      (M.samples ())
+  with
+  | Some { M.s_value = M.Sample_counter v; _ } ->
+      check cb "minor-words counter is live and positive" true (v > 0.)
+  | _ -> Alcotest.fail "gc collector rows missing from the registry"
+
+let test_gc_heap_counter_shape () =
+  let c = Gs.heap_counter ~ts_ns:123 in
+  check Alcotest.string "counter name" "gc.heap" c.Obs.Chrome_trace.c_name;
+  check ci "timestamp carried through" 123 c.Obs.Chrome_trace.c_ts_ns;
+  List.iter
+    (fun k ->
+      check cb (k ^ " tracked") true
+        (List.mem_assoc k c.Obs.Chrome_trace.c_values))
+    [ "heap_words"; "minor_words"; "major_words" ]
+
 (* --- Timeseries --- *)
 
 module Ts = Obs.Timeseries
@@ -387,6 +476,49 @@ let test_timeseries_ring_and_stride () =
   (* Stride 2 records epochs 1, 3, 5; capacity 2 drops the oldest. *)
   check (Alcotest.list ci) "ring keeps the newest strided epochs" [ 3; 5 ]
     (List.map (fun p -> p.Ts.pt_epoch) (Ts.points ts))
+
+let test_timeseries_stride_beyond_run () =
+  (* A stride longer than the run still records the first sample —
+     the due check is "samples taken so far", not the epoch number. *)
+  let ts = Ts.create ~stride:10 () in
+  List.iter (fun e -> Ts.sample ts ~epoch:e) [ 1; 2; 3; 4; 5 ];
+  check (Alcotest.list ci) "only the first epoch is due" [ 1 ]
+    (List.map (fun p -> p.Ts.pt_epoch) (Ts.points ts))
+
+let test_timeseries_wrap_at_capacity () =
+  let ts = Ts.create ~capacity:3 () in
+  List.iter (fun e -> Ts.sample ts ~epoch:e) [ 1; 2; 3 ];
+  check (Alcotest.list ci) "an exactly-full ring keeps everything" [ 1; 2; 3 ]
+    (List.map (fun p -> p.Ts.pt_epoch) (Ts.points ts));
+  Ts.sample ts ~epoch:4;
+  check (Alcotest.list ci) "one past capacity evicts only the oldest"
+    [ 2; 3; 4 ]
+    (List.map (fun p -> p.Ts.pt_epoch) (Ts.points ts))
+
+let ts_wrap_id = ref 0
+
+let prop_timeseries_deltas_across_wrap =
+  qcheck_case "timeseries: counter deltas stay exact across ring wrap"
+    QCheck2.Gen.(list_size (int_range 1 24) (int_range 0 100))
+    (fun increments ->
+      (* Fresh counter per case: the delta baseline is per-series. *)
+      incr ts_wrap_id;
+      let name = Printf.sprintf "test_obs.ts.wrap%d" !ts_wrap_id in
+      let c = M.counter name in
+      let ts = Ts.create ~capacity:4 () in
+      List.iteri
+        (fun i inc ->
+          M.add c inc;
+          Ts.sample ts ~epoch:(i + 1))
+        increments;
+      (* Retained points report exactly the increment applied before
+         their sample, even after eviction rotated the ring. *)
+      let expected =
+        List.filteri
+          (fun i _ -> i >= List.length increments - 4)
+          (List.mapi (fun i inc -> (i + 1, float_of_int inc)) increments)
+      in
+      Ts.series ts name = expected)
 
 let test_timeseries_openmetrics_validates () =
   let ts = Ts.create () in
@@ -532,6 +664,21 @@ let () =
             test_span_disabled_records_nothing;
           Alcotest.test_case "exception safety" `Quick
             test_span_exception_safety;
+          Alcotest.test_case "set_capacity rejects non-positive" `Quick
+            test_span_set_capacity_validation;
+          Alcotest.test_case "alloc capture attributes words" `Quick
+            test_span_alloc_capture;
+          Alcotest.test_case "alloc off records zeros" `Quick
+            test_span_alloc_off_records_zero;
+        ] );
+      ( "gc-stats",
+        [
+          Alcotest.test_case "samples cover the gc axis" `Quick
+            test_gc_stats_samples;
+          Alcotest.test_case "register bridges into metrics" `Quick
+            test_gc_stats_register_bridges;
+          Alcotest.test_case "heap counter shape" `Quick
+            test_gc_heap_counter_shape;
         ] );
       ( "json",
         [
@@ -573,6 +720,11 @@ let () =
             test_timeseries_counter_deltas;
           Alcotest.test_case "ring and stride" `Quick
             test_timeseries_ring_and_stride;
+          Alcotest.test_case "stride beyond the run" `Quick
+            test_timeseries_stride_beyond_run;
+          Alcotest.test_case "wrap at exactly capacity" `Quick
+            test_timeseries_wrap_at_capacity;
+          prop_timeseries_deltas_across_wrap;
           Alcotest.test_case "openmetrics validates" `Quick
             test_timeseries_openmetrics_validates;
         ] );

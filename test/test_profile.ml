@@ -42,6 +42,10 @@ let spans_of_spec root =
   in
   let rec place start depth spec =
     let name = Printf.sprintf "f%d_%d" depth (fresh () mod 3) in
+    (* Synthetic alloc columns derived from the durations: a span's
+       words are 2x its ns, so parents strictly include their children
+       on the alloc axis too and the self-alloc partition telescopes to
+       2x the root duration. *)
     acc :=
       {
         Span.name;
@@ -49,6 +53,8 @@ let spans_of_spec root =
         dur_ns = spec.s_dur;
         tid = 0;
         depth = 0;
+        minor_w = 2 * spec.s_dur;
+        major_w = spec.s_dur / 2;
         args = [];
       }
       :: !acc;
@@ -88,7 +94,12 @@ let prop_roundtrip_through_chrome_trace =
           t.TR.span_count = List.length spans
           && t.TR.dropped = 3
           && Obs.Profile.folded t.TR.roots
-             = Obs.Profile.folded [ root_of_spec spec ])
+             = Obs.Profile.folded [ root_of_spec spec ]
+          (* The alloc columns ride through the JSON as reserved args
+             keys; the roundtrip must preserve them exactly. *)
+          && TR.total_minor_w t.TR.roots = 2 * spec.s_dur
+          && Obs.Profile.folded_alloc t.TR.roots
+             = Obs.Profile.folded_alloc [ root_of_spec spec ])
 
 let test_reader_rejects_invalid () =
   (match TR.of_string "{\"traceEvents\": 1}" with
@@ -102,7 +113,16 @@ let test_reader_parallel_tids () =
   (* Overlapping intervals on different tids are separate trees, not
      nested. *)
   let sp name start dur tid =
-    { Span.name; start_ns = start; dur_ns = dur; tid; depth = 0; args = [] }
+    {
+      Span.name;
+      start_ns = start;
+      dur_ns = dur;
+      tid;
+      depth = 0;
+      minor_w = 0;
+      major_w = 0;
+      args = [];
+    }
   in
   let roots =
     TR.forest_of_spans [ sp "a" 0 100 1; sp "b" 10 50 2; sp "c" 10 50 1 ]
@@ -142,13 +162,94 @@ let prop_folded_weights_partition_wall =
       in
       total = spec.s_dur)
 
+let prop_self_alloc_partitions_total =
+  qcheck_case
+    "profile: self minor words sum exactly to the root's minor words"
+    spec_gen (fun spec ->
+      let root = root_of_spec spec in
+      let rows = Obs.Profile.rows [ root ] in
+      List.fold_left
+        (fun a (r : Obs.Profile.row) -> a + r.Obs.Profile.self_minor_w)
+        0 rows
+      = 2 * spec.s_dur)
+
+let prop_folded_alloc_weights_partition_total =
+  qcheck_case "profile: folded alloc weights sum to the root's minor words"
+    spec_gen (fun spec ->
+      let root = root_of_spec spec in
+      let total =
+        Obs.Profile.folded_alloc [ root ]
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+        |> List.fold_left
+             (fun acc line ->
+               match String.rindex_opt line ' ' with
+               | Some i ->
+                   acc
+                   + int_of_string
+                       (String.sub line (i + 1) (String.length line - i - 1))
+               | None -> acc)
+             0
+      in
+      total = 2 * spec.s_dur)
+
 let test_folded_shape () =
-  let sp name start dur =
-    { Span.name; start_ns = start; dur_ns = dur; tid = 0; depth = 0; args = [] }
+  let sp ?(minor = 0) name start dur =
+    {
+      Span.name;
+      start_ns = start;
+      dur_ns = dur;
+      tid = 0;
+      depth = 0;
+      minor_w = minor;
+      major_w = 0;
+      args = [];
+    }
   in
   let roots = TR.forest_of_spans [ sp "root" 0 100; sp "leaf" 10 40 ] in
   check Alcotest.string "folded lines" "root 60\nroot;leaf 40\n"
-    (Obs.Profile.folded roots)
+    (Obs.Profile.folded roots);
+  (* Alloc-weighted twin: weights come from minor words, not ns. *)
+  let aroots =
+    TR.forest_of_spans
+      [ sp ~minor:100 "root" 0 100; sp ~minor:30 "leaf" 10 40 ]
+  in
+  check Alcotest.string "folded alloc lines" "root 70\nroot;leaf 30\n"
+    (Obs.Profile.folded_alloc aroots);
+  (* Spans recorded without alloc capture fold to nothing (all-zero
+     self weights are skipped, same as zero self time). *)
+  check Alcotest.string "alloc-off trace folds empty" ""
+    (Obs.Profile.folded_alloc roots)
+
+let test_alloc_table_shape () =
+  let sp ?(minor = 0) name start dur =
+    {
+      Span.name;
+      start_ns = start;
+      dur_ns = dur;
+      tid = 0;
+      depth = 0;
+      minor_w = minor;
+      major_w = 0;
+      args = [];
+    }
+  in
+  let roots =
+    TR.forest_of_spans
+      [ sp ~minor:1000 "root" 0 100; sp ~minor:250 "leaf" 10 40 ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let table = Obs.Profile.alloc_table roots in
+  check cb "header present" true (contains table "minor(w)");
+  check cb "root row present" true (contains table "root");
+  check cb "leaf self percentage (250/1000)" true (contains table "25.0%");
+  (* k=1 truncates and says so. *)
+  let top1 = Obs.Profile.alloc_table ~k:1 roots in
+  check cb "truncation footer" true (contains top1 "1 more span name")
 
 (* --- Critical_path --- *)
 
@@ -168,9 +269,30 @@ let prop_critical_path_invariants =
              && s.Obs.Critical_path.contribution_ns >= 0)
            steps)
 
+let prop_critical_path_alloc_telescopes =
+  qcheck_case
+    "critical_path: alloc contributions telescope to the root's minor words"
+    spec_gen (fun spec ->
+      let root = root_of_spec spec in
+      let steps = Obs.Critical_path.of_node root in
+      Obs.Critical_path.total_minor_w steps = 2 * spec.s_dur
+      && List.for_all
+           (fun (s : Obs.Critical_path.step) ->
+             s.Obs.Critical_path.contribution_minor_w >= 0)
+           steps)
+
 let test_critical_path_picks_widest_child () =
-  let sp name start dur =
-    { Span.name; start_ns = start; dur_ns = dur; tid = 0; depth = 0; args = [] }
+  let sp ?(minor = 0) name start dur =
+    {
+      Span.name;
+      start_ns = start;
+      dur_ns = dur;
+      tid = 0;
+      depth = 0;
+      minor_w = minor;
+      major_w = 0;
+      args = [];
+    }
   in
   let roots =
     TR.forest_of_spans
@@ -302,6 +424,49 @@ let test_bench_diff_rejects_mismatches () =
          ("bench", Json.String "mystery");
        ])
 
+let obs_alloc_artifact ~disabled_words ~alloc_bytes =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json.schema_version);
+      ("bench", Json.String "obs");
+      ("spans_per_solve", Json.Int 200);
+      ("tracing_on_overhead_percent", Json.Float 1.0);
+      ("alloc_disabled_minor_words", Json.Int disabled_words);
+      ("allocated_bytes_per_solve", Json.Float alloc_bytes);
+    ]
+
+let test_bench_diff_gates_alloc_metrics () =
+  (* The disabled span path allocating at all is a hard, exact gate. *)
+  let r =
+    diff_exn
+      ~baseline:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:1e6)
+      ~current:(obs_alloc_artifact ~disabled_words:16 ~alloc_bytes:1e6) ()
+  in
+  check ci "allocation on the disabled path is a hard regression" 1
+    r.BH.hard_regressions;
+  (* allocated_bytes_per_solve is directional and noise-aware. *)
+  let r =
+    diff_exn
+      ~baseline:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:10e6)
+      ~current:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:10.5e6) ()
+  in
+  check ci "alloc jitter within tolerance passes" 0
+    (r.BH.hard_regressions + r.BH.soft_regressions);
+  let r =
+    diff_exn
+      ~baseline:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:10e6)
+      ~current:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:13e6) ()
+  in
+  check ci "a 30% alloc growth is a soft regression" 1 r.BH.soft_regressions;
+  check ci "but not a hard one" 0 r.BH.hard_regressions;
+  let r =
+    diff_exn
+      ~baseline:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:10e6)
+      ~current:(obs_alloc_artifact ~disabled_words:0 ~alloc_bytes:5e6) ()
+  in
+  check ci "allocating less never regresses" 0
+    (r.BH.hard_regressions + r.BH.soft_regressions)
+
 let test_bench_diff_missing_metrics_reported () =
   let r =
     diff_exn
@@ -327,11 +492,15 @@ let () =
         [
           prop_self_times_partition_wall;
           prop_folded_weights_partition_wall;
+          prop_self_alloc_partitions_total;
+          prop_folded_alloc_weights_partition_total;
           Alcotest.test_case "folded output shape" `Quick test_folded_shape;
+          Alcotest.test_case "alloc table shape" `Quick test_alloc_table_shape;
         ] );
       ( "critical-path",
         [
           prop_critical_path_invariants;
+          prop_critical_path_alloc_telescopes;
           Alcotest.test_case "descends the widest child" `Quick
             test_critical_path_picks_widest_child;
         ] );
@@ -347,6 +516,8 @@ let () =
             test_bench_diff_threshold_override;
           Alcotest.test_case "rejects mismatched artifacts" `Quick
             test_bench_diff_rejects_mismatches;
+          Alcotest.test_case "gates the alloc metrics" `Quick
+            test_bench_diff_gates_alloc_metrics;
           Alcotest.test_case "missing metrics reported" `Quick
             test_bench_diff_missing_metrics_reported;
         ] );
