@@ -181,13 +181,29 @@ let scaling_cmd =
       value & flag
       & info [ "power" ] ~doc:"Measure the power DP instead of the cost solvers.")
   in
-  let run shape seed power =
+  let large_flag =
+    Arg.(
+      value & flag
+      & info [ "large" ]
+          ~doc:
+            "With --power: the large-N preset (dp-power and gr-power on a \
+             sparse workload) instead of the paper-scale mode ladder.")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "sizes" ] ~docv:"N,N,..."
+          ~doc:"Tree sizes to sweep, overriding the preset's defaults.")
+  in
+  let run shape seed power large sizes =
     let measurements =
-      if power then Scaling.measure_power_dp ~seed ~shape ()
-      else Scaling.measure_cost_algorithms ~seed ~shape ()
+      if power && large then Scaling.measure_power_dp_large ?sizes ~seed ~shape ()
+      else if power then Scaling.measure_power_dp ?sizes ~seed ~shape ()
+      else Scaling.measure_cost_algorithms ?sizes ~seed ~shape ()
     in
     Table.print (Scaling.to_table measurements)
   in
   Cmd.v
     (Cmd.info "scaling" ~doc:"Runtime scaling measurements (§5 claims).")
-    Term.(const run $ shape_arg $ seed_arg $ power_flag)
+    Term.(const run $ shape_arg $ seed_arg $ power_flag $ large_flag $ sizes_arg)

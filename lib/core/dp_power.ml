@@ -27,7 +27,9 @@ type result = {
    mark for table size and per-phase wall time. Counters accumulate
    until [Stats_counters.reset]; totals are identical at any [domains]
    value (atomic adds commute, and the set of tables built does not
-   depend on the fan-out). *)
+   depend on the fan-out) and identical between the packed and wide
+   representations (same set semantics, same product enumeration —
+   bench-diff pins them Exact). *)
 let c_cells = Stats_counters.counter "dp_power.cells_created"
 let c_products = Stats_counters.counter "dp_power.merge_products"
 let c_capacity = Stats_counters.counter "dp_power.capacity_rejected"
@@ -63,7 +65,16 @@ let h_products =
    interchangeable once mode-change costs are involved. Two placements
    agreeing on counts AND flow are fully interchangeable (same cost,
    same power, same influence upstream), so one representative
-   placement per key suffices. *)
+   placement per key suffices.
+
+   Two concrete representations implement that abstract key: the
+   {e packed} fast path ({!Packed_key}: the whole vector bit-packed
+   into one unboxed int, placements as {!Arena} handles, tables as
+   {!Int_table}) and the {e wide} fallback (this historical [int
+   array] / [Clist] / polymorphic-[Hashtbl] form) used when the
+   instance's field widths cannot fit 62 bits. Both produce the same
+   optimum, the same counter totals, and the same set of table keys;
+   only the tie-broken representative placements may differ. *)
 
 let state_size m = m + (m * m)
 
@@ -79,6 +90,18 @@ let bump key ~m ~initial ~operating =
   s.(idx) <- s.(idx) + 1;
   s
 
+(* Scratch variant: overwrite [dst] instead of allocating — the wide
+   enumeration path extends every root cell transiently, so one
+   preallocated key serves all candidates. *)
+let bump_into dst key ~m ~initial ~operating =
+  Array.blit key 0 dst 0 (Array.length key);
+  let idx =
+    match initial with
+    | None -> operating - 1
+    | Some i0 -> m + ((i0 - 1) * m) + (operating - 1)
+  in
+  dst.(idx) <- dst.(idx) + 1
+
 let set tbl key placed ~created =
   if not (Tbl.mem tbl key) then begin
     Tbl.replace tbl key placed;
@@ -87,6 +110,48 @@ let set tbl key placed ~created =
 
 let initial_mode_default tree j =
   match Tree.initial_mode tree j with Some m -> m | None -> 1
+
+(* Pre-existing servers per initial mode — hoisted out of the
+   per-candidate tally computation (it used to rebuild the whole
+   [Tree.pre_existing] list for every root cell). *)
+let available_of tree ~m =
+  let available = Array.make m 0 in
+  List.iter
+    (fun j ->
+      let i0 = initial_mode_default tree j in
+      available.(i0 - 1) <- available.(i0 - 1) + 1)
+    (Tree.pre_existing tree);
+  available
+
+(* Packed layout selection. First try uniform widths (every count
+   field sized for the node count N): the layout then depends only on
+   (N, M, W), so epoch views of one network share it and the
+   incremental memo survives pre-existing-set churn. If that exceeds
+   the 62-bit budget, retry with tight per-field maxima — e_{i0,op}
+   can never exceed the number of pre-existing servers initially at
+   mode i0 (0 bits when there are none). Only if even the tight
+   layout overflows does the solver fall back to the wide keys. *)
+let layout_for tree ~modes =
+  let m = Modes.count modes in
+  let n = Tree.size tree in
+  let w = Modes.max_capacity modes in
+  let nf = m + (m * m) in
+  match Packed_key.make ~m ~count_max:(Array.make nf n) ~flow_max:w with
+  | Some l -> Some l
+  | None ->
+      let e_counts = Array.make m 0 in
+      List.iter
+        (fun j ->
+          let i0 = initial_mode_default tree j in
+          e_counts.(i0 - 1) <- e_counts.(i0 - 1) + 1)
+        (Tree.pre_existing tree);
+      let tight =
+        Array.init nf (fun i -> if i < m then n else e_counts.((i - m) / m))
+      in
+      Packed_key.make ~m ~count_max:tight ~flow_max:w
+
+let packed_bits tree ~modes =
+  Option.map Packed_key.total_bits (layout_for tree ~modes)
 
 (* Dominance pruning: among cells with identical count entries
    (n_1..n_M, e_11..e_MM), keep only the one with minimal flow.
@@ -164,23 +229,39 @@ let prune_dominated ~m tbl =
    under demand that actually moved; results are bit-identical to a
    memo-less solve. Tables are never mutated after construction, so
    sharing them across solves is safe. The memo forces the sequential
-   merge path (no [Par] fan-out — the cache is not domain-safe). *)
+   merge path (no [Par] fan-out — the cache is not domain-safe).
+
+   A memo caches tables in whichever representation the instance
+   resolves to; the packed layout's field widths are part of the memo
+   key, so a layout change (e.g. the mode ladder or tree size changed)
+   resets the cache rather than mixing incomparable keys. Packed
+   placements live in the memo's arena, compacted after eviction once
+   it outgrows [compact_at]. *)
+type tbl_repr = Twide of (int * int) Clist.t Tbl.t | Tpacked of Int_table.t
+
 type memo = {
   mutable gen : int;
   mutable memo_key : (int list * bool) option;
       (* tables depend on the mode ladder and the prune flag *)
+  mutable m_layout : Packed_key.layout option;
+      (* layout of cached packed tables; [None] = wide representation *)
   prefixes : (int * int64, entry) Hashtbl.t;
   ext_cache : (int * int64, entry) Hashtbl.t;
+  m_arena : Arena.t;
+  mutable compact_at : int;
 }
 
-and entry = { mutable stamp : int; table : (int * int) Clist.t Tbl.t }
+and entry = { mutable stamp : int; table : tbl_repr }
 
 let memo () =
   {
     gen = 0;
     memo_key = None;
+    m_layout = None;
     prefixes = Hashtbl.create 512;
     ext_cache = Hashtbl.create 512;
+    m_arena = Arena.create ();
+    compact_at = 1 lsl 16;
   }
 
 let memo_size m = Hashtbl.length m.prefixes + Hashtbl.length m.ext_cache
@@ -188,14 +269,31 @@ let memo_size m = Hashtbl.length m.prefixes + Hashtbl.length m.ext_cache
 let fp_seed client =
   Tree.combine_fingerprints 0x9E6C63D0876A9A35L (Int64.of_int client)
 
+let wide_entry = function
+  | { table = Twide t; _ } -> Some t
+  | { table = Tpacked _; _ } -> None
+
+let packed_entry = function
+  | { table = Tpacked t; _ } -> Some t
+  | { table = Twide _; _ } -> None
+(* ------------------------------------------------------------------ *)
+(* Wide (int array / Clist / Hashtbl) fallback path.                  *)
+(* ------------------------------------------------------------------ *)
+
 (* Table of node j over servers strictly below j: key -> placement.
    [domains > 1] fans sibling subtrees out over OCaml 5 domains at the
    first node with several children; each child's table is a pure
    function of its subtree and is built sequentially inside its domain,
    and the reduction over child tables below keeps the sequential
    child order — so the result is bit-identical to [domains = 1]. *)
+(* Per-node spans only for subtrees of at least this many nodes —
+   same rationale as [Dp_withpre.span_min_subtree]: the packed kernels
+   made small-subtree merges cheaper than the span bookkeeping. *)
+let span_min_subtree = 16
+
 let rec table_of ctx tree ~modes ~prune ~domains j =
-  if not (Span.enabled ()) then node_table ctx tree ~modes ~prune ~domains j
+  if not (Span.enabled () && Tree.subtree_size tree j >= span_min_subtree)
+  then node_table ctx tree ~modes ~prune ~domains j
   else begin
     Span.begin_span "dp_power.node";
     let tbl =
@@ -257,11 +355,14 @@ and node_table ctx tree ~modes ~prune ~domains j =
           (try
              for i = k downto 1 do
                match Hashtbl.find_opt mm.prefixes (j, keys.(i)) with
-               | Some e ->
-                   e.stamp <- mm.gen;
-                   best := i;
-                   acc := e.table;
-                   raise Exit
+               | Some e -> (
+                   match wide_entry e with
+                   | Some t ->
+                       e.stamp <- mm.gen;
+                       best := i;
+                       acc := t;
+                       raise Exit
+                   | None -> ())
                | None -> ()
              done
            with Exit -> ());
@@ -277,7 +378,7 @@ and node_table ctx tree ~modes ~prune ~domains j =
               merge ~modes ~prune !acc
                 (extended_cached c tree ~modes ~prune arr.(i - 1));
             Hashtbl.replace mm.prefixes (j, keys.(i))
-              { stamp = mm.gen; table = !acc }
+              { stamp = mm.gen; table = Twide !acc }
           done;
           !acc)
 
@@ -285,7 +386,7 @@ and node_table ctx tree ~modes ~prune ~domains j =
    a clean child costs one hash probe instead of a subtree of work. *)
 and extended_cached ((mm, fps) as ctx) tree ~modes ~prune c =
   match Hashtbl.find_opt mm.ext_cache (c, fps.(c)) with
-  | Some e ->
+  | Some ({ table = Twide t; _ } as e) ->
       e.stamp <- mm.gen;
       Stats_counters.incr c_memo_hits;
       if Span.enabled () then begin
@@ -295,13 +396,14 @@ and extended_cached ((mm, fps) as ctx) tree ~modes ~prune c =
         Span.begin_span "dp_power.memo_hit";
         Span.end_span ~args:[ ("node", Span.Int c) ] ()
       end;
-      (c, e.table)
-  | None ->
+      (c, t)
+  | Some { table = Tpacked _; _ } | None ->
       Stats_counters.incr c_memo_misses;
       let _, tbl =
         extended_of (Some ctx) tree ~modes ~prune ~domains:1 c
       in
-      Hashtbl.replace mm.ext_cache (c, fps.(c)) { stamp = mm.gen; table = tbl };
+      Hashtbl.replace mm.ext_cache (c, fps.(c))
+        { stamp = mm.gen; table = Twide tbl };
       (c, tbl)
 
 (* The child's table extended with the decision at c itself: its
@@ -373,18 +475,437 @@ and merge ~modes ~prune left (c, extended) =
       ();
   result
 
-let tally_of_state ~modes tree key =
+(* ------------------------------------------------------------------ *)
+(* Packed fast path: unboxed keys, flat tables, arena placements.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-depth scratch buffers for the memo-less packed path: the fold
+   at depth d needs the accumulator and its double buffer, the current
+   child's extension, and two prune scratches (count-group -> minimal
+   key, and the compacted output). All five are reused across every
+   node at that depth, so a whole solve touches O(height) tables and
+   the merge inner loop allocates zero GC words — [clear] keeps
+   backing storage. *)
+type pslot = {
+  mutable p_acc : Int_table.t;
+  mutable p_alt : Int_table.t;
+  mutable p_ext : Int_table.t;
+  p_best : Int_table.t;
+  mutable p_tmp : Int_table.t;
+}
+
+type pctx = {
+  lay : Packed_key.layout;
+  arena : Arena.t;
+  mutable pslots : pslot array;
+  pmemo : (memo * int64 array) option;
+  (* per-merge scratch counters: mutable fields, not refs, so the hot
+     path allocates nothing even without escape analysis *)
+  mutable n_products : int;
+  mutable n_rejected : int;
+  mutable n_created : int;
+}
+
+let fresh_pslot () =
+  {
+    p_acc = Int_table.create ();
+    p_alt = Int_table.create ();
+    p_ext = Int_table.create ();
+    p_best = Int_table.create ();
+    p_tmp = Int_table.create ();
+  }
+
+let make_pctx ?pmemo lay =
+  let arena =
+    match pmemo with Some (m, _) -> m.m_arena | None -> Arena.create ()
+  in
+  {
+    lay;
+    arena;
+    pslots = [||];
+    pmemo;
+    n_products = 0;
+    n_rejected = 0;
+    n_created = 0;
+  }
+
+let pslot pc depth =
+  let n = Array.length pc.pslots in
+  if depth >= n then
+    pc.pslots <-
+      Array.init
+        (max (depth + 1) (2 * n))
+        (fun i -> if i < n then pc.pslots.(i) else fresh_pslot ());
+  pc.pslots.(depth)
+
+(* Flow-dominance prune over a packed table. Count groups are
+   [key lsr flow_bits]; within a group the flow-minimal cell is the
+   minimal packed key, so [best] maps group -> minimal key. Writes the
+   surviving cells into [out] (cleared here) in first-encounter group
+   order and returns it; returns [tbl] untouched when nothing is
+   dominated. Counter totals match the wide prune exactly: same
+   groups, same survivors. *)
+let pprune lay ~best ~out tbl =
+  if Int_table.length tbl <= 1 then tbl
+  else begin
+    let tracing = Span.enabled () && Int_table.length tbl >= 1024 in
+    if tracing then Span.begin_span "dp_power.prune";
+    Int_table.clear best;
+    let fb = Packed_key.flow_bits lay in
+    let len = Int_table.length tbl in
+    for i = 0 to len - 1 do
+      let key = Int_table.key_at tbl i in
+      let g = key lsr fb in
+      let r = Int_table.reserve best g in
+      if r >= 0 then Int_table.set_val best r key
+      else begin
+        let j = Int_table.index best g in
+        if Int_table.val_at best j > key then Int_table.set_val best j key
+      end
+    done;
+    let dropped = len - Int_table.length best in
+    let result =
+      if dropped = 0 then tbl
+      else begin
+        Stats_counters.add c_pruned dropped;
+        Int_table.clear out;
+        for i = 0 to Int_table.length best - 1 do
+          let key = Int_table.val_at best i in
+          let r = Int_table.reserve out key in
+          Int_table.set_val out r (Int_table.get tbl key)
+        done;
+        out
+      end
+    in
+    if tracing then
+      Span.end_span
+        ~args:[ ("cells_in", Span.Int len); ("pruned", Span.Int dropped) ]
+        ();
+    result
+  end
+
+(* Extend [sub] (the child's table) with the decision at [c] itself,
+   writing into [ext] (cleared here). First-wins inserts, counting
+   created cells through [pc.n_created]; the arena push happens only
+   when the insert lands, so the loop allocates nothing. *)
+let pextend pc tree ~modes ext sub c =
+  let lay = pc.lay in
+  let arena = pc.arena in
+  Int_table.clear ext;
+  let c_pre = Tree.is_pre_existing tree c in
+  let i0 = if c_pre then initial_mode_default tree c else 0 in
+  pc.n_created <- 0;
+  let len = Int_table.length sub in
+  for i = 0 to len - 1 do
+    let key = Int_table.key_at sub i in
+    let placed = Int_table.val_at sub i in
+    let r = Int_table.reserve ext key in
+    if r >= 0 then begin
+      Int_table.set_val ext r placed;
+      pc.n_created <- pc.n_created + 1
+    end;
+    let flow = Packed_key.flow lay key in
+    let operating = Modes.mode_of_load modes flow in
+    let field =
+      if c_pre then Packed_key.e_field lay ~initial:i0 ~operating
+      else Packed_key.n_field lay ~operating
+    in
+    let key' = Packed_key.bump lay (Packed_key.zero_flow lay key) field in
+    let r' = Int_table.reserve ext key' in
+    if r' >= 0 then begin
+      Int_table.set_val ext r' (Arena.snoc arena placed ~node:c ~flow);
+      pc.n_created <- pc.n_created + 1
+    end
+  done;
+  Stats_counters.add c_cells pc.n_created
+
+(* The convolution kernel: [left] x [ext] into [into] (cleared here).
+   Packed keys of disjoint subtrees add field-wise — the flow sum is
+   checked against w before the add, every other field is bounded by
+   the instance-wide maxima the layout was sized from, so no field can
+   carry. The loop body is probes, int adds and arena pushes: zero GC
+   words. *)
+let pconvolve pc ~modes ~into left ext =
+  let lay = pc.lay in
+  let arena = pc.arena in
+  let w = Modes.max_capacity modes in
+  let llen = Int_table.length left and rlen = Int_table.length ext in
+  (* Span only the convolutions with enough products to dwarf the span
+     bookkeeping itself — small-table merges are a handful of int ops. *)
+  let tracing = Span.enabled () && llen * rlen >= 4096 in
+  if tracing then Span.begin_span "dp_power.merge";
+  Int_table.clear into;
+  pc.n_products <- 0;
+  pc.n_rejected <- 0;
+  pc.n_created <- 0;
+  for i = 0 to llen - 1 do
+    let k1 = Int_table.key_at left i in
+    let p1 = Int_table.val_at left i in
+    let f1 = Packed_key.flow lay k1 in
+    for j = 0 to rlen - 1 do
+      let k2 = Int_table.key_at ext j in
+      let flow = f1 + Packed_key.flow lay k2 in
+      if flow <= w then begin
+        let r = Int_table.reserve into (k1 + k2) in
+        if r >= 0 then begin
+          Int_table.set_val into r
+            (Arena.append arena p1 (Int_table.val_at ext j));
+          pc.n_created <- pc.n_created + 1
+        end
+      end
+      else pc.n_rejected <- pc.n_rejected + 1
+    done;
+    pc.n_products <- pc.n_products + rlen
+  done;
+  Stats_counters.add c_products pc.n_products;
+  Stats_counters.add c_capacity pc.n_rejected;
+  Stats_counters.add c_cells pc.n_created;
+  Stats_counters.record_max c_peak (Int_table.length into);
+  Replica_obs.Histogram.observe h_products pc.n_products;
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("left_cells", Span.Int llen);
+          ("child_cells", Span.Int rlen);
+          ("products", Span.Int pc.n_products);
+          ("merged_cells", Span.Int (Int_table.length into));
+        ]
+      ()
+
+(* Start cell of a node's table: no servers below, the client load
+   flows through — the packed key is just the flow field, i.e. the
+   load itself. *)
+let pstart _pc ~modes tbl tree j =
+  Int_table.clear tbl;
+  let w = Modes.max_capacity modes in
+  let client = Tree.client_load tree j in
+  if client <= w then begin
+    let r = Int_table.reserve tbl client in
+    Int_table.set_val tbl r Arena.empty;
+    Stats_counters.incr c_cells
+  end
+
+(* Packed memo-less recursion. The fold at each node runs over the
+   per-depth scratch slot: extend the child into [p_ext] (pruning via
+   [p_tmp]), convolve [p_acc] x [p_ext] into [p_alt] (pruning via
+   [p_tmp] again), then swap [p_acc]/[p_alt]. All swaps permute the
+   five distinct tables of the slot, so no buffer is ever read and
+   written in the same kernel. *)
+let rec ptable pc tree ~modes ~prune ~domains ~depth j =
+  if not (Span.enabled () && Tree.subtree_size tree j >= span_min_subtree)
+  then pnode pc tree ~modes ~prune ~domains ~depth j
+  else begin
+    Span.begin_span "dp_power.node";
+    let tbl =
+      try pnode pc tree ~modes ~prune ~domains ~depth j
+      with e ->
+        Span.end_span ();
+        raise e
+    in
+    Span.end_span
+      ~args:
+        [
+          ("node", Span.Int j);
+          ("subtree_size", Span.Int (Tree.subtree_size tree j));
+          ("cells", Span.Int (Int_table.length tbl));
+        ]
+      ();
+    tbl
+  end
+
+and pnode pc tree ~modes ~prune ~domains ~depth j =
+  let s = pslot pc depth in
+  pstart pc ~modes s.p_acc tree j;
+  let children = Tree.children_array tree j in
+  let k = Array.length children in
+  if k = 0 then s.p_acc
+  else if k >= 2 && domains > 1 then begin
+    (* Sibling fan-out: each child builds its extension in a private
+       pctx + arena; grafting back and folding keeps the sequential
+       child order, so the result is bit-identical to [domains = 1]. *)
+    let exts =
+      Par.map ~domains
+        (fun c -> pextended_standalone pc.lay tree ~modes ~prune c)
+        (Array.to_list children)
+    in
+    List.iter
+      (fun (ext, child_arena) ->
+        let map = Array.make (Arena.length child_arena) 0 in
+        let len = Int_table.length ext in
+        for i = 0 to len - 1 do
+          Int_table.set_val ext i
+            (Arena.graft ~src:child_arena ~dst:pc.arena ~map
+               (Int_table.val_at ext i))
+        done;
+        pmerge_step pc ~modes ~prune s ext)
+      exts;
+    s.p_acc
+  end
+  else begin
+    for i = 0 to k - 1 do
+      let c = children.(i) in
+      let sub =
+        ptable pc tree ~modes ~prune
+          ~domains:(if k = 1 then domains else 1)
+          ~depth:(depth + 1) c
+      in
+      pextend pc tree ~modes s.p_ext sub c;
+      (if prune then begin
+         let r = pprune pc.lay ~best:s.p_best ~out:s.p_tmp s.p_ext in
+         if r != s.p_ext then begin
+           let t = s.p_ext in
+           s.p_ext <- s.p_tmp;
+           s.p_tmp <- t
+         end
+       end);
+      pmerge_step pc ~modes ~prune s s.p_ext
+    done;
+    s.p_acc
+  end
+
+and pmerge_step pc ~modes ~prune s ext =
+  pconvolve pc ~modes ~into:s.p_alt s.p_acc ext;
+  (if prune then begin
+     let r = pprune pc.lay ~best:s.p_best ~out:s.p_tmp s.p_alt in
+     if r != s.p_alt then begin
+       let t = s.p_alt in
+       s.p_alt <- s.p_tmp;
+       s.p_tmp <- t
+     end
+   end);
+  let t = s.p_acc in
+  s.p_acc <- s.p_alt;
+  s.p_alt <- t
+
+and pextended_standalone lay tree ~modes ~prune c =
+  let pc = make_pctx lay in
+  let sub = ptable pc tree ~modes ~prune ~domains:1 ~depth:1 c in
+  let s = pslot pc 0 in
+  pextend pc tree ~modes s.p_ext sub c;
+  let ext =
+    if prune then pprune lay ~best:s.p_best ~out:s.p_tmp s.p_ext else s.p_ext
+  in
+  (ext, pc.arena)
+
+(* Packed memo path — the packed twin of the wide [node_table]'s
+   [Some ctx] branch. Tables built here persist in the memo across
+   solves, so they are fresh [Int_table]s (not pooled scratch) and
+   their placements live in the memo's arena. *)
+let rec mtable pc tree ~modes ~prune j =
+  if not (Span.enabled ()) then mnode pc tree ~modes ~prune j
+  else begin
+    Span.begin_span "dp_power.node";
+    let tbl =
+      try mnode pc tree ~modes ~prune j
+      with e ->
+        Span.end_span ();
+        raise e
+    in
+    Span.end_span
+      ~args:
+        [
+          ("node", Span.Int j);
+          ("subtree_size", Span.Int (Tree.subtree_size tree j));
+          ("cells", Span.Int (Int_table.length tbl));
+        ]
+      ();
+    tbl
+  end
+
+and mnode pc tree ~modes ~prune j =
+  let mm, fps =
+    match pc.pmemo with Some c -> c | None -> assert false
+  in
+  let start = Int_table.create () in
+  pstart pc ~modes start tree j;
+  match Tree.children tree j with
+  | [] -> start
+  | children ->
+      let arr = Array.of_list children in
+      let k = Array.length arr in
+      let keys = Array.make (k + 1) (fp_seed (Tree.client_load tree j)) in
+      for i = 1 to k do
+        keys.(i) <- Tree.combine_fingerprints keys.(i - 1) fps.(arr.(i - 1))
+      done;
+      let best = ref 0 and acc = ref start in
+      (try
+         for i = k downto 1 do
+           match Hashtbl.find_opt mm.prefixes (j, keys.(i)) with
+           | Some e -> (
+               match packed_entry e with
+               | Some t ->
+                   e.stamp <- mm.gen;
+                   best := i;
+                   acc := t;
+                   raise Exit
+               | None -> ())
+           | None -> ()
+         done
+       with Exit -> ());
+      if !best > 0 && !best < k then Stats_counters.incr c_memo_partial;
+      if Span.enabled () then
+        Span.add_arg "memo"
+          (Span.Str
+             (if !best = k then "hit"
+              else if !best > 0 then "partial"
+              else "miss"));
+      for i = !best + 1 to k do
+        acc := mmerge pc tree ~modes ~prune !acc arr.(i - 1);
+        Hashtbl.replace mm.prefixes (j, keys.(i))
+          { stamp = mm.gen; table = Tpacked !acc }
+      done;
+      !acc
+
+and mmerge pc tree ~modes ~prune left c =
+  let ext = mext_cached pc tree ~modes ~prune c in
+  let merged = Int_table.create ~capacity:(2 * Int_table.length left) () in
+  pconvolve pc ~modes ~into:merged left ext;
+  if prune then begin
+    let best = Int_table.create () and out = Int_table.create () in
+    pprune pc.lay ~best ~out merged
+  end
+  else merged
+
+and mext_cached pc tree ~modes ~prune c =
+  let mm, fps =
+    match pc.pmemo with Some x -> x | None -> assert false
+  in
+  match Hashtbl.find_opt mm.ext_cache (c, fps.(c)) with
+  | Some ({ table = Tpacked t; _ } as e) ->
+      e.stamp <- mm.gen;
+      Stats_counters.incr c_memo_hits;
+      if Span.enabled () then begin
+        Span.begin_span "dp_power.memo_hit";
+        Span.end_span ~args:[ ("node", Span.Int c) ] ()
+      end;
+      t
+  | Some { table = Twide _; _ } | None ->
+      Stats_counters.incr c_memo_misses;
+      let sub = mtable pc tree ~modes ~prune c in
+      let ext = Int_table.create ~capacity:(2 * Int_table.length sub) () in
+      pextend pc tree ~modes ext sub c;
+      let ext =
+        if prune then begin
+          let best = Int_table.create () and out = Int_table.create () in
+          pprune pc.lay ~best ~out ext
+        end
+        else ext
+      in
+      Hashtbl.replace mm.ext_cache (c, fps.(c))
+        { stamp = mm.gen; table = Tpacked ext };
+      ext
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration and the public entry points.                           *)
+(* ------------------------------------------------------------------ *)
+
+let tally_of_state ~modes ~available key =
   let m = Modes.count modes in
   let t = Cost.empty_tally ~modes:m in
   for i = 0 to m - 1 do
     t.Cost.created.(i) <- key.(i)
   done;
-  let available = Array.make m 0 in
-  List.iter
-    (fun j ->
-      let i0 = initial_mode_default tree j in
-      available.(i0 - 1) <- available.(i0 - 1) + 1)
-    (Tree.pre_existing tree);
   for i = 0 to m - 1 do
     let reused_from_i = ref 0 in
     for i' = 0 to m - 1 do
@@ -408,10 +929,77 @@ let power_of_state ~modes ~power key =
   done;
   !total
 
-(* Enumerate every complete solution at the root: for each root-table
-   cell, either the residual flow is zero (no root server needed — with
-   an optional zero-load reuse when the root is pre-existing), or the
-   root must host a server whose mode follows from the flow. *)
+(* Packed twins of the two key readers, writing into a caller-owned
+   tally so the lean solve scan reuses one scratch record. *)
+let ptally_into lay ~available tally key =
+  let m = Packed_key.mode_count lay in
+  for op = 1 to m do
+    tally.Cost.created.(op - 1) <-
+      Packed_key.get lay key (Packed_key.n_field lay ~operating:op)
+  done;
+  for i0 = 1 to m do
+    let row = tally.Cost.reused.(i0 - 1) in
+    let sum = ref 0 in
+    for op = 1 to m do
+      let v =
+        Packed_key.get lay key (Packed_key.e_field lay ~initial:i0 ~operating:op)
+      in
+      row.(op - 1) <- v;
+      sum := !sum + v
+    done;
+    tally.Cost.deleted.(i0 - 1) <- available.(i0 - 1) - !sum
+  done
+
+let ppower_of lay ~modes ~power key =
+  let m = Packed_key.mode_count lay in
+  let total = ref 0. in
+  for op = 1 to m do
+    let count = ref (Packed_key.get lay key (Packed_key.n_field lay ~operating:op)) in
+    for i0 = 1 to m do
+      count :=
+        !count
+        + Packed_key.get lay key (Packed_key.e_field lay ~initial:i0 ~operating:op)
+    done;
+    if !count > 0 then
+      total := !total +. (float_of_int !count *. Power.of_mode power modes op)
+  done;
+  !total
+
+(* Root decisions for one packed root-table cell, in the same order as
+   the wide enumeration: zero flow admits the no-root completion (plus
+   a zero-load reuse when the root is pre-existing); positive flow
+   forces a root server at the load-determined mode. The root bump
+   leaves the flow field untouched — like the wide [bump] — since the
+   readers above only look at count fields. *)
+let proot_scan lay ~modes table ~root_pre ~root_i0 consider =
+  let len = Int_table.length table in
+  for i = 0 to len - 1 do
+    let key = Int_table.key_at table i in
+    let placed = Int_table.val_at table i in
+    let flow = Packed_key.flow lay key in
+    if flow = 0 then begin
+      consider key placed false;
+      if root_pre then
+        consider
+          (Packed_key.bump lay key
+             (Packed_key.e_field lay ~initial:root_i0 ~operating:1))
+          placed true
+    end
+    else begin
+      let operating = Modes.mode_of_load modes flow in
+      let field =
+        if root_pre then Packed_key.e_field lay ~initial:root_i0 ~operating
+        else Packed_key.n_field lay ~operating
+      in
+      consider (Packed_key.bump lay key field) placed true
+    end
+  done
+
+(* Enumerate every complete solution at the root (wide fallback): for
+   each root-table cell, either the residual flow is zero (no root
+   server needed — with an optional zero-load reuse when the root is
+   pre-existing), or the root must host a server whose mode follows
+   from the flow. One scratch key serves every transient root bump. *)
 let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
   if Cost.mode_count cost <> Modes.count modes then
     invalid_arg "Dp_power: cost model mode count mismatch";
@@ -430,9 +1018,11 @@ let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
       Some (initial_mode_default tree root)
     else None
   in
+  let available = available_of tree ~m in
+  let scratch = Array.make (state_size m + 1) 0 in
   let out = ref [] in
   let emit key placed root_used =
-    let tally = tally_of_state ~modes tree key in
+    let tally = tally_of_state ~modes ~available key in
     let cost_v = Cost.modal_cost cost tally in
     let power_v = power_of_state ~modes ~power key in
     let nodes = List.map fst (Clist.to_list placed) in
@@ -457,38 +1047,212 @@ let candidates ?(ctx = None) tree ~modes ~power ~cost ~prune ~domains =
                deleting it, at the price of its mode-1 power). *)
             match root_initial with
             | Some _ ->
-                emit (bump key ~m ~initial:root_initial ~operating:1) placed true
+                bump_into scratch key ~m ~initial:root_initial ~operating:1;
+                emit scratch placed true
             | None -> ()
           end
-          else
+          else begin
             let operating = Modes.mode_of_load modes flow in
-            emit (bump key ~m ~initial:root_initial ~operating) placed true)
+            bump_into scratch key ~m ~initial:root_initial ~operating;
+            emit scratch placed true
+          end)
         table);
   if tracing then
     Span.end_span ~args:[ ("candidates", Span.Int (List.length !out)) ] ();
   !out
 
-let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
-    ?memo:m () =
-  (* Pruning is exact for the pure MinPower problem regardless of the
-     cost model, and for bounded problems under mode-monotone costs —
-     see the proof above [prune_dominated]. *)
-  let prune =
-    match prune with
-    | Some p -> p
-    | None -> bound = infinity || Cost.is_mode_monotone cost
+(* Packed candidate enumeration (frontier path: every completion is
+   materialized as a [result]). *)
+let pcandidates lay tree ~modes ~power ~cost ~prune ~domains =
+  if Cost.mode_count cost <> Modes.count modes then
+    invalid_arg "Dp_power: cost model mode count mismatch";
+  let m = Modes.count modes in
+  let root = Tree.root tree in
+  let pc = make_pctx lay in
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_power.tables";
+  let table =
+    Stats_counters.time t_tables (fun () ->
+        ptable pc tree ~modes ~prune ~domains ~depth:0 root)
   in
-  let ctx =
-    match m with
+  if tracing then
+    Span.end_span ~args:[ ("root_cells", Span.Int (Int_table.length table)) ] ();
+  let root_pre = Tree.is_pre_existing tree root in
+  let root_i0 = if root_pre then initial_mode_default tree root else 0 in
+  let available = available_of tree ~m in
+  let out = ref [] in
+  let emit key placed root_used =
+    let tally = Cost.empty_tally ~modes:m in
+    ptally_into lay ~available tally key;
+    let cost_v = Cost.modal_cost cost tally in
+    let power_v = ppower_of lay ~modes ~power key in
+    let nodes = Arena.nodes pc.arena placed in
+    let nodes = if root_used then root :: nodes else nodes in
+    out :=
+      {
+        solution = Solution.of_nodes nodes;
+        power = power_v;
+        cost = cost_v;
+        tally;
+      }
+      :: !out
+  in
+  if tracing then Span.begin_span "dp_power.enumerate";
+  Stats_counters.time t_enumerate (fun () ->
+      proot_scan lay ~modes table ~root_pre ~root_i0 emit);
+  if tracing then
+    Span.end_span ~args:[ ("candidates", Span.Int (List.length !out)) ] ();
+  !out
+
+(* Memo housekeeping shared by both representations. *)
+let memo_prepare mm ~modes ~prune ~layout =
+  let key = (Modes.capacities modes, prune) in
+  let layout_matches =
+    match (mm.m_layout, layout) with
+    | None, None -> true
+    | Some a, Some b -> Packed_key.equal a b
+    | None, Some _ | Some _, None -> false
+  in
+  if mm.memo_key <> Some key || not layout_matches then begin
+    Hashtbl.reset mm.prefixes;
+    Hashtbl.reset mm.ext_cache;
+    Arena.clear mm.m_arena;
+    mm.memo_key <- Some key;
+    mm.m_layout <- layout
+  end;
+  mm.gen <- mm.gen + 1
+
+let memo_finish mm =
+  let evict tbl =
+    Hashtbl.filter_map_inplace
+      (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
+      tbl
+  in
+  evict mm.prefixes;
+  evict mm.ext_cache;
+  (* Reclaim arena cells orphaned by eviction/replacement once the
+     arena has outgrown its threshold; every surviving table handle is
+     rewritten through one sharing-preserving compaction map. *)
+  match mm.m_layout with
+  | Some _ when Arena.length mm.m_arena > mm.compact_at ->
+      let c = Arena.compact_begin mm.m_arena in
+      let rewrite _ e =
+        match e.table with
+        | Tpacked t ->
+            let len = Int_table.length t in
+            for i = 0 to len - 1 do
+              Int_table.set_val t i
+                (Arena.compact_root mm.m_arena c (Int_table.val_at t i))
+            done
+        | Twide _ -> ()
+      in
+      Hashtbl.iter rewrite mm.prefixes;
+      Hashtbl.iter rewrite mm.ext_cache;
+      Arena.compact_commit mm.m_arena c;
+      mm.compact_at <- max (1 lsl 16) (4 * Arena.length mm.m_arena)
+  | Some _ | None -> ()
+
+(* Packed solve: build the root table with pooled scratch (or through
+   the memo), then scan it WITHOUT materializing a candidate list —
+   cost and power are evaluated into one scratch tally per cell, and
+   only the winning cell is decoded into a [result]. The scan order
+   and the non-strict replace reproduce the wide path's tie-breaking
+   exactly: the (power, cost) optimum is identical; the representative
+   placement may differ (table iteration orders differ). *)
+let psolve lay tree ~modes ~power ~cost ~bound ~prune ~domains mopt =
+  let pmemo =
+    match mopt with
     | None -> None
     | Some mm ->
-        let key = (Modes.capacities modes, prune) in
-        if mm.memo_key <> Some key then begin
-          Hashtbl.reset mm.prefixes;
-          Hashtbl.reset mm.ext_cache;
-          mm.memo_key <- Some key
-        end;
-        mm.gen <- mm.gen + 1;
+        memo_prepare mm ~modes ~prune ~layout:(Some lay);
+        Some (mm, Tree.subtree_fingerprints tree)
+  in
+  let pc = make_pctx ?pmemo lay in
+  let tracing = Span.enabled () in
+  if tracing then Span.begin_span "dp_power.solve";
+  let root = Tree.root tree in
+  if tracing then Span.begin_span "dp_power.tables";
+  let table =
+    Stats_counters.time t_tables (fun () ->
+        match pc.pmemo with
+        | None -> ptable pc tree ~modes ~prune ~domains ~depth:0 root
+        | Some _ -> mtable pc tree ~modes ~prune root)
+  in
+  if tracing then
+    Span.end_span ~args:[ ("root_cells", Span.Int (Int_table.length table)) ] ();
+  let m = Modes.count modes in
+  let root_pre = Tree.is_pre_existing tree root in
+  let root_i0 = if root_pre then initial_mode_default tree root else 0 in
+  let available = available_of tree ~m in
+  let scratch = Cost.empty_tally ~modes:m in
+  let n_cand = ref 0 in
+  let found = ref false
+  and best_p = ref infinity
+  and best_c = ref infinity
+  and best_key = ref 0
+  and best_placed = ref Arena.empty
+  and best_root = ref false in
+  let consider key placed root_used =
+    incr n_cand;
+    ptally_into lay ~available scratch key;
+    let cost_v = Cost.modal_cost cost scratch in
+    if cost_v <= bound then begin
+      let power_v = ppower_of lay ~modes ~power key in
+      if
+        (not !found)
+        || power_v < !best_p
+        || (power_v = !best_p && cost_v <= !best_c)
+      then begin
+        found := true;
+        best_p := power_v;
+        best_c := cost_v;
+        best_key := key;
+        best_placed := placed;
+        best_root := root_used
+      end
+    end
+  in
+  if tracing then Span.begin_span "dp_power.enumerate";
+  Stats_counters.time t_enumerate (fun () ->
+      proot_scan lay ~modes table ~root_pre ~root_i0 consider);
+  if tracing then
+    Span.end_span ~args:[ ("candidates", Span.Int !n_cand) ] ();
+  let result =
+    if not !found then None
+    else begin
+      let tally = Cost.empty_tally ~modes:m in
+      ptally_into lay ~available tally !best_key;
+      let nodes = Arena.nodes pc.arena !best_placed in
+      let nodes = if !best_root then root :: nodes else nodes in
+      Some
+        {
+          solution = Solution.of_nodes nodes;
+          power = !best_p;
+          cost = !best_c;
+          tally;
+        }
+    end
+  in
+  (match mopt with Some mm -> memo_finish mm | None -> ());
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("nodes", Span.Int (Tree.size tree));
+          ("prune", Span.Bool prune);
+          ("domains", Span.Int domains);
+          ("memo", Span.Bool (mopt <> None));
+          ("solved", Span.Bool (result <> None));
+        ]
+      ();
+  result
+
+let wide_solve tree ~modes ~power ~cost ~bound ~prune ~domains mopt =
+  let ctx =
+    match mopt with
+    | None -> None
+    | Some mm ->
+        memo_prepare mm ~modes ~prune ~layout:None;
         Some (mm, Tree.subtree_fingerprints tree)
   in
   let tracing = Span.enabled () in
@@ -501,16 +1265,7 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
         | Some b when (b.power, b.cost) <= (r.power, r.cost) -> ()
         | Some _ | None -> best := Some r)
     (candidates ~ctx tree ~modes ~power ~cost ~prune ~domains);
-  (match m with
-  | Some mm ->
-      let evict tbl =
-        Hashtbl.filter_map_inplace
-          (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
-          tbl
-      in
-      evict mm.prefixes;
-      evict mm.ext_cache
-  | None -> ());
+  (match mopt with Some mm -> memo_finish mm | None -> ());
   if tracing then
     Span.end_span
       ~args:
@@ -518,11 +1273,38 @@ let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?(domains = 1)
           ("nodes", Span.Int (Tree.size tree));
           ("prune", Span.Bool prune);
           ("domains", Span.Int domains);
-          ("memo", Span.Bool (m <> None));
+          ("memo", Span.Bool (mopt <> None));
           ("solved", Span.Bool (!best <> None));
         ]
       ();
   !best
+
+let solve tree ~modes ~power ~cost ?(bound = infinity) ?prune ?packed
+    ?(domains = 1) ?memo:m () =
+  if Cost.mode_count cost <> Modes.count modes then
+    invalid_arg "Dp_power: cost model mode count mismatch";
+  (* Pruning is exact for the pure MinPower problem regardless of the
+     cost model, and for bounded problems under mode-monotone costs —
+     see the proof above [prune_dominated]. *)
+  let prune =
+    match prune with
+    | Some p -> p
+    | None -> bound = infinity || Cost.is_mode_monotone cost
+  in
+  let layout =
+    match packed with
+    | Some false -> None
+    | Some true -> (
+        match layout_for tree ~modes with
+        | Some _ as l -> l
+        | None ->
+            invalid_arg "Dp_power: instance exceeds the 62-bit packed key budget"
+        )
+    | None -> layout_for tree ~modes
+  in
+  match layout with
+  | Some lay -> psolve lay tree ~modes ~power ~cost ~bound ~prune ~domains m
+  | None -> wide_solve tree ~modes ~power ~cost ~bound ~prune ~domains m
 
 let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
   (* The frontier sweeps every cost bound at once, so pruning is only
@@ -531,9 +1313,12 @@ let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
     match prune with Some p -> p | None -> Cost.is_mode_monotone cost
   in
   let all =
-    List.sort
-      (fun a b -> compare (a.cost, a.power) (b.cost, b.power))
-      (candidates tree ~modes ~power ~cost ~prune ~domains)
+    match layout_for tree ~modes with
+    | Some lay -> pcandidates lay tree ~modes ~power ~cost ~prune ~domains
+    | None -> candidates tree ~modes ~power ~cost ~prune ~domains
+  in
+  let all =
+    List.sort (fun a b -> compare (a.cost, a.power) (b.cost, b.power)) all
   in
   (* Keep points that strictly improve power as cost increases. *)
   let rec filter best_power = function
@@ -545,4 +1330,39 @@ let frontier ?prune ?(domains = 1) tree ~modes ~power ~cost =
   filter infinity all
 
 let root_state_count ?(prune = false) ?(domains = 1) tree ~modes =
-  Tbl.length (table_of None tree ~modes ~prune ~domains (Tree.root tree))
+  match layout_for tree ~modes with
+  | Some lay ->
+      let pc = make_pctx lay in
+      Int_table.length
+        (ptable pc tree ~modes ~prune ~domains ~depth:0 (Tree.root tree))
+  | None ->
+      Tbl.length (table_of None tree ~modes ~prune ~domains (Tree.root tree))
+
+(* Allocation probe: minor words allocated by rebuilding the whole
+   packed table pyramid with warm scratch buffers — the quantity the
+   bench gate pins to exactly zero. The first build grows every pool
+   and the arena to steady-state capacity; the metered rebuild then
+   runs entirely in preallocated storage. The no-op measurement
+   cancels the constant metering overhead (float boxing in bytecode). *)
+let merge_minor_words tree ~modes ~prune =
+  match layout_for tree ~modes with
+  | None ->
+      invalid_arg "Dp_power.merge_minor_words: instance exceeds the packed key budget"
+  | Some lay ->
+      let root = Tree.root tree in
+      let pc = make_pctx lay in
+      ignore (ptable pc tree ~modes ~prune ~domains:1 ~depth:0 root);
+      let rebuild () =
+        Arena.clear pc.arena;
+        ignore (ptable pc tree ~modes ~prune ~domains:1 ~depth:0 root)
+      in
+      let meter f =
+        let a0 = Gc.minor_words () in
+        f ();
+        Gc.minor_words () -. a0
+      in
+      let baseline = meter (fun () -> ()) in
+      (* one extra warm rebuild so every scratch pool has seen the
+         final swap pattern before the metered run *)
+      rebuild ();
+      meter rebuild -. baseline

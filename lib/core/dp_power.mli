@@ -73,8 +73,24 @@
     dirtied tables. Results are bit-identical to a memo-less solve
     (modulo the ~2^-64 fingerprint-collision probability). The memo
     forces the sequential merge path ([domains] is ignored); it resets
-    itself when the mode ladder or the resolved prune flag changes, and
-    is observable through [dp_power.memo_{hits,partial,misses}]. *)
+    itself when the mode ladder, the resolved prune flag or the packed
+    key layout changes, and is observable through
+    [dp_power.memo_{hits,partial,misses}].
+
+    {2 Packed representation}
+
+    When the instance's state vector fits a 62-bit budget
+    ({!packed_bits}), the solver switches to a packed fast path: keys
+    are bit-packed unboxed ints ({!Packed_key}), tables are flat
+    open-addressing [int -> int] tables ({!Int_table}), and placements
+    are handles into a flat {!Arena} — the child-merge convolution then
+    runs over per-depth scratch buffers and allocates {e zero} GC words
+    ({!merge_minor_words} measures exactly that; the bench gate pins it
+    to 0). Both representations compute the same optimum, the same
+    Pareto frontier and the same [dp_power.*] counter totals; only the
+    tie-broken representative placement may differ (table iteration
+    orders differ). [?packed] overrides the automatic choice — mostly
+    for differential tests pitting the two paths against each other. *)
 
 type result = {
   solution : Solution.t;
@@ -100,6 +116,7 @@ val solve :
   cost:Cost.modal ->
   ?bound:float ->
   ?prune:bool ->
+  ?packed:bool ->
   ?domains:int ->
   ?memo:memo ->
   unit ->
@@ -107,10 +124,13 @@ val solve :
 (** Minimal-power placement among those of cost at most [bound] (default
     [infinity], i.e. the pure [MinPower] problem). [None] when no valid
     placement meets the bound. [prune] defaults to the exactness rule
-    above ([bound = infinity || Cost.is_mode_monotone cost]); [domains]
-    defaults to [1] (sequential) and is ignored when [memo] is given.
+    above ([bound = infinity || Cost.is_mode_monotone cost]); [packed]
+    defaults to automatic (packed iff the instance fits, see
+    {!packed_bits}); [domains] defaults to [1] (sequential) and is
+    ignored when [memo] is given.
     @raise Invalid_argument if the cost model's mode count differs from
-    [modes]. *)
+    [modes], or if [~packed:true] is forced on an instance that exceeds
+    the packed key budget. *)
 
 val frontier :
   ?prune:bool ->
@@ -134,3 +154,16 @@ val root_state_count : ?prune:bool -> ?domains:int -> Tree.t -> modes:Modes.t ->
     scaling benches. [prune] defaults to [false] so the count measures
     the raw state space; pass [~prune:true] to measure what survives
     dominance pruning. *)
+
+val packed_bits : Tree.t -> modes:Modes.t -> int option
+(** Width in bits of the packed key this instance would use, [None]
+    when it exceeds the 62-bit budget and the solver falls back to the
+    wide representation. *)
+
+val merge_minor_words : Tree.t -> modes:Modes.t -> prune:bool -> float
+(** Minor-heap words allocated while rebuilding the full packed table
+    pyramid with warm (steady-state) scratch buffers — exactly [0.]
+    when the packed merge kernels are allocation-free, which the bench
+    suite asserts.
+    @raise Invalid_argument when the instance exceeds the packed key
+    budget. *)

@@ -21,12 +21,24 @@ module Span = Replica_obs.Span
 let h_products =
   Replica_obs.Histogram.create "dp_withpre.merge_products_per_node"
 
-type cell = { flow : int; placed : (int * int) Clist.t }
+(* Flat-table representation. A table indexed by (e, n) — reused
+   pre-existing and new servers strictly below the node — is two flat
+   int arrays over the dense (pre_cap+1) x (new_cap+1) grid: the flow
+   of the representative cell ([-1] = absent) and its placement as an
+   {!Arena} handle. Compared with the former
+   [cell option array array] of boxed records, a cell probe is one
+   load, an insert is two stores, and the merge convolution below
+   allocates zero GC words: placements are arena pushes, cells are
+   int writes.
 
+   The dimensions are logical: [flows]/[placed] may be longer than the
+   active grid, which is what lets the per-depth scratch pool reuse
+   one backing array across every sibling merge at that depth. *)
 type table = {
-  pre_cap : int;  (* max reused pre-existing representable *)
-  new_cap : int;  (* max new servers representable *)
-  cells : cell option array array;  (* cells.(e).(n) *)
+  mutable pre_cap : int; (* max reused pre-existing representable *)
+  mutable new_cap : int; (* max new servers representable *)
+  mutable flows : int array; (* stride new_cap + 1; -1 = absent *)
+  mutable placed : int array; (* arena handles, valid where flows >= 0 *)
 }
 
 type result = {
@@ -36,25 +48,47 @@ type result = {
   reused : int;
 }
 
-let make_table pre_cap new_cap =
+let fresh_table pre_cap new_cap =
+  let cells = (pre_cap + 1) * (new_cap + 1) in
   {
     pre_cap;
     new_cap;
-    cells = Array.make_matrix (pre_cap + 1) (new_cap + 1) None;
+    flows = Array.make cells (-1);
+    placed = Array.make cells 0;
   }
 
-let set t e n candidate =
-  match t.cells.(e).(n) with
-  | Some current when current.flow <= candidate.flow -> ()
-  | Some _ -> t.cells.(e).(n) <- Some candidate
-  | None ->
-      t.cells.(e).(n) <- Some candidate;
-      Stats_counters.incr c_cells
+(* Re-dimension a pooled table, keeping (and only touching the active
+   prefix of) its backing storage. *)
+let reset_table t pre_cap new_cap =
+  let cells = (pre_cap + 1) * (new_cap + 1) in
+  if Array.length t.flows < cells then begin
+    let cap = max cells (2 * Array.length t.flows) in
+    t.flows <- Array.make cap (-1);
+    t.placed <- Array.make cap 0
+  end
+  else Array.fill t.flows 0 cells (-1);
+  t.pre_cap <- pre_cap;
+  t.new_cap <- new_cap
+
+let[@inline] set t e n ~flow ~placed =
+  let i = (e * (t.new_cap + 1)) + n in
+  let cur = t.flows.(i) in
+  if cur < 0 then begin
+    t.flows.(i) <- flow;
+    t.placed.(i) <- placed;
+    Stats_counters.incr c_cells
+  end
+  else if flow < cur then begin
+    t.flows.(i) <- flow;
+    t.placed.(i) <- placed
+  end
 
 let iter_cells t f =
   for e = 0 to t.pre_cap do
+    let base = e * (t.new_cap + 1) in
     for n = 0 to t.new_cap do
-      match t.cells.(e).(n) with None -> () | Some c -> f e n c
+      let flow = t.flows.(base + n) in
+      if flow >= 0 then f e n flow t.placed.(base + n)
     done
   done
 
@@ -71,29 +105,156 @@ let iter_cells t f =
    whole subtree is clean hit their full-table entry and do zero work.
    Tables are never mutated after construction, so sharing them across
    solves is safe. Entries unused for two consecutive solves are
-   evicted, bounding the cache to roughly two epochs' tables. *)
+   evicted, bounding the cache to roughly two epochs' tables.
+
+   Cached placements live in the memo's own arena; after eviction the
+   arena is compacted (live handles copied, sharing preserved) once it
+   has grown past [compact_at], so a long-running engine cannot leak
+   dead placement cells across epochs. *)
 type memo = {
   mutable gen : int;
-  mutable memo_w : int;  (* tables depend on w; reset when it changes *)
+  mutable memo_w : int; (* tables depend on w; reset when it changes *)
   prefixes : (int * int64, memo_entry) Hashtbl.t;
+  m_arena : Arena.t;
+  mutable compact_at : int;
 }
 
 and memo_entry = { mutable stamp : int; entry_table : table }
 
-let memo () = { gen = 0; memo_w = -1; prefixes = Hashtbl.create 512 }
+let memo () =
+  {
+    gen = 0;
+    memo_w = -1;
+    prefixes = Hashtbl.create 512;
+    m_arena = Arena.create ();
+    compact_at = 1 lsl 16;
+  }
+
 let memo_size m = Hashtbl.length m.prefixes
 
 let fp_seed client =
   Tree.combine_fingerprints 0x2545F4914F6CDD1DL (Int64.of_int client)
 
-(* Table of node j over servers strictly below j. [ctx] carries the
-   optional memo and the current tree's subtree fingerprints. *)
-let rec table_of ctx tree ~w j =
-  if not (Span.enabled ()) then node_table ctx tree ~w j
+(* Per-depth scratch buffers for the memo-less path. The fold at node
+   j (depth d) only ever needs three live tables at depth d — the
+   accumulator, the merge target, and the current child's extension —
+   while the child's own table lives one depth down; so a slot of
+   three pooled tables per depth makes the whole solve reuse O(height)
+   buffers instead of allocating O(N) tables. Cached memo tables must
+   outlive the solve and are allocated fresh instead. *)
+type slot = { mutable s_acc : table; mutable s_alt : table; s_ext : table }
+
+type ctx = {
+  arena : Arena.t;
+  mutable slots : slot array; (* indexed by depth; grown on demand *)
+  memo : (memo * int64 array) option;
+}
+
+let fresh_slot () =
+  { s_acc = fresh_table 0 0; s_alt = fresh_table 0 0; s_ext = fresh_table 0 0 }
+
+let slot ctx depth =
+  let n = Array.length ctx.slots in
+  if depth >= n then begin
+    let slots = Array.init (max (depth + 1) (2 * n)) (fun i ->
+        if i < n then ctx.slots.(i) else fresh_slot ())
+    in
+    ctx.slots <- slots
+  end;
+  ctx.slots.(depth)
+
+(* The child's table extended with the decision at c itself, written
+   into [into] (already reset to the extended dimensions): every cell
+   passes up unchanged, and absorbing the flow at c moves the cell one
+   server up with flow 0. *)
+let extend ctx tree ~into sub c =
+  let c_pre = Tree.is_pre_existing tree c in
+  iter_cells sub (fun e n flow placed ->
+      set into e n ~flow ~placed;
+      let de = if c_pre then 1 else 0 in
+      let i = ((e + de) * (into.new_cap + 1)) + (n + 1 - de) in
+      let cur = into.flows.(i) in
+      if cur <> 0 then begin
+        (* absorbed cells have flow 0: only an absent or positive-flow
+           occupant can lose to one (ties keep the incumbent) *)
+        let absorbed = Arena.snoc ctx.arena placed ~node:c ~flow in
+        if cur < 0 then begin
+          into.flows.(i) <- 0;
+          into.placed.(i) <- absorbed;
+          Stats_counters.incr c_cells
+        end
+        else begin
+          into.flows.(i) <- 0;
+          into.placed.(i) <- absorbed
+        end
+      end)
+
+(* The convolution kernel: merge [left] and [ext] into [into] (already
+   reset to the combined dimensions). Straight nested loops over the
+   flat arrays; the only data written are int cells and arena pushes —
+   no GC allocation. *)
+let convolve ctx ~w ~into left ext =
+  let arena = ctx.arena in
+  let products = ref 0 and rejected = ref 0 and live = ref 0 in
+  let lw = left.new_cap + 1
+  and rw = ext.new_cap + 1
+  and ow = into.new_cap + 1 in
+  for e1 = 0 to left.pre_cap do
+    for n1 = 0 to left.new_cap do
+      let li = (e1 * lw) + n1 in
+      let lf = left.flows.(li) in
+      if lf >= 0 then begin
+        let lp = left.placed.(li) in
+        let obase = (e1 * ow) + n1 in
+        for e2 = 0 to ext.pre_cap do
+          for n2 = 0 to ext.new_cap do
+            let ri = (e2 * rw) + n2 in
+            let rf = ext.flows.(ri) in
+            if rf >= 0 then begin
+              incr products;
+              let flow = lf + rf in
+              if flow <= w then begin
+                let oi = obase + (e2 * ow) + n2 in
+                let cur = into.flows.(oi) in
+                if cur < 0 then begin
+                  into.flows.(oi) <- flow;
+                  into.placed.(oi) <- Arena.append arena lp ext.placed.(ri);
+                  incr live
+                end
+                else if flow < cur then begin
+                  into.flows.(oi) <- flow;
+                  into.placed.(oi) <- Arena.append arena lp ext.placed.(ri)
+                end
+              end
+              else incr rejected
+            end
+          done
+        done
+      end
+    done
+  done;
+  Stats_counters.add c_cells !live;
+  Stats_counters.add c_products !products;
+  Stats_counters.add c_capacity !rejected;
+  Replica_obs.Histogram.observe h_products !products;
+  Stats_counters.record_max c_peak !live
+
+(* Per-node spans only for subtrees of at least this many nodes. The
+   flat tables made small-subtree merges so cheap that a span per node
+   (two clock reads, two GC probes, an args list) dominated them — the
+   obs bench's tracing-overhead budget is what pins this down. Large
+   subtrees, where profiles carry signal, are still covered. *)
+let span_min_subtree = 16
+
+(* Table of node j over servers strictly below j. [ctx.memo] carries
+   the optional memo and the current tree's subtree fingerprints. *)
+let rec table_of ctx tree ~w ~depth j =
+  if not (Span.enabled () && Tree.subtree_size tree j >= span_min_subtree)
+  then node_table ctx tree ~w ~depth j
   else begin
     Span.begin_span "dp_withpre.node";
     let tbl =
-      try node_table ctx tree ~w j
+      try node_table ctx tree ~w ~depth j
       with e ->
         Span.end_span ();
         raise e
@@ -108,125 +269,164 @@ let rec table_of ctx tree ~w j =
     tbl
   end
 
-and node_table ctx tree ~w j =
-  let start = make_table 0 0 in
+and node_table ctx tree ~w ~depth j =
   let client = Tree.client_load tree j in
-  if client <= w then
-    start.cells.(0).(0) <- Some { flow = client; placed = Clist.empty };
-  let children = Tree.children tree j in
-  match (ctx, children) with
-  | None, _ | _, [] -> List.fold_left (merge ctx tree ~w) start children
-  | Some (m, fps), _ ->
-      let arr = Array.of_list children in
-      let k = Array.length arr in
-      let keys = Array.make (k + 1) (fp_seed client) in
-      for i = 1 to k do
-        keys.(i) <- Tree.combine_fingerprints keys.(i - 1) fps.(arr.(i - 1))
-      done;
-      let best = ref 0 and acc = ref start in
-      (try
-         for i = k downto 1 do
-           match Hashtbl.find_opt m.prefixes (j, keys.(i)) with
-           | Some e ->
-               e.stamp <- m.gen;
-               best := i;
-               acc := e.entry_table;
-               raise Exit
-           | None -> ()
-         done
-       with Exit -> ());
-      if Span.enabled () then
-        Span.add_arg "memo"
-          (Span.Str
-             (if !best = k then "hit"
-              else if !best > 0 then "partial"
-              else "miss"));
-      if !best = k then Stats_counters.incr c_memo_hits
-      else begin
-        Stats_counters.incr (if !best > 0 then c_memo_partial else c_memo_misses);
-        for i = !best + 1 to k do
-          acc := merge ctx tree ~w !acc arr.(i - 1);
-          Hashtbl.replace m.prefixes (j, keys.(i))
-            { stamp = m.gen; entry_table = !acc }
-        done
+  match ctx.memo with
+  | None ->
+      let s = slot ctx depth in
+      reset_table s.s_acc 0 0;
+      if client <= w then begin
+        s.s_acc.flows.(0) <- client;
+        s.s_acc.placed.(0) <- Arena.empty
       end;
-      !acc
+      let children = Tree.children_array tree j in
+      for i = 0 to Array.length children - 1 do
+        merge_into ctx tree ~w ~depth s children.(i)
+      done;
+      s.s_acc
+  | Some (m, fps) -> (
+      let start = fresh_table 0 0 in
+      if client <= w then start.flows.(0) <- client;
+      let arr = Tree.children_array tree j in
+      match arr with
+      | [||] -> start
+      | _ ->
+          let k = Array.length arr in
+          let keys = Array.make (k + 1) (fp_seed client) in
+          for i = 1 to k do
+            keys.(i) <- Tree.combine_fingerprints keys.(i - 1) fps.(arr.(i - 1))
+          done;
+          let best = ref 0 and acc = ref start in
+          (try
+             for i = k downto 1 do
+               match Hashtbl.find_opt m.prefixes (j, keys.(i)) with
+               | Some e ->
+                   e.stamp <- m.gen;
+                   best := i;
+                   acc := e.entry_table;
+                   raise Exit
+               | None -> ()
+             done
+           with Exit -> ());
+          if Span.enabled () then
+            Span.add_arg "memo"
+              (Span.Str
+                 (if !best = k then "hit"
+                  else if !best > 0 then "partial"
+                  else "miss"));
+          if !best = k then Stats_counters.incr c_memo_hits
+          else begin
+            Stats_counters.incr
+              (if !best > 0 then c_memo_partial else c_memo_misses);
+            for i = !best + 1 to k do
+              acc := merge_fresh ctx tree ~w ~depth !acc arr.(i - 1);
+              Hashtbl.replace m.prefixes (j, keys.(i))
+                { stamp = m.gen; entry_table = !acc }
+            done
+          end;
+          !acc)
 
-and merge ctx tree ~w left c =
-  let sub = table_of ctx tree ~w c in
+(* Memo-less merge: child table and extension live in scratch slots,
+   the merged accumulator double-buffers between s_acc and s_alt. *)
+and merge_into ctx tree ~w ~depth s c =
+  let sub = table_of ctx tree ~w ~depth:(depth + 1) c in
   let c_pre = Tree.is_pre_existing tree c in
-  (* Extend the child's table with the decision at c itself. *)
-  let extended =
-    make_table
-      (sub.pre_cap + if c_pre then 1 else 0)
-      (sub.new_cap + if c_pre then 0 else 1)
-  in
-  iter_cells sub (fun e n cell ->
-      set extended e n cell;
-      let absorbed =
-        { flow = 0; placed = Clist.snoc cell.placed (c, cell.flow) }
-      in
-      if c_pre then set extended (e + 1) n absorbed
-      else set extended e (n + 1) absorbed);
+  let de = if c_pre then 1 else 0 in
+  reset_table s.s_ext (sub.pre_cap + de) (sub.new_cap + 1 - de);
+  extend ctx tree ~into:s.s_ext sub c;
+  let left = s.s_acc and ext = s.s_ext in
   Log.debug (fun m ->
       m "merge child %d: left %dx%d, child %dx%d" c (left.pre_cap + 1)
-        (left.new_cap + 1) (extended.pre_cap + 1) (extended.new_cap + 1));
-  let tracing = Span.enabled () in
-  if tracing then Span.begin_span "dp_withpre.merge";
-  let merged =
-    make_table (left.pre_cap + extended.pre_cap)
-      (left.new_cap + extended.new_cap)
+        (left.new_cap + 1) (ext.pre_cap + 1) (ext.new_cap + 1));
+  let tracing =
+    Span.enabled () && Tree.subtree_size tree c >= span_min_subtree
   in
-  let products = ref 0 and rejected = ref 0 and live = ref 0 in
-  iter_cells left (fun e1 n1 l ->
-      iter_cells extended (fun e2 n2 r ->
-          incr products;
-          let flow = l.flow + r.flow in
-          if flow <= w then
-            set merged (e1 + e2) (n1 + n2)
-              { flow; placed = Clist.append l.placed r.placed }
-          else incr rejected));
-  Stats_counters.add c_products !products;
-  Stats_counters.add c_capacity !rejected;
-  Replica_obs.Histogram.observe h_products !products;
-  iter_cells merged (fun _ _ _ -> incr live);
-  Stats_counters.record_max c_peak !live;
+  if tracing then Span.begin_span "dp_withpre.merge";
+  reset_table s.s_alt (left.pre_cap + ext.pre_cap) (left.new_cap + ext.new_cap);
+  convolve ctx ~w ~into:s.s_alt left ext;
   if tracing then
     Span.end_span
       ~args:
         [
           ("child", Span.Int c);
-          ("products", Span.Int !products);
-          ("live_cells", Span.Int !live);
+          ("merged_pre_cap", Span.Int s.s_alt.pre_cap);
+          ("merged_new_cap", Span.Int s.s_alt.new_cap);
+        ]
+      ();
+  let acc = s.s_alt in
+  s.s_alt <- s.s_acc;
+  s.s_acc <- acc
+
+(* Memo merge: the result is cached across solves, so it gets fresh
+   storage; the transient extension still uses the depth slot. *)
+and merge_fresh ctx tree ~w ~depth left c =
+  let sub = table_of ctx tree ~w ~depth:(depth + 1) c in
+  let c_pre = Tree.is_pre_existing tree c in
+  let de = if c_pre then 1 else 0 in
+  let ext = fresh_table (sub.pre_cap + de) (sub.new_cap + 1 - de) in
+  extend ctx tree ~into:ext sub c;
+  Log.debug (fun m ->
+      m "merge child %d: left %dx%d, child %dx%d" c (left.pre_cap + 1)
+        (left.new_cap + 1) (ext.pre_cap + 1) (ext.new_cap + 1));
+  let tracing =
+    Span.enabled () && Tree.subtree_size tree c >= span_min_subtree
+  in
+  if tracing then Span.begin_span "dp_withpre.merge";
+  let merged =
+    fresh_table (left.pre_cap + ext.pre_cap) (left.new_cap + ext.new_cap)
+  in
+  convolve ctx ~w ~into:merged left ext;
+  if tracing then
+    Span.end_span
+      ~args:
+        [
+          ("child", Span.Int c);
+          ("merged_pre_cap", Span.Int merged.pre_cap);
+          ("merged_new_cap", Span.Int merged.new_cap);
         ]
       ();
   merged
+
+let compact_memo m =
+  if Arena.length m.m_arena > m.compact_at then begin
+    let c = Arena.compact_begin m.m_arena in
+    Hashtbl.iter
+      (fun _ e ->
+        let t = e.entry_table in
+        let cells = (t.pre_cap + 1) * (t.new_cap + 1) in
+        for i = 0 to cells - 1 do
+          if t.flows.(i) >= 0 then
+            t.placed.(i) <- Arena.compact_root m.m_arena c t.placed.(i)
+        done)
+      m.prefixes;
+    Arena.compact_commit m.m_arena c;
+    m.compact_at <- max (1 lsl 16) (4 * Arena.length m.m_arena)
+  end
 
 let solve ?memo:m tree ~w ~cost =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
   let ctx =
     match m with
-    | None -> None
+    | None -> { arena = Arena.create (); slots = [||]; memo = None }
     | Some mm ->
         if mm.memo_w <> w then begin
           Hashtbl.reset mm.prefixes;
+          Arena.clear mm.m_arena;
           mm.memo_w <- w
         end;
         mm.gen <- mm.gen + 1;
-        Some (mm, Tree.subtree_fingerprints tree)
+        {
+          arena = mm.m_arena;
+          slots = [||];
+          memo = Some (mm, Tree.subtree_fingerprints tree);
+        }
   in
   let root = Tree.root tree in
   let tracing = Span.enabled () in
   if tracing then Span.begin_span "dp_withpre.solve";
   let table =
-    Stats_counters.time t_tables (fun () -> table_of ctx tree ~w root)
+    Stats_counters.time t_tables (fun () -> table_of ctx tree ~w ~depth:0 root)
   in
-  (match m with
-  | Some mm ->
-      Hashtbl.filter_map_inplace
-        (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
-        mm.prefixes
-  | None -> ());
   let pre_total = Tree.num_pre_existing tree in
   let root_pre = Tree.is_pre_existing tree root in
   let best = ref None in
@@ -235,20 +435,20 @@ let solve ?memo:m tree ~w ~cost =
     | Some (v, _, _, _, _) when v <= value -> ()
     | _ -> best := Some (value, servers, reused, placed, root_used)
   in
-  iter_cells table (fun e n cell ->
-      if cell.flow = 0 then begin
+  iter_cells table (fun e n flow placed ->
+      if flow = 0 then begin
         (* Solution without a root server … *)
         consider
           (Cost.basic_cost cost ~servers:(e + n) ~reused:e
              ~pre_existing:pre_total)
-          (e + n) e cell false;
+          (e + n) e placed false;
         (* … and, when the root is pre-existing, reusing it at zero load
            (cheaper than deleting it when delete > 1). *)
         if root_pre then
           consider
             (Cost.basic_cost cost ~servers:(e + n + 1) ~reused:(e + 1)
                ~pre_existing:pre_total)
-            (e + n + 1) (e + 1) cell true
+            (e + n + 1) (e + 1) placed true
       end
       else begin
         (* flow <= w by construction: the root must host a server. *)
@@ -256,17 +456,24 @@ let solve ?memo:m tree ~w ~cost =
         consider
           (Cost.basic_cost cost ~servers:(e + n + 1) ~reused
              ~pre_existing:pre_total)
-          (e + n + 1) reused cell true
+          (e + n + 1) reused placed true
       end);
   let result =
     match !best with
     | None -> None
-    | Some (value, servers, reused, cell, root_used) ->
-        let nodes = List.map fst (Clist.to_list cell.placed) in
+    | Some (value, servers, reused, placed, root_used) ->
+        let nodes = Arena.nodes ctx.arena placed in
         let nodes = if root_used then root :: nodes else nodes in
         Some
           { solution = Solution.of_nodes nodes; cost = value; servers; reused }
   in
+  (match m with
+  | Some mm ->
+      Hashtbl.filter_map_inplace
+        (fun _ e -> if mm.gen - e.stamp > 1 then None else Some e)
+        mm.prefixes;
+      compact_memo mm
+  | None -> ());
   if tracing then
     Span.end_span
       ~args:
@@ -281,5 +488,9 @@ let solve ?memo:m tree ~w ~cost =
 
 let root_table tree ~w =
   if w <= 0 then invalid_arg "Dp_withpre: w must be positive";
-  let table = table_of None tree ~w (Tree.root tree) in
-  Array.map (Array.map (Option.map (fun c -> c.flow))) table.cells
+  let ctx = { arena = Arena.create (); slots = [||]; memo = None } in
+  let table = table_of ctx tree ~w ~depth:0 (Tree.root tree) in
+  Array.init (table.pre_cap + 1) (fun e ->
+      Array.init (table.new_cap + 1) (fun n ->
+          let flow = table.flows.((e * (table.new_cap + 1)) + n) in
+          if flow < 0 then None else Some flow))

@@ -23,13 +23,16 @@ let max_capacity t = t.(Array.length t - 1)
 
 let capacities t = Array.to_list t
 
+(* M is tiny (2 or 3 in practice): linear scan. Top-level so the call
+   is direct — a local [let rec] would allocate a closure on every
+   call, and this sits in the packed DP's zero-alloc merge path. *)
+let rec find_mode t req i = if req <= t.(i) then i + 1 else find_mode t req (i + 1)
+
 let mode_of_load t req =
   if req < 0 then invalid_arg "Modes.mode_of_load: negative load";
   if req > max_capacity t then
     invalid_arg "Modes.mode_of_load: load exceeds maximal capacity";
-  (* M is tiny (2 or 3 in practice): linear scan. *)
-  let rec find i = if req <= t.(i) then i + 1 else find (i + 1) in
-  find 0
+  find_mode t req 0
 
 let fits t req = req >= 0 && req <= max_capacity t
 

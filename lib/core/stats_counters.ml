@@ -32,12 +32,12 @@ let timer name =
 let incr c = ignore (Atomic.fetch_and_add c.cell 1)
 let add c n = ignore (Atomic.fetch_and_add c.cell n)
 
-let record_max c v =
-  let rec loop () =
-    let cur = Atomic.get c.cell in
-    if v > cur && not (Atomic.compare_and_set c.cell cur v) then loop ()
-  in
-  loop ()
+(* Top-level recursion, not a local [let rec]: the retry loop runs in
+   the packed DP's zero-alloc merge path, where a per-call closure
+   would show up in the allocation gate. *)
+let rec record_max c v =
+  let cur = Atomic.get c.cell in
+  if v > cur && not (Atomic.compare_and_set c.cell cur v) then record_max c v
 
 let value c = Atomic.get c.cell
 

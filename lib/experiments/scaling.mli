@@ -25,7 +25,9 @@ val measure_cost_algorithms :
   ?sizes:int list -> ?seed:int -> shape:Workload.shape -> unit -> measurement list
 (** Time every closest-policy registry cost solver (greedy, dp-nopre,
     dp-withpre, heuristic-cost; E = N/4 pre-existing) on one random
-    tree per size. Default sizes: [20; 40; 80; 160]. *)
+    tree per size. Default sizes: [20; 40; 80; 160; 100_000;
+    1_000_000]; above 4_000 nodes only the near-linear solvers
+    (greedy, greedy-qos) run — the DP tables are quadratic in cells. *)
 
 val measure_power_dp :
   ?sizes:int list -> ?pre:int -> ?seed:int -> shape:Workload.shape -> unit ->
@@ -33,5 +35,15 @@ val measure_power_dp :
 (** Time every registry power solver, exact DP first (modes {5, 10}),
     on one random tree per size. Default sizes: [10; 20; 30]; [pre]
     defaults to 3. *)
+
+val measure_power_dp_large :
+  ?sizes:int list -> ?pre:int -> ?seed:int -> shape:Workload.shape -> unit ->
+  measurement list
+(** Large-N power rows (default sizes [1_000; 10_000]): dp-power and
+    gr-power only, on a sparse workload whose mode ladder tracks the
+    total load so the table stays a few cells per node. Pins the DP
+    machinery's per-node constants — wall clock and, via [alloc_mb],
+    the packed core's allocation behaviour — rather than state-space
+    growth, which {!measure_power_dp}'s classic sizes cover. *)
 
 val to_table : measurement list -> Table.t

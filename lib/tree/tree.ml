@@ -43,25 +43,42 @@ let compute_orders parents children =
   let post = Array.make n 0 in
   let depths = Array.make n 0 in
   let pre_i = ref 0 and post_i = ref 0 in
-  (* Explicit stack to stay safe on deep (path-like) trees. *)
-  let stack = ref [ (0, `Enter) ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | (j, `Enter) :: rest ->
-        pre_order.(!pre_i) <- j;
-        incr pre_i;
-        let d = if parents.(j) < 0 then 0 else depths.(parents.(j)) + 1 in
-        depths.(j) <- d;
-        stack :=
-          List.fold_right
-            (fun c acc -> (c, `Enter) :: acc)
-            (Array.to_list children.(j))
-            ((j, `Exit) :: rest)
-    | (j, `Exit) :: rest ->
-        post.(!post_i) <- j;
-        incr post_i;
-        stack := rest
+  (* Explicit preallocated int stack: safe on deep (path-like) trees
+     and allocation-free at N = 10^6 (the old (node, `Enter|`Exit)
+     list stack allocated a cons + tag block per visit). Each node is
+     pushed at most once as "enter" (encoded as j) and once as "exit"
+     (encoded as j + n), so 2n slots always suffice. *)
+  let stack = Array.make (max 1 (2 * n)) 0 in
+  let sp = ref 0 in
+  let push v =
+    (* Malformed (cyclic/shared) parent structures could overflow 2n
+       pushes; bail out and let the count check below report it. *)
+    if !sp >= 2 * n then invalid_arg "Tree: disconnected or cyclic parent structure";
+    stack.(!sp) <- v;
+    incr sp
+  in
+  push 0;
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    if v >= n then begin
+      (* exit *)
+      post.(!post_i) <- v - n;
+      incr post_i
+    end
+    else begin
+      let j = v in
+      pre_order.(!pre_i) <- j;
+      incr pre_i;
+      let d = if parents.(j) < 0 then 0 else depths.(parents.(j)) + 1 in
+      depths.(j) <- d;
+      push (j + n);
+      (* Children pushed in reverse so the first child pops first. *)
+      let cs = children.(j) in
+      for i = Array.length cs - 1 downto 0 do
+        push cs.(i)
+      done
+    end
   done;
   if !pre_i <> n || !post_i <> n then
     invalid_arg "Tree: disconnected or cyclic parent structure";
@@ -177,6 +194,7 @@ let size t = Array.length t.parents
 let root _ = 0
 let parent t j = if j = 0 then None else Some t.parents.(j)
 let children t j = Array.to_list t.children.(j)
+let children_array t j = t.children.(j)
 let clients t j = Array.to_list t.clients.(j)
 let client_load t j = Array.fold_left ( + ) 0 t.clients.(j)
 let initial_mode t j = t.pre.(j)

@@ -76,6 +76,10 @@ val parent : t -> node -> node option
 val children : t -> node -> node list
 (** Internal children of a node. *)
 
+val children_array : t -> node -> node array
+(** Internal children as the underlying array — zero-allocation
+    accessor for hot solver loops. The caller must not mutate it. *)
+
 val clients : t -> node -> int list
 (** Request counts of the client leaves attached to a node. *)
 

@@ -389,7 +389,7 @@ counts are workload-deterministic (one "X" event per completed span):
   reused 0 of 2 pre-existing servers
   cost (Eq. 2): 0.020
   $ replica_cli obs-validate --trace solve_trace.json
-  trace solve_trace.json: valid chrome trace, 13 events
+  trace solve_trace.json: valid chrome trace, 2 events
 
 The engine exports both a trace and a Prometheus metrics snapshot, and
 the traced timeline is identical to the untraced one above. The trace
@@ -405,7 +405,7 @@ carries one "C" heap-counter event per epoch (gc.heap) on top of the
   epoch  3: demand    7  changed   3  dirty   4   2 servers  stale 1
   total: 2 reconfigurations, bill 5.00, 0 invalid epochs
   $ replica_cli obs-validate --trace engine_trace.json --metrics engine_metrics.prom
-  trace engine_trace.json: valid chrome trace, 64 events
+  trace engine_trace.json: valid chrome trace, 20 events
   metrics engine_metrics.prom: valid prometheus exposition
 
 obs-validate rejects malformed artifacts and fails loudly when given
@@ -556,6 +556,7 @@ hard-fail, wall-clock metrics only warn. An identical run passes:
     unpruned.allocated_bytes_per_solve       8388608       8388608     +0.0%  ok
     pruned.allocated_bytes_per_solve         5242880       5242880     +0.0%  ok
     peak_major_words                         1500000       1500000     +0.0%  ok
+  missing from one side: unpruned.dp_power.cells_created, merge_minor_words
   verdict: 0 hard regression(s), 0 warning(s)
 
 A run with 20% more merge products (a deterministic counter) and a
@@ -584,6 +585,7 @@ warns about the latter:
     pruned.allocated_bytes_per_solve         5242880       5242880     +0.0%  ok
     peak_major_words                         1500000       1500000     +0.0%  ok
   warning: pruned.dp_power.tables.seconds regressed (0.008 -> 0.02); timing metric, not gating
+  missing from one side: unpruned.dp_power.cells_created, merge_minor_words
   verdict: 1 hard regression(s), 1 warning(s)
   [1]
 
@@ -637,7 +639,7 @@ dump feeds straight into the profile analyser:
   $ replica_cli obs-validate --metrics ts.om
   metrics ts.om: valid prometheus exposition
   $ replica_cli obs-validate --trace fr.json
-  trace fr.json: valid chrome trace, 61 events
+  trace fr.json: valid chrome trace, 17 events
   $ replica_cli profile --trace fr.json | head -1
   name                 calls     total(us)      self(us)   self%
 
